@@ -1,0 +1,58 @@
+//! Criterion bench behind the A1 ablations: KernelSHAP cost vs background
+//! size and LIME cost vs sample count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_bench::SizedTask;
+use nfv_xai::prelude::*;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let task = SizedTask::new(10, 13);
+    let x = task.data.row(3).to_vec();
+    let mut g = c.benchmark_group("kernel_vs_background");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for bg_rows in [5usize, 25, 100] {
+        let bg = Background::from_dataset(&task.data, bg_rows, 1).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(bg_rows), &bg_rows, |b, _| {
+            b.iter(|| {
+                kernel_shap(
+                    &task.forest,
+                    &x,
+                    &bg,
+                    &task.names,
+                    &KernelShapConfig {
+                        n_coalitions: 256,
+                        ridge: 1e-6,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("lime_vs_samples");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [250usize, 1_000, 4_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &ns| {
+            b.iter(|| {
+                lime(
+                    &task.forest,
+                    &x,
+                    &task.background,
+                    &task.names,
+                    &LimeConfig {
+                        n_samples: ns,
+                        ..LimeConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind Figure 3: cost of the deletion/insertion
+//! fidelity evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfv_bench::SizedTask;
+use nfv_xai::prelude::*;
+use std::time::Duration;
+
+fn bench_fidelity(c: &mut Criterion) {
+    let task = SizedTask::new(10, 7);
+    let x = task.data.row(3).to_vec();
+    let attr = forest_shap(&task.forest, &x, &task.names).unwrap();
+    let order = attr.order_by_magnitude();
+    let mut g = c.benchmark_group("fidelity_eval");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("deletion_curve", |b| {
+        b.iter(|| deletion_curve(&task.forest, &x, &order, &task.background).unwrap())
+    });
+    g.bench_function("insertion_curve", |b| {
+        b.iter(|| insertion_curve(&task.forest, &x, &order, &task.background).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fidelity);
+criterion_main!(benches);

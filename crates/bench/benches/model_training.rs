@@ -1,0 +1,45 @@
+//! Criterion bench behind Table 1: training cost of each NFV-management
+//! model on the fluid sweep dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfv_bench::Fixture;
+use nfv_ml::prelude::*;
+use std::time::Duration;
+
+fn bench_training(c: &mut Criterion) {
+    let fixture = Fixture::new(2_000, 3);
+    let lat = &fixture.lat_train;
+    let sla = &fixture.sla_train;
+    let mut g = c.benchmark_group("model_training_2k_rows");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("ridge", |b| {
+        b.iter(|| LinearRegression::fit(lat, 1e-3).unwrap())
+    });
+    g.bench_function("logistic", |b| {
+        b.iter(|| LogisticRegression::fit(sla, 1e-3, 40).unwrap())
+    });
+    g.bench_function("cart", |b| {
+        b.iter(|| DecisionTree::fit(lat, &TreeParams::default(), 0).unwrap())
+    });
+    g.bench_function("random_forest_60", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                lat,
+                &ForestParams {
+                    n_trees: 60,
+                    ..ForestParams::default()
+                },
+                0,
+                4,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("gbdt_150", |b| {
+        b.iter(|| Gbdt::fit(lat, &GbdtParams::default(), 0).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

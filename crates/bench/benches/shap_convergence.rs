@@ -1,0 +1,54 @@
+//! Criterion bench behind Table 3 / Figure 4: cost of the sampling
+//! estimators as the evaluation budget grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_bench::SizedTask;
+use nfv_xai::prelude::*;
+use std::time::Duration;
+
+fn bench_convergence(c: &mut Criterion) {
+    let task = SizedTask::new(12, 5);
+    let x = task.data.row(7).to_vec();
+    let mut g = c.benchmark_group("sampling_budget");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for perms in [25usize, 100, 400] {
+        g.bench_with_input(BenchmarkId::new("permutations", perms), &perms, |b, &p| {
+            b.iter(|| {
+                sampling_shapley(
+                    &task.forest,
+                    &x,
+                    &task.background,
+                    &task.names,
+                    &SamplingConfig {
+                        n_permutations: p,
+                        antithetic: true,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    for budget in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("kernel_coalitions", budget), &budget, |b, &k| {
+            b.iter(|| {
+                kernel_shap(
+                    &task.forest,
+                    &x,
+                    &task.background,
+                    &task.names,
+                    &KernelShapConfig {
+                        n_coalitions: k,
+                        ridge: 1e-6,
+                        seed: 1,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

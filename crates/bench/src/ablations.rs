@@ -1,0 +1,153 @@
+//! Experiment A1 — ablations of the design choices DESIGN.md calls out:
+//! background-set size, KernelSHAP ridge, LIME kernel width, and the
+//! antithetic-variates switch.
+
+use crate::{print_table, SizedTask};
+use nfv_xai::prelude::*;
+
+/// Runs the ablation battery (d = 10 RF subject, errors vs exact Shapley).
+pub fn a1(quick: bool) {
+    let d = 10;
+    let task = SizedTask::new(d, 41);
+    let n_inst = if quick { 2 } else { 6 };
+    let instances: Vec<Vec<f64>> = (0..n_inst).map(|i| task.data.row(i * 13).to_vec()).collect();
+    println!("A1 — ablations (d = {d}, RF subject; relative MAE vs exact Shapley)\n");
+
+    // Exact references per background size (the reference changes with the
+    // background because the value function does).
+    let bg_sizes: &[usize] = if quick { &[5, 25] } else { &[5, 10, 25, 50, 100] };
+
+    // (a) Background size: error of KernelSHAP at fixed budget against the
+    // *large-background* exact values — measures the bias a small
+    // background introduces.
+    let reference_bg = Background::from_dataset(&task.data, 200, 1).expect("bg");
+    let exact_ref: Vec<Attribution> = instances
+        .iter()
+        .map(|x| exact_shapley(&task.forest, x, &reference_bg, &task.names).expect("exact"))
+        .collect();
+    let scale: f64 = exact_ref
+        .iter()
+        .flat_map(|a| a.values.iter().map(|v| v.abs()))
+        .fold(0.0, f64::max);
+    let mut rows = Vec::new();
+    for &bs in bg_sizes {
+        let bg = Background::from_dataset(&task.data, bs, 2).expect("bg");
+        let mut mae = 0.0;
+        for (x, ex) in instances.iter().zip(&exact_ref) {
+            let k = kernel_shap(
+                &task.forest,
+                x,
+                &bg,
+                &task.names,
+                &KernelShapConfig {
+                    n_coalitions: 512,
+                    ridge: 1e-6,
+                    seed: 3,
+                },
+            )
+            .expect("kernel");
+            mae += attribution_mae(&k, ex).expect("mae");
+        }
+        rows.push(vec![
+            format!("{bs}"),
+            format!("{:.4}", mae / instances.len() as f64 / scale),
+        ]);
+    }
+    println!("(a) KernelSHAP error vs background size (reference: 200-row background):");
+    print_table(&["background rows", "rel-MAE"], &rows);
+
+    // (b) KernelSHAP ridge strength at a small coalition budget.
+    let bg = Background::from_dataset(&task.data, 25, 2).expect("bg");
+    let exact_small: Vec<Attribution> = instances
+        .iter()
+        .map(|x| exact_shapley(&task.forest, x, &bg, &task.names).expect("exact"))
+        .collect();
+    let ridges: &[f64] = if quick { &[0.0, 1e-2] } else { &[0.0, 1e-6, 1e-3, 1e-1, 1.0] };
+    let mut rows = Vec::new();
+    for &ridge in ridges {
+        let mut mae = 0.0;
+        for (x, ex) in instances.iter().zip(&exact_small) {
+            let k = kernel_shap(
+                &task.forest,
+                x,
+                &bg,
+                &task.names,
+                &KernelShapConfig {
+                    n_coalitions: 64,
+                    ridge,
+                    seed: 5,
+                },
+            )
+            .expect("kernel");
+            mae += attribution_mae(&k, ex).expect("mae");
+        }
+        rows.push(vec![
+            format!("{ridge:.0e}"),
+            format!("{:.4}", mae / instances.len() as f64 / scale),
+        ]);
+    }
+    println!("\n(b) KernelSHAP ridge at a 64-coalition budget:");
+    print_table(&["ridge λ", "rel-MAE"], &rows);
+
+    // (c) LIME kernel width: agreement with exact Shapley ranking.
+    let widths: &[f64] = if quick { &[0.75, 5.0] } else { &[0.1, 0.25, 0.75, 2.0, 5.0] };
+    let mut rows = Vec::new();
+    for &w in widths {
+        let mut rho = 0.0;
+        for (x, ex) in instances.iter().zip(&exact_small) {
+            let e = lime(
+                &task.forest,
+                x,
+                &bg,
+                &task.names,
+                &LimeConfig {
+                    kernel_width_factor: w,
+                    ..LimeConfig::default()
+                },
+            )
+            .expect("lime");
+            rho += agreement(&e.attribution, ex).expect("agree").spearman_magnitude;
+        }
+        rows.push(vec![
+            format!("{w}"),
+            format!("{:.3}", rho / instances.len() as f64),
+        ]);
+    }
+    println!("\n(c) LIME kernel width vs agreement (magnitude ρ) with exact Shapley:");
+    print_table(&["width factor", "Spearman ρ"], &rows);
+
+    // (d) Antithetic switch at a fixed budget.
+    let mut rows = Vec::new();
+    for antithetic in [false, true] {
+        let mut mae = 0.0;
+        for (x, ex) in instances.iter().zip(&exact_small) {
+            let s = sampling_shapley(
+                &task.forest,
+                x,
+                &bg,
+                &task.names,
+                &SamplingConfig {
+                    n_permutations: if antithetic { 30 } else { 60 },
+                    antithetic,
+                    seed: 9,
+                },
+            )
+            .expect("sampling");
+            mae += attribution_mae(&s, ex).expect("mae");
+        }
+        rows.push(vec![
+            if antithetic { "antithetic" } else { "plain" }.to_string(),
+            format!("{:.4}", mae / instances.len() as f64 / scale),
+        ]);
+    }
+    println!("\n(d) Sampling estimator at equal evaluation budget (~60 walks):");
+    print_table(&["variant", "rel-MAE"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_smoke_quick() {
+        super::a1(true);
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates the reconstructed evaluation's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p nfv-bench --bin repro -- all
+//! cargo run --release -p nfv-bench --bin repro -- t1 t2 f4
+//! cargo run --release -p nfv-bench --bin repro -- --quick all
+//! ```
+//!
+//! Experiment ids: t1 t2 t3 t4 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 a1 (see DESIGN.md §3).
+
+use nfv_bench::{ablations, extensions, figures, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"all") {
+        ids = vec![
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
+            "f10", "a1",
+        ];
+    }
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        match *id {
+            "t1" => tables::t1(quick),
+            "t2" => tables::t2(quick),
+            "t3" => tables::t3(quick),
+            "f1" => figures::f1(quick),
+            "f2" => figures::f2(quick),
+            "f3" => figures::f3(quick),
+            "f4" => figures::f4(quick),
+            "f5" => figures::f5(quick),
+            "f6" => figures::f6(quick),
+            "f7" => figures::f7(quick),
+            "t4" => extensions::t4(quick),
+            "f8" => extensions::f8(quick),
+            "f9" => extensions::f9(quick),
+            "f10" => extensions::f10(quick),
+            "a1" => ablations::a1(quick),
+            other => {
+                eprintln!("unknown experiment id '{other}' (expected t1..t4, f1..f10, a1, all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

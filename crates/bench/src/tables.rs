@@ -1,0 +1,359 @@
+//! Experiments T1–T3: the reconstructed evaluation's tables.
+
+use crate::{print_table, time_ms, Fixture, SizedTask};
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_xai::prelude::*;
+
+/// A boxed model factory used by the T1 model zoo tables.
+type RegressorFactory<'a> = Box<dyn Fn(&Dataset) -> Box<dyn Regressor> + 'a>;
+/// A boxed classifier factory used by the T1 model zoo tables.
+type ClassifierFactory<'a> = Box<dyn Fn(&Dataset) -> Box<dyn Classifier> + 'a>;
+
+/// T1 — predictive performance of the NFV-management models.
+///
+/// Latency regression (RMSE, R²) and SLA-violation classification
+/// (accuracy, F1, AUC), 5-fold cross-validation on the fluid sweep data.
+pub fn t1(quick: bool) {
+    let n = if quick { 800 } else { 6_000 };
+    let fixture = Fixture::new(n, 1);
+    println!("T1 — model quality on NFV-management tasks ({n} windows, 5-fold CV)\n");
+
+    // --- regression -------------------------------------------------------
+    let lat = &fixture.lat_train;
+    let reg_models: Vec<(&str, RegressorFactory)> = vec![
+        (
+            "ridge (interpretable baseline)",
+            Box::new(|d| Box::new(LinearRegression::fit(d, 1e-3).expect("fit"))),
+        ),
+        (
+            "decision tree",
+            Box::new(|d| {
+                Box::new(DecisionTree::fit(d, &TreeParams::default(), 0).expect("fit"))
+            }),
+        ),
+        (
+            "random forest",
+            Box::new(|d| {
+                Box::new(
+                    RandomForest::fit(
+                        d,
+                        &ForestParams {
+                            n_trees: 60,
+                            ..ForestParams::default()
+                        },
+                        0,
+                        4,
+                    )
+                    .expect("fit"),
+                )
+            }),
+        ),
+        (
+            "GBDT",
+            Box::new(|d| Box::new(Gbdt::fit(d, &GbdtParams::default(), 0).expect("fit"))),
+        ),
+        (
+            "MLP",
+            Box::new(|d| {
+                let mut scaled = d.clone();
+                let sc = Scaler::standard(d);
+                sc.transform(&mut scaled).expect("scale");
+                let mlp = Mlp::fit(
+                    &scaled,
+                    &MlpParams {
+                        epochs: 60,
+                        ..MlpParams::default()
+                    },
+                    0,
+                )
+                .expect("fit");
+                Box::new(ScaledRegressor { scaler: sc, inner: mlp })
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, fit) in &reg_models {
+        // cross_validate scores one scalar per fold; run it once per metric.
+        let rmse = cross_validate(
+            lat,
+            5,
+            1,
+            |train| Ok(fit(train)),
+            |m, val| {
+                let preds: Vec<f64> = val.rows().map(|r| m.predict(r)).collect();
+                metrics::rmse(&val.y, &preds)
+            },
+        )
+        .expect("cv");
+        let r2 = cross_validate(
+            lat,
+            5,
+            1,
+            |train| Ok(fit(train)),
+            |m, val| {
+                let preds: Vec<f64> = val.rows().map(|r| m.predict(r)).collect();
+                metrics::r2(&val.y, &preds)
+            },
+        )
+        .expect("cv");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4} ± {:.4}", rmse.mean(), rmse.std()),
+            format!("{:.4} ± {:.4}", r2.mean(), r2.std()),
+        ]);
+    }
+    println!("Latency regression (target: log1p p95 ms):");
+    print_table(&["model", "RMSE", "R²"], &rows);
+
+    // --- classification ----------------------------------------------------
+    let sla = &fixture.sla_train;
+    let clf_models: Vec<(&str, ClassifierFactory)> = vec![
+        (
+            "logistic (interpretable baseline)",
+            Box::new(|d| Box::new(LogisticRegression::fit(d, 1e-3, 40).expect("fit"))),
+        ),
+        (
+            "decision tree",
+            Box::new(|d| {
+                Box::new(DecisionTree::fit(d, &TreeParams::default(), 0).expect("fit"))
+            }),
+        ),
+        (
+            "random forest",
+            Box::new(|d| {
+                Box::new(
+                    RandomForest::fit(
+                        d,
+                        &ForestParams {
+                            n_trees: 60,
+                            ..ForestParams::default()
+                        },
+                        0,
+                        4,
+                    )
+                    .expect("fit"),
+                )
+            }),
+        ),
+        (
+            "GBDT",
+            Box::new(|d| Box::new(Gbdt::fit(d, &GbdtParams::default(), 0).expect("fit"))),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, fit) in &clf_models {
+        let mut accs = Vec::new();
+        let mut f1s = Vec::new();
+        let mut aucs = Vec::new();
+        for (tr, va) in sla.kfold_indices(5, 2).expect("folds") {
+            let train = sla.take_rows(&tr).expect("rows");
+            let val = sla.take_rows(&va).expect("rows");
+            let m = fit(&train);
+            let proba: Vec<f64> = val.rows().map(|r| m.predict_proba(r)).collect();
+            accs.push(metrics::accuracy(&val.y, &proba).expect("acc"));
+            f1s.push(metrics::precision_recall_f1(&val.y, &proba).expect("f1").2);
+            aucs.push(metrics::roc_auc(&val.y, &proba).expect("auc"));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", mean(&accs)),
+            format!("{:.4}", mean(&f1s)),
+            format!("{:.4}", mean(&aucs)),
+        ]);
+    }
+    println!("\nSLA-violation classification:");
+    print_table(&["model", "accuracy", "F1", "ROC-AUC"], &rows);
+}
+
+/// Adapter: a regressor that standardizes its input first (for the MLP).
+struct ScaledRegressor {
+    scaler: Scaler,
+    inner: Mlp,
+}
+
+impl Regressor for ScaledRegressor {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut row = x.to_vec();
+        self.scaler.transform_row(&mut row).expect("row width fixed");
+        self.inner.predict(&row)
+    }
+    fn n_features(&self) -> usize {
+        Regressor::n_features(&self.inner)
+    }
+}
+
+/// T2 — per-instance explanation latency by method × feature count.
+pub fn t2(quick: bool) {
+    let dims: &[usize] = if quick { &[8, 12] } else { &[8, 12, 16, 20] };
+    let reps = if quick { 2 } else { 5 };
+    println!("T2 — explanation latency (ms/instance) vs feature count\n");
+    let mut rows = Vec::new();
+    for &d in dims {
+        let task = SizedTask::new(d, 3);
+        let x = task.data.row(7).to_vec();
+        let exact_ms = if d <= 16 {
+            format!(
+                "{:.1}",
+                time_ms(1, || {
+                    exact_shapley(&task.forest, &x, &task.background, &task.names).expect("exact")
+                })
+            )
+        } else {
+            "(>16 features)".to_string()
+        };
+        let sampling_ms = time_ms(reps, || {
+            sampling_shapley(
+                &task.forest,
+                &x,
+                &task.background,
+                &task.names,
+                &SamplingConfig {
+                    n_permutations: 200,
+                    antithetic: true,
+                    seed: 0,
+                },
+            )
+            .expect("sampling")
+        });
+        let kernel_ms = time_ms(reps, || {
+            kernel_shap(
+                &task.forest,
+                &x,
+                &task.background,
+                &task.names,
+                &KernelShapConfig::for_features(d),
+            )
+            .expect("kernel")
+        });
+        let tree_ms = time_ms(reps * 10, || {
+            forest_shap(&task.forest, &x, &task.names).expect("treeshap")
+        });
+        let lime_ms = time_ms(reps, || {
+            lime(
+                &task.forest,
+                &x,
+                &task.background,
+                &task.names,
+                &LimeConfig::default(),
+            )
+            .expect("lime")
+        });
+        rows.push(vec![
+            format!("{d}"),
+            exact_ms,
+            format!("{sampling_ms:.1}"),
+            format!("{kernel_ms:.1}"),
+            format!("{tree_ms:.3}"),
+            format!("{lime_ms:.1}"),
+        ]);
+    }
+    print_table(
+        &[
+            "d",
+            "exact",
+            "sampling (200 perms)",
+            "KernelSHAP (2d+512)",
+            "TreeSHAP",
+            "LIME (1000)",
+        ],
+        &rows,
+    );
+    println!("\nSubject: 50-tree random forest; background 12 rows; single thread.");
+}
+
+/// T3 — approximation error vs exact Shapley at fixed model-evaluation
+/// budgets (sampling and KernelSHAP), d = 12.
+pub fn t3(quick: bool) {
+    let d = 12;
+    let task = SizedTask::new(d, 5);
+    let n_instances = if quick { 3 } else { 10 };
+    let budgets: &[usize] = if quick {
+        &[128, 1024]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    println!("T3 — Shapley approximation error vs exact (d = {d}, RF subject)\n");
+
+    // Exact references.
+    let instances: Vec<Vec<f64>> = (0..n_instances).map(|i| task.data.row(i * 17).to_vec()).collect();
+    let exact: Vec<Attribution> = instances
+        .iter()
+        .map(|x| exact_shapley(&task.forest, x, &task.background, &task.names).expect("exact"))
+        .collect();
+    let scale: f64 = exact
+        .iter()
+        .flat_map(|a| a.values.iter().map(|v| v.abs()))
+        .fold(0.0, f64::max);
+
+    let mut rows = Vec::new();
+    for &budget in budgets {
+        // Sampling: each permutation costs d+1 evals → perms = budget/(d+1).
+        let perms = (budget / (d + 1)).max(1);
+        let mut samp_mae = 0.0;
+        let mut samp_rho = 0.0;
+        let mut kern_mae = 0.0;
+        let mut kern_rho = 0.0;
+        for (x, ex) in instances.iter().zip(&exact) {
+            let s = sampling_shapley(
+                &task.forest,
+                x,
+                &task.background,
+                &task.names,
+                &SamplingConfig {
+                    n_permutations: perms,
+                    antithetic: true,
+                    seed: 7,
+                },
+            )
+            .expect("sampling");
+            samp_mae += attribution_mae(&s, ex).expect("mae");
+            samp_rho += agreement(&s, ex).expect("agree").spearman_signed;
+            let k = kernel_shap(
+                &task.forest,
+                x,
+                &task.background,
+                &task.names,
+                &KernelShapConfig {
+                    n_coalitions: budget,
+                    ridge: 1e-6,
+                    seed: 7,
+                },
+            )
+            .expect("kernel");
+            kern_mae += attribution_mae(&k, ex).expect("mae");
+            kern_rho += agreement(&k, ex).expect("agree").spearman_signed;
+        }
+        let n = instances.len() as f64;
+        rows.push(vec![
+            format!("{budget}"),
+            format!("{:.4}", samp_mae / n / scale),
+            format!("{:.3}", samp_rho / n),
+            format!("{:.4}", kern_mae / n / scale),
+            format!("{:.3}", kern_rho / n),
+        ]);
+    }
+    print_table(
+        &[
+            "eval budget",
+            "sampling rel-MAE",
+            "sampling ρ",
+            "kernel rel-MAE",
+            "kernel ρ",
+        ],
+        &rows,
+    );
+    println!("\nrel-MAE = mean |φ̂ − φ*| / max|φ*|; ρ = Spearman vs exact (signed).");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_and_t3_smoke() {
+        t2(true);
+        t3(true);
+    }
+}

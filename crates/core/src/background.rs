@@ -1,0 +1,181 @@
+//! Background (reference) data: how "feature absent" is realized.
+//!
+//! Shapley-style methods need a value function `v(S) = E[f(x_S, X_{\bar S})]`;
+//! we estimate the expectation by substituting features outside the
+//! coalition with values from a background dataset (the *interventional* /
+//! marginal convention used by KernelSHAP and interventional TreeSHAP).
+
+use crate::XaiError;
+use nfv_data::dataset::Dataset;
+use nfv_ml::model::Regressor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A background sample set plus cached summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Background {
+    rows: Vec<Vec<f64>>,
+    /// Per-feature means of the background rows.
+    pub means: Vec<f64>,
+}
+
+impl Background {
+    /// Builds from explicit rows (all must share one length).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Background, XaiError> {
+        let Some(first) = rows.first() else {
+            return Err(XaiError::Input("background needs at least one row".into()));
+        };
+        let d = first.len();
+        if d == 0 {
+            return Err(XaiError::Input("background rows are empty".into()));
+        }
+        if rows.iter().any(|r| r.len() != d) {
+            return Err(XaiError::Input("background rows have mixed lengths".into()));
+        }
+        if rows.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(XaiError::Input("background contains non-finite values".into()));
+        }
+        let mut means = vec![0.0; d];
+        for r in &rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= rows.len() as f64;
+        }
+        Ok(Background { rows, means })
+    }
+
+    /// Builds by sampling at most `max_rows` rows of `data` (deterministic
+    /// subsample; KernelSHAP cost scales linearly in this).
+    pub fn from_dataset(data: &Dataset, max_rows: usize, seed: u64) -> Result<Background, XaiError> {
+        if max_rows == 0 {
+            return Err(XaiError::Input("max_rows must be positive".into()));
+        }
+        let n = data.n_rows();
+        let rows: Vec<Vec<f64>> = if n <= max_rows {
+            data.rows().map(|r| r.to_vec()).collect()
+        } else {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..max_rows)
+                .map(|_| data.row(rng.gen_range(0..n)).to_vec())
+                .collect()
+        };
+        Background::from_rows(rows)
+    }
+
+    /// Number of background rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty (unreachable by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature count.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Borrow of row `i` (wraps around — callers can index with any seed).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i % self.rows.len()]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// `E[f(X)]` over the background — the base value of every attribution.
+    pub fn expected_output(&self, model: &dyn Regressor) -> f64 {
+        self.rows.iter().map(|r| model.predict(r)).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Estimates `v(S) = E[f(x_S, B_{\bar S})]`: for every background row,
+    /// substitute the coalition features from `x` and average the model
+    /// output. `in_coalition[j]` marks membership of feature `j`.
+    pub fn coalition_value(
+        &self,
+        model: &dyn Regressor,
+        x: &[f64],
+        in_coalition: &[bool],
+    ) -> f64 {
+        let mut composite = vec![0.0; x.len()];
+        let mut sum = 0.0;
+        for b in &self.rows {
+            for j in 0..x.len() {
+                composite[j] = if in_coalition[j] { x[j] } else { b[j] };
+            }
+            sum += model.predict(&composite);
+        }
+        sum / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_data::dataset::Task;
+    use nfv_ml::model::FnModel;
+
+    fn bg() -> Background {
+        Background::from_rows(vec![vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Background::from_rows(vec![]).is_err());
+        assert!(Background::from_rows(vec![vec![]]).is_err());
+        assert!(Background::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Background::from_rows(vec![vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn means_are_columnwise() {
+        let b = bg();
+        assert_eq!(b.means, vec![2.0, 20.0]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.n_features(), 2);
+        assert_eq!(b.row(4), &[2.0, 20.0], "wraps");
+    }
+
+    #[test]
+    fn from_dataset_subsamples_deterministically() {
+        let data = Dataset::new(
+            vec!["a".into()],
+            (0..100).map(|i| i as f64).collect(),
+            vec![0.0; 100],
+            Task::Regression,
+        )
+        .unwrap();
+        let b1 = Background::from_dataset(&data, 10, 3).unwrap();
+        let b2 = Background::from_dataset(&data, 10, 3).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(b1.len(), 10);
+        let all = Background::from_dataset(&data, 500, 3).unwrap();
+        assert_eq!(all.len(), 100);
+        assert!(Background::from_dataset(&data, 0, 3).is_err());
+    }
+
+    #[test]
+    fn expected_output_and_coalition_values() {
+        let b = bg();
+        let model = FnModel::new(2, |x: &[f64]| x[0] + x[1]);
+        assert!((b.expected_output(&model) - 22.0).abs() < 1e-12);
+        let x = [100.0, 1000.0];
+        // Empty coalition = base value.
+        let v0 = b.coalition_value(&model, &x, &[false, false]);
+        assert!((v0 - 22.0).abs() < 1e-12);
+        // Full coalition = f(x).
+        let v_full = b.coalition_value(&model, &x, &[true, true]);
+        assert!((v_full - 1100.0).abs() < 1e-12);
+        // Feature 0 only: x0 + E[b1].
+        let v0only = b.coalition_value(&model, &x, &[true, false]);
+        assert!((v0only - 120.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,433 @@
+//! Counterfactual explanations (Wachter et al., 2017): the smallest change
+//! to an input that flips the model's decision — for an operator, the
+//! *headroom* question: "how much more load until this chain violates?",
+//! or inversely "what is the cheapest intervention that clears the alert?".
+//!
+//! The search is a deterministic multi-start projected coordinate descent:
+//! no gradients are required (the models are trees more often than not),
+//! feature boxes come from the background data, and a mask restricts the
+//! search to *actionable* features (an operator cannot change the payload
+//! size distribution, but can change CPU shares).
+
+use crate::background::Background;
+use crate::XaiError;
+use nfv_ml::model::Regressor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which direction the model output must cross `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossingDirection {
+    /// Find x' with `f(x') <= threshold` (e.g., clear an alert).
+    Below,
+    /// Find x' with `f(x') >= threshold` (e.g., find the violation knee).
+    Above,
+}
+
+/// Counterfactual search configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterfactualConfig {
+    /// Output threshold to cross.
+    pub threshold: f64,
+    /// Crossing direction.
+    pub direction: CrossingDirection,
+    /// `actionable[j]` = the search may move feature `j`. Empty = all
+    /// features are actionable.
+    pub actionable: Vec<bool>,
+    /// Random restarts.
+    pub n_restarts: usize,
+    /// Coordinate-descent sweeps per restart.
+    pub max_sweeps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CounterfactualConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.5,
+            direction: CrossingDirection::Below,
+            actionable: Vec::new(),
+            n_restarts: 4,
+            max_sweeps: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// A found counterfactual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterfactual {
+    /// The counterfactual input.
+    pub x_cf: Vec<f64>,
+    /// Model output at `x_cf` (satisfies the crossing).
+    pub prediction: f64,
+    /// Per-feature deltas `x_cf − x`, in original units.
+    pub deltas: Vec<f64>,
+    /// L1 distance in background-std units (the sparsity-friendly cost the
+    /// search minimized).
+    pub cost: f64,
+    /// Number of features actually changed (|delta| > 1e-9 · std).
+    pub n_changed: usize,
+}
+
+fn satisfies(pred: f64, cfg: &CounterfactualConfig) -> bool {
+    match cfg.direction {
+        CrossingDirection::Below => pred <= cfg.threshold,
+        CrossingDirection::Above => pred >= cfg.threshold,
+    }
+}
+
+/// Searches for the minimal-cost counterfactual of `model` at `x`.
+///
+/// Returns `Ok(None)` when no restart finds a crossing inside the
+/// background's feature boxes — itself useful information ("no actionable
+/// change clears this alert").
+pub fn counterfactual(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    cfg: &CounterfactualConfig,
+) -> Result<Option<Counterfactual>, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input("empty instance".into()));
+    }
+    if background.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "background has {} features, x has {d}",
+            background.n_features()
+        )));
+    }
+    if !cfg.actionable.is_empty() && cfg.actionable.len() != d {
+        return Err(XaiError::Input(format!(
+            "actionable mask has {} entries for {d} features",
+            cfg.actionable.len()
+        )));
+    }
+    if cfg.n_restarts == 0 || cfg.max_sweeps == 0 {
+        return Err(XaiError::Budget("n_restarts and max_sweeps must be positive".into()));
+    }
+    let actionable = |j: usize| cfg.actionable.is_empty() || cfg.actionable[j];
+
+    // Feature boxes and scales from the background.
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for r in background.rows() {
+        for j in 0..d {
+            lo[j] = lo[j].min(r[j]);
+            hi[j] = hi[j].max(r[j]);
+        }
+    }
+    let std: Vec<f64> = (0..d)
+        .map(|j| {
+            let col: Vec<f64> = background.rows().iter().map(|r| r[j]).collect();
+            let s = nfv_data::stats::std_dev(&col);
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let cost_of = |cand: &[f64]| -> f64 {
+        cand.iter()
+            .zip(x)
+            .zip(&std)
+            .map(|((c, xi), s)| (c - xi).abs() / s)
+            .sum()
+    };
+
+    // Already satisfied: the zero-change counterfactual.
+    let f0 = model.predict(x);
+    if satisfies(f0, cfg) {
+        return Ok(Some(Counterfactual {
+            x_cf: x.to_vec(),
+            prediction: f0,
+            deltas: vec![0.0; d],
+            cost: 0.0,
+            n_changed: 0,
+        }));
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best: Option<Counterfactual> = None;
+    for restart in 0..cfg.n_restarts {
+        // Restart 0 starts at x (best for smooth models); later restarts
+        // sample the actionable coordinates uniformly in the box, which is
+        // what escapes the flat plateaus of tree models.
+        let mut cand = x.to_vec();
+        if restart > 0 {
+            for j in 0..d {
+                if actionable(j) && hi[j] > lo[j] {
+                    cand[j] = rng.gen_range(lo[j]..hi[j]);
+                }
+            }
+        }
+        // Phase 1: greedily push single coordinates toward the crossing.
+        let mut found = false;
+        'sweeps: for sweep in 0..cfg.max_sweeps {
+            let step = 0.5f64.powi((sweep / d.max(1)) as i32); // shrinking steps
+            let mut improved = false;
+            for j in 0..d {
+                if !actionable(j) {
+                    continue;
+                }
+                let cur = model.predict(&cand);
+                if satisfies(cur, cfg) {
+                    found = true;
+                    break 'sweeps;
+                }
+                // Try both directions; keep the move that gets closer to the
+                // threshold per unit of cost.
+                let mut best_move: Option<(f64, f64)> = None; // (value, gap)
+                for dir in [-1.0, 1.0] {
+                    let v = (cand[j] + dir * step * std[j]).clamp(lo[j], hi[j]);
+                    if v == cand[j] {
+                        continue;
+                    }
+                    let old = cand[j];
+                    cand[j] = v;
+                    let p = model.predict(&cand);
+                    cand[j] = old;
+                    let gap = match cfg.direction {
+                        CrossingDirection::Below => p - cfg.threshold,
+                        CrossingDirection::Above => cfg.threshold - p,
+                    };
+                    if best_move.is_none() || gap < best_move.expect("set").1 {
+                        best_move = Some((v, gap));
+                    }
+                }
+                if let Some((v, gap)) = best_move {
+                    let cur_gap = match cfg.direction {
+                        CrossingDirection::Below => cur - cfg.threshold,
+                        CrossingDirection::Above => cfg.threshold - cur,
+                    };
+                    if gap < cur_gap {
+                        cand[j] = v;
+                        improved = true;
+                    }
+                }
+            }
+            if satisfies(model.predict(&cand), cfg) {
+                found = true;
+                break;
+            }
+            if !improved {
+                break; // stuck on a plateau; next restart
+            }
+        }
+        if !found && !satisfies(model.predict(&cand), cfg) {
+            continue;
+        }
+        // Phase 2: shrink back toward x feature-by-feature while the
+        // crossing still holds (sparsifies and minimizes cost). Full revert
+        // first (sparsity), then a bisection for the largest safe revert.
+        for _ in 0..3 {
+            for j in 0..d {
+                if cand[j] == x[j] {
+                    continue;
+                }
+                let moved = cand[j];
+                cand[j] = x[j];
+                if satisfies(model.predict(&cand), cfg) {
+                    continue; // full revert held
+                }
+                // Bisect the revert fraction in (0, 1): find the largest
+                // step toward x that keeps the crossing.
+                let mut safe = 0.0f64;
+                let mut unsafe_ = 1.0f64;
+                for _ in 0..10 {
+                    let mid = 0.5 * (safe + unsafe_);
+                    cand[j] = moved + mid * (x[j] - moved);
+                    if satisfies(model.predict(&cand), cfg) {
+                        safe = mid;
+                    } else {
+                        unsafe_ = mid;
+                    }
+                }
+                cand[j] = moved + safe * (x[j] - moved);
+            }
+        }
+        let pred = model.predict(&cand);
+        let cost = cost_of(&cand);
+        let deltas: Vec<f64> = cand.iter().zip(x).map(|(c, xi)| c - xi).collect();
+        let n_changed = deltas
+            .iter()
+            .zip(&std)
+            .filter(|(dl, s)| dl.abs() > 1e-9 * **s)
+            .count();
+        let cf = Counterfactual {
+            x_cf: cand,
+            prediction: pred,
+            deltas,
+            cost,
+            n_changed,
+        };
+        if best.as_ref().is_none_or(|b| cf.cost < b.cost) {
+            best = Some(cf);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_ml::model::FnModel;
+
+    fn bg() -> Background {
+        Background::from_rows(
+            (0..21)
+                .map(|i| vec![i as f64 / 2.0, 10.0 - i as f64 / 2.0])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_linear_boundary_with_minimal_change() {
+        // f = x0; want f ≤ 2 starting at x0 = 6 → must move x0 to ~2, x1 free.
+        let model = FnModel::new(2, |x: &[f64]| x[0]);
+        let cf = counterfactual(
+            &model,
+            &[6.0, 5.0],
+            &bg(),
+            &CounterfactualConfig {
+                threshold: 2.0,
+                direction: CrossingDirection::Below,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .expect("feasible");
+        assert!(cf.prediction <= 2.0 + 1e-9);
+        assert!(cf.x_cf[0] <= 2.0 + 1e-6, "{:?}", cf.x_cf);
+        assert!((cf.x_cf[1] - 5.0).abs() < 1e-9, "x1 untouched");
+        assert_eq!(cf.n_changed, 1);
+    }
+
+    #[test]
+    fn respects_the_actionability_mask() {
+        // f = x0 + x1; only x1 may move.
+        let model = FnModel::new(2, |x: &[f64]| x[0] + x[1]);
+        let cf = counterfactual(
+            &model,
+            &[6.0, 6.0],
+            &bg(),
+            &CounterfactualConfig {
+                threshold: 8.0,
+                direction: CrossingDirection::Below,
+                actionable: vec![false, true],
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .expect("feasible");
+        assert!((cf.x_cf[0] - 6.0).abs() < 1e-12, "frozen feature moved");
+        assert!(cf.x_cf[1] <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn already_satisfied_returns_zero_change() {
+        let model = FnModel::new(2, |x: &[f64]| x[0]);
+        let cf = counterfactual(
+            &model,
+            &[1.0, 1.0],
+            &bg(),
+            &CounterfactualConfig {
+                threshold: 2.0,
+                direction: CrossingDirection::Below,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .expect("trivially feasible");
+        assert_eq!(cf.cost, 0.0);
+        assert_eq!(cf.n_changed, 0);
+    }
+
+    #[test]
+    fn infeasible_within_the_box_returns_none() {
+        // f ≥ 100 is unreachable inside the background box [0, 10]².
+        let model = FnModel::new(2, |x: &[f64]| x[0] + x[1]);
+        let cf = counterfactual(
+            &model,
+            &[1.0, 1.0],
+            &bg(),
+            &CounterfactualConfig {
+                threshold: 100.0,
+                direction: CrossingDirection::Above,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(cf.is_none());
+    }
+
+    #[test]
+    fn works_on_tree_plateaus_via_restarts() {
+        // A step model: f = 1 iff x0 > 7 — flat everywhere else, so the
+        // descent needs the jittered restarts to find the cliff.
+        let model = FnModel::new(2, |x: &[f64]| if x[0] > 7.0 { 1.0 } else { 0.0 });
+        let cf = counterfactual(
+            &model,
+            &[1.0, 5.0],
+            &bg(),
+            &CounterfactualConfig {
+                threshold: 0.5,
+                direction: CrossingDirection::Above,
+                n_restarts: 12,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .expect("reachable: box extends to 10");
+        assert!(cf.x_cf[0] > 7.0);
+        assert!(cf.prediction >= 0.5);
+    }
+
+    #[test]
+    fn guards() {
+        let model = FnModel::new(2, |x: &[f64]| x[0]);
+        assert!(counterfactual(&model, &[], &bg(), &Default::default()).is_err());
+        assert!(counterfactual(
+            &model,
+            &[1.0, 1.0],
+            &bg(),
+            &CounterfactualConfig {
+                actionable: vec![true],
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(counterfactual(
+            &model,
+            &[1.0, 1.0],
+            &bg(),
+            &CounterfactualConfig {
+                n_restarts: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let wrong_bg = Background::from_rows(vec![vec![0.0]]).unwrap();
+        assert!(counterfactual(&model, &[1.0, 1.0], &wrong_bg, &Default::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = FnModel::new(2, |x: &[f64]| x[0] * x[1]);
+        let cfg = CounterfactualConfig {
+            threshold: 40.0,
+            direction: CrossingDirection::Above,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = counterfactual(&model, &[2.0, 2.0], &bg(), &cfg).unwrap();
+        let b = counterfactual(&model, &[2.0, 2.0], &bg(), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,220 @@
+//! Perturbation-based explanation fidelity: deletion and insertion curves.
+//!
+//! Deletion: replace features with their background means in decreasing
+//! attribution order and watch the prediction collapse — a good explanation
+//! collapses it fast (low AUC). Insertion: start from the all-mean input
+//! and restore features in the same order — a good explanation recovers the
+//! prediction fast (high AUC). Both AUCs are normalized to [0, 1] in the
+//! fraction-of-features axis.
+
+use crate::background::Background;
+use crate::XaiError;
+use nfv_ml::model::Regressor;
+
+/// One fidelity curve: model outputs after mutating 0..=d features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityCurve {
+    /// `outputs[k]` = model output with `k` features mutated.
+    pub outputs: Vec<f64>,
+    /// Trapezoidal area under the curve over the unit interval.
+    pub auc: f64,
+}
+
+fn auc_of(outputs: &[f64]) -> f64 {
+    let n = outputs.len();
+    if n < 2 {
+        return outputs.first().copied().unwrap_or(0.0);
+    }
+    let step = 1.0 / (n - 1) as f64;
+    outputs
+        .windows(2)
+        .map(|w| 0.5 * (w[0] + w[1]) * step)
+        .sum()
+}
+
+fn curve(
+    model: &dyn Regressor,
+    x: &[f64],
+    order: &[usize],
+    background: &Background,
+    insertion: bool,
+) -> FidelityCurve {
+    let d = x.len();
+    let mut probe: Vec<f64> = if insertion {
+        background.means.clone()
+    } else {
+        x.to_vec()
+    };
+    let mut outputs = Vec::with_capacity(d + 1);
+    outputs.push(model.predict(&probe));
+    for &j in order.iter().take(d) {
+        probe[j] = if insertion { x[j] } else { background.means[j] };
+        outputs.push(model.predict(&probe));
+    }
+    let auc = auc_of(&outputs);
+    FidelityCurve { outputs, auc }
+}
+
+/// Deletion curve: mutate features of `x` to the background mean in the
+/// given order (most-important-first for a real explanation).
+pub fn deletion_curve(
+    model: &dyn Regressor,
+    x: &[f64],
+    order: &[usize],
+    background: &Background,
+) -> Result<FidelityCurve, XaiError> {
+    validate(x, order, background)?;
+    Ok(curve(model, x, order, background, false))
+}
+
+/// Insertion curve: restore features of `x` from the background mean in
+/// the given order.
+pub fn insertion_curve(
+    model: &dyn Regressor,
+    x: &[f64],
+    order: &[usize],
+    background: &Background,
+) -> Result<FidelityCurve, XaiError> {
+    validate(x, order, background)?;
+    Ok(curve(model, x, order, background, true))
+}
+
+fn validate(x: &[f64], order: &[usize], background: &Background) -> Result<(), XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input("empty instance".into()));
+    }
+    if background.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "background has {} features, x has {d}",
+            background.n_features()
+        )));
+    }
+    if order.len() != d {
+        return Err(XaiError::Input(format!(
+            "order has {} entries for {d} features",
+            order.len()
+        )));
+    }
+    let mut seen = vec![false; d];
+    for &j in order {
+        if j >= d || seen[j] {
+            return Err(XaiError::Input(format!(
+                "order is not a permutation (bad/duplicate index {j})"
+            )));
+        }
+        seen[j] = true;
+    }
+    Ok(())
+}
+
+/// Deletion-minus-random score over a set of instances: mean AUC gap
+/// between deleting in random order and deleting in the explanation's
+/// order. Positive = the explanation orders features better than chance
+/// (for predictions above the base value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelitySummary {
+    /// Mean deletion AUC with the explanation's ordering.
+    pub deletion_auc: f64,
+    /// Mean insertion AUC with the explanation's ordering.
+    pub insertion_auc: f64,
+}
+
+/// Averages deletion and insertion AUCs of `orderings[i]` applied to
+/// `instances[i]`.
+pub fn fidelity_summary(
+    model: &dyn Regressor,
+    instances: &[Vec<f64>],
+    orderings: &[Vec<usize>],
+    background: &Background,
+) -> Result<FidelitySummary, XaiError> {
+    if instances.is_empty() || instances.len() != orderings.len() {
+        return Err(XaiError::Input(format!(
+            "{} instances vs {} orderings",
+            instances.len(),
+            orderings.len()
+        )));
+    }
+    let mut del = 0.0;
+    let mut ins = 0.0;
+    for (x, ord) in instances.iter().zip(orderings) {
+        del += deletion_curve(model, x, ord, background)?.auc;
+        ins += insertion_curve(model, x, ord, background)?.auc;
+    }
+    let n = instances.len() as f64;
+    Ok(FidelitySummary {
+        deletion_auc: del / n,
+        insertion_auc: ins / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_ml::model::FnModel;
+
+    fn bg() -> Background {
+        // Means are zero.
+        Background::from_rows(vec![vec![1.0, 1.0, 1.0], vec![-1.0, -1.0, -1.0]]).unwrap()
+    }
+
+    #[test]
+    fn deleting_the_dominant_feature_first_collapses_fastest() {
+        let model = FnModel::new(3, |x: &[f64]| 10.0 * x[0] + x[1] + 0.1 * x[2]);
+        let x = [1.0, 1.0, 1.0];
+        let good = deletion_curve(&model, &x, &[0, 1, 2], &bg()).unwrap();
+        let bad = deletion_curve(&model, &x, &[2, 1, 0], &bg()).unwrap();
+        assert!(
+            good.auc < bad.auc,
+            "informed deletion {} should undercut naive {}",
+            good.auc,
+            bad.auc
+        );
+        // Endpoints: starts at f(x), ends at f(means) = 0.
+        assert!((good.outputs[0] - 11.1).abs() < 1e-12);
+        assert!(good.outputs[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_mirrors_deletion() {
+        let model = FnModel::new(3, |x: &[f64]| 10.0 * x[0] + x[1] + 0.1 * x[2]);
+        let x = [1.0, 1.0, 1.0];
+        let good = insertion_curve(&model, &x, &[0, 1, 2], &bg()).unwrap();
+        let bad = insertion_curve(&model, &x, &[2, 1, 0], &bg()).unwrap();
+        assert!(
+            good.auc > bad.auc,
+            "informed insertion {} should dominate naive {}",
+            good.auc,
+            bad.auc
+        );
+        assert!(good.outputs[0].abs() < 1e-12);
+        assert!((good.outputs[3] - 11.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_constant_curve_is_the_constant() {
+        assert!((auc_of(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((auc_of(&[0.0, 1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(auc_of(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn summary_averages_instances() {
+        let model = FnModel::new(3, |x: &[f64]| x[0] + x[1] + x[2]);
+        let instances = vec![vec![1.0, 1.0, 1.0], vec![2.0, 0.0, 0.0]];
+        let orderings = vec![vec![0, 1, 2], vec![0, 1, 2]];
+        let s = fidelity_summary(&model, &instances, &orderings, &bg()).unwrap();
+        assert!(s.deletion_auc.is_finite() && s.insertion_auc.is_finite());
+        assert!(fidelity_summary(&model, &instances, &orderings[..1].to_vec(), &bg()).is_err());
+    }
+
+    #[test]
+    fn order_must_be_a_permutation() {
+        let model = FnModel::new(3, |x: &[f64]| x[0]);
+        let x = [1.0, 2.0, 3.0];
+        assert!(deletion_curve(&model, &x, &[0, 0, 1], &bg()).is_err());
+        assert!(deletion_curve(&model, &x, &[0, 1, 9], &bg()).is_err());
+        assert!(deletion_curve(&model, &x, &[0, 1], &bg()).is_err());
+        assert!(deletion_curve(&model, &[], &[], &bg()).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Agreement between explanation methods: rank correlations and top-k
+//! overlap of attribution vectors, aggregated over instances.
+
+use crate::explanation::Attribution;
+use crate::XaiError;
+use nfv_data::stats;
+
+/// Pairwise agreement between two attribution vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    /// Spearman ρ of the signed values.
+    pub spearman_signed: f64,
+    /// Spearman ρ of the magnitudes (the usual "same ranking?" question).
+    pub spearman_magnitude: f64,
+    /// Kendall τ-b of the magnitudes.
+    pub kendall_magnitude: f64,
+    /// Top-3 overlap of the magnitudes.
+    pub top3_overlap: f64,
+}
+
+/// Computes agreement between two attributions of the same instance.
+pub fn agreement(a: &Attribution, b: &Attribution) -> Result<Agreement, XaiError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(XaiError::Input(format!(
+            "attribution lengths {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let ma = a.magnitudes();
+    let mb = b.magnitudes();
+    Ok(Agreement {
+        spearman_signed: stats::spearman(&a.values, &b.values),
+        spearman_magnitude: stats::spearman(&ma, &mb),
+        kendall_magnitude: stats::kendall_tau(&ma, &mb),
+        top3_overlap: stats::top_k_agreement(&ma, &mb, 3),
+    })
+}
+
+/// Mean agreement across aligned instance lists from two methods.
+pub fn mean_agreement(
+    a: &[Attribution],
+    b: &[Attribution],
+) -> Result<Agreement, XaiError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(XaiError::Input(format!(
+            "attribution lists {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let mut acc = Agreement {
+        spearman_signed: 0.0,
+        spearman_magnitude: 0.0,
+        kendall_magnitude: 0.0,
+        top3_overlap: 0.0,
+    };
+    for (x, y) in a.iter().zip(b) {
+        let g = agreement(x, y)?;
+        acc.spearman_signed += g.spearman_signed;
+        acc.spearman_magnitude += g.spearman_magnitude;
+        acc.kendall_magnitude += g.kendall_magnitude;
+        acc.top3_overlap += g.top3_overlap;
+    }
+    let n = a.len() as f64;
+    acc.spearman_signed /= n;
+    acc.spearman_magnitude /= n;
+    acc.kendall_magnitude /= n;
+    acc.top3_overlap /= n;
+    Ok(acc)
+}
+
+/// Mean absolute error between attribution values (same scale assumed —
+/// how Table 3 scores sampling methods against exact Shapley).
+pub fn attribution_mae(a: &Attribution, b: &Attribution) -> Result<f64, XaiError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(XaiError::Input(format!(
+            "attribution lengths {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    Ok(a.values
+        .iter()
+        .zip(&b.values)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(values: Vec<f64>) -> Attribution {
+        Attribution {
+            names: (0..values.len()).map(|i| format!("f{i}")).collect(),
+            prediction: values.iter().sum::<f64>(),
+            values,
+            base_value: 0.0,
+            method: "t".into(),
+        }
+    }
+
+    #[test]
+    fn identical_attributions_agree_perfectly() {
+        let a = attr(vec![0.5, -0.2, 0.9, 0.0]);
+        let g = agreement(&a, &a).unwrap();
+        assert!((g.spearman_signed - 1.0).abs() < 1e-12);
+        assert!((g.spearman_magnitude - 1.0).abs() < 1e-12);
+        assert!((g.kendall_magnitude - 1.0).abs() < 1e-12);
+        assert!((g.top3_overlap - 1.0).abs() < 1e-12);
+        assert_eq!(attribution_mae(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sign_flips_show_in_signed_but_not_magnitude() {
+        let a = attr(vec![0.5, -0.2, 0.9]);
+        let b = attr(vec![-0.5, 0.2, -0.9]);
+        let g = agreement(&a, &b).unwrap();
+        assert!(g.spearman_signed < 0.0);
+        assert!((g.spearman_magnitude - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_agreement_averages() {
+        let a = vec![attr(vec![1.0, 0.0]), attr(vec![0.0, 1.0])];
+        let b = vec![attr(vec![1.0, 0.0]), attr(vec![1.0, 0.0])];
+        let g = mean_agreement(&a, &b).unwrap();
+        assert!((g.spearman_signed - 0.0).abs() < 1e-12, "(1 + −1)/2");
+        assert!(mean_agreement(&a, &b[..1].to_vec()).is_err());
+        assert!(mean_agreement(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mae_measures_scale() {
+        let a = attr(vec![1.0, 2.0]);
+        let b = attr(vec![1.5, 1.5]);
+        assert!((attribution_mae(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+        assert!(attribution_mae(&a, &attr(vec![1.0])).is_err());
+    }
+}

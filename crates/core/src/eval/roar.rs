@@ -1,0 +1,212 @@
+//! ROAR — RemOve And Retrain (Hooker et al., 2019): the strictest test of
+//! a global importance ranking. Deleting features and re-*evaluating* a
+//! fixed model (deletion curves) can be fooled by off-manifold inputs;
+//! ROAR instead *retrains* from scratch with the top-ranked features
+//! destroyed. If accuracy collapses, the ranking truly pointed at the
+//! information the task needs.
+
+use crate::XaiError;
+use nfv_data::dataset::Dataset;
+use nfv_data::stats;
+
+/// Result of a ROAR sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoarCurve {
+    /// Fractions of features removed, as given.
+    pub fractions: Vec<f64>,
+    /// Score of the retrained model at each fraction (index 0 is always
+    /// the 0%-removed baseline).
+    pub scores: Vec<f64>,
+    /// Number of features removed at each fraction.
+    pub removed: Vec<usize>,
+}
+
+impl RoarCurve {
+    /// Area under the score-vs-fraction curve (trapezoid). For a ranking
+    /// that finds the important features, this is LOW — the score collapses
+    /// early.
+    pub fn auc(&self) -> f64 {
+        if self.fractions.len() < 2 {
+            return self.scores.first().copied().unwrap_or(0.0);
+        }
+        let mut area = 0.0;
+        for w in self.fractions.windows(2).zip(self.scores.windows(2)) {
+            let (f, s) = w;
+            area += 0.5 * (s[0] + s[1]) * (f[1] - f[0]);
+        }
+        let span = self.fractions.last().expect("len ≥ 2") - self.fractions[0];
+        if span > 0.0 {
+            area / span
+        } else {
+            self.scores[0]
+        }
+    }
+}
+
+/// Replaces the given feature columns by their dataset mean — destroying
+/// their information while keeping the shape (so any model trains
+/// unchanged).
+fn destroy_features(data: &Dataset, features: &[usize]) -> Result<Dataset, XaiError> {
+    let d = data.n_features();
+    let mut means = vec![None; d];
+    for &j in features {
+        if j >= d {
+            return Err(XaiError::Input(format!("feature {j} out of {d}")));
+        }
+        means[j] = Some(stats::mean(&data.column(j)));
+    }
+    let mut x = Vec::with_capacity(data.n_rows() * d);
+    for row in data.rows() {
+        for (j, &v) in row.iter().enumerate() {
+            x.push(means[j].unwrap_or(v));
+        }
+    }
+    Dataset::new(data.names.clone(), x, data.y.clone(), data.task)
+        .map_err(|e| XaiError::Input(e.to_string()))
+}
+
+/// Runs ROAR: for each fraction, destroys that share of the top-ranked
+/// features in both splits, calls `fit_score(train, test)` on the result,
+/// and records the score.
+///
+/// `ranking` lists feature indices most-important-first (e.g. from
+/// mean-|SHAP| or permutation importance); `fractions` must be
+/// non-decreasing in [0, 1]. `fit_score` owns the model choice and the
+/// metric (higher = better).
+pub fn roar(
+    train: &Dataset,
+    test: &Dataset,
+    ranking: &[usize],
+    fractions: &[f64],
+    fit_score: &dyn Fn(&Dataset, &Dataset) -> Result<f64, XaiError>,
+) -> Result<RoarCurve, XaiError> {
+    let d = train.n_features();
+    if test.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "train has {d} features, test {}",
+            test.n_features()
+        )));
+    }
+    if ranking.len() != d {
+        return Err(XaiError::Input(format!(
+            "ranking has {} entries for {d} features",
+            ranking.len()
+        )));
+    }
+    let mut seen = vec![false; d];
+    for &j in ranking {
+        if j >= d || seen[j] {
+            return Err(XaiError::Input(format!(
+                "ranking is not a permutation (bad/duplicate {j})"
+            )));
+        }
+        seen[j] = true;
+    }
+    if fractions.is_empty()
+        || fractions.windows(2).any(|w| w[1] < w[0])
+        || fractions.iter().any(|f| !(0.0..=1.0).contains(f))
+    {
+        return Err(XaiError::Input(
+            "fractions must be non-decreasing within [0, 1]".into(),
+        ));
+    }
+    let mut scores = Vec::with_capacity(fractions.len());
+    let mut removed = Vec::with_capacity(fractions.len());
+    for &frac in fractions {
+        let k = ((d as f64) * frac).round() as usize;
+        let kill = &ranking[..k.min(d)];
+        let tr = destroy_features(train, kill)?;
+        let te = destroy_features(test, kill)?;
+        scores.push(fit_score(&tr, &te)?);
+        removed.push(kill.len());
+    }
+    Ok(RoarCurve {
+        fractions: fractions.to_vec(),
+        scores,
+        removed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_data::prelude::*;
+    use nfv_ml::prelude::*;
+
+    fn fit_r2(train: &Dataset, test: &Dataset) -> Result<f64, XaiError> {
+        let m = LinearRegression::fit(train, 1e-6).map_err(|e| XaiError::Numeric(e.to_string()))?;
+        let preds: Vec<f64> = test.rows().map(|r| m.predict(r)).collect();
+        metrics::r2(&test.y, &preds).map_err(|e| XaiError::Numeric(e.to_string()))
+    }
+
+    #[test]
+    fn true_ranking_collapses_faster_than_reversed() {
+        let s = linear_gaussian(1_200, 4, 4, 0.1, 91).unwrap();
+        let (train, test) = s.data.split(0.3, 1).unwrap();
+        // Ground-truth ranking: by |coefficient| descending, noise last.
+        let mut truth: Vec<usize> = (0..8).collect();
+        truth.sort_by(|&a, &b| {
+            s.coefficients[b]
+                .abs()
+                .total_cmp(&s.coefficients[a].abs())
+        });
+        let reversed: Vec<usize> = truth.iter().rev().copied().collect();
+        let fr = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let good = roar(&train, &test, &truth, &fr, &fit_r2).unwrap();
+        let bad = roar(&train, &test, &reversed, &fr, &fit_r2).unwrap();
+        assert!(
+            good.auc() < bad.auc() - 0.1,
+            "true ranking AUC {} must undercut reversed {}",
+            good.auc(),
+            bad.auc()
+        );
+        // Both start at the same intact baseline.
+        assert!((good.scores[0] - bad.scores[0]).abs() < 1e-9);
+        // Everything removed → R² ≈ 0 for both.
+        assert!(good.scores.last().unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn removing_noise_features_barely_hurts() {
+        let s = linear_gaussian(1_000, 3, 5, 0.1, 92).unwrap();
+        let (train, test) = s.data.split(0.3, 2).unwrap();
+        // Rank the 5 noise features "most important" — destroying them
+        // should leave the score intact at 5/8 removal.
+        let ranking: Vec<usize> = (3..8).chain(0..3).collect();
+        let curve = roar(&train, &test, &ranking, &[0.0, 5.0 / 8.0], &fit_r2).unwrap();
+        assert!(
+            curve.scores[1] > curve.scores[0] - 0.02,
+            "noise removal cost too much: {:?}",
+            curve.scores
+        );
+        assert_eq!(curve.removed, vec![0, 5]);
+    }
+
+    #[test]
+    fn guards() {
+        let s = linear_gaussian(100, 2, 1, 0.1, 93).unwrap();
+        let (train, test) = s.data.split(0.3, 3).unwrap();
+        let ranking = [0usize, 1, 2];
+        assert!(roar(&train, &test, &ranking[..2], &[0.0], &fit_r2).is_err(), "short ranking");
+        assert!(roar(&train, &test, &[0, 0, 1], &[0.0], &fit_r2).is_err(), "duplicate");
+        assert!(roar(&train, &test, &ranking, &[], &fit_r2).is_err(), "no fractions");
+        assert!(roar(&train, &test, &ranking, &[0.5, 0.2], &fit_r2).is_err(), "decreasing");
+        assert!(roar(&train, &test, &ranking, &[1.5], &fit_r2).is_err(), "out of range");
+    }
+
+    #[test]
+    fn auc_degenerate_cases() {
+        let c = RoarCurve {
+            fractions: vec![0.0],
+            scores: vec![0.7],
+            removed: vec![0],
+        };
+        assert_eq!(c.auc(), 0.7);
+        let flat = RoarCurve {
+            fractions: vec![0.0, 1.0],
+            scores: vec![0.5, 0.5],
+            removed: vec![0, 2],
+        };
+        assert!((flat.auc() - 0.5).abs() < 1e-12);
+    }
+}

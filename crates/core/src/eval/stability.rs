@@ -1,0 +1,179 @@
+//! Explanation stability: how much does the attribution move when the
+//! input barely does — the (empirical) local-Lipschitz criterion of
+//! Alvarez-Melis & Jaakkola (2018).
+
+use crate::XaiError;
+use rand::rngs::StdRng;
+
+/// The explanation closure probed by [`stability`]: input row → attribution
+/// values.
+pub type ExplainFn<'a> = dyn FnMut(&[f64]) -> Result<Vec<f64>, XaiError> + 'a;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Stability probe configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityConfig {
+    /// Number of perturbed neighbours.
+    pub n_probes: usize,
+    /// Perturbation radius per feature (uniform in ±radius·scale_j).
+    pub radius: f64,
+    /// Per-feature perturbation scales (typically the background standard
+    /// deviations, so `radius` means "fractions of a std"). Empty = all 1.
+    pub scales: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StabilityConfig {
+    fn default() -> Self {
+        Self {
+            n_probes: 20,
+            radius: 0.05,
+            scales: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a stability probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stability {
+    /// Max over probes of ‖φ(x') − φ(x)‖ / ‖x' − x‖ — the empirical local
+    /// Lipschitz constant. Lower = more stable.
+    pub lipschitz: f64,
+    /// Mean over probes of the same ratio.
+    pub mean_ratio: f64,
+}
+
+fn l2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Probes the stability of `explain` around `x`. `explain` maps an input
+/// row to its attribution values (any method; errors propagate).
+pub fn stability(
+    x: &[f64],
+    explain: &mut ExplainFn<'_>,
+    cfg: &StabilityConfig,
+) -> Result<Stability, XaiError> {
+    if x.is_empty() {
+        return Err(XaiError::Input("empty instance".into()));
+    }
+    if cfg.n_probes == 0 || cfg.radius <= 0.0 {
+        return Err(XaiError::Input("n_probes and radius must be positive".into()));
+    }
+    if !cfg.scales.is_empty() && cfg.scales.len() != x.len() {
+        return Err(XaiError::Input(format!(
+            "scales has {} entries for {} features",
+            cfg.scales.len(),
+            x.len()
+        )));
+    }
+    let phi0 = explain(x)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut max_ratio = 0.0f64;
+    let mut sum_ratio = 0.0;
+    let mut probe = x.to_vec();
+    for _ in 0..cfg.n_probes {
+        for (j, (p, &xi)) in probe.iter_mut().zip(x).enumerate() {
+            let scale = cfg.scales.get(j).copied().unwrap_or(1.0);
+            *p = xi + rng.gen_range(-cfg.radius..cfg.radius) * scale;
+        }
+        let phi = explain(&probe)?;
+        if phi.len() != phi0.len() {
+            return Err(XaiError::Numeric(
+                "explanation dimension changed between probes".into(),
+            ));
+        }
+        let dx = l2(&probe, x).max(1e-12);
+        let dphi = l2(&phi, &phi0);
+        let ratio = dphi / dx;
+        max_ratio = max_ratio.max(ratio);
+        sum_ratio += ratio;
+    }
+    Ok(Stability {
+        lipschitz: max_ratio,
+        mean_ratio: sum_ratio / cfg.n_probes as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_attribution_has_bounded_lipschitz() {
+        // φ(x) = w ⊙ x — Lipschitz constant is bounded by max|w| per axis,
+        // and ‖φ(x')−φ(x)‖ ≤ max|w|·‖x'−x‖.
+        let w = [3.0, -1.0, 0.5];
+        let mut explain = |x: &[f64]| -> Result<Vec<f64>, XaiError> {
+            Ok(x.iter().zip(&w).map(|(a, b)| a * b).collect())
+        };
+        let s = stability(&[1.0, 2.0, 3.0], &mut explain, &StabilityConfig::default()).unwrap();
+        assert!(s.lipschitz <= 3.0 + 1e-9, "{}", s.lipschitz);
+        assert!(s.mean_ratio <= s.lipschitz);
+        assert!(s.mean_ratio > 0.0);
+    }
+
+    #[test]
+    fn constant_explanation_is_perfectly_stable() {
+        let mut explain = |_: &[f64]| Ok(vec![1.0, 2.0]);
+        let s = stability(&[0.0, 0.0], &mut explain, &StabilityConfig::default()).unwrap();
+        assert_eq!(s.lipschitz, 0.0);
+        assert_eq!(s.mean_ratio, 0.0);
+    }
+
+    #[test]
+    fn discontinuous_explanation_is_flagged_unstable() {
+        // A hard jump at x0 = 0 creates huge ratios when probes cross it.
+        let mut explain = |x: &[f64]| {
+            Ok(vec![if x[0] > 0.0 { 100.0 } else { -100.0 }])
+        };
+        let s = stability(
+            &[0.0],
+            &mut explain,
+            &StabilityConfig {
+                n_probes: 50,
+                radius: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(s.lipschitz > 1_000.0, "{}", s.lipschitz);
+    }
+
+    #[test]
+    fn errors_propagate_and_guards_hold() {
+        let mut boom = |_: &[f64]| Err(XaiError::Numeric("boom".into()));
+        assert!(stability(&[1.0], &mut boom, &StabilityConfig::default()).is_err());
+        let mut ok = |_: &[f64]| Ok(vec![0.0]);
+        assert!(stability(&[], &mut ok, &StabilityConfig::default()).is_err());
+        assert!(stability(
+            &[1.0],
+            &mut ok,
+            &StabilityConfig {
+                n_probes: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        // Dimension change detection.
+        let mut flip = {
+            let mut first = true;
+            move |_: &[f64]| {
+                if first {
+                    first = false;
+                    Ok(vec![1.0])
+                } else {
+                    Ok(vec![1.0, 2.0])
+                }
+            }
+        };
+        assert!(stability(&[1.0], &mut flip, &StabilityConfig::default()).is_err());
+    }
+}

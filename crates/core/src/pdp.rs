@@ -1,0 +1,142 @@
+//! Partial dependence (PDP) and individual conditional expectation (ICE)
+//! curves — the global "what does the model do as this feature moves"
+//! view that complements local attributions.
+
+use crate::XaiError;
+use nfv_data::dataset::Dataset;
+use nfv_ml::model::Regressor;
+
+/// A PDP/ICE result over one feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialDependence {
+    /// The feature index examined.
+    pub feature: usize,
+    /// Grid of feature values.
+    pub grid: Vec<f64>,
+    /// Mean model output at each grid value (the PD curve).
+    pub pd: Vec<f64>,
+    /// Per-instance curves, `ice[i][g]` (empty unless requested).
+    pub ice: Vec<Vec<f64>>,
+}
+
+impl PartialDependence {
+    /// Total variation of the PD curve — a cheap global importance proxy.
+    pub fn total_variation(&self) -> f64 {
+        self.pd.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+    }
+}
+
+/// Computes PDP (and optionally ICE) of `model` for `feature` over `data`,
+/// using a `grid_size`-point equi-quantile grid from the data column.
+pub fn partial_dependence(
+    model: &dyn Regressor,
+    data: &Dataset,
+    feature: usize,
+    grid_size: usize,
+    keep_ice: bool,
+) -> Result<PartialDependence, XaiError> {
+    if feature >= data.n_features() {
+        return Err(XaiError::Input(format!(
+            "feature {feature} out of {}",
+            data.n_features()
+        )));
+    }
+    if grid_size < 2 {
+        return Err(XaiError::Input("grid_size must be at least 2".into()));
+    }
+    let col = data.column(feature);
+    let mut grid: Vec<f64> = (0..grid_size)
+        .map(|g| nfv_data::stats::quantile(&col, g as f64 / (grid_size - 1) as f64))
+        .collect();
+    grid.dedup();
+    let n = data.n_rows();
+    let mut pd = vec![0.0; grid.len()];
+    let mut ice: Vec<Vec<f64>> = if keep_ice {
+        vec![Vec::with_capacity(grid.len()); n]
+    } else {
+        Vec::new()
+    };
+    let mut row = vec![0.0; data.n_features()];
+    for (g, &val) in grid.iter().enumerate() {
+        let mut sum = 0.0;
+        #[allow(clippy::needless_range_loop)] // i indexes both data rows and ice
+        for i in 0..n {
+            row.copy_from_slice(data.row(i));
+            row[feature] = val;
+            let p = model.predict(&row);
+            sum += p;
+            if keep_ice {
+                ice[i].push(p);
+            }
+        }
+        pd[g] = sum / n as f64;
+    }
+    Ok(PartialDependence {
+        feature,
+        grid,
+        pd,
+        ice,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_data::prelude::*;
+    use nfv_ml::model::FnModel;
+
+    #[test]
+    fn pd_of_a_linear_effect_is_linear() {
+        let s = friedman1(600, 6, 0.0, 81).unwrap();
+        // True model uses 10·x3 linearly.
+        let model = FnModel::new(6, |x: &[f64]| {
+            10.0 * (std::f64::consts::PI * x[0] * x[1]).sin()
+                + 20.0 * (x[2] - 0.5).powi(2)
+                + 10.0 * x[3]
+                + 5.0 * x[4]
+        });
+        let pd = partial_dependence(&model, &s.data, 3, 9, false).unwrap();
+        // Slope between consecutive grid points ≈ 10.
+        for w in pd.grid.windows(2).zip(pd.pd.windows(2)) {
+            let (gs, ps) = w;
+            if gs[1] - gs[0] > 1e-6 {
+                let slope = (ps[1] - ps[0]) / (gs[1] - gs[0]);
+                assert!((slope - 10.0).abs() < 0.5, "slope={slope}");
+            }
+        }
+    }
+
+    #[test]
+    fn irrelevant_feature_has_flat_pd() {
+        let s = friedman1(400, 7, 0.0, 82).unwrap();
+        let model = FnModel::new(7, |x: &[f64]| 3.0 * x[0]);
+        let pd_used = partial_dependence(&model, &s.data, 0, 7, false).unwrap();
+        let pd_noise = partial_dependence(&model, &s.data, 6, 7, false).unwrap();
+        assert!(pd_noise.total_variation() < 1e-9);
+        assert!(pd_used.total_variation() > 1.0);
+    }
+
+    #[test]
+    fn ice_curves_are_kept_when_requested() {
+        let s = friedman1(50, 5, 0.0, 83).unwrap();
+        let model = FnModel::new(5, |x: &[f64]| x[0] + x[1]);
+        let pd = partial_dependence(&model, &s.data, 0, 5, true).unwrap();
+        assert_eq!(pd.ice.len(), 50);
+        assert!(pd.ice.iter().all(|c| c.len() == pd.grid.len()));
+        // PD is the mean of ICE.
+        for g in 0..pd.grid.len() {
+            let mean: f64 = pd.ice.iter().map(|c| c[g]).sum::<f64>() / 50.0;
+            assert!((mean - pd.pd[g]).abs() < 1e-9);
+        }
+        let no_ice = partial_dependence(&model, &s.data, 0, 5, false).unwrap();
+        assert!(no_ice.ice.is_empty());
+    }
+
+    #[test]
+    fn guards() {
+        let s = friedman1(50, 5, 0.0, 84).unwrap();
+        let model = FnModel::new(5, |x: &[f64]| x[0]);
+        assert!(partial_dependence(&model, &s.data, 9, 5, false).is_err());
+        assert!(partial_dependence(&model, &s.data, 0, 1, false).is_err());
+    }
+}

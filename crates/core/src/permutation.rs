@@ -1,0 +1,178 @@
+//! Permutation feature importance (Breiman, 2001): the *global* baseline —
+//! how much does shuffling one column degrade the model's score on a
+//! dataset.
+
+use crate::XaiError;
+use nfv_data::dataset::{Dataset, Task};
+use nfv_ml::metrics;
+use nfv_ml::model::Regressor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for permutation importance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermutationConfig {
+    /// Number of independent shuffles per feature (scores are averaged).
+    pub n_repeats: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PermutationConfig {
+    fn default() -> Self {
+        Self {
+            n_repeats: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-feature importance: mean score drop across shuffles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermutationImportance {
+    /// Feature names from the dataset.
+    pub names: Vec<String>,
+    /// Mean score drop (baseline − shuffled); higher = more important.
+    pub importances: Vec<f64>,
+    /// Baseline score of the unshuffled data (R² or ROC-AUC by task).
+    pub baseline_score: f64,
+}
+
+impl PermutationImportance {
+    /// Indices sorted by importance descending.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.importances.len()).collect();
+        idx.sort_by(|&i, &j| {
+            self.importances[j]
+                .partial_cmp(&self.importances[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    }
+}
+
+fn score(task: Task, y: &[f64], preds: &[f64]) -> Result<f64, XaiError> {
+    match task {
+        Task::Regression => metrics::r2(y, preds),
+        Task::BinaryClassification => metrics::roc_auc(y, preds),
+    }
+    .map_err(|e| XaiError::Numeric(e.to_string()))
+}
+
+/// Computes permutation importance of `model` on `data`. The model's
+/// outputs are scored with R² (regression) or ROC-AUC (classification —
+/// pass a probability surface via [`nfv_ml::model::ProbaSurface`]).
+pub fn permutation_importance(
+    model: &dyn Regressor,
+    data: &Dataset,
+    cfg: &PermutationConfig,
+) -> Result<PermutationImportance, XaiError> {
+    if cfg.n_repeats == 0 {
+        return Err(XaiError::Budget("n_repeats must be positive".into()));
+    }
+    if data.n_rows() < 2 {
+        return Err(XaiError::Input("need at least two rows".into()));
+    }
+    let n = data.n_rows();
+    let d = data.n_features();
+    let base_preds: Vec<f64> = data.rows().map(|r| model.predict(r)).collect();
+    let baseline_score = score(data.task, &data.y, &base_preds)?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut importances = vec![0.0; d];
+    let mut col_idx: Vec<usize> = (0..n).collect();
+    let mut row_buf = vec![0.0; d];
+    for j in 0..d {
+        let col = data.column(j);
+        let mut drop_sum = 0.0;
+        for _ in 0..cfg.n_repeats {
+            col_idx.shuffle(&mut rng);
+            let preds: Vec<f64> = (0..n)
+                .map(|i| {
+                    row_buf.copy_from_slice(data.row(i));
+                    row_buf[j] = col[col_idx[i]];
+                    model.predict(&row_buf)
+                })
+                .collect();
+            drop_sum += baseline_score - score(data.task, &data.y, &preds)?;
+        }
+        importances[j] = drop_sum / cfg.n_repeats as f64;
+    }
+    Ok(PermutationImportance {
+        names: data.names.clone(),
+        importances,
+        baseline_score,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_data::prelude::*;
+    use nfv_ml::model::{FnModel, ProbaSurface};
+    use nfv_ml::prelude::*;
+
+    #[test]
+    fn strong_feature_outranks_weak_and_noise() {
+        let s = linear_gaussian(1_500, 3, 2, 0.1, 71).unwrap();
+        let coefs = s.coefficients.clone();
+        let model = FnModel::new(5, move |x: &[f64]| {
+            x.iter().zip(&coefs).map(|(a, b)| a * b).sum()
+        });
+        let pi = permutation_importance(&model, &s.data, &PermutationConfig::default()).unwrap();
+        assert!(pi.baseline_score > 0.99);
+        let rank = pi.ranking();
+        assert_eq!(rank[0], 0, "x0 has |w|=4");
+        assert_eq!(rank[1], 1, "x1 has |w|=2");
+        for noise in [3usize, 4] {
+            assert!(
+                pi.importances[noise].abs() < 0.01,
+                "noise feature {noise}: {}",
+                pi.importances[noise]
+            );
+        }
+    }
+
+    #[test]
+    fn classification_uses_auc() {
+        let s = interaction_xor(1_500, 1, 72).unwrap();
+        let g = Gbdt::fit(&s.data, &GbdtParams::default(), 0).unwrap();
+        let pi = permutation_importance(
+            &ProbaSurface(&g),
+            &s.data,
+            &PermutationConfig::default(),
+        )
+        .unwrap();
+        assert!(pi.baseline_score > 0.9, "auc={}", pi.baseline_score);
+        let rank = pi.ranking();
+        assert!(rank[0] < 2 && rank[1] < 2, "interacting pair on top: {rank:?}");
+        assert!(pi.importances[2] < pi.importances[rank[1]] * 0.3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = friedman1(300, 6, 0.2, 73).unwrap();
+        let t = DecisionTree::fit(&s.data, &TreeParams::default(), 0).unwrap();
+        let a = permutation_importance(&t, &s.data, &PermutationConfig::default()).unwrap();
+        let b = permutation_importance(&t, &s.data, &PermutationConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn guards() {
+        let s = friedman1(100, 5, 0.2, 74).unwrap();
+        let t = DecisionTree::fit(&s.data, &TreeParams::default(), 0).unwrap();
+        assert!(permutation_importance(
+            &t,
+            &s.data,
+            &PermutationConfig {
+                n_repeats: 0,
+                seed: 0
+            }
+        )
+        .is_err());
+        let tiny = s.data.take_rows(&[0]).unwrap();
+        assert!(permutation_importance(&t, &tiny, &PermutationConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! KernelSHAP (Lundberg & Lee, 2017): Shapley values via a weighted linear
+//! regression over sampled coalitions, with the efficiency constraint
+//! enforced by variable elimination.
+//!
+//! Coalition sizes are consumed from the outside in (sizes 1 and d−1 carry
+//! the most kernel mass); any size that fits completely in the remaining
+//! budget is enumerated exactly, the rest are sampled. With a budget
+//! ≥ 2^d − 2 the method therefore reproduces exact Shapley values of the
+//! interventional value function.
+
+use crate::background::Background;
+use crate::explanation::Attribution;
+use crate::XaiError;
+use nfv_ml::linalg::{weighted_ridge, Matrix};
+use nfv_ml::model::Regressor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for KernelSHAP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelShapConfig {
+    /// Coalition evaluation budget (model calls = budget × background size).
+    /// The shap library default is `2d + 2048`; ours is `2d + 512`.
+    pub n_coalitions: usize,
+    /// Ridge regularization of the weighted regression (0 reproduces plain
+    /// WLS; small positive values stabilize tiny budgets).
+    pub ridge: f64,
+    /// RNG seed for coalition sampling.
+    pub seed: u64,
+}
+
+impl KernelShapConfig {
+    /// Default budget for `d` features.
+    pub fn for_features(d: usize) -> Self {
+        Self {
+            n_coalitions: 2 * d + 512,
+            ridge: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Binomial coefficient as f64 (saturating; d stays small).
+fn binom(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Computes KernelSHAP attributions of `model` at `x`.
+pub fn kernel_shap(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    names: &[String],
+    cfg: &KernelShapConfig,
+) -> Result<Attribution, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input("cannot explain a zero-feature input".into()));
+    }
+    if background.n_features() != d || names.len() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x has {d}, background {}, names {}",
+            background.n_features(),
+            names.len()
+        )));
+    }
+    let base = background.expected_output(model);
+    let fx = model.predict(x);
+
+    // One feature: efficiency pins it down completely.
+    if d == 1 {
+        return Ok(Attribution {
+            names: names.to_vec(),
+            values: vec![fx - base],
+            base_value: base,
+            prediction: fx,
+            method: "kernel-shap".into(),
+        });
+    }
+    if cfg.n_coalitions == 0 {
+        return Err(XaiError::Budget("n_coalitions must be positive".into()));
+    }
+
+    // ---- Coalition selection -------------------------------------------
+    // Kernel mass of one subset of size s: (d−1) / (C(d,s)·s·(d−s));
+    // total mass of size s: (d−1) / (s·(d−s)).
+    let mut coalitions: Vec<(Vec<bool>, f64)> = Vec::new(); // (membership, weight)
+    let mut budget = cfg.n_coalitions;
+    // Sizes ordered by descending mass: 1, d−1, 2, d−2, …
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut lo = 1usize;
+    let mut hi = d - 1;
+    while lo <= hi {
+        sizes.push(lo);
+        if hi != lo {
+            sizes.push(hi);
+        }
+        lo += 1;
+        hi -= 1;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sampled_sizes: Vec<usize> = Vec::new();
+    for &s in &sizes {
+        let count = binom(d, s);
+        if count <= budget as f64 {
+            // Full enumeration of this size.
+            let w = (d as f64 - 1.0) / (count * s as f64 * (d - s) as f64);
+            enumerate_size(d, s, &mut |members: &Vec<bool>| {
+                coalitions.push((members.clone(), w));
+            });
+            budget -= count as usize;
+        } else {
+            sampled_sizes.push(s);
+        }
+    }
+    if !sampled_sizes.is_empty() && budget > 0 {
+        // Distribute the remaining budget across the un-enumerated sizes
+        // proportionally to their kernel mass; within a size subsets are
+        // uniform, so each sample carries (size mass / samples of size).
+        let masses: Vec<f64> = sampled_sizes
+            .iter()
+            .map(|&s| (d as f64 - 1.0) / (s as f64 * (d - s) as f64))
+            .collect();
+        let total_mass: f64 = masses.iter().sum();
+        let mut idx_pool: Vec<usize> = (0..d).collect();
+        for (&s, &mass) in sampled_sizes.iter().zip(&masses) {
+            let share =
+                ((budget as f64) * mass / total_mass).round().max(1.0) as usize;
+            let w = mass / share as f64;
+            for _ in 0..share {
+                idx_pool.shuffle(&mut rng);
+                let mut members = vec![false; d];
+                for &j in idx_pool.iter().take(s) {
+                    members[j] = true;
+                }
+                coalitions.push((members, w));
+            }
+        }
+    }
+    if coalitions.is_empty() {
+        return Err(XaiError::Budget(format!(
+            "budget {} produced no coalitions for d={d}",
+            cfg.n_coalitions
+        )));
+    }
+
+    // ---- Weighted regression with the efficiency constraint -------------
+    // Eliminate φ_{d−1}: with Δ = fx − base,
+    //   y − base − z_{d−1}·Δ = Σ_{i<d−1} φ_i (z_i − z_{d−1}).
+    let n = coalitions.len();
+    let mut xmat = Vec::with_capacity(n * (d - 1));
+    let mut yvec = Vec::with_capacity(n);
+    let mut wvec = Vec::with_capacity(n);
+    let delta = fx - base;
+    for (members, w) in &coalitions {
+        let v = background.coalition_value(model, x, members);
+        let z_last = if members[d - 1] { 1.0 } else { 0.0 };
+        for &m in &members[..d - 1] {
+            let z_j = if m { 1.0 } else { 0.0 };
+            xmat.push(z_j - z_last);
+        }
+        yvec.push(v - base - z_last * delta);
+        wvec.push(*w);
+    }
+    let xm = Matrix::from_vec(n, d - 1, xmat).map_err(|e| XaiError::Numeric(e.to_string()))?;
+    let beta = weighted_ridge(&xm, &yvec, &wvec, cfg.ridge)
+        .map_err(|e| XaiError::Numeric(e.to_string()))?;
+    let mut phi = beta;
+    let last = delta - phi.iter().sum::<f64>();
+    phi.push(last);
+
+    Ok(Attribution {
+        names: names.to_vec(),
+        values: phi,
+        base_value: base,
+        prediction: fx,
+        method: "kernel-shap".into(),
+    })
+}
+
+/// Calls `f` with every size-`s` subset of `0..d` as a membership vector.
+fn enumerate_size(d: usize, s: usize, f: &mut impl FnMut(&Vec<bool>)) {
+    let mut members = vec![false; d];
+    let mut comb: Vec<usize> = (0..s).collect();
+    loop {
+        members.iter_mut().for_each(|m| *m = false);
+        for &c in &comb {
+            members[c] = true;
+        }
+        f(&members);
+        // Next combination in lexicographic order.
+        let mut i = s;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if comb[i] != i + d - s {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        comb[i] += 1;
+        for j in i + 1..s {
+            comb[j] = comb[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley::exact::exact_shapley;
+    use nfv_data::prelude::*;
+    use nfv_ml::model::FnModel;
+
+    fn names(d: usize) -> Vec<String> {
+        (0..d).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn full_budget_reproduces_exact_shapley() {
+        let s = friedman1(200, 6, 0.1, 7).unwrap();
+        let bg = Background::from_dataset(&s.data, 12, 1).unwrap();
+        let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
+        let x = s.data.row(3).to_vec();
+        let exact = exact_shapley(&t, &x, &bg, &names(6)).unwrap();
+        let kernel = kernel_shap(
+            &t,
+            &x,
+            &bg,
+            &names(6),
+            &KernelShapConfig {
+                n_coalitions: 1 << 6, // covers all 62 proper coalitions
+                ridge: 0.0,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        for (k, e) in kernel.values.iter().zip(&exact.values) {
+            assert!((k - e).abs() < 1e-6, "kernel {k} vs exact {e}");
+        }
+        assert!(kernel.efficiency_gap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_budget_is_close_and_still_efficient() {
+        let s = friedman1(200, 10, 0.1, 8).unwrap();
+        let bg = Background::from_dataset(&s.data, 10, 2).unwrap();
+        let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
+        let x = s.data.row(9).to_vec();
+        let exact = exact_shapley(&t, &x, &bg, &names(10)).unwrap();
+        let kernel = kernel_shap(
+            &t,
+            &x,
+            &bg,
+            &names(10),
+            &KernelShapConfig {
+                n_coalitions: 200,
+                ridge: 1e-6,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert!(kernel.efficiency_gap().abs() < 1e-9, "constraint is exact");
+        let scale = exact
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mae: f64 = kernel
+            .values
+            .iter()
+            .zip(&exact.values)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 10.0;
+        assert!(mae / scale < 0.15, "relative MAE {}", mae / scale);
+    }
+
+    #[test]
+    fn single_feature_short_circuit() {
+        let bg = Background::from_rows(vec![vec![0.0], vec![2.0]]).unwrap();
+        let model = FnModel::new(1, |x: &[f64]| 3.0 * x[0]);
+        let a = kernel_shap(
+            &model,
+            &[4.0],
+            &bg,
+            &names(1),
+            &KernelShapConfig::for_features(1),
+        )
+        .unwrap();
+        assert!((a.values[0] - (12.0 - 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_model_matches_closed_form_at_tiny_budget() {
+        let s = linear_gaussian(300, 4, 0, 0.0, 9).unwrap();
+        let bg = Background::from_dataset(&s.data, 30, 0).unwrap();
+        let coefs = s.coefficients.clone();
+        let model = FnModel::new(4, move |x: &[f64]| {
+            x.iter().zip(&coefs).map(|(a, b)| a * b).sum()
+        });
+        let x = [0.7, -1.3, 0.2, 2.0];
+        let a = kernel_shap(
+            &model,
+            &x,
+            &bg,
+            &names(4),
+            &KernelShapConfig {
+                n_coalitions: 20,
+                ridge: 0.0,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        for i in 0..4 {
+            let expect = s.coefficients[i] * (x[i] - bg.means[i]);
+            assert!(
+                (a.values[i] - expect).abs() < 1e-6,
+                "phi[{i}]={} expect {expect} (linear models are exact at any budget)",
+                a.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = friedman1(150, 8, 0.2, 10).unwrap();
+        let bg = Background::from_dataset(&s.data, 8, 1).unwrap();
+        let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
+        let x = s.data.row(1).to_vec();
+        let cfg = KernelShapConfig {
+            n_coalitions: 64,
+            ridge: 1e-6,
+            seed: 42,
+        };
+        let a = kernel_shap(&t, &x, &bg, &names(8), &cfg).unwrap();
+        let b = kernel_shap(&t, &x, &bg, &names(8), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn guards_reject_bad_inputs() {
+        let bg = Background::from_rows(vec![vec![0.0, 0.0]]).unwrap();
+        let model = FnModel::new(2, |x: &[f64]| x[0]);
+        assert!(kernel_shap(&model, &[], &bg, &[], &KernelShapConfig::for_features(2)).is_err());
+        assert!(kernel_shap(
+            &model,
+            &[1.0, 2.0],
+            &bg,
+            &names(2),
+            &KernelShapConfig {
+                n_coalitions: 0,
+                ridge: 0.0,
+                seed: 0
+            }
+        )
+        .is_err());
+        assert!(kernel_shap(
+            &model,
+            &[1.0, 2.0, 3.0],
+            &bg,
+            &names(3),
+            &KernelShapConfig::for_features(3)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn enumerate_size_yields_binomial_count() {
+        let mut n = 0;
+        enumerate_size(6, 3, &mut |m: &Vec<bool>| {
+            assert_eq!(m.iter().filter(|&&b| b).count(), 3);
+            n += 1;
+        });
+        assert_eq!(n, 20);
+        let mut n1 = 0;
+        enumerate_size(5, 1, &mut |_| n1 += 1);
+        assert_eq!(n1, 5);
+        let mut n4 = 0;
+        enumerate_size(5, 4, &mut |_| n4 += 1);
+        assert_eq!(n4, 5);
+    }
+}

@@ -1,0 +1,12 @@
+//! The Shapley-value family: exact enumeration, permutation sampling,
+//! KernelSHAP, and TreeSHAP.
+
+pub mod exact;
+pub mod kernel;
+pub mod sampling;
+pub mod tree;
+
+pub use exact::{exact_shapley, MAX_EXACT_FEATURES};
+pub use kernel::{kernel_shap, KernelShapConfig};
+pub use sampling::{sampling_shapley, SamplingConfig};
+pub use tree::{forest_shap, gbdt_shap, tree_shap};

@@ -1,0 +1,134 @@
+//! Global surrogate distillation: fit a shallow, readable decision tree to
+//! the *model's own predictions* and report how faithfully it mimics them.
+//! The surrogate-fidelity number is what tells an operator whether the
+//! simple story is trustworthy.
+
+use crate::XaiError;
+use nfv_data::dataset::{Dataset, Task};
+use nfv_ml::metrics;
+use nfv_ml::model::Regressor;
+use nfv_ml::tree::{DecisionTree, TreeParams};
+
+/// A distilled global surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Surrogate {
+    /// The shallow tree mimicking the model.
+    pub tree: DecisionTree,
+    /// R² of the surrogate against the *model's* outputs on the distillation
+    /// data (not against ground truth) — the fidelity of the simple story.
+    pub fidelity_r2: f64,
+}
+
+/// Distills `model` into a depth-`max_depth` tree over the rows of `data`.
+pub fn global_surrogate(
+    model: &dyn Regressor,
+    data: &Dataset,
+    max_depth: usize,
+) -> Result<Surrogate, XaiError> {
+    if max_depth == 0 {
+        return Err(XaiError::Input("surrogate depth must be positive".into()));
+    }
+    // Replace the targets with the model's predictions.
+    let preds: Vec<f64> = data.rows().map(|r| model.predict(r)).collect();
+    let distill = Dataset::new(
+        data.names.clone(),
+        data.x_flat().to_vec(),
+        preds.clone(),
+        Task::Regression,
+    )
+    .map_err(|e| XaiError::Input(e.to_string()))?;
+    let tree = DecisionTree::fit(
+        &distill,
+        &TreeParams {
+            max_depth,
+            ..TreeParams::default()
+        },
+        0,
+    )
+    .map_err(|e| XaiError::Numeric(e.to_string()))?;
+    let tree_preds: Vec<f64> = data.rows().map(|r| tree.output(r)).collect();
+    let fidelity_r2 =
+        metrics::r2(&preds, &tree_preds).map_err(|e| XaiError::Numeric(e.to_string()))?;
+    Ok(Surrogate { tree, fidelity_r2 })
+}
+
+/// Renders the surrogate tree as an indented rule list — the operator-
+/// facing artifact.
+pub fn render_rules(surrogate: &Surrogate, names: &[String]) -> String {
+    fn walk(
+        tree: &DecisionTree,
+        i: usize,
+        names: &[String],
+        indent: usize,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(indent);
+        let n = &tree.nodes[i];
+        if n.is_leaf {
+            out.push_str(&format!("{pad}→ predict {:.4} (n={})\n", n.value, n.cover));
+            return;
+        }
+        let name = names
+            .get(n.feature)
+            .map(String::as_str)
+            .unwrap_or("feature");
+        out.push_str(&format!("{pad}if {name} <= {:.4}:\n", n.threshold));
+        walk(tree, n.left as usize, names, indent + 1, out);
+        out.push_str(&format!("{pad}else:  # {name} > {:.4}\n", n.threshold));
+        walk(tree, n.right as usize, names, indent + 1, out);
+    }
+    let mut out = String::new();
+    if !surrogate.tree.nodes.is_empty() {
+        walk(&surrogate.tree, 0, names, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_data::prelude::*;
+    use nfv_ml::model::FnModel;
+    use nfv_ml::prelude::*;
+
+    #[test]
+    fn surrogate_of_a_tree_friendly_model_is_faithful() {
+        let s = friedman1(800, 6, 0.0, 91).unwrap();
+        let model = FnModel::new(6, |x: &[f64]| if x[3] > 0.5 { 10.0 } else { 0.0 });
+        let sur = global_surrogate(&model, &s.data, 3).unwrap();
+        assert!(sur.fidelity_r2 > 0.99, "fidelity {}", sur.fidelity_r2);
+    }
+
+    #[test]
+    fn deeper_surrogates_are_more_faithful() {
+        let s = friedman1(800, 6, 0.3, 92).unwrap();
+        let g = Gbdt::fit(&s.data, &GbdtParams::default(), 0).unwrap();
+        let shallow = global_surrogate(&g, &s.data, 2).unwrap();
+        let deep = global_surrogate(&g, &s.data, 6).unwrap();
+        assert!(
+            deep.fidelity_r2 > shallow.fidelity_r2,
+            "deep {} vs shallow {}",
+            deep.fidelity_r2,
+            shallow.fidelity_r2
+        );
+    }
+
+    #[test]
+    fn rules_render_names_and_structure() {
+        let s = friedman1(300, 5, 0.0, 93).unwrap();
+        let model = FnModel::new(5, |x: &[f64]| if x[0] > 0.5 { 1.0 } else { 0.0 });
+        let sur = global_surrogate(&model, &s.data, 2).unwrap();
+        let names: Vec<String> = vec!["load".into(), "b".into(), "c".into(), "d".into(), "e".into()];
+        let text = render_rules(&sur, &names);
+        assert!(text.contains("if load <="), "{text}");
+        assert!(text.contains("→ predict"), "{text}");
+        assert!(text.contains("else"), "{text}");
+    }
+
+    #[test]
+    fn guards() {
+        let s = friedman1(50, 5, 0.0, 94).unwrap();
+        let model = FnModel::new(5, |x: &[f64]| x[0]);
+        assert!(global_surrogate(&model, &s.data, 0).is_err());
+    }
+}

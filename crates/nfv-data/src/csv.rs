@@ -1,0 +1,161 @@
+//! Minimal CSV serialization for datasets — enough to export experiment
+//! data for external plotting and to re-import it, without a CSV crate.
+//!
+//! Format: header row of feature names plus a final `target` column; numeric
+//! values in `{:.17e}`-roundtrippable plain formatting. Names containing
+//! commas, quotes or newlines are quoted per RFC 4180.
+
+use crate::dataset::{Dataset, Task};
+use crate::DataError;
+use std::fmt::Write as _;
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes the dataset to CSV text.
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = data
+        .names
+        .iter()
+        .map(|n| escape(n))
+        .chain(std::iter::once("target".to_string()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (row, y) in data.rows().zip(&data.y) {
+        for v in row {
+            // Shortest roundtrip representation.
+            let _ = write!(out, "{v}");
+            out.push(',');
+        }
+        let _ = writeln!(out, "{y}");
+    }
+    out
+}
+
+/// Parses one CSV line honoring quotes.
+fn parse_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Deserializes a dataset from CSV text produced by [`to_csv`] (or any CSV
+/// with a trailing `target` column of numbers).
+pub fn from_csv(text: &str, task: Task) -> Result<Dataset, DataError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Value("empty CSV".into()))?;
+    let mut names = parse_line(header);
+    let last = names
+        .pop()
+        .ok_or_else(|| DataError::Value("header has no columns".into()))?;
+    if last != "target" {
+        return Err(DataError::Value(format!(
+            "last column must be 'target', got '{last}'"
+        )));
+    }
+    if names.is_empty() {
+        return Err(DataError::Value("CSV has no feature columns".into()));
+    }
+    let d = names.len();
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields = parse_line(line);
+        if fields.len() != d + 1 {
+            return Err(DataError::Value(format!(
+                "row {i}: {} fields, expected {}",
+                fields.len(),
+                d + 1
+            )));
+        }
+        for f in &fields[..d] {
+            let v: f64 = f
+                .trim()
+                .parse()
+                .map_err(|_| DataError::Value(format!("row {i}: bad number '{f}'")))?;
+            x.push(v);
+        }
+        let t: f64 = fields[d]
+            .trim()
+            .parse()
+            .map_err(|_| DataError::Value(format!("row {i}: bad target '{}'", fields[d])))?;
+        y.push(t);
+    }
+    Dataset::new(names, x, y, task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = Dataset::new(
+            vec!["plain".into(), "with,comma".into(), "with\"quote".into()],
+            vec![1.5, -2.25, 3.125, 0.1, 1e-9, 12345.6789],
+            vec![0.0, 1.0],
+            Task::BinaryClassification,
+        )
+        .unwrap();
+        let text = to_csv(&d);
+        let back = from_csv(&text, Task::BinaryClassification).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn header_quoting() {
+        let d = Dataset::new(
+            vec!["a,b".into()],
+            vec![1.0],
+            vec![2.0],
+            Task::Regression,
+        )
+        .unwrap();
+        let text = to_csv(&d);
+        assert!(text.starts_with("\"a,b\",target\n"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_csv("", Task::Regression).is_err());
+        assert!(from_csv("a,b\n1,2\n", Task::Regression).is_err(), "no target column");
+        assert!(from_csv("a,target\n1\n", Task::Regression).is_err(), "short row");
+        assert!(from_csv("a,target\nx,2\n", Task::Regression).is_err(), "bad number");
+        assert!(from_csv("target\n1\n", Task::Regression).is_err(), "no features");
+    }
+
+    #[test]
+    fn parse_line_handles_embedded_quotes() {
+        let f = parse_line("\"a\"\"b\",2,\"c,d\"");
+        assert_eq!(f, vec!["a\"b", "2", "c,d"]);
+    }
+}

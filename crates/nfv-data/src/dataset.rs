@@ -1,0 +1,291 @@
+//! The tabular dataset container shared by every model and explainer.
+
+use crate::DataError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// What the target column means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// Continuous target (e.g., p95 latency in ms).
+    Regression,
+    /// Binary target in {0.0, 1.0} (e.g., SLA violated).
+    BinaryClassification,
+}
+
+/// One cross-validation fold: (train row indices, validation row indices).
+pub type FoldIndices = (Vec<usize>, Vec<usize>);
+
+/// A dense, row-major tabular dataset with named features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature names, one per column.
+    pub names: Vec<String>,
+    /// Row-major feature matrix, `rows × names.len()`.
+    x: Vec<f64>,
+    /// Target, one per row.
+    pub y: Vec<f64>,
+    /// Task semantics of `y`.
+    pub task: Task,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes and finiteness.
+    pub fn new(
+        names: Vec<String>,
+        x: Vec<f64>,
+        y: Vec<f64>,
+        task: Task,
+    ) -> Result<Self, DataError> {
+        let d = names.len();
+        if d == 0 {
+            return Err(DataError::Shape("dataset needs at least one feature".into()));
+        }
+        if y.is_empty() {
+            return Err(DataError::Shape("dataset needs at least one row".into()));
+        }
+        if x.len() != d * y.len() {
+            return Err(DataError::Shape(format!(
+                "x has {} values, expected {} rows × {} features",
+                x.len(),
+                y.len(),
+                d
+            )));
+        }
+        if let Some(bad) = x.iter().chain(y.iter()).find(|v| !v.is_finite()) {
+            return Err(DataError::Value(format!("non-finite value {bad} in dataset")));
+        }
+        if task == Task::BinaryClassification {
+            if let Some(bad) = y.iter().find(|v| **v != 0.0 && **v != 1.0) {
+                return Err(DataError::Value(format!(
+                    "binary target contains {bad}, expected 0 or 1"
+                )));
+            }
+        }
+        Ok(Self { names, x, y, task })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Borrowed view of row `i`. Panics if out of range (an index bug, not
+    /// user input).
+    pub fn row(&self, i: usize) -> &[f64] {
+        let d = self.n_features();
+        &self.x[i * d..(i + 1) * d]
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.x.chunks_exact(self.n_features())
+    }
+
+    /// Column `j` copied into a vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        self.rows().map(|r| r[j]).collect()
+    }
+
+    /// The full row-major buffer.
+    pub fn x_flat(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Mutable access to the row-major buffer (for scalers).
+    pub(crate) fn x_flat_mut(&mut self) -> &mut [f64] {
+        &mut self.x
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// A new dataset containing the given rows (indices may repeat —
+    /// bootstrap sampling uses this).
+    pub fn take_rows(&self, idx: &[usize]) -> Result<Dataset, DataError> {
+        if idx.is_empty() {
+            return Err(DataError::Shape("take_rows with empty index set".into()));
+        }
+        if let Some(&bad) = idx.iter().find(|&&i| i >= self.n_rows()) {
+            return Err(DataError::Shape(format!(
+                "row index {bad} out of {}",
+                self.n_rows()
+            )));
+        }
+        let d = self.n_features();
+        let mut x = Vec::with_capacity(idx.len() * d);
+        let mut y = Vec::with_capacity(idx.len());
+        for &i in idx {
+            x.extend_from_slice(self.row(i));
+            y.push(self.y[i]);
+        }
+        Dataset::new(self.names.clone(), x, y, self.task)
+    }
+
+    /// Deterministic shuffled train/test split. `test_fraction` in (0, 1).
+    pub fn split(&self, test_fraction: f64, seed: u64) -> Result<(Dataset, Dataset), DataError> {
+        if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+            return Err(DataError::Value(format!(
+                "test_fraction {test_fraction} not in (0, 1)"
+            )));
+        }
+        let n = self.n_rows();
+        let n_test = ((n as f64) * test_fraction).round() as usize;
+        if n_test == 0 || n_test >= n {
+            return Err(DataError::Shape(format!(
+                "split of {n} rows at {test_fraction} leaves an empty side"
+            )));
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        Ok((self.take_rows(train_idx)?, self.take_rows(test_idx)?))
+    }
+
+    /// Deterministic k-fold index sets: returns `k` (train, validation)
+    /// pairs covering every row exactly once as validation.
+    pub fn kfold_indices(&self, k: usize, seed: u64) -> Result<Vec<FoldIndices>, DataError> {
+        let n = self.n_rows();
+        if k < 2 || k > n {
+            return Err(DataError::Value(format!("k={k} invalid for {n} rows")));
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let val: Vec<usize> = idx
+                .iter()
+                .copied()
+                .skip(f)
+                .step_by(k)
+                .collect();
+            let valset: std::collections::HashSet<usize> = val.iter().copied().collect();
+            let train: Vec<usize> = idx.iter().copied().filter(|i| !valset.contains(i)).collect();
+            folds.push((train, val));
+        }
+        Ok(folds)
+    }
+
+    /// Class balance for classification targets (fraction of positives).
+    pub fn positive_fraction(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        self.y.iter().filter(|&&v| v == 1.0).count() as f64 / self.y.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+            Task::BinaryClassification,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(Dataset::new(vec![], vec![], vec![1.0], Task::Regression).is_err());
+        assert!(Dataset::new(vec!["a".into()], vec![1.0], vec![], Task::Regression).is_err());
+        assert!(
+            Dataset::new(vec!["a".into()], vec![1.0, 2.0], vec![1.0], Task::Regression).is_err()
+        );
+        assert!(Dataset::new(
+            vec!["a".into()],
+            vec![f64::NAN],
+            vec![1.0],
+            Task::Regression
+        )
+        .is_err());
+        assert!(Dataset::new(
+            vec!["a".into()],
+            vec![1.0],
+            vec![0.5],
+            Task::BinaryClassification
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let d = small();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.column(1), vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(d.feature_index("b"), Some(1));
+        assert_eq!(d.feature_index("zz"), None);
+        assert_eq!(d.rows().count(), 4);
+    }
+
+    #[test]
+    fn take_rows_bootstraps() {
+        let d = small();
+        let b = d.take_rows(&[0, 0, 3]).unwrap();
+        assert_eq!(b.n_rows(), 3);
+        assert_eq!(b.row(0), b.row(1));
+        assert_eq!(b.y[2], 1.0);
+        assert!(d.take_rows(&[]).is_err());
+        assert!(d.take_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = small();
+        let (train, test) = d.split(0.25, 7).unwrap();
+        assert_eq!(train.n_rows() + test.n_rows(), d.n_rows());
+        assert_eq!(test.n_rows(), 1);
+        // Determinism.
+        let (t2, s2) = d.split(0.25, 7).unwrap();
+        assert_eq!(train, t2);
+        assert_eq!(test, s2);
+        assert!(d.split(0.0, 1).is_err());
+        assert!(d.split(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let names = vec!["a".into()];
+        let n = 25;
+        let d = Dataset::new(
+            names,
+            (0..n).map(|i| i as f64).collect(),
+            vec![0.0; n],
+            Task::Regression,
+        )
+        .unwrap();
+        let folds = d.kfold_indices(5, 3).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all_val: Vec<usize> = folds.iter().flat_map(|(_, v)| v.clone()).collect();
+        all_val.sort_unstable();
+        assert_eq!(all_val, (0..n).collect::<Vec<_>>());
+        for (tr, va) in &folds {
+            assert_eq!(tr.len() + va.len(), n);
+            assert!(va.iter().all(|i| !tr.contains(i)));
+        }
+        assert!(d.kfold_indices(1, 0).is_err());
+        assert!(d.kfold_indices(26, 0).is_err());
+    }
+
+    #[test]
+    fn positive_fraction_counts() {
+        assert!((small().positive_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Feature extraction: turning simulator telemetry into the tabular rows
+//! the NFV-management models are trained on.
+//!
+//! The schema mirrors what a production monitoring stack (per-VNF cAdvisor /
+//! DPDK counters plus chain-level probes) would export per window: offered
+//! load and payload size globally, and per VNF its CPU utilization, mean
+//! queue depth, local drop rate, and interference index.
+
+use nfv_sim::chain::{ChainEstimate, ChainSpec};
+use nfv_sim::telemetry::WindowSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Named feature layout for one chain. Per-VNF features are prefixed with
+/// the VNF's position and short name, e.g. `"1_ids_cpu"`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSchema {
+    /// Column names, in row order.
+    pub names: Vec<String>,
+    /// Number of VNFs the schema was built for.
+    pub n_vnfs: usize,
+}
+
+/// Per-VNF feature count (cpu, queue, drop, interference).
+pub const PER_VNF_FEATURES: usize = 4;
+/// Global feature count (offered_kpps, payload_bytes).
+pub const GLOBAL_FEATURES: usize = 2;
+
+impl FeatureSchema {
+    /// Builds the schema for `chain`.
+    pub fn for_chain(chain: &ChainSpec) -> FeatureSchema {
+        let mut names = Vec::with_capacity(GLOBAL_FEATURES + PER_VNF_FEATURES * chain.len());
+        names.push("offered_kpps".to_string());
+        names.push("payload_bytes".to_string());
+        for (i, v) in chain.vnfs.iter().enumerate() {
+            let tag = format!("{i}_{}", v.kind.short_name());
+            names.push(format!("{tag}_cpu"));
+            names.push(format!("{tag}_queue"));
+            names.push(format!("{tag}_drop"));
+            names.push(format!("{tag}_interf"));
+        }
+        FeatureSchema {
+            names,
+            n_vnfs: chain.len(),
+        }
+    }
+
+    /// Total feature count.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the schema has no columns (never for a real chain).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Extracts one feature row from a DES window snapshot. Returns `None`
+    /// when the snapshot's VNF count does not match the schema.
+    pub fn from_snapshot(&self, snap: &WindowSnapshot) -> Option<Vec<f64>> {
+        if snap.per_vnf.len() != self.n_vnfs || snap.interference.len() != self.n_vnfs {
+            return None;
+        }
+        let mut row = Vec::with_capacity(self.len());
+        row.push(snap.offered_pps / 1_000.0);
+        row.push(snap.mean_payload_bytes);
+        for (v, interf) in snap.per_vnf.iter().zip(&snap.interference) {
+            row.push(v.cpu_utilization(snap.window_s));
+            row.push(v.mean_queue(snap.window_s));
+            row.push(v.drop_rate());
+            row.push(*interf);
+        }
+        Some(row)
+    }
+
+    /// Extracts one feature row from a fluid-model chain estimate at
+    /// realized load `lambda_pps` and payload `payload_bytes`. Queue depth
+    /// and CPU are derived from the queueing quantities (Little's law for
+    /// the queue, capped ρ for CPU) so the fluid and DES feature spaces
+    /// line up.
+    pub fn from_estimate(
+        &self,
+        est: &ChainEstimate,
+        lambda_pps: f64,
+        payload_bytes: f64,
+        interference: &[f64],
+    ) -> Option<Vec<f64>> {
+        if est.stages.len() != self.n_vnfs {
+            return None;
+        }
+        let mut row = Vec::with_capacity(self.len());
+        row.push(lambda_pps / 1_000.0);
+        row.push(payload_bytes);
+        let mut stage_lambda = lambda_pps;
+        for (i, st) in est.stages.iter().enumerate() {
+            let cpu = st.utilization.min(1.0);
+            // Little's law occupancy, capped by the physical buffer — an
+            // instantaneous queue probe can never report more than fits.
+            let queue = (stage_lambda * (1.0 - st.drop_probability) * st.mean_sojourn_s)
+                .min(st.queue_capacity as f64);
+            row.push(cpu);
+            row.push(queue);
+            row.push(st.drop_probability);
+            row.push(interference.get(i).copied().unwrap_or(1.0));
+            stage_lambda *= 1.0 - st.drop_probability;
+        }
+        Some(row)
+    }
+}
+
+/// Regression target from a window: p95 end-to-end latency in milliseconds.
+pub fn latency_target_ms(snap: &WindowSnapshot) -> f64 {
+    snap.latency.quantile_secs(0.95) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_sim::prelude::*;
+
+    fn chain() -> ChainSpec {
+        ChainSpec::of_kinds("t", &[VnfKind::Firewall, VnfKind::Ids])
+    }
+
+    #[test]
+    fn schema_names_are_positional_and_unique() {
+        let s = FeatureSchema::for_chain(&chain());
+        assert_eq!(s.len(), GLOBAL_FEATURES + 2 * PER_VNF_FEATURES);
+        assert_eq!(s.names[0], "offered_kpps");
+        assert!(s.names.contains(&"0_fw_cpu".to_string()));
+        assert!(s.names.contains(&"1_ids_interf".to_string()));
+        let mut uniq = s.names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), s.len());
+    }
+
+    #[test]
+    fn snapshot_extraction_roundtrip() {
+        let spec = chain();
+        let schema = FeatureSchema::for_chain(&spec);
+        let scenario = ScenarioBuilder::new()
+            .servers(1, ServerSpec::standard())
+            .chain(
+                spec,
+                Workload::poisson(20_000.0),
+                PacketSizes::Imix,
+                Sla::tight(),
+            )
+            .build()
+            .unwrap();
+        let res = scenario
+            .run_des(&RunConfig {
+                horizon: SimDuration::from_secs_f64(3.0),
+                window: SimDuration::from_secs_f64(1.0),
+                seed: 3,
+                warmup_windows: 1,
+            })
+            .unwrap();
+        let snap = &res.windows[0][0];
+        let row = schema.from_snapshot(snap).expect("matching shape");
+        assert_eq!(row.len(), schema.len());
+        assert!((row[0] - snap.offered_pps / 1e3).abs() < 1e-9);
+        assert!(row.iter().all(|v| v.is_finite()));
+        let y = latency_target_ms(snap);
+        assert!(y > 0.0 && y < 1e3);
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected() {
+        let schema = FeatureSchema::for_chain(&chain());
+        let other = ChainSpec::of_kinds("o", &[VnfKind::Nat]);
+        let scenario = ScenarioBuilder::new()
+            .servers(1, ServerSpec::standard())
+            .chain(
+                other,
+                Workload::poisson(5_000.0),
+                PacketSizes::Imix,
+                Sla::tight(),
+            )
+            .build()
+            .unwrap();
+        let res = scenario
+            .run_des(&RunConfig {
+                horizon: SimDuration::from_secs_f64(2.0),
+                window: SimDuration::from_secs_f64(1.0),
+                seed: 1,
+                warmup_windows: 0,
+            })
+            .unwrap();
+        assert!(schema.from_snapshot(&res.windows[0][0]).is_none());
+    }
+
+    #[test]
+    fn estimate_extraction_matches_schema() {
+        let spec = chain();
+        let schema = FeatureSchema::for_chain(&spec);
+        let est = nfv_sim::chain::estimate_chain(&spec, 20_000.0, 500.0, 2.6, &[1.1, 1.2]);
+        let row = schema
+            .from_estimate(&est, 20_000.0, 500.0, &[1.1, 1.2])
+            .unwrap();
+        assert_eq!(row.len(), schema.len());
+        // Interference columns carried through.
+        let idx = schema.names.iter().position(|n| n == "1_ids_interf").unwrap();
+        assert!((row[idx] - 1.2).abs() < 1e-12);
+        assert!(schema.from_estimate(&est, 1.0, 1.0, &[]).is_some(), "defaults fill");
+        let wrong = nfv_sim::chain::estimate_chain(
+            &ChainSpec::of_kinds("o", &[VnfKind::Nat]),
+            1_000.0,
+            500.0,
+            2.6,
+            &[1.0],
+        );
+        assert!(schema.from_estimate(&wrong, 1.0, 1.0, &[1.0]).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Simulator-backed dataset generation: parameter sweeps over scenarios,
+//! producing the latency-regression and SLA-violation datasets every
+//! experiment trains on.
+
+use crate::dataset::{Dataset, Task};
+use crate::features::{latency_target_ms, FeatureSchema};
+use crate::DataError;
+use nfv_sim::prelude::*;
+use nfv_sim::rng::SimRng;
+use nfv_sim::time::SimTime;
+
+/// Sweep configuration for dataset generation over one chain type.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The chain to deploy (per-sample CPU shares are jittered around it).
+    pub chain: ChainSpec,
+    /// Load range swept, packets/s.
+    pub rate_range: (f64, f64),
+    /// Mean payload range swept, bytes.
+    pub payload_range: (f64, f64),
+    /// Relative jitter on each VNF's CPU share per sample, e.g. 0.4 means
+    /// shares drawn in `[0.6, 1.4] ×` nominal.
+    pub cpu_jitter: f64,
+    /// Extra interference range applied uniformly per sample (≥ 1).
+    pub interference_range: (f64, f64),
+    /// Lognormal sigma of per-sample load noise in the fluid backend.
+    pub load_noise: f64,
+    /// Lognormal sigma of multiplicative *telemetry measurement noise*
+    /// applied to the per-VNF feature columns after the label is computed
+    /// (the label reflects the true state; the features are what a noisy
+    /// monitoring stack reports). 0 disables it — but then the fluid label
+    /// is a deterministic function of the features and every classifier
+    /// trivially reaches AUC 1.0.
+    pub telemetry_noise: f64,
+    /// SLA used for the classification label.
+    pub sla: Sla,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A ready-made sweep over the `secure-web` chain that yields roughly
+    /// balanced SLA labels.
+    pub fn secure_web(seed: u64) -> SweepConfig {
+        SweepConfig {
+            chain: ChainSpec::of_kinds(
+                "secure-web",
+                &[VnfKind::Firewall, VnfKind::Ids, VnfKind::LoadBalancer],
+            ),
+            rate_range: (30_000.0, 1_200_000.0),
+            payload_range: (200.0, 1_400.0),
+            cpu_jitter: 0.5,
+            interference_range: (1.0, 1.6),
+            load_noise: 0.15,
+            telemetry_noise: 0.35,
+            sla: Sla::tight(),
+            seed,
+        }
+    }
+}
+
+/// What the generated rows should predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// p95 end-to-end latency of the *current* window, milliseconds
+    /// (log1p-transformed for spread) — the monitoring task.
+    LatencyP95LogMs,
+    /// SLA violated in the *next* window (1.0) or not (0.0) — the
+    /// forecasting task NFV auto-scaling actually needs. The fluid
+    /// generator drives an AR(1) load trajectory so the current window
+    /// carries real (but imperfect) information about the next.
+    SlaViolation,
+}
+
+/// Generates `n_rows` samples with the *fluid* backend: each sample is an
+/// independent operating point (load, payload, shares, interference) of the
+/// swept chain, evaluated analytically. Fast enough for tens of thousands
+/// of rows.
+pub fn generate_fluid(
+    cfg: &SweepConfig,
+    n_rows: usize,
+    target: Target,
+) -> Result<Dataset, DataError> {
+    if n_rows == 0 {
+        return Err(DataError::Shape("n_rows must be positive".into()));
+    }
+    let schema = FeatureSchema::for_chain(&cfg.chain);
+    let mut rng = SimRng::new(cfg.seed);
+    let mut x = Vec::with_capacity(n_rows * schema.len());
+    let mut y = Vec::with_capacity(n_rows);
+    let core_ghz = ServerSpec::standard().core_ghz;
+
+    // Measured SLA verdict of one evaluated window: the p95 probe and the
+    // drop counter are both noisy measurements of the true state.
+    let violated = |est: &nfv_sim::chain::ChainEstimate, rng: &mut SimRng| -> bool {
+        let noise = |rng: &mut SimRng| {
+            if cfg.telemetry_noise > 0.0 {
+                rng.lognormal(0.0, 0.6 * cfg.telemetry_noise)
+            } else {
+                1.0
+            }
+        };
+        let measured_p95 = est.p95_latency_s * noise(rng);
+        let measured_drop = (1.0 - est.delivery_probability) * noise(rng);
+        measured_p95 > cfg.sla.p95_latency_s || measured_drop > cfg.sla.max_drop_rate
+    };
+
+    // Episodes: one deployment configuration driven through an AR(1) load
+    // trajectory. For the forecasting target, each row pairs window t's
+    // features with window t+1's verdict.
+    const EPISODE_WINDOWS: usize = 24;
+    const AR_COEFF: f64 = 0.85;
+    'outer: loop {
+        // Episode-fixed configuration.
+        let mut chain = cfg.chain.clone();
+        let mut interference = Vec::with_capacity(chain.len());
+        for v in &mut chain.vnfs {
+            let j = 1.0 + cfg.cpu_jitter * (2.0 * rng.f64() - 1.0);
+            v.cpu_share = (v.cpu_share * j).max(0.05);
+            interference
+                .push(rng.uniform(cfg.interference_range.0, cfg.interference_range.1).max(1.0));
+        }
+        let payload = rng.uniform(cfg.payload_range.0, cfg.payload_range.1);
+        let mu_log = rng.uniform(cfg.rate_range.0.max(1.0).ln(), cfg.rate_range.1.max(2.0).ln());
+        let mut log_lambda = mu_log;
+        let sigma = cfg.load_noise.max(0.05);
+
+        let mut prev_row: Option<Vec<f64>> = None;
+        let mut prev_est: Option<nfv_sim::chain::ChainEstimate> = None;
+        for _ in 0..=EPISODE_WINDOWS {
+            // AR(1) walk in log-load.
+            log_lambda = mu_log + AR_COEFF * (log_lambda - mu_log) + sigma * rng.normal(0.0, 1.0);
+            let lambda = log_lambda.exp();
+            let est =
+                nfv_sim::chain::estimate_chain(&chain, lambda, payload, core_ghz, &interference);
+            let mut row = schema
+                .from_estimate(&est, lambda, payload, &interference)
+                .expect("schema built from the same chain");
+            debug_assert_eq!(row.len(), schema.len());
+            // Telemetry measurement noise: multiplicative lognormal plus a
+            // small additive floor per metric kind (cpu, queue, drop,
+            // interference in schema order) — without the floor a zero drop
+            // counter stays exactly zero and leaks the true state.
+            if cfg.telemetry_noise > 0.0 {
+                const FLOORS: [f64; crate::features::PER_VNF_FEATURES] = [0.02, 2.0, 0.01, 0.02];
+                for (k, v) in row
+                    .iter_mut()
+                    .skip(crate::features::GLOBAL_FEATURES)
+                    .enumerate()
+                {
+                    *v *= rng.lognormal(0.0, cfg.telemetry_noise);
+                    *v += rng
+                        .normal(0.0, cfg.telemetry_noise * FLOORS[k % FLOORS.len()])
+                        .abs();
+                }
+            }
+            match target {
+                Target::LatencyP95LogMs => {
+                    x.extend_from_slice(&row);
+                    y.push((est.p95_latency_s * 1e3).max(0.0).ln_1p());
+                    if y.len() == n_rows {
+                        break 'outer;
+                    }
+                }
+                Target::SlaViolation => {
+                    if let Some(prow) = prev_row.take() {
+                        let _ = prev_est.take();
+                        x.extend_from_slice(&prow);
+                        y.push(if violated(&est, &mut rng) { 1.0 } else { 0.0 });
+                        if y.len() == n_rows {
+                            break 'outer;
+                        }
+                    }
+                    prev_row = Some(row);
+                    prev_est = Some(est);
+                }
+            }
+        }
+    }
+    let task = match target {
+        Target::LatencyP95LogMs => Task::Regression,
+        Target::SlaViolation => Task::BinaryClassification,
+    };
+    Dataset::new(schema.names, x, y, task)
+}
+
+/// Generates samples with the *discrete-event* backend: runs the swept
+/// chain `n_runs` times with different operating points and collects every
+/// measurement window as a row. Slower but ground truth.
+pub fn generate_des(
+    cfg: &SweepConfig,
+    n_runs: usize,
+    windows_per_run: usize,
+    target: Target,
+) -> Result<Dataset, DataError> {
+    if n_runs == 0 || windows_per_run == 0 {
+        return Err(DataError::Shape("n_runs and windows_per_run must be positive".into()));
+    }
+    let schema = FeatureSchema::for_chain(&cfg.chain);
+    let mut rng = SimRng::new(cfg.seed ^ 0xDE5);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for run in 0..n_runs {
+        let rate = rng.uniform(cfg.rate_range.0, cfg.rate_range.1);
+        let payload = rng.uniform(cfg.payload_range.0, cfg.payload_range.1);
+        let mut chain = cfg.chain.clone();
+        for v in &mut chain.vnfs {
+            let j = 1.0 + cfg.cpu_jitter * (2.0 * rng.f64() - 1.0);
+            v.cpu_share = (v.cpu_share * j).max(0.05);
+        }
+        // Random global interference realized as a noisy-neighbour fault on
+        // every VNF for the whole run.
+        let interf = rng.uniform(cfg.interference_range.0, cfg.interference_range.1).max(1.0);
+        let faults: Vec<Fault> = (0..chain.len())
+            .map(|v| Fault {
+                chain: 0,
+                vnf: v,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs_f64(1e9),
+                kind: FaultKind::NoisyNeighbor { factor: interf },
+            })
+            .collect();
+        let scenario = {
+            let mut b = ScenarioBuilder::new().servers(1, ServerSpec::standard());
+            b = b.chain(
+                chain,
+                Workload::poisson(rate),
+                PacketSizes::Fixed(payload),
+                cfg.sla.clone(),
+            );
+            let mut sc = b.build().map_err(|e| DataError::Value(e.to_string()))?;
+            sc.faults = faults;
+            sc
+        };
+        let horizon = SimDuration::from_secs_f64(0.25 * (windows_per_run as f64 + 1.0));
+        let res = scenario
+            .run_des(&RunConfig {
+                horizon,
+                window: SimDuration::from_secs_f64(0.25),
+                seed: cfg.seed.wrapping_add(run as u64 * 7919),
+                warmup_windows: 1,
+            })
+            .map_err(|e| DataError::Value(e.to_string()))?;
+        for snap in res.windows[0].iter().take(windows_per_run) {
+            let Some(row) = schema.from_snapshot(snap) else {
+                continue;
+            };
+            let label = match target {
+                Target::LatencyP95LogMs => latency_target_ms(snap).max(0.0).ln_1p(),
+                Target::SlaViolation => {
+                    if cfg.sla.check(snap).violated() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            x.extend_from_slice(&row);
+            y.push(label);
+        }
+    }
+    let task = match target {
+        Target::LatencyP95LogMs => Task::Regression,
+        Target::SlaViolation => Task::BinaryClassification,
+    };
+    Dataset::new(schema.names, x, y, task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn fluid_regression_dataset_is_sane() {
+        let cfg = SweepConfig::secure_web(3);
+        let d = generate_fluid(&cfg, 2_000, Target::LatencyP95LogMs).unwrap();
+        assert_eq!(d.n_rows(), 2_000);
+        assert_eq!(d.task, Task::Regression);
+        // Latency must grow with offered load (the correlation is tempered
+        // by per-episode CPU-share diversity and buffer-capped saturation).
+        let load = d.column(0);
+        let corr = stats::spearman(&load, &d.y);
+        assert!(corr > 0.3, "load→latency correlation {corr}");
+        // Determinism.
+        let d2 = generate_fluid(&cfg, 2_000, Target::LatencyP95LogMs).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn fluid_classification_labels_are_balanced_enough() {
+        let cfg = SweepConfig::secure_web(5);
+        let d = generate_fluid(&cfg, 3_000, Target::SlaViolation).unwrap();
+        let frac = d.positive_fraction();
+        assert!(
+            (0.15..=0.85).contains(&frac),
+            "label balance unusable: {frac}"
+        );
+    }
+
+    #[test]
+    fn des_dataset_has_rows_and_signal() {
+        let mut cfg = SweepConfig::secure_web(7);
+        cfg.rate_range = (5_000.0, 150_000.0); // keep DES cheap
+        let d = generate_des(&cfg, 12, 3, Target::LatencyP95LogMs).unwrap();
+        assert!(d.n_rows() >= 30, "rows: {}", d.n_rows());
+        let load = d.column(0);
+        let corr = stats::spearman(&load, &d.y);
+        assert!(corr > 0.3, "load→latency correlation {corr}");
+    }
+
+    #[test]
+    fn empty_specs_rejected() {
+        let cfg = SweepConfig::secure_web(1);
+        assert!(generate_fluid(&cfg, 0, Target::SlaViolation).is_err());
+        assert!(generate_des(&cfg, 0, 2, Target::SlaViolation).is_err());
+        assert!(generate_des(&cfg, 2, 0, Target::SlaViolation).is_err());
+    }
+}

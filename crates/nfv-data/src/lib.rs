@@ -1,0 +1,59 @@
+//! # nfv-data — telemetry-to-dataset pipeline
+//!
+//! Bridges the simulator (`nfv-sim`) and the learning/explanation layers
+//! (`nfv-ml`, `nfv-xai`):
+//!
+//! - [`dataset::Dataset`] — the shared tabular container (named columns,
+//!   shape-validated, deterministic splits and k-fold indices);
+//! - [`features`] — the feature schema extracted from chain telemetry, with
+//!   matching extractors for the DES and fluid simulator backends;
+//! - [`generate`] — parameter sweeps producing the latency-regression and
+//!   SLA-violation datasets used in every experiment;
+//! - [`synth`] — synthetic tasks with *known ground truth* (closed-form
+//!   Shapley values, known relevant features, an NFV "Clever Hans" leak)
+//!   used to score explanation quality;
+//! - [`scaler`], [`stats`], [`csv`] — supporting utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod features;
+pub mod generate;
+pub mod scaler;
+pub mod stats;
+pub mod synth;
+
+use std::fmt;
+
+/// Errors from dataset construction and IO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Dimension/shape mismatch.
+    Shape(String),
+    /// Invalid value (non-finite, bad label, parse failure).
+    Value(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Shape(m) => write!(f, "shape error: {m}"),
+            DataError::Value(m) => write!(f, "value error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::csv::{from_csv, to_csv};
+    pub use crate::dataset::{Dataset, Task};
+    pub use crate::features::{latency_target_ms, FeatureSchema};
+    pub use crate::generate::{generate_des, generate_fluid, SweepConfig, Target};
+    pub use crate::scaler::Scaler;
+    pub use crate::synth::{clever_hans_nfv, friedman1, interaction_xor, linear_gaussian, SynthData};
+    pub use crate::DataError;
+}

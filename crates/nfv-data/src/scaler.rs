@@ -1,0 +1,179 @@
+//! Feature scaling, fitted on training data and applied to anything.
+
+use crate::dataset::Dataset;
+use crate::stats;
+use crate::DataError;
+use serde::{Deserialize, Serialize};
+
+/// Per-column affine transform `x' = (x − shift) / scale`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a z-score scaler (zero mean, unit variance; constant columns get
+    /// scale 1 so they pass through shifted only).
+    pub fn standard(data: &Dataset) -> Scaler {
+        let d = data.n_features();
+        let mut shift = Vec::with_capacity(d);
+        let mut scale = Vec::with_capacity(d);
+        for j in 0..d {
+            let col = data.column(j);
+            shift.push(stats::mean(&col));
+            let s = stats::std_dev(&col);
+            scale.push(if s > 1e-12 { s } else { 1.0 });
+        }
+        Scaler { shift, scale }
+    }
+
+    /// Fits a min-max scaler to [0, 1] (constant columns pass through).
+    pub fn min_max(data: &Dataset) -> Scaler {
+        let d = data.n_features();
+        let mut shift = Vec::with_capacity(d);
+        let mut scale = Vec::with_capacity(d);
+        for j in 0..d {
+            let col = data.column(j);
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            shift.push(lo);
+            scale.push(if hi - lo > 1e-12 { hi - lo } else { 1.0 });
+        }
+        Scaler { shift, scale }
+    }
+
+    /// Number of columns this scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.shift.len()
+    }
+
+    /// Transforms one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) -> Result<(), DataError> {
+        if row.len() != self.n_features() {
+            return Err(DataError::Shape(format!(
+                "row has {} features, scaler fitted on {}",
+                row.len(),
+                self.n_features()
+            )));
+        }
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.shift[j]) / self.scale[j];
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`Self::transform_row`].
+    pub fn inverse_row(&self, row: &mut [f64]) -> Result<(), DataError> {
+        if row.len() != self.n_features() {
+            return Err(DataError::Shape(format!(
+                "row has {} features, scaler fitted on {}",
+                row.len(),
+                self.n_features()
+            )));
+        }
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = *v * self.scale[j] + self.shift[j];
+        }
+        Ok(())
+    }
+
+    /// Transforms a whole dataset in place.
+    pub fn transform(&self, data: &mut Dataset) -> Result<(), DataError> {
+        if data.n_features() != self.n_features() {
+            return Err(DataError::Shape(format!(
+                "dataset has {} features, scaler fitted on {}",
+                data.n_features(),
+                self.n_features()
+            )));
+        }
+        let d = data.n_features();
+        for row in data.x_flat_mut().chunks_exact_mut(d) {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.shift[j]) / self.scale[j];
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Task;
+
+    fn data() -> Dataset {
+        Dataset::new(
+            vec!["a".into(), "b".into(), "const".into()],
+            vec![
+                1.0, 10.0, 5.0, //
+                2.0, 20.0, 5.0, //
+                3.0, 30.0, 5.0, //
+                4.0, 40.0, 5.0,
+            ],
+            vec![0.0; 4],
+            Task::Regression,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let d = data();
+        let sc = Scaler::standard(&d);
+        let mut scaled = d.clone();
+        sc.transform(&mut scaled).unwrap();
+        for j in 0..2 {
+            let col = scaled.column(j);
+            assert!(stats::mean(&col).abs() < 1e-12);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+        // Constant column shifted to zero, not exploded.
+        assert!(scaled.column(2).iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn min_max_scaler_unit_range() {
+        let d = data();
+        let sc = Scaler::min_max(&d);
+        let mut scaled = d.clone();
+        sc.transform(&mut scaled).unwrap();
+        for j in 0..2 {
+            let col = scaled.column(j);
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(lo, 0.0);
+            assert_eq!(hi, 1.0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_row() {
+        let d = data();
+        let sc = Scaler::standard(&d);
+        let mut row = vec![2.5, 25.0, 5.0];
+        let orig = row.clone();
+        sc.transform_row(&mut row).unwrap();
+        sc.inverse_row(&mut row).unwrap();
+        for (a, b) in row.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let d = data();
+        let sc = Scaler::standard(&d);
+        let mut short = vec![1.0];
+        assert!(sc.transform_row(&mut short).is_err());
+        assert!(sc.inverse_row(&mut short).is_err());
+        let mut other = Dataset::new(
+            vec!["x".into()],
+            vec![1.0, 2.0],
+            vec![0.0, 0.0],
+            Task::Regression,
+        )
+        .unwrap();
+        assert!(sc.transform(&mut other).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Descriptive statistics and correlation measures used across the
+//! workspace — including the rank correlations that score explanation
+//! agreement.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (0 for fewer than two values).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Empirical q-quantile by linear interpolation on the sorted sample.
+/// Returns 0 for an empty slice; `q` is clamped to [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// Pearson linear correlation in [−1, 1]; 0 when either side is constant
+/// or lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Fractional ranks with ties sharing their average rank (the convention
+/// Spearman's ρ requires).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average of ranks i..=j (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on the ranks).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Kendall's τ-b (accounting for ties), O(n²) — fine for attribution
+/// vectors, whose length is the feature count.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // Tied in both: contributes to neither.
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_a as f64) * (n0 - ties_b as f64)).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Top-k agreement: |top-k(a) ∩ top-k(b)| / k, comparing by descending
+/// value. Standard metric for "do two explanations point at the same
+/// features".
+pub fn top_k_agreement(a: &[f64], b: &[f64], k: usize) -> f64 {
+    if a.len() != b.len() || k == 0 || a.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(a.len());
+    let top = |xs: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| {
+            xs[j].partial_cmp(&xs[i]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    };
+    let ta = top(a);
+    let tb = top(b);
+    let hits = ta.iter().filter(|i| tb.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[1.0, 1.0, 1.0, 1.0]), 0.0, "constant side");
+        assert_eq!(pearson(&a, &[1.0]), 0.0, "length mismatch");
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_sees_monotone_nonlinear() {
+        let a: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(pearson(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 1.0, 2.0, 5.0];
+        // 6 concordant, 4 discordant of 10 pairs → τ = 0.2 (matches scipy).
+        assert!((kendall_tau(&a, &b) - 0.2).abs() < 1e-12);
+        assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = a.iter().rev().copied().collect();
+        assert!((kendall_tau(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties_stays_bounded() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        let t = kendall_tau(&a, &b);
+        assert!((-1.0..=1.0).contains(&t));
+        assert!(t > 0.5, "mostly concordant: {t}");
+    }
+
+    #[test]
+    fn top_k_agreement_cases() {
+        let a = [0.9, 0.1, 0.8, 0.0];
+        let b = [0.8, 0.0, 0.9, 0.1];
+        assert!((top_k_agreement(&a, &b, 2) - 1.0).abs() < 1e-12);
+        let c = [0.0, 0.9, 0.1, 0.8];
+        assert_eq!(top_k_agreement(&a, &c, 2), 0.0);
+        assert_eq!(top_k_agreement(&a, &b, 0), 0.0);
+        assert!((top_k_agreement(&a, &b, 99) - 1.0).abs() < 1e-12, "k clamps to d");
+    }
+}

@@ -1,0 +1,293 @@
+//! Synthetic datasets with known ground truth, used to *score* explanation
+//! methods: a linear-Gaussian task whose exact Shapley values are available
+//! in closed form, the Friedman #1 benchmark with known relevant features, a
+//! pure-interaction task, and an NFV-flavoured "Clever Hans" dataset with an
+//! injected spurious correlate.
+
+use crate::dataset::{Dataset, Task};
+use crate::DataError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A generated dataset together with its ground-truth explanation metadata.
+#[derive(Debug, Clone)]
+pub struct SynthData {
+    /// The dataset itself.
+    pub data: Dataset,
+    /// Indices of the truly relevant features.
+    pub relevant: Vec<usize>,
+    /// For linear tasks, the coefficient vector (empty otherwise).
+    pub coefficients: Vec<f64>,
+    /// Per-feature means of the generating distribution (for closed-form
+    /// Shapley values of linear models).
+    pub feature_means: Vec<f64>,
+}
+
+impl SynthData {
+    /// Exact Shapley values of the *generating linear function* at `x`,
+    /// valid when features are independent: φ_i = w_i (x_i − E[x_i]).
+    /// Returns `None` for non-linear generators.
+    pub fn linear_shapley(&self, x: &[f64]) -> Option<Vec<f64>> {
+        if self.coefficients.is_empty() || x.len() != self.coefficients.len() {
+            return None;
+        }
+        Some(
+            self.coefficients
+                .iter()
+                .zip(x)
+                .zip(&self.feature_means)
+                .map(|((w, xi), mu)| w * (xi - mu))
+                .collect(),
+        )
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Box-Muller on rand's uniform source.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Linear-Gaussian regression: `y = w·x + ε`, x ~ N(0, I), ε ~ N(0, noise²).
+/// Coefficients decay geometrically so the importance ranking is unambiguous;
+/// `n_irrelevant` trailing features get weight 0.
+pub fn linear_gaussian(
+    n_rows: usize,
+    n_relevant: usize,
+    n_irrelevant: usize,
+    noise: f64,
+    seed: u64,
+) -> Result<SynthData, DataError> {
+    let d = n_relevant + n_irrelevant;
+    if d == 0 || n_rows == 0 {
+        return Err(DataError::Shape("empty synthetic spec".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coefficients: Vec<f64> = (0..d)
+        .map(|j| {
+            if j < n_relevant {
+                // 4, -2, 1, -0.5, ... alternating sign, geometric decay.
+                4.0 * 0.5f64.powi(j as i32) * if j % 2 == 0 { 1.0 } else { -1.0 }
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut x = Vec::with_capacity(n_rows * d);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let row: Vec<f64> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+        let target: f64 = row.iter().zip(&coefficients).map(|(a, b)| a * b).sum::<f64>()
+            + noise * standard_normal(&mut rng);
+        x.extend_from_slice(&row);
+        y.push(target);
+    }
+    let names = (0..d).map(|j| format!("x{j}")).collect();
+    Ok(SynthData {
+        data: Dataset::new(names, x, y, Task::Regression)?,
+        relevant: (0..n_relevant).collect(),
+        coefficients,
+        feature_means: vec![0.0; d],
+    })
+}
+
+/// Friedman #1: `y = 10 sin(π x0 x1) + 20 (x2 − 0.5)² + 10 x3 + 5 x4 + ε`,
+/// features uniform on [0,1]; columns 5.. are irrelevant noise.
+pub fn friedman1(n_rows: usize, n_features: usize, noise: f64, seed: u64) -> Result<SynthData, DataError> {
+    if n_features < 5 || n_rows == 0 {
+        return Err(DataError::Shape("friedman1 needs ≥5 features and ≥1 row".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n_rows * n_features);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let row: Vec<f64> = (0..n_features).map(|_| rng.gen::<f64>()).collect();
+        let t = 10.0 * (std::f64::consts::PI * row[0] * row[1]).sin()
+            + 20.0 * (row[2] - 0.5).powi(2)
+            + 10.0 * row[3]
+            + 5.0 * row[4]
+            + noise * standard_normal(&mut rng);
+        x.extend_from_slice(&row);
+        y.push(t);
+    }
+    let names = (0..n_features).map(|j| format!("x{j}")).collect();
+    Ok(SynthData {
+        data: Dataset::new(names, x, y, Task::Regression)?,
+        relevant: vec![0, 1, 2, 3, 4],
+        coefficients: vec![],
+        feature_means: vec![0.5; n_features],
+    })
+}
+
+/// Pure interaction: `y = sign(x0 · x1)` as a classification task — no
+/// marginal effect on either feature alone. Explanation methods that only
+/// see main effects fail here; Shapley splits credit between x0 and x1.
+pub fn interaction_xor(n_rows: usize, n_noise: usize, seed: u64) -> Result<SynthData, DataError> {
+    if n_rows == 0 {
+        return Err(DataError::Shape("need ≥1 row".into()));
+    }
+    let d = 2 + n_noise;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n_rows * d);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let row: Vec<f64> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+        let label = if row[0] * row[1] > 0.0 { 1.0 } else { 0.0 };
+        x.extend_from_slice(&row);
+        y.push(label);
+    }
+    let names = (0..d).map(|j| format!("x{j}")).collect();
+    Ok(SynthData {
+        data: Dataset::new(names, x, y, Task::BinaryClassification)?,
+        relevant: vec![0, 1],
+        coefficients: vec![],
+        feature_means: vec![0.0; d],
+    })
+}
+
+/// The "Clever Hans" NFV dataset (experiment F7).
+///
+/// Ground truth: SLA violations are caused by high DPI CPU and queue
+/// build-up. But the training distribution also contains a *monitoring
+/// agent debug counter* that the operator's tooling increments whenever the
+/// system is under stress — so in training it correlates almost perfectly
+/// with the label while being causally inert. A model trained on this data
+/// can latch onto the counter; at deployment (`leak_strength = 0`) the
+/// correlation vanishes and the model collapses. The XAI pipeline should
+/// expose the counter as dominating the model's decisions.
+///
+/// `leak_strength` in [0, 1]: probability the counter copies the label
+/// rather than noise.
+pub fn clever_hans_nfv(n_rows: usize, leak_strength: f64, seed: u64) -> Result<SynthData, DataError> {
+    if n_rows == 0 {
+        return Err(DataError::Shape("need ≥1 row".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = vec![
+        "offered_kpps".into(),
+        "payload_bytes".into(),
+        "dpi_cpu".into(),
+        "dpi_queue".into(),
+        "fw_cpu".into(),
+        "nat_cpu".into(),
+        "mon_debug_counter".into(), // the spurious one
+    ];
+    let d = names.len();
+    let mut x = Vec::with_capacity(n_rows * d);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let offered: f64 = rng.gen_range(5.0..60.0);
+        let payload: f64 = rng.gen_range(200.0..1400.0);
+        // DPI stress rises with load and payload; squashed to [0, 1].
+        let stress = (offered / 60.0) * (payload / 1400.0).sqrt()
+            + 0.1 * standard_normal(&mut rng);
+        let dpi_cpu = stress.clamp(0.0, 1.0);
+        let dpi_queue = (stress.max(0.0).powi(2) * 120.0 + 2.0
+            + 5.0 * standard_normal(&mut rng).abs())
+        .max(0.0);
+        let fw_cpu = (offered / 120.0 + 0.05 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+        let nat_cpu = (offered / 100.0 + 0.05 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+        // Causal label: violation when DPI saturates.
+        let p_viol = 1.0 / (1.0 + (-(12.0 * (dpi_cpu - 0.72))).exp());
+        let label = if rng.gen::<f64>() < p_viol { 1.0 } else { 0.0 };
+        // The leak: counter mirrors the label with prob leak_strength.
+        let counter = if rng.gen::<f64>() < leak_strength.clamp(0.0, 1.0) {
+            label * 80.0 + rng.gen_range(0.0..4.0)
+        } else {
+            rng.gen_range(0.0..84.0)
+        };
+        x.extend_from_slice(&[offered, payload, dpi_cpu, dpi_queue, fw_cpu, nat_cpu, counter]);
+        y.push(label);
+    }
+    Ok(SynthData {
+        data: Dataset::new(names, x, y, Task::BinaryClassification)?,
+        relevant: vec![2, 3], // dpi_cpu, dpi_queue are the causal drivers
+        coefficients: vec![],
+        feature_means: vec![0.0; d],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn linear_gaussian_shapes_and_determinism() {
+        let a = linear_gaussian(500, 4, 4, 0.1, 9).unwrap();
+        assert_eq!(a.data.n_rows(), 500);
+        assert_eq!(a.data.n_features(), 8);
+        assert_eq!(a.relevant, vec![0, 1, 2, 3]);
+        let b = linear_gaussian(500, 4, 4, 0.1, 9).unwrap();
+        assert_eq!(a.data, b.data);
+        assert!(linear_gaussian(0, 1, 0, 0.0, 1).is_err());
+        assert!(linear_gaussian(10, 0, 0, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn linear_target_correlates_with_strong_feature() {
+        let s = linear_gaussian(3000, 3, 3, 0.2, 11).unwrap();
+        let x0 = s.data.column(0);
+        let x5 = s.data.column(5);
+        let c0 = stats::pearson(&x0, &s.data.y).abs();
+        let c5 = stats::pearson(&x5, &s.data.y).abs();
+        assert!(c0 > 0.7, "c0={c0}");
+        assert!(c5 < 0.1, "irrelevant feature leaks: c5={c5}");
+    }
+
+    #[test]
+    fn linear_shapley_closed_form() {
+        let s = linear_gaussian(10, 2, 1, 0.0, 3).unwrap();
+        let x = [1.0, -1.0, 5.0];
+        let phi = s.linear_shapley(&x).unwrap();
+        assert!((phi[0] - s.coefficients[0]).abs() < 1e-12);
+        assert!((phi[1] + s.coefficients[1] * -1.0 * -1.0).abs() < 1e-12 || phi[1] == s.coefficients[1] * -1.0);
+        assert_eq!(phi[2], 0.0);
+        assert!(s.linear_shapley(&[1.0]).is_none());
+        let f = friedman1(10, 5, 0.0, 1).unwrap();
+        assert!(f.linear_shapley(&[0.0; 5]).is_none());
+    }
+
+    #[test]
+    fn friedman_relevance() {
+        let s = friedman1(3000, 10, 0.3, 5).unwrap();
+        assert_eq!(s.relevant, vec![0, 1, 2, 3, 4]);
+        let c3 = stats::pearson(&s.data.column(3), &s.data.y).abs();
+        let c7 = stats::pearson(&s.data.column(7), &s.data.y).abs();
+        assert!(c3 > 0.4, "x3 has a strong linear effect: {c3}");
+        assert!(c7 < 0.08, "noise feature: {c7}");
+        assert!(friedman1(10, 4, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn xor_has_no_marginal_signal() {
+        let s = interaction_xor(4000, 1, 13).unwrap();
+        let c0 = stats::pearson(&s.data.column(0), &s.data.y).abs();
+        assert!(c0 < 0.06, "marginal correlation should vanish: {c0}");
+        // But the product is fully informative.
+        let prod: Vec<f64> = s
+            .data
+            .rows()
+            .map(|r| if r[0] * r[1] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        assert_eq!(prod, s.data.y);
+        let frac = s.data.positive_fraction();
+        assert!((frac - 0.5).abs() < 0.05, "balanced: {frac}");
+    }
+
+    #[test]
+    fn clever_hans_leak_dominates_in_training_only() {
+        let leaky = clever_hans_nfv(4000, 0.95, 21).unwrap();
+        let ci = leaky.data.feature_index("mon_debug_counter").unwrap();
+        let c_leak = stats::pearson(&leaky.data.column(ci), &leaky.data.y).abs();
+        assert!(c_leak > 0.7, "leak should dominate: {c_leak}");
+        let clean = clever_hans_nfv(4000, 0.0, 22).unwrap();
+        let c_clean = stats::pearson(&clean.data.column(ci), &clean.data.y).abs();
+        assert!(c_clean < 0.06, "no leak at deployment: {c_clean}");
+        // The causal driver stays informative in both.
+        let di = clean.data.feature_index("dpi_cpu").unwrap();
+        assert!(stats::pearson(&clean.data.column(di), &clean.data.y) > 0.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! K-fold cross-validation over any fit/score pair.
+
+use crate::MlError;
+use nfv_data::dataset::Dataset;
+
+/// Summary of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Per-fold scores, in fold order.
+    pub fold_scores: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean score across folds.
+    pub fn mean(&self) -> f64 {
+        if self.fold_scores.is_empty() {
+            return 0.0;
+        }
+        self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
+    }
+
+    /// Population standard deviation across folds.
+    pub fn std(&self) -> f64 {
+        if self.fold_scores.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self
+            .fold_scores
+            .iter()
+            .map(|s| (s - m).powi(2))
+            .sum::<f64>()
+            / self.fold_scores.len() as f64)
+            .sqrt()
+    }
+}
+
+/// Runs k-fold CV: `fit(train)` builds a model, `score(model, val)` grades
+/// it on the held-out fold. Errors from either close the run.
+pub fn cross_validate<M>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    fit: impl Fn(&Dataset) -> Result<M, MlError>,
+    score: impl Fn(&M, &Dataset) -> Result<f64, MlError>,
+) -> Result<CvResult, MlError> {
+    let folds = data
+        .kfold_indices(k, seed)
+        .map_err(|e| MlError::Shape(e.to_string()))?;
+    let mut fold_scores = Vec::with_capacity(k);
+    for (train_idx, val_idx) in folds {
+        let train = data
+            .take_rows(&train_idx)
+            .map_err(|e| MlError::Shape(e.to_string()))?;
+        let val = data
+            .take_rows(&val_idx)
+            .map_err(|e| MlError::Shape(e.to_string()))?;
+        let model = fit(&train)?;
+        fold_scores.push(score(&model, &val)?);
+    }
+    Ok(CvResult { fold_scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegression;
+    use crate::metrics;
+    use crate::model::Regressor;
+    use nfv_data::prelude::*;
+
+    #[test]
+    fn cv_scores_a_linear_model_highly_on_linear_data() {
+        let s = linear_gaussian(600, 3, 2, 0.1, 41).unwrap();
+        let res = cross_validate(
+            &s.data,
+            5,
+            1,
+            |train| LinearRegression::fit(train, 1e-6),
+            |m, val| {
+                let preds: Vec<f64> = val.rows().map(|r| m.predict(r)).collect();
+                metrics::r2(&val.y, &preds)
+            },
+        )
+        .unwrap();
+        assert_eq!(res.fold_scores.len(), 5);
+        assert!(res.mean() > 0.95, "mean r2 = {}", res.mean());
+        assert!(res.std() < 0.05);
+    }
+
+    #[test]
+    fn cv_propagates_fit_errors() {
+        let s = linear_gaussian(60, 2, 0, 0.1, 42).unwrap();
+        let err = cross_validate(
+            &s.data,
+            3,
+            0,
+            |_| Err::<LinearRegression, _>(MlError::Numeric("boom".into())),
+            |_, _| Ok(0.0),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cv_rejects_bad_k() {
+        let s = linear_gaussian(10, 2, 0, 0.1, 43).unwrap();
+        assert!(cross_validate(
+            &s.data,
+            1,
+            0,
+            |d| LinearRegression::fit(d, 0.0),
+            |_, _| Ok(0.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_result_statistics() {
+        let r = CvResult {
+            fold_scores: vec![],
+        };
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.std(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Evaluation metrics for regression and binary classification.
+
+use crate::MlError;
+
+fn check_lens(a: &[f64], b: &[f64]) -> Result<(), MlError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(MlError::Shape(format!(
+            "metric on lengths {} and {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
+    check_lens(y_true, y_pred)?;
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
+    check_lens(y_true, y_pred)?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Coefficient of determination R². 1 is perfect; 0 matches the mean
+/// predictor; negative is worse than the mean. Returns 0 when the target is
+/// constant (R² undefined).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
+    check_lens(y_true, y_pred)?;
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot <= 0.0 {
+        return Ok(0.0);
+    }
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Accuracy of hard labels against {0,1} targets at threshold 0.5.
+pub fn accuracy(y_true: &[f64], proba: &[f64]) -> Result<f64, MlError> {
+    check_lens(y_true, proba)?;
+    let hits = y_true
+        .iter()
+        .zip(proba)
+        .filter(|(t, p)| (**p >= 0.5) == (**t == 1.0))
+        .count();
+    Ok(hits as f64 / y_true.len() as f64)
+}
+
+/// Precision, recall, F1 of the positive class at threshold 0.5.
+/// Degenerate cases (no predicted / no true positives) yield 0 components.
+pub fn precision_recall_f1(y_true: &[f64], proba: &[f64]) -> Result<(f64, f64, f64), MlError> {
+    check_lens(y_true, proba)?;
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (t, p) in y_true.iter().zip(proba) {
+        let pred = *p >= 0.5;
+        let truth = *t == 1.0;
+        match (pred, truth) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fn_ += 1.0,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Ok((precision, recall, f1))
+}
+
+/// Area under the ROC curve by the rank statistic (Mann–Whitney U), with
+/// tie correction. Returns 0.5 when one class is absent.
+pub fn roc_auc(y_true: &[f64], proba: &[f64]) -> Result<f64, MlError> {
+    check_lens(y_true, proba)?;
+    let n_pos = y_true.iter().filter(|&&t| t == 1.0).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Ok(0.5);
+    }
+    // Average ranks of positives.
+    let mut idx: Vec<usize> = (0..proba.len()).collect();
+    idx.sort_by(|&i, &j| {
+        proba[i]
+            .partial_cmp(&proba[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && proba[idx[j + 1]] == proba[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if y_true[k] == 1.0 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos * n_neg) as f64)
+}
+
+/// Binary cross-entropy (log loss) with probability clipping at 1e-12.
+pub fn log_loss(y_true: &[f64], proba: &[f64]) -> Result<f64, MlError> {
+    check_lens(y_true, proba)?;
+    let sum: f64 = y_true
+        .iter()
+        .zip(proba)
+        .map(|(t, p)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum();
+    Ok(sum / y_true.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_metrics_known() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&t, &p).unwrap(), 0.0);
+        assert_eq!(mae(&t, &p).unwrap(), 0.0);
+        assert_eq!(r2(&t, &p).unwrap(), 1.0);
+        let off = [2.0, 3.0, 4.0];
+        assert!((rmse(&t, &off).unwrap() - 1.0).abs() < 1e-12);
+        assert!((mae(&t, &off).unwrap() - 1.0).abs() < 1e-12);
+        // Mean predictor has R² = 0.
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &mean_pred).unwrap().abs() < 1e-12);
+        assert_eq!(r2(&[5.0, 5.0], &[1.0, 2.0]).unwrap(), 0.0, "constant target");
+        assert!(rmse(&t, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn classification_metrics_known() {
+        let t = [1.0, 1.0, 0.0, 0.0];
+        let p = [0.9, 0.4, 0.6, 0.1];
+        assert!((accuracy(&t, &p).unwrap() - 0.5).abs() < 1e-12);
+        let (prec, rec, f1) = precision_recall_f1(&t, &p).unwrap();
+        assert!((prec - 0.5).abs() < 1e-12);
+        assert!((rec - 0.5).abs() < 1e-12);
+        assert!((f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_cases() {
+        let t = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(roc_auc(&t, &[0.9, 0.8, 0.2, 0.1]).unwrap(), 1.0);
+        assert_eq!(roc_auc(&t, &[0.1, 0.2, 0.8, 0.9]).unwrap(), 0.0);
+        // All tied → 0.5.
+        assert_eq!(roc_auc(&t, &[0.5, 0.5, 0.5, 0.5]).unwrap(), 0.5);
+        // One class absent → 0.5 by convention.
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.3, 0.6]).unwrap(), 0.5);
+        // Half-discriminating: one error pair of four → 0.75.
+        assert!((roc_auc(&t, &[0.9, 0.3, 0.5, 0.1]).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_bounds() {
+        let t = [1.0, 0.0];
+        let perfect = log_loss(&t, &[1.0, 0.0]).unwrap();
+        assert!(perfect < 1e-10);
+        let wrong = log_loss(&t, &[0.0, 1.0]).unwrap();
+        assert!(wrong > 20.0, "clipped but large: {wrong}");
+        let uniform = log_loss(&t, &[0.5, 0.5]).unwrap();
+        assert!((uniform - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_prf() {
+        // No predicted positives.
+        let (p, r, f) = precision_recall_f1(&[1.0, 0.0], &[0.1, 0.1]).unwrap();
+        assert_eq!((p, r, f), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,452 @@
+//! CART decision trees (regression and binary classification).
+//!
+//! The tree is stored as a flat node arena with per-node *cover* (training
+//! sample count) — exactly the structure TreeSHAP walks, which is why the
+//! internals are public.
+
+use crate::model::{Classifier, Regressor};
+use crate::MlError;
+use nfv_data::dataset::{Dataset, Task};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One node of a fitted tree. Internal nodes route on
+/// `x[feature] <= threshold` → left, else right; leaves carry `value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Split feature (meaningless for leaves).
+    pub feature: usize,
+    /// Split threshold (meaningless for leaves).
+    pub threshold: f64,
+    /// Arena index of the left child (0 for leaves).
+    pub left: u32,
+    /// Arena index of the right child (0 for leaves).
+    pub right: u32,
+    /// Mean target (regression) or positive fraction (classification) of
+    /// the training rows reaching this node.
+    pub value: f64,
+    /// Number of training rows that reached this node.
+    pub cover: f64,
+    /// Leaf marker.
+    pub is_leaf: bool,
+}
+
+/// Tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum rows in each child.
+    pub min_samples_leaf: usize,
+    /// Features considered per split: `None` = all, `Some(k)` = a random
+    /// subset of size `k` (used by random forests).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+/// A fitted CART tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+    /// Feature count at fit time.
+    pub n_features: usize,
+    /// Whether values are means (regression) or positive fractions.
+    pub task: Task,
+}
+
+/// Impurity of a (sum, sum², count) accumulator: variance for regression;
+/// gini expressed through sum of y (works because labels are {0,1}).
+fn impurity(task: Task, sum: f64, sum_sq: f64, n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    match task {
+        Task::Regression => (sum_sq / n - (sum / n).powi(2)).max(0.0),
+        Task::BinaryClassification => {
+            let p = sum / n;
+            2.0 * p * (1.0 - p)
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fits on all rows of `data`.
+    pub fn fit(data: &Dataset, params: &TreeParams, seed: u64) -> Result<DecisionTree, MlError> {
+        let idx: Vec<usize> = (0..data.n_rows()).collect();
+        Self::fit_on(data, &idx, params, seed)
+    }
+
+    /// Fits on the row subset `idx` (bootstrap training uses this; indices
+    /// may repeat).
+    pub fn fit_on(
+        data: &Dataset,
+        idx: &[usize],
+        params: &TreeParams,
+        seed: u64,
+    ) -> Result<DecisionTree, MlError> {
+        if idx.is_empty() {
+            return Err(MlError::Shape("empty training subset".into()));
+        }
+        if let Some(k) = params.max_features {
+            if k == 0 || k > data.n_features() {
+                return Err(MlError::Shape(format!(
+                    "max_features {k} out of 1..={}",
+                    data.n_features()
+                )));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes = Vec::new();
+        let mut work = idx.to_vec();
+        build(
+            data,
+            &mut work,
+            params,
+            &mut rng,
+            0,
+            &mut nodes,
+        );
+        Ok(DecisionTree {
+            nodes,
+            n_features: data.n_features(),
+            task: data.task,
+        })
+    }
+
+    /// Raw tree output for one row (mean / positive fraction of the leaf).
+    pub fn output(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.is_leaf {
+                return node.value;
+            }
+            i = if x.get(node.feature).copied().unwrap_or(0.0) <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[TreeNode], i: usize) -> usize {
+            let n = &nodes[i];
+            if n.is_leaf {
+                0
+            } else {
+                1 + walk(nodes, n.left as usize).max(walk(nodes, n.right as usize))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+/// Recursively builds the subtree over `idx`, returning its arena index.
+fn build(
+    data: &Dataset,
+    idx: &mut [usize],
+    params: &TreeParams,
+    rng: &mut StdRng,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> u32 {
+    let n = idx.len() as f64;
+    let sum: f64 = idx.iter().map(|&i| data.y[i]).sum();
+    let sum_sq: f64 = idx.iter().map(|&i| data.y[i] * data.y[i]).sum();
+    let value = sum / n;
+    let node_impurity = impurity(data.task, sum, sum_sq, n);
+
+    let make_leaf = |nodes: &mut Vec<TreeNode>| -> u32 {
+        nodes.push(TreeNode {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+            cover: n,
+            is_leaf: true,
+        });
+        (nodes.len() - 1) as u32
+    };
+
+    if depth >= params.max_depth
+        || idx.len() < params.min_samples_split
+        || node_impurity <= 1e-12
+    {
+        return make_leaf(nodes);
+    }
+
+    // Candidate features (all, or a fresh random subset per node).
+    let d = data.n_features();
+    let features: Vec<usize> = match params.max_features {
+        None => (0..d).collect(),
+        Some(k) => {
+            let mut all: Vec<usize> = (0..d).collect();
+            all.shuffle(rng);
+            all.truncate(k);
+            all
+        }
+    };
+
+    // Find the best split: scan each candidate feature in sorted order,
+    // moving rows from right to left accumulator.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let min_leaf = params.min_samples_leaf.max(1);
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+    for &f in &features {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| {
+            data.row(a)[f]
+                .partial_cmp(&data.row(b)[f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut lsum = 0.0;
+        let mut lsq = 0.0;
+        let mut ln = 0.0;
+        let mut rsum = sum;
+        let mut rsq = sum_sq;
+        let mut rn = n;
+        for w in 0..order.len() - 1 {
+            let yi = data.y[order[w]];
+            lsum += yi;
+            lsq += yi * yi;
+            ln += 1.0;
+            rsum -= yi;
+            rsq -= yi * yi;
+            rn -= 1.0;
+            let xv = data.row(order[w])[f];
+            let xn = data.row(order[w + 1])[f];
+            if xv == xn {
+                continue; // can't split between equal values
+            }
+            if (ln as usize) < min_leaf || (rn as usize) < min_leaf {
+                continue;
+            }
+            let gain = node_impurity
+                - (ln / n) * impurity(data.task, lsum, lsq, ln)
+                - (rn / n) * impurity(data.task, rsum, rsq, rn);
+            if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                best = Some((f, 0.5 * (xv + xn), gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return make_leaf(nodes);
+    };
+
+    // Partition in place.
+    let mid = partition(data, idx, feature, threshold);
+    if mid == 0 || mid == idx.len() {
+        return make_leaf(nodes);
+    }
+
+    // Reserve our slot, then build children.
+    nodes.push(TreeNode {
+        feature,
+        threshold,
+        left: 0,
+        right: 0,
+        value,
+        cover: n,
+        is_leaf: false,
+    });
+    let me = (nodes.len() - 1) as u32;
+    let (lidx, ridx) = idx.split_at_mut(mid);
+    let left = build(data, lidx, params, rng, depth + 1, nodes);
+    let right = build(data, ridx, params, rng, depth + 1, nodes);
+    nodes[me as usize].left = left;
+    nodes[me as usize].right = right;
+    me
+}
+
+/// Partitions `idx` so rows with `x[f] <= thr` come first; returns the
+/// boundary.
+fn partition(data: &Dataset, idx: &mut [usize], f: usize, thr: f64) -> usize {
+    let mut lo = 0;
+    let mut hi = idx.len();
+    while lo < hi {
+        if data.row(idx[lo])[f] <= thr {
+            lo += 1;
+        } else {
+            hi -= 1;
+            idx.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+impl Regressor for DecisionTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.output(x)
+    }
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.output(x).clamp(0.0, 1.0)
+    }
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use nfv_data::prelude::*;
+
+    #[test]
+    fn tree_fits_a_step_function_exactly() {
+        // y = 1 if x > 0.5 else 0 — one split suffices.
+        let n = 200;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v > 0.5 { 1.0 } else { 0.0 }).collect();
+        let data = Dataset::new(vec!["x".into()], x, y, Task::Regression).unwrap();
+        let t = DecisionTree::fit(&data, &TreeParams::default(), 0).unwrap();
+        assert!(t.depth() <= 2, "depth={}", t.depth());
+        assert_eq!(t.predict(&[0.2]), 0.0);
+        assert_eq!(t.predict(&[0.9]), 1.0);
+    }
+
+    #[test]
+    fn tree_learns_friedman_better_than_mean() {
+        let s = friedman1(1_500, 8, 0.2, 4).unwrap();
+        let (train, test) = s.data.split(0.3, 1).unwrap();
+        let t = DecisionTree::fit(
+            &train,
+            &TreeParams {
+                max_depth: 10,
+                ..TreeParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        let preds: Vec<f64> = test.rows().map(|r| t.predict(r)).collect();
+        let r2 = metrics::r2(&test.y, &preds).unwrap();
+        assert!(r2 > 0.6, "r2={r2}");
+    }
+
+    #[test]
+    fn classification_tree_solves_xor() {
+        // XOR needs depth ≥ 2 and is invisible to marginal splits — the
+        // classic CART success case with enough depth.
+        let s = interaction_xor(2_000, 0, 5).unwrap();
+        let t = DecisionTree::fit(
+            &s.data,
+            &TreeParams {
+                max_depth: 6,
+                ..TreeParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        let proba: Vec<f64> = s.data.rows().map(|r| t.predict_proba(r)).collect();
+        let acc = metrics::accuracy(&s.data.y, &proba).unwrap();
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn covers_are_consistent() {
+        let s = friedman1(300, 6, 0.2, 6).unwrap();
+        let t = DecisionTree::fit(&s.data, &TreeParams::default(), 0).unwrap();
+        // Root cover is n; each internal node's cover equals children's sum.
+        assert_eq!(t.nodes[0].cover, 300.0);
+        for node in &t.nodes {
+            if !node.is_leaf {
+                let l = &t.nodes[node.left as usize];
+                let r = &t.nodes[node.right as usize];
+                assert!((node.cover - l.cover - r.cover).abs() < 1e-9);
+                assert!(l.cover >= 2.0 && r.cover >= 2.0, "min_samples_leaf");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_leaf_limits_hold() {
+        let s = friedman1(800, 6, 0.2, 7).unwrap();
+        let t = DecisionTree::fit(
+            &s.data,
+            &TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
+            0,
+        )
+        .unwrap();
+        assert!(t.depth() <= 3);
+        assert!(t.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = Dataset::new(
+            vec!["x".into()],
+            vec![1.0, 2.0, 3.0],
+            vec![5.0, 5.0, 5.0],
+            Task::Regression,
+        )
+        .unwrap();
+        let t = DecisionTree::fit(&data, &TreeParams::default(), 0).unwrap();
+        assert_eq!(t.nodes.len(), 1);
+        assert!(t.nodes[0].is_leaf);
+        assert_eq!(t.predict(&[2.0]), 5.0);
+    }
+
+    #[test]
+    fn feature_subsampling_is_validated_and_seeded() {
+        let s = friedman1(300, 8, 0.2, 8).unwrap();
+        let bad = TreeParams {
+            max_features: Some(0),
+            ..TreeParams::default()
+        };
+        assert!(DecisionTree::fit(&s.data, &bad, 0).is_err());
+        let sub = TreeParams {
+            max_features: Some(3),
+            ..TreeParams::default()
+        };
+        let a = DecisionTree::fit(&s.data, &sub, 42).unwrap();
+        let b = DecisionTree::fit(&s.data, &sub, 42).unwrap();
+        assert_eq!(a, b, "same seed, same tree");
+    }
+
+    #[test]
+    fn bootstrap_subset_fit() {
+        let s = friedman1(200, 6, 0.2, 9).unwrap();
+        let idx: Vec<usize> = (0..100).map(|i| i % 50).collect(); // repeats
+        let t = DecisionTree::fit_on(&s.data, &idx, &TreeParams::default(), 0).unwrap();
+        assert_eq!(t.nodes[0].cover, 100.0);
+        assert!(DecisionTree::fit_on(&s.data, &[], &TreeParams::default(), 0).is_err());
+    }
+}

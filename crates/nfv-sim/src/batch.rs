@@ -1,0 +1,101 @@
+//! Parallel scenario execution: run many independent simulations across OS
+//! threads — the shape of every dataset sweep and parameter study.
+//!
+//! Results are collected through a `parking_lot::Mutex`'d slot vector; the
+//! output order always matches the input order regardless of which worker
+//! finished first, and a seed fully determines every run, so a batch is as
+//! reproducible as a serial loop.
+
+use crate::engine::{RunConfig, RunResult};
+use crate::scenario::Scenario;
+use crate::SimError;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `jobs` (scenario, config) pairs across `threads` workers, returning
+/// per-job results in input order. The first error (by job index) wins.
+pub fn run_batch_des(
+    jobs: &[(Scenario, RunConfig)],
+    threads: usize,
+) -> Result<Vec<RunResult>, SimError> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = threads.max(1).min(jobs.len());
+    if threads == 1 {
+        return jobs.iter().map(|(sc, cfg)| sc.run_des(cfg)).collect();
+    }
+    let slots: Mutex<Vec<Option<Result<RunResult, SimError>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    return;
+                }
+                let (sc, cfg) = &jobs[i];
+                let result = sc.run_des(cfg);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("every job claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn jobs(n: usize) -> Vec<(Scenario, RunConfig)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Scenario::demo(i as u64 + 1),
+                    RunConfig {
+                        horizon: SimDuration::from_secs_f64(1.0),
+                        window: SimDuration::from_secs_f64(0.5),
+                        seed: i as u64,
+                        warmup_windows: 0,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let js = jobs(6);
+        let serial = run_batch_des(&js, 1).unwrap();
+        let parallel = run_batch_des(&js, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.windows, b.windows, "order or determinism broken");
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_any_job() {
+        let mut js = jobs(3);
+        js[1].1.window = SimDuration::ZERO; // invalid config
+        assert!(run_batch_des(&js, 3).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(run_batch_des(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let js = jobs(2);
+        let out = run_batch_des(&js, 16).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,631 @@
+//! The discrete-event simulation engine.
+//!
+//! Every VNF instance is a FIFO single-server queue whose service rate comes
+//! from its CPU share on its host (scaled down by faults), and whose service
+//! times are inflated by an interference multiplier computed from the cores
+//! *currently busy* on the same host — so co-location hurts exactly when
+//! neighbours are actually working, the dynamic the ML model has to learn.
+
+use crate::chain::{ChainPlacement, ChainSpec};
+use crate::event::EventQueue;
+use crate::faults::{degradation_at, Fault};
+use crate::rng::SimRng;
+use crate::server::ServerSpec;
+use crate::sla::Sla;
+use crate::telemetry::{LatencyHistogram, VnfWindowStats, WindowSnapshot};
+use crate::time::{SimDuration, SimTime};
+use crate::workload::{ArrivalProcess, PacketSizes, Workload};
+use crate::SimError;
+use std::collections::VecDeque;
+
+/// A packet in flight through a chain.
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    born: SimTime,
+    payload_bytes: f64,
+}
+
+/// One VNF instance's runtime state.
+#[derive(Debug)]
+struct VnfState {
+    queue: VecDeque<Packet>,
+    busy: bool,
+    /// Host server index.
+    server: usize,
+    /// Time of the last queue-length change (for queue_area integration).
+    last_change: SimTime,
+    stats: VnfWindowStats,
+    /// Sum and count of interference multipliers sampled at service starts.
+    interf_sum: f64,
+    interf_n: u64,
+}
+
+/// One chain's runtime state.
+#[derive(Debug)]
+struct ChainState {
+    workload: Workload,
+    sizes: PacketSizes,
+    delivered: u64,
+    dropped: u64,
+    offered: u64,
+    payload_sum: f64,
+    latency: LatencyHistogram,
+    rng: SimRng,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Next packet of chain `c` arrives at its first VNF.
+    Arrival { c: usize },
+    /// Packet finishes service at (`c`, `v`).
+    Departure { c: usize, v: usize, pkt: Packet },
+    /// Packet reaches the ingress queue of (`c`, `v`) after hop latency.
+    Enqueue { c: usize, v: usize, pkt: Packet },
+    /// Close the current measurement window.
+    WindowTick,
+}
+
+/// Configuration of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Total simulated time.
+    pub horizon: SimDuration,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Initial warmup to discard, as a number of windows.
+    pub warmup_windows: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            horizon: SimDuration::from_secs_f64(10.0),
+            window: SimDuration::from_secs_f64(1.0),
+            seed: 1,
+            warmup_windows: 1,
+        }
+    }
+}
+
+/// Result of a run: per-chain, per-window telemetry.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// `windows[c]` holds the snapshots of chain `c` in time order.
+    pub windows: Vec<Vec<WindowSnapshot>>,
+}
+
+impl RunResult {
+    /// Fraction of windows of chain `c` violating `sla`.
+    pub fn violation_rate(&self, c: usize, sla: &Sla) -> f64 {
+        let Some(w) = self.windows.get(c) else {
+            return 0.0;
+        };
+        if w.is_empty() {
+            return 0.0;
+        }
+        let v = w.iter().filter(|s| sla.check(s).violated()).count();
+        v as f64 / w.len() as f64
+    }
+}
+
+/// The engine. Construct with [`Engine::new`], then [`Engine::run`].
+pub struct Engine<'a> {
+    chains: &'a [ChainSpec],
+    placements: &'a [ChainPlacement],
+    servers: &'a [ServerSpec],
+    workloads: Vec<(Workload, PacketSizes)>,
+    faults: &'a [Fault],
+}
+
+impl<'a> Engine<'a> {
+    /// Validates shapes and builds an engine.
+    ///
+    /// `workloads[c]` drives `chains[c]`; `placements[c].servers` must be the
+    /// same length as `chains[c].vnfs` and reference servers in range.
+    pub fn new(
+        chains: &'a [ChainSpec],
+        placements: &'a [ChainPlacement],
+        servers: &'a [ServerSpec],
+        workloads: Vec<(Workload, PacketSizes)>,
+        faults: &'a [Fault],
+    ) -> Result<Self, SimError> {
+        if chains.len() != placements.len() || chains.len() != workloads.len() {
+            return Err(SimError::Config(format!(
+                "shape mismatch: {} chains, {} placements, {} workloads",
+                chains.len(),
+                placements.len(),
+                workloads.len()
+            )));
+        }
+        for (i, (c, p)) in chains.iter().zip(placements).enumerate() {
+            if c.vnfs.len() != p.servers.len() {
+                return Err(SimError::Config(format!(
+                    "chain {i}: {} vnfs but {} placed",
+                    c.vnfs.len(),
+                    p.servers.len()
+                )));
+            }
+            if let Some(bad) = p.servers.iter().find(|s| s.0 >= servers.len()) {
+                return Err(SimError::Config(format!(
+                    "chain {i} references server {} of {}",
+                    bad.0,
+                    servers.len()
+                )));
+            }
+        }
+        Ok(Self {
+            chains,
+            placements,
+            servers,
+            workloads,
+            faults,
+        })
+    }
+
+    /// Runs the simulation to the horizon, returning windowed telemetry
+    /// (with warmup windows discarded).
+    pub fn run(mut self, cfg: &RunConfig) -> Result<RunResult, SimError> {
+        if cfg.window == SimDuration::ZERO || cfg.horizon == SimDuration::ZERO {
+            return Err(SimError::Config("zero window or horizon".into()));
+        }
+        let mut root = SimRng::new(cfg.seed);
+        let mut q: EventQueue<Event> = EventQueue::new();
+        let end = SimTime::ZERO + cfg.horizon;
+
+        // Per-chain state.
+        let mut chains: Vec<ChainState> = Vec::with_capacity(self.chains.len());
+        for (c, (w, s)) in self.workloads.drain(..).enumerate() {
+            chains.push(ChainState {
+                workload: w,
+                sizes: s,
+                delivered: 0,
+                dropped: 0,
+                offered: 0,
+                payload_sum: 0.0,
+                latency: LatencyHistogram::new(),
+                rng: root.fork(c as u64 + 1),
+            });
+        }
+
+        // Per-chain, per-vnf state.
+        let mut vnfs: Vec<Vec<VnfState>> = self
+            .chains
+            .iter()
+            .zip(self.placements)
+            .map(|(c, p)| {
+                c.vnfs
+                    .iter()
+                    .zip(&p.servers)
+                    .map(|(_, sid)| VnfState {
+                        queue: VecDeque::new(),
+                        busy: false,
+                        server: sid.0,
+                        last_change: SimTime::ZERO,
+                        stats: VnfWindowStats::default(),
+                        interf_sum: 0.0,
+                        interf_n: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Instantaneous busy cores per server (for interference).
+        let mut busy_cores = vec![0.0f64; self.servers.len()];
+
+        // Seed initial arrivals and the first window tick.
+        for (c, st) in chains.iter_mut().enumerate() {
+            let d = st.workload.next_interarrival(SimTime::ZERO, &mut st.rng);
+            q.schedule(SimTime::ZERO + d, Event::Arrival { c });
+        }
+        q.schedule(SimTime::ZERO + cfg.window, Event::WindowTick);
+
+        let mut out: Vec<Vec<WindowSnapshot>> = vec![Vec::new(); self.chains.len()];
+        let mut window_start = SimTime::ZERO;
+        let mut service_rng = root.fork(0xD15E);
+
+        // Helper: integrate queue area up to `now` for one VNF.
+        fn settle(v: &mut VnfState, now: SimTime) {
+            let dt = (now - v.last_change).as_secs_f64();
+            let in_system = v.queue.len() + usize::from(v.busy);
+            v.stats.queue_area += in_system as f64 * dt;
+            v.last_change = now;
+        }
+
+        while let Some((now, ev)) = q.pop() {
+            if now > end {
+                break;
+            }
+            match ev {
+                Event::Arrival { c } => {
+                    let st = &mut chains[c];
+                    let payload = st.sizes.sample(&mut st.rng);
+                    st.offered += 1;
+                    st.payload_sum += payload;
+                    let pkt = Packet {
+                        born: now,
+                        payload_bytes: payload,
+                    };
+                    // Schedule the next arrival first (keeps the process
+                    // independent of downstream handling).
+                    let d = st.workload.next_interarrival(now, &mut st.rng);
+                    q.schedule(now + d, Event::Arrival { c });
+                    if self.chains[c].vnfs.is_empty() {
+                        chains[c].delivered += 1;
+                        chains[c].latency.record(SimDuration::ZERO);
+                    } else {
+                        let hop =
+                            SimDuration::from_secs_f64(self.chains[c].hop_latency_s.max(0.0));
+                        q.schedule(now + hop, Event::Enqueue { c, v: 0, pkt });
+                    }
+                }
+                Event::Enqueue { c, v, pkt } => {
+                    let deg = degradation_at(self.faults, c, v, now);
+                    let spec = &self.chains[c].vnfs[v];
+                    let cap = ((spec.queue_capacity as f64) * deg.queue_factor).floor() as usize;
+                    let vs = &mut vnfs[c][v];
+                    settle(vs, now);
+                    let in_system = vs.queue.len() + usize::from(vs.busy);
+                    if in_system >= cap.max(1) {
+                        vs.stats.dropped += 1;
+                        chains[c].dropped += 1;
+                    } else if vs.busy {
+                        vs.queue.push_back(pkt);
+                    } else {
+                        // Start service immediately.
+                        vs.busy = true;
+                        let (dur, interf) = self.service_time(
+                            c,
+                            v,
+                            pkt.payload_bytes,
+                            now,
+                            &busy_cores,
+                            &mut service_rng,
+                        );
+                        let vs = &mut vnfs[c][v];
+                        vs.interf_sum += interf;
+                        vs.interf_n += 1;
+                        vs.stats.busy_secs += dur.as_secs_f64();
+                        busy_cores[vs.server] += spec.cpu_share;
+                        q.schedule(now + dur, Event::Departure { c, v, pkt });
+                    }
+                }
+                Event::Departure { c, v, pkt } => {
+                    let spec = &self.chains[c].vnfs[v];
+                    {
+                        let vs = &mut vnfs[c][v];
+                        settle(vs, now);
+                        vs.busy = false;
+                        vs.stats.processed += 1;
+                        vs.stats.bytes += pkt.payload_bytes;
+                        vs.stats.queue_max = vs.stats.queue_max.max(vs.queue.len() + 1);
+                        busy_cores[vs.server] -= spec.cpu_share;
+                        if busy_cores[vs.server] < 0.0 {
+                            busy_cores[vs.server] = 0.0;
+                        }
+                    }
+                    // Pull the next queued packet, if any.
+                    if let Some(next) = vnfs[c][v].queue.pop_front() {
+                        vnfs[c][v].busy = true;
+                        let (dur, interf) = self.service_time(
+                            c,
+                            v,
+                            next.payload_bytes,
+                            now,
+                            &busy_cores,
+                            &mut service_rng,
+                        );
+                        let vs = &mut vnfs[c][v];
+                        vs.interf_sum += interf;
+                        vs.interf_n += 1;
+                        vs.stats.busy_secs += dur.as_secs_f64();
+                        busy_cores[vs.server] += spec.cpu_share;
+                        q.schedule(now + dur, Event::Departure { c, v, pkt: next });
+                    }
+                    // Forward the departing packet.
+                    let deg = degradation_at(self.faults, c, v, now);
+                    let hop = SimDuration::from_secs_f64(
+                        self.chains[c].hop_latency_s.max(0.0) + deg.extra_latency_s,
+                    );
+                    if v + 1 < self.chains[c].vnfs.len() {
+                        q.schedule(now + hop, Event::Enqueue { c, v: v + 1, pkt });
+                    } else {
+                        let st = &mut chains[c];
+                        st.delivered += 1;
+                        st.latency.record((now + hop) - pkt.born);
+                    }
+                }
+                Event::WindowTick => {
+                    let wlen = (now - window_start).as_secs_f64();
+                    for c in 0..self.chains.len() {
+                        let st = &mut chains[c];
+                        let mut per_vnf = Vec::with_capacity(vnfs[c].len());
+                        let mut interference = Vec::with_capacity(vnfs[c].len());
+                        for vs in &mut vnfs[c] {
+                            settle(vs, now);
+                            per_vnf.push(std::mem::take(&mut vs.stats));
+                            interference.push(if vs.interf_n == 0 {
+                                1.0
+                            } else {
+                                vs.interf_sum / vs.interf_n as f64
+                            });
+                            vs.interf_sum = 0.0;
+                            vs.interf_n = 0;
+                        }
+                        let snap = WindowSnapshot {
+                            start_s: window_start.as_secs_f64(),
+                            window_s: wlen,
+                            delivered: st.delivered,
+                            dropped: st.dropped,
+                            offered_pps: if wlen > 0.0 {
+                                st.offered as f64 / wlen
+                            } else {
+                                0.0
+                            },
+                            mean_payload_bytes: if st.offered == 0 {
+                                0.0
+                            } else {
+                                st.payload_sum / st.offered as f64
+                            },
+                            latency: std::mem::take(&mut st.latency),
+                            per_vnf,
+                            interference,
+                        };
+                        out[c].push(snap);
+                        st.delivered = 0;
+                        st.dropped = 0;
+                        st.offered = 0;
+                        st.payload_sum = 0.0;
+                    }
+                    window_start = now;
+                    if now + cfg.window <= end {
+                        q.schedule(now + cfg.window, Event::WindowTick);
+                    }
+                }
+            }
+        }
+
+        // Drop warmup windows.
+        for w in &mut out {
+            let keep = w.len().saturating_sub(cfg.warmup_windows);
+            w.drain(..w.len() - keep);
+        }
+        Ok(RunResult { windows: out })
+    }
+
+    /// Samples a service time for (`c`, `v`) serving a `payload_bytes`
+    /// packet at `now`, returning the duration and the interference
+    /// multiplier that applied.
+    fn service_time(
+        &self,
+        c: usize,
+        v: usize,
+        payload_bytes: f64,
+        now: SimTime,
+        busy_cores: &[f64],
+        rng: &mut SimRng,
+    ) -> (SimDuration, f64) {
+        let spec = &self.chains[c].vnfs[v];
+        let sid = self.placements[c].servers[v].0;
+        let server = &self.servers[sid];
+        let deg = degradation_at(self.faults, c, v, now);
+        // Neighbour load excludes this VNF's own share.
+        let others = (busy_cores[sid]).max(0.0);
+        let interf = server.interference(others) * deg.interference_factor;
+        let mut eff = spec.clone();
+        eff.cpu_share = spec.cpu_share * deg.cpu_factor;
+        let secs = eff.sample_service_secs(payload_bytes, server.core_ghz, interf, rng);
+        (
+            SimDuration::from_secs_f64(secs.max(1e-9)),
+            interf,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place, PlacementPolicy};
+    use crate::vnf::{VnfConfig, VnfKind};
+
+    fn single_chain_setup(
+        rate: f64,
+        kinds: &[VnfKind],
+    ) -> (Vec<ChainSpec>, Vec<ChainPlacement>, Vec<ServerSpec>) {
+        let chains = vec![ChainSpec::of_kinds("t", kinds)];
+        let servers = vec![ServerSpec::standard()];
+        let placements = place(&chains, &servers, PlacementPolicy::FirstFit, 0).unwrap();
+        let _ = rate;
+        (chains, placements, servers)
+    }
+
+    fn run_one(rate: f64, kinds: &[VnfKind], seed: u64) -> RunResult {
+        let (chains, placements, servers) = single_chain_setup(rate, kinds);
+        let wl = vec![(Workload::poisson(rate), PacketSizes::Fixed(500.0))];
+        let eng = Engine::new(&chains, &placements, &servers, wl, &[]).unwrap();
+        eng.run(&RunConfig {
+            horizon: SimDuration::from_secs_f64(6.0),
+            window: SimDuration::from_secs_f64(1.0),
+            seed,
+            warmup_windows: 1,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn light_load_delivers_everything() {
+        let r = run_one(2_000.0, &[VnfKind::Firewall, VnfKind::Router], 1);
+        let total_drop: u64 = r.windows[0].iter().map(|w| w.dropped).sum();
+        let total_del: u64 = r.windows[0].iter().map(|w| w.delivered).sum();
+        assert_eq!(total_drop, 0);
+        assert!(total_del > 8_000, "delivered {total_del}");
+    }
+
+    #[test]
+    fn latency_matches_mg1_at_moderate_load() {
+        // Single firewall VNF: mean service at 500B on 2.6GHz ≈ 350/2.6e9 s.
+        let spec = VnfConfig::standard(VnfKind::Firewall);
+        let ms = spec.mean_service_secs(500.0, 2.6, 1.0);
+        let mu = 1.0 / ms;
+        let lambda = 0.7 * mu; // ρ = 0.7 — heavy enough to queue visibly
+        let r = run_one(lambda, &[VnfKind::Firewall], 2);
+        let mut h = LatencyHistogram::new();
+        for w in &r.windows[0] {
+            h.merge(&w.latency);
+        }
+        let measured = h.mean_secs();
+        let expect = crate::queueing::mg1_mean_sojourn(lambda, ms, VnfKind::Firewall.service_cv())
+            + 2.0 * 30e-6; // ingress + egress hop
+        assert!(
+            (measured / expect - 1.0).abs() < 0.15,
+            "measured={measured:e} expect={expect:e}"
+        );
+    }
+
+    #[test]
+    fn overload_drops_and_saturates_cpu() {
+        let spec = VnfConfig::standard(VnfKind::Dpi);
+        let ms = spec.mean_service_secs(500.0, 2.6, 1.0);
+        let lambda = 3.0 / ms; // 3× capacity
+        let r = run_one(lambda, &[VnfKind::Dpi], 3);
+        let last = r.windows[0].last().unwrap();
+        assert!(last.drop_rate() > 0.4, "drop={}", last.drop_rate());
+        let cpu = last.per_vnf[0].cpu_utilization(last.window_s);
+        assert!(cpu > 0.9, "cpu={cpu}");
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let a = run_one(5_000.0, &[VnfKind::Firewall, VnfKind::Ids], 42);
+        let b = run_one(5_000.0, &[VnfKind::Firewall, VnfKind::Ids], 42);
+        assert_eq!(a.windows, b.windows);
+        let c = run_one(5_000.0, &[VnfKind::Firewall, VnfKind::Ids], 43);
+        assert_ne!(a.windows, c.windows, "different seed, different trace");
+    }
+
+    #[test]
+    fn cpu_throttle_fault_raises_latency() {
+        let (chains, placements, servers) =
+            single_chain_setup(0.0, &[VnfKind::Firewall, VnfKind::Ids]);
+        let wl = |_: ()| vec![(Workload::poisson(120_000.0), PacketSizes::Fixed(600.0))];
+        let no_fault = Engine::new(&chains, &placements, &servers, wl(()), &[])
+            .unwrap()
+            .run(&RunConfig {
+                horizon: SimDuration::from_secs_f64(4.0),
+                window: SimDuration::from_secs_f64(1.0),
+                seed: 9,
+                warmup_windows: 1,
+            })
+            .unwrap();
+        let faults = vec![Fault {
+            chain: 0,
+            vnf: 1,
+            from: SimTime::ZERO,
+            until: SimTime::from_secs_f64(100.0),
+            kind: crate::faults::FaultKind::CpuThrottle { factor: 0.15 },
+        }];
+        let faulted = Engine::new(&chains, &placements, &servers, wl(()), &faults)
+            .unwrap()
+            .run(&RunConfig {
+                horizon: SimDuration::from_secs_f64(4.0),
+                window: SimDuration::from_secs_f64(1.0),
+                seed: 9,
+                warmup_windows: 1,
+            })
+            .unwrap();
+        let p95 = |r: &RunResult| {
+            let mut h = LatencyHistogram::new();
+            for w in &r.windows[0] {
+                h.merge(&w.latency);
+            }
+            h.quantile_secs(0.95)
+        };
+        assert!(
+            p95(&faulted) > 2.0 * p95(&no_fault),
+            "faulted {} vs clean {}",
+            p95(&faulted),
+            p95(&no_fault)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (chains, placements, servers) = single_chain_setup(0.0, &[VnfKind::Firewall]);
+        assert!(Engine::new(&chains, &placements, &servers, vec![], &[]).is_err());
+        let bad_pl = vec![ChainPlacement { servers: vec![] }];
+        assert!(Engine::new(
+            &chains,
+            &bad_pl,
+            &servers,
+            vec![(Workload::poisson(1.0), PacketSizes::Imix)],
+            &[]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn colocation_interference_slows_service() {
+        // Two identical chains on one server vs on two servers.
+        let chains = vec![
+            ChainSpec::of_kinds("a", &[VnfKind::Dpi]),
+            ChainSpec::of_kinds("b", &[VnfKind::Dpi]),
+        ];
+        let one = vec![ServerSpec {
+            interference_slope: 1.0,
+            ..ServerSpec::standard()
+        }];
+        let two = vec![one[0].clone(), one[0].clone()];
+        let wl = || {
+            vec![
+                (Workload::poisson(120_000.0), PacketSizes::Fixed(800.0)),
+                (Workload::poisson(120_000.0), PacketSizes::Fixed(800.0)),
+            ]
+        };
+        let cfg = RunConfig {
+            horizon: SimDuration::from_secs_f64(3.0),
+            window: SimDuration::from_secs_f64(1.0),
+            seed: 5,
+            warmup_windows: 1,
+        };
+        let colocated_pl = place(&chains, &one, PlacementPolicy::FirstFit, 0).unwrap();
+        let spread_pl = place(&chains, &two, PlacementPolicy::WorstFit, 0).unwrap();
+        let colo = Engine::new(&chains, &colocated_pl, &one, wl(), &[])
+            .unwrap()
+            .run(&cfg)
+            .unwrap();
+        let spread = Engine::new(&chains, &spread_pl, &two, wl(), &[])
+            .unwrap()
+            .run(&cfg)
+            .unwrap();
+        let mean_interf = |r: &RunResult| {
+            let ws = &r.windows[0];
+            ws.iter().map(|w| w.interference[0]).sum::<f64>() / ws.len() as f64
+        };
+        assert!(
+            mean_interf(&colo) > mean_interf(&spread),
+            "colo {} vs spread {}",
+            mean_interf(&colo),
+            mean_interf(&spread)
+        );
+    }
+
+    #[test]
+    fn window_count_matches_horizon() {
+        let r = run_one(1_000.0, &[VnfKind::Firewall], 6);
+        // 6s horizon, 1s windows, 1 warmup discarded → 5 windows.
+        assert_eq!(r.windows[0].len(), 5);
+        for w in &r.windows[0] {
+            assert!((w.window_s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn violation_rate_counts_windows() {
+        let spec = VnfConfig::standard(VnfKind::Dpi);
+        let ms = spec.mean_service_secs(500.0, 2.6, 1.0);
+        let r = run_one(3.0 / ms, &[VnfKind::Dpi], 7);
+        assert!(r.violation_rate(0, &Sla::tight()) > 0.9);
+        assert_eq!(r.violation_rate(5, &Sla::tight()), 0.0, "missing chain");
+    }
+}

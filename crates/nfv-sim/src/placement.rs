@@ -1,0 +1,223 @@
+//! VNF placement: mapping every VNF of every chain onto the server pool.
+//!
+//! Placement quality feeds straight into the learning task — bad placement
+//! creates the co-location interference the models must attribute latency
+//! to — so we provide the standard heuristics plus a deliberately bad one.
+
+use crate::chain::{ChainPlacement, ChainSpec};
+use crate::rng::SimRng;
+use crate::server::{ServerAllocation, ServerId, ServerSpec};
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Placement heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// First server with room, scanning in id order. Packs tightly.
+    FirstFit,
+    /// Server with the most free cores after placement (load balancing).
+    WorstFit,
+    /// Server with the least free cores that still fits (max consolidation —
+    /// maximizes interference; the "bad" baseline).
+    BestFit,
+    /// Uniformly random feasible server.
+    Random,
+    /// Round-robin across servers, skipping full ones.
+    RoundRobin,
+}
+
+/// Places all chains onto the pool. Returns one [`ChainPlacement`] per chain
+/// or an error naming the first VNF that cannot fit anywhere.
+pub fn place(
+    chains: &[ChainSpec],
+    pool: &[ServerSpec],
+    policy: PlacementPolicy,
+    seed: u64,
+) -> Result<Vec<ChainPlacement>, SimError> {
+    if pool.is_empty() {
+        return Err(SimError::Placement("empty server pool".into()));
+    }
+    let mut alloc: Vec<ServerAllocation> = pool
+        .iter()
+        .cloned()
+        .map(ServerAllocation::new)
+        .collect();
+    let mut rng = SimRng::new(seed);
+    let mut rr_cursor = 0usize;
+    let mut out = Vec::with_capacity(chains.len());
+    for (ci, chain) in chains.iter().enumerate() {
+        let mut servers = Vec::with_capacity(chain.vnfs.len());
+        for (vi, vnf) in chain.vnfs.iter().enumerate() {
+            let need_cpu = vnf.cpu_share;
+            let need_mem = vnf.mem_limit_mib;
+            let feasible: Vec<usize> = (0..alloc.len())
+                .filter(|&s| alloc[s].fits(need_cpu, need_mem))
+                .collect();
+            if feasible.is_empty() {
+                return Err(SimError::Placement(format!(
+                    "chain {ci} ({}) vnf {vi} ({}) fits nowhere: needs {need_cpu} cores, {need_mem} MiB",
+                    chain.name,
+                    vnf.kind.short_name()
+                )));
+            }
+            let pick = match policy {
+                PlacementPolicy::FirstFit => feasible[0],
+                PlacementPolicy::WorstFit => *feasible
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        alloc[a]
+                            .cores_free()
+                            .partial_cmp(&alloc[b].cores_free())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("nonempty"),
+                PlacementPolicy::BestFit => *feasible
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        alloc[a]
+                            .cores_free()
+                            .partial_cmp(&alloc[b].cores_free())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("nonempty"),
+                PlacementPolicy::Random => {
+                    feasible[rng.index(feasible.len()).expect("nonempty")]
+                }
+                PlacementPolicy::RoundRobin => {
+                    // Next feasible server at or after the cursor.
+                    let n = alloc.len();
+                    let mut chosen = feasible[0];
+                    for off in 0..n {
+                        let cand = (rr_cursor + off) % n;
+                        if feasible.contains(&cand) {
+                            chosen = cand;
+                            rr_cursor = (cand + 1) % n;
+                            break;
+                        }
+                    }
+                    chosen
+                }
+            };
+            let ok = alloc[pick].commit(need_cpu, need_mem);
+            debug_assert!(ok, "feasible server rejected commit");
+            servers.push(ServerId(pick));
+        }
+        out.push(ChainPlacement { servers });
+    }
+    Ok(out)
+}
+
+/// Total cores committed per server after a placement (for interference
+/// computation in the engine).
+pub fn load_per_server(
+    chains: &[ChainSpec],
+    placements: &[ChainPlacement],
+    nservers: usize,
+) -> Vec<f64> {
+    let mut load = vec![0.0; nservers];
+    for (chain, pl) in chains.iter().zip(placements) {
+        for (vnf, sid) in chain.vnfs.iter().zip(&pl.servers) {
+            if sid.0 < nservers {
+                load[sid.0] += vnf.cpu_share;
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnf::VnfKind;
+
+    fn pool(n: usize) -> Vec<ServerSpec> {
+        vec![ServerSpec::standard(); n]
+    }
+
+    fn chains() -> Vec<ChainSpec> {
+        ChainSpec::catalogue()
+    }
+
+    #[test]
+    fn first_fit_packs_low_ids() {
+        let pl = place(&chains(), &pool(8), PlacementPolicy::FirstFit, 0).unwrap();
+        let max_id = pl
+            .iter()
+            .flat_map(|p| p.servers.iter())
+            .map(|s| s.0)
+            .max()
+            .unwrap();
+        assert!(max_id <= 1, "first-fit should stay on the first servers");
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let pl = place(&chains(), &pool(8), PlacementPolicy::WorstFit, 0).unwrap();
+        let mut used: Vec<usize> = pl
+            .iter()
+            .flat_map(|p| p.servers.iter())
+            .map(|s| s.0)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        assert!(used.len() >= 6, "worst-fit should use many servers, used {used:?}");
+    }
+
+    #[test]
+    fn all_policies_produce_feasible_placements() {
+        for policy in [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::WorstFit,
+            PlacementPolicy::BestFit,
+            PlacementPolicy::Random,
+            PlacementPolicy::RoundRobin,
+        ] {
+            let cs = chains();
+            let p = pool(6);
+            let pl = place(&cs, &p, policy, 42).unwrap();
+            assert_eq!(pl.len(), cs.len());
+            let load = load_per_server(&cs, &pl, p.len());
+            for (i, l) in load.iter().enumerate() {
+                assert!(
+                    *l <= p[i].cores + 1e-9,
+                    "{policy:?} overcommitted server {i}: {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_reports_the_culprit() {
+        let big = ChainSpec::of_kinds("huge", &[VnfKind::Dpi; 40]);
+        let err = place(&[big], &pool(1), PlacementPolicy::FirstFit, 0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("dpi"), "error should name the VNF: {msg}");
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        assert!(place(&chains(), &[], PlacementPolicy::FirstFit, 0).is_err());
+    }
+
+    #[test]
+    fn random_placement_is_seed_deterministic() {
+        let a = place(&chains(), &pool(6), PlacementPolicy::Random, 7).unwrap();
+        let b = place(&chains(), &pool(6), PlacementPolicy::Random, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_accounting_matches_commitments() {
+        let cs = chains();
+        let p = pool(6);
+        let pl = place(&cs, &p, PlacementPolicy::RoundRobin, 0).unwrap();
+        let load = load_per_server(&cs, &pl, p.len());
+        let total: f64 = load.iter().sum();
+        let expect: f64 = cs
+            .iter()
+            .flat_map(|c| c.vnfs.iter())
+            .map(|v| v.cpu_share)
+            .sum();
+        assert!((total - expect).abs() < 1e-9);
+    }
+}

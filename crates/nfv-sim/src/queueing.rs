@@ -1,0 +1,283 @@
+//! Analytic queueing formulas.
+//!
+//! These serve three roles: (1) closed-form sanity checks for the
+//! discrete-event engine (an M/M/1 run must converge to the textbook wait);
+//! (2) the fast "fluid" dataset generator, which evaluates chains with
+//! Pollaczek–Khinchine instead of event-by-event simulation; (3) the what-if
+//! capacity planner used by the `chain_planner` example.
+
+use serde::{Deserialize, Serialize};
+
+/// Utilization ρ = λ/μ. Unstable (ρ ≥ 1) queues are the caller's problem to
+/// detect; helpers below return `f64::INFINITY` for them.
+pub fn utilization(lambda: f64, mu: f64) -> f64 {
+    if mu <= 0.0 {
+        return f64::INFINITY;
+    }
+    (lambda / mu).max(0.0)
+}
+
+/// Mean waiting time (queueing delay, excluding service) in an M/M/1 queue.
+pub fn mm1_mean_wait(lambda: f64, mu: f64) -> f64 {
+    let rho = utilization(lambda, mu);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho / (mu * (1.0 - rho))
+}
+
+/// Mean sojourn time (wait + service) in an M/M/1 queue.
+pub fn mm1_mean_sojourn(lambda: f64, mu: f64) -> f64 {
+    let rho = utilization(lambda, mu);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    1.0 / (mu * (1.0 - rho))
+}
+
+/// Mean number in system for M/M/1 (Little's law consistency target).
+pub fn mm1_mean_in_system(lambda: f64, mu: f64) -> f64 {
+    let rho = utilization(lambda, mu);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho / (1.0 - rho)
+}
+
+/// p-th quantile (0 < p < 1) of the M/M/1 sojourn time, which is
+/// exponential with rate μ(1−ρ).
+pub fn mm1_sojourn_quantile(lambda: f64, mu: f64, p: f64) -> f64 {
+    let rho = utilization(lambda, mu);
+    if rho >= 1.0 || !(0.0..1.0).contains(&p) {
+        return f64::INFINITY;
+    }
+    -(1.0 - p).ln() / (mu * (1.0 - rho))
+}
+
+/// Mean waiting time in an M/G/1 queue by Pollaczek–Khinchine:
+/// `W = λ·E[S²] / (2(1−ρ))`, with E[S²] expressed through the service-time
+/// coefficient of variation: `E[S²] = E[S]²(1 + cv²)`.
+pub fn mg1_mean_wait(lambda: f64, mean_service: f64, cv: f64) -> f64 {
+    if mean_service <= 0.0 {
+        return 0.0;
+    }
+    let mu = 1.0 / mean_service;
+    let rho = utilization(lambda, mu);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    let es2 = mean_service * mean_service * (1.0 + cv * cv);
+    lambda * es2 / (2.0 * (1.0 - rho))
+}
+
+/// Mean sojourn for M/G/1 (P-K wait + mean service).
+pub fn mg1_mean_sojourn(lambda: f64, mean_service: f64, cv: f64) -> f64 {
+    let w = mg1_mean_wait(lambda, mean_service, cv);
+    if w.is_infinite() {
+        return f64::INFINITY;
+    }
+    w + mean_service
+}
+
+/// Blocking probability of an M/M/1/K queue (finite buffer of K packets
+/// including the one in service): the probability an arrival is dropped.
+pub fn mm1k_blocking(lambda: f64, mu: f64, k: usize) -> f64 {
+    if mu <= 0.0 {
+        return 1.0;
+    }
+    let rho = lambda / mu;
+    if rho < 0.0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    if (rho - 1.0).abs() < 1e-12 {
+        // Degenerate ρ = 1 case: uniform distribution over states.
+        return 1.0 / (kf + 1.0);
+    }
+    // π_K = (1−ρ)ρ^K / (1−ρ^{K+1}). The direct form overflows for ρ > 1
+    // with large K; multiplying through by ρ^{−(K+1)} gives the stable
+    // variant π_K = ((1−ρ)/ρ) / (ρ^{−(K+1)} − 1), which underflows
+    // gracefully to the fluid limit 1 − 1/ρ.
+    if rho > 1.0 {
+        let t = rho.powf(-(kf + 1.0));
+        (((1.0 - rho) / rho) / (t - 1.0)).clamp(0.0, 1.0)
+    } else {
+        let num = (1.0 - rho) * rho.powf(kf);
+        let den = 1.0 - rho.powf(kf + 1.0);
+        (num / den).clamp(0.0, 1.0)
+    }
+}
+
+/// Erlang-C probability that an arrival to an M/M/c queue must wait.
+pub fn erlang_c(lambda: f64, mu: f64, servers: usize) -> f64 {
+    if servers == 0 || mu <= 0.0 {
+        return 1.0;
+    }
+    let c = servers as f64;
+    let a = lambda / mu; // offered load in Erlangs
+    if a >= c {
+        return 1.0;
+    }
+    // Iterative Erlang-B then convert to C; numerically stable.
+    let mut b = 1.0;
+    for n in 1..=servers {
+        let nf = n as f64;
+        b = a * b / (nf + a * b);
+    }
+    let rho = a / c;
+    (b / (1.0 - rho + rho * b)).clamp(0.0, 1.0)
+}
+
+/// Mean waiting time of an M/M/c queue (Erlang-C / (cμ − λ)).
+pub fn mmc_mean_wait(lambda: f64, mu: f64, servers: usize) -> f64 {
+    let c = servers as f64;
+    if lambda >= c * mu {
+        return f64::INFINITY;
+    }
+    erlang_c(lambda, mu, servers) / (c * mu - lambda)
+}
+
+/// Summary of one queueing stage inside a chain evaluated analytically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageEstimate {
+    /// Offered utilization ρ at this stage.
+    pub utilization: f64,
+    /// Mean waiting time (s).
+    pub mean_wait_s: f64,
+    /// Mean sojourn (s).
+    pub mean_sojourn_s: f64,
+    /// Tail-drop probability from the finite buffer.
+    pub drop_probability: f64,
+    /// The buffer size the stage was evaluated with — physical occupancy
+    /// can never exceed it.
+    pub queue_capacity: usize,
+}
+
+/// Evaluates one finite-buffer M/G/1-like stage. The drop probability is
+/// approximated with the M/M/1/K formula on the same ρ (exact M/G/1/K has no
+/// closed form); sojourn uses P-K on the *admitted* rate.
+pub fn stage_estimate(
+    lambda: f64,
+    mean_service: f64,
+    cv: f64,
+    queue_capacity: usize,
+) -> StageEstimate {
+    if mean_service <= 0.0 {
+        return StageEstimate {
+            utilization: 0.0,
+            mean_wait_s: 0.0,
+            mean_sojourn_s: 0.0,
+            drop_probability: 0.0,
+            queue_capacity,
+        };
+    }
+    let mu = 1.0 / mean_service;
+    let drop = mm1k_blocking(lambda, mu, queue_capacity);
+    let admitted = lambda * (1.0 - drop);
+    let rho = utilization(admitted, mu).min(0.999_999);
+    // With a finite buffer the stage is always stable on the admitted rate;
+    // cap ρ to keep P-K finite under rounding, and bound the wait by the
+    // physical worst case — a full buffer ahead of you — which the
+    // unbounded P-K formula wildly exceeds near saturation.
+    let capped_lambda = rho * mu;
+    let wait = mg1_mean_wait(capped_lambda, mean_service, cv)
+        .min(queue_capacity as f64 * mean_service);
+    StageEstimate {
+        utilization: utilization(lambda, mu),
+        mean_wait_s: wait,
+        mean_sojourn_s: wait + mean_service,
+        drop_probability: drop,
+        queue_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_values() {
+        // λ=8, μ=10 → ρ=0.8, W=0.4s, T=0.5s, L=4.
+        assert!((mm1_mean_wait(8.0, 10.0) - 0.4).abs() < 1e-12);
+        assert!((mm1_mean_sojourn(8.0, 10.0) - 0.5).abs() < 1e-12);
+        assert!((mm1_mean_in_system(8.0, 10.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queue_is_infinite() {
+        assert!(mm1_mean_wait(10.0, 10.0).is_infinite());
+        assert!(mm1_mean_sojourn(12.0, 10.0).is_infinite());
+        assert!(mg1_mean_wait(12.0, 0.1, 1.0).is_infinite());
+        assert!(mmc_mean_wait(25.0, 10.0, 2).is_infinite());
+    }
+
+    #[test]
+    fn mg1_reduces_to_mm1_at_cv_one() {
+        // Exponential service has cv=1; P-K must agree with M/M/1.
+        let w_pk = mg1_mean_wait(8.0, 0.1, 1.0);
+        let w_mm1 = mm1_mean_wait(8.0, 10.0);
+        assert!((w_pk - w_mm1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_service_halves_the_wait() {
+        // M/D/1 wait is half the M/M/1 wait.
+        let w_md1 = mg1_mean_wait(8.0, 0.1, 0.0);
+        let w_mm1 = mm1_mean_wait(8.0, 10.0);
+        assert!((w_md1 - w_mm1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let q50 = mm1_sojourn_quantile(8.0, 10.0, 0.5);
+        let q95 = mm1_sojourn_quantile(8.0, 10.0, 0.95);
+        let q99 = mm1_sojourn_quantile(8.0, 10.0, 0.99);
+        assert!(q50 < q95 && q95 < q99);
+        // Median of Exp(rate 2) is ln2/2.
+        assert!((q50 - (2f64).ln() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_monotone_in_load_and_buffer() {
+        let b_low = mm1k_blocking(5.0, 10.0, 16);
+        let b_high = mm1k_blocking(9.5, 10.0, 16);
+        assert!(b_high > b_low);
+        let b_big = mm1k_blocking(9.5, 10.0, 256);
+        assert!(b_big < b_high);
+        assert!((mm1k_blocking(10.0, 10.0, 9) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // a=2 Erlang offered to c=3 servers: exact P(wait) = 4/9.
+        let p = erlang_c(2.0, 1.0, 3);
+        assert!((p - 4.0 / 9.0).abs() < 1e-9, "p={p}");
+        assert_eq!(erlang_c(5.0, 1.0, 3), 1.0, "overloaded system always waits");
+    }
+
+    #[test]
+    fn blocking_is_stable_for_huge_overload() {
+        let b = mm1k_blocking(8.0e6, 1.0e5, 512);
+        assert!(b.is_finite());
+        // Fluid limit 1 − 1/ρ with ρ = 80.
+        assert!((b - (1.0 - 1.0 / 80.0)).abs() < 1e-9, "b={b}");
+    }
+
+    #[test]
+    fn stage_estimate_sane_under_overload() {
+        let s = stage_estimate(2_000.0, 0.001, 0.5, 64);
+        assert!(s.utilization > 1.0);
+        assert!(s.drop_probability > 0.3);
+        assert!(s.mean_sojourn_s.is_finite(), "finite buffer keeps sojourn finite");
+        let light = stage_estimate(100.0, 0.001, 0.5, 64);
+        assert!(light.drop_probability < 1e-6);
+        assert!(light.mean_sojourn_s < s.mean_sojourn_s);
+    }
+
+    #[test]
+    fn zero_service_stage_is_free() {
+        let s = stage_estimate(100.0, 0.0, 0.5, 64);
+        assert_eq!(s.mean_sojourn_s, 0.0);
+        assert_eq!(s.drop_probability, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Scenario assembly: topology + chains + workloads + faults + SLAs, with
+//! two evaluation backends — the discrete-event engine (ground truth) and a
+//! fast fluid/analytic evaluator (for large dataset sweeps).
+
+use crate::chain::{estimate_chain, ChainEstimate, ChainPlacement, ChainSpec};
+use crate::engine::{Engine, RunConfig, RunResult};
+use crate::faults::{degradation_at, Fault};
+use crate::placement::{load_per_server, place, PlacementPolicy};
+use crate::rng::SimRng;
+use crate::server::ServerSpec;
+use crate::sla::Sla;
+use crate::time::SimTime;
+use crate::workload::{ArrivalProcess, PacketSizes, Workload};
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// A fully specified experiment scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Compute pool.
+    pub servers: Vec<ServerSpec>,
+    /// Deployed chains.
+    pub chains: Vec<ChainSpec>,
+    /// Traffic per chain (same length as `chains`).
+    pub workloads: Vec<(Workload, PacketSizes)>,
+    /// SLA per chain (same length as `chains`).
+    pub slas: Vec<Sla>,
+    /// Scheduled faults.
+    pub faults: Vec<Fault>,
+    /// Placement policy used to map VNFs to servers.
+    pub policy: PlacementPolicy,
+    /// Placement seed (for the Random policy).
+    pub placement_seed: u64,
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts an empty scenario with first-fit placement.
+    pub fn new() -> Self {
+        Self {
+            scenario: Scenario {
+                servers: Vec::new(),
+                chains: Vec::new(),
+                workloads: Vec::new(),
+                slas: Vec::new(),
+                faults: Vec::new(),
+                policy: PlacementPolicy::FirstFit,
+                placement_seed: 0,
+            },
+        }
+    }
+
+    /// Adds `n` servers of `spec`.
+    pub fn servers(mut self, n: usize, spec: ServerSpec) -> Self {
+        self.scenario.servers.extend(std::iter::repeat_n(spec, n));
+        self
+    }
+
+    /// Adds a chain with its workload and SLA.
+    pub fn chain(mut self, spec: ChainSpec, workload: Workload, sizes: PacketSizes, sla: Sla) -> Self {
+        self.scenario.chains.push(spec);
+        self.scenario.workloads.push((workload, sizes));
+        self.scenario.slas.push(sla);
+        self
+    }
+
+    /// Adds a fault.
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.scenario.faults.push(fault);
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn policy(mut self, policy: PlacementPolicy) -> Self {
+        self.scenario.policy = policy;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Result<Scenario, SimError> {
+        if self.scenario.servers.is_empty() {
+            return Err(SimError::Config("scenario has no servers".into()));
+        }
+        if self.scenario.chains.is_empty() {
+            return Err(SimError::Config("scenario has no chains".into()));
+        }
+        Ok(self.scenario)
+    }
+}
+
+impl Scenario {
+    /// Computes the placement for this scenario.
+    pub fn place(&self) -> Result<Vec<ChainPlacement>, SimError> {
+        place(&self.chains, &self.servers, self.policy, self.placement_seed)
+    }
+
+    /// Runs the discrete-event engine.
+    pub fn run_des(&self, cfg: &RunConfig) -> Result<RunResult, SimError> {
+        let placements = self.place()?;
+        let eng = Engine::new(
+            &self.chains,
+            &placements,
+            &self.servers,
+            self.workloads.clone(),
+            &self.faults,
+        )?;
+        eng.run(cfg)
+    }
+
+    /// Evaluates every chain analytically at time `at`, sampling one
+    /// realized load level per chain (the workload's mean rate perturbed by
+    /// `load_jitter` lognormal noise) — the fluid backend used for large
+    /// dataset sweeps. Returns per-chain estimates plus the realized loads.
+    pub fn evaluate_fluid(
+        &self,
+        at: SimTime,
+        load_jitter: f64,
+        seed: u64,
+    ) -> Result<Vec<(ChainEstimate, f64)>, SimError> {
+        let placements = self.place()?;
+        let loads = load_per_server(&self.chains, &placements, self.servers.len());
+        let mut rng = SimRng::new(seed);
+        let mut out = Vec::with_capacity(self.chains.len());
+        for (c, chain) in self.chains.iter().enumerate() {
+            let (wl, sizes) = &self.workloads[c];
+            let jitter = if load_jitter > 0.0 {
+                rng.lognormal(0.0, load_jitter)
+            } else {
+                1.0
+            };
+            let lambda = wl.mean_rate_pps() * jitter;
+            let mut interference = Vec::with_capacity(chain.vnfs.len());
+            let mut eff_chain = chain.clone();
+            for (v, vnf) in chain.vnfs.iter().enumerate() {
+                let sid = placements[c].servers[v].0;
+                let deg = degradation_at(&self.faults, c, v, at);
+                // Static proxy for neighbour busy-cores: committed load minus
+                // this VNF's own share, damped by 0.5 mean duty cycle.
+                let others = (loads[sid] - vnf.cpu_share).max(0.0) * 0.5;
+                let interf =
+                    self.servers[sid].interference(others) * deg.interference_factor;
+                interference.push(interf);
+                eff_chain.vnfs[v].cpu_share = vnf.cpu_share * deg.cpu_factor;
+                eff_chain.vnfs[v].queue_capacity = (((vnf.queue_capacity as f64)
+                    * deg.queue_factor)
+                    .floor() as usize)
+                    .max(1);
+            }
+            let ghz = self.servers[placements[c].servers[0].0].core_ghz;
+            let est = estimate_chain(&eff_chain, lambda, sizes.mean_bytes(), ghz, &interference);
+            out.push((est, lambda));
+        }
+        Ok(out)
+    }
+
+    /// A ready-made mid-size scenario: 4 servers, the 5 catalogue chains,
+    /// mixed workloads, and a couple of faults — the default subject for the
+    /// examples and integration tests.
+    pub fn demo(seed: u64) -> Scenario {
+        let mut rng = SimRng::new(seed);
+        let chains = ChainSpec::catalogue();
+        let mut b = ScenarioBuilder::new().servers(4, ServerSpec::standard());
+        for (i, c) in chains.into_iter().enumerate() {
+            let base = rng.uniform(8_000.0, 40_000.0);
+            let wl = if i % 2 == 0 {
+                Workload::poisson(base)
+            } else {
+                Workload::bursty(base)
+            };
+            let sla = if i % 2 == 0 { Sla::tight() } else { Sla::relaxed() };
+            b = b.chain(c, wl, PacketSizes::Imix, sla);
+        }
+        b = b.fault(Fault {
+            chain: 0,
+            vnf: 1,
+            from: SimTime::from_secs_f64(4.0),
+            until: SimTime::from_secs_f64(8.0),
+            kind: crate::faults::FaultKind::CpuThrottle { factor: 0.4 },
+        });
+        b.build().expect("demo scenario is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::vnf::VnfKind;
+
+    #[test]
+    fn builder_validates() {
+        assert!(ScenarioBuilder::new().build().is_err());
+        assert!(ScenarioBuilder::new()
+            .servers(1, ServerSpec::standard())
+            .build()
+            .is_err());
+        let ok = ScenarioBuilder::new()
+            .servers(1, ServerSpec::standard())
+            .chain(
+                ChainSpec::of_kinds("c", &[VnfKind::Firewall]),
+                Workload::poisson(100.0),
+                PacketSizes::Imix,
+                Sla::tight(),
+            )
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn demo_scenario_runs_on_both_backends() {
+        let sc = Scenario::demo(1);
+        let des = sc
+            .run_des(&RunConfig {
+                horizon: SimDuration::from_secs_f64(3.0),
+                window: SimDuration::from_secs_f64(1.0),
+                seed: 1,
+                warmup_windows: 1,
+            })
+            .unwrap();
+        assert_eq!(des.windows.len(), sc.chains.len());
+        let fluid = sc.evaluate_fluid(SimTime::from_secs_f64(1.0), 0.0, 1).unwrap();
+        assert_eq!(fluid.len(), sc.chains.len());
+        for (est, lambda) in &fluid {
+            assert!(est.mean_latency_s.is_finite());
+            assert!(*lambda > 0.0);
+        }
+    }
+
+    #[test]
+    fn fluid_fault_window_raises_latency() {
+        let sc = Scenario::demo(2);
+        let before = sc.evaluate_fluid(SimTime::from_secs_f64(1.0), 0.0, 3).unwrap();
+        let during = sc.evaluate_fluid(SimTime::from_secs_f64(6.0), 0.0, 3).unwrap();
+        // Chain 0 has a CPU throttle active in [4, 8).
+        assert!(
+            during[0].0.mean_latency_s > before[0].0.mean_latency_s,
+            "during={} before={}",
+            during[0].0.mean_latency_s,
+            before[0].0.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn fluid_jitter_is_seed_deterministic() {
+        let sc = Scenario::demo(3);
+        let a = sc.evaluate_fluid(SimTime::ZERO, 0.3, 7).unwrap();
+        let b = sc.evaluate_fluid(SimTime::ZERO, 0.3, 7).unwrap();
+        let c = sc.evaluate_fluid(SimTime::ZERO, 0.3, 8).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((ea, la), (eb, lb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(ea.mean_latency_s, eb.mean_latency_s);
+        }
+        assert!(a.iter().zip(&c).any(|((_, la), (_, lc))| la != lc));
+    }
+
+    #[test]
+    fn demo_is_deterministic_per_seed() {
+        let a = Scenario::demo(4);
+        let b = Scenario::demo(4);
+        assert_eq!(a.chains.len(), b.chains.len());
+        let (Workload::Poisson(pa), Workload::Poisson(pb)) =
+            (&a.workloads[0].0, &b.workloads[0].0)
+        else {
+            panic!("chain 0 is poisson in the demo");
+        };
+        assert_eq!(pa.rate_pps, pb.rate_pps);
+    }
+}

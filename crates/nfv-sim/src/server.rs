@@ -1,0 +1,152 @@
+//! Physical server (NFVI node) model: core budget, memory, and the
+//! cross-tenant interference term that makes co-location matter.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a server within a [`crate::scenario::Scenario`] topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+/// Static description of one NFVI compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Number of physical cores available to VNFs.
+    pub cores: f64,
+    /// Core clock in GHz (service rates scale linearly with this).
+    pub core_ghz: f64,
+    /// Memory available to VNFs, MiB.
+    pub mem_mib: f64,
+    /// Sensitivity of co-located VNFs to shared-cache / memory-bandwidth
+    /// contention: the interference multiplier grows by this much per unit
+    /// of *other* tenants' CPU utilization. 0 disables the effect.
+    pub interference_slope: f64,
+}
+
+impl ServerSpec {
+    /// A mid-range NFVI node: 16 cores @ 2.6 GHz, 64 GiB, moderate
+    /// contention sensitivity.
+    pub fn standard() -> Self {
+        Self {
+            cores: 16.0,
+            core_ghz: 2.6,
+            mem_mib: 64.0 * 1024.0,
+            interference_slope: 0.35,
+        }
+    }
+
+    /// A small edge node.
+    pub fn edge() -> Self {
+        Self {
+            cores: 4.0,
+            core_ghz: 2.0,
+            mem_mib: 8.0 * 1024.0,
+            interference_slope: 0.6,
+        }
+    }
+
+    /// Interference multiplier (≥ 1) experienced by a VNF when the rest of
+    /// the node runs at `other_util` aggregate CPU utilization (in cores).
+    ///
+    /// Model: linear in normalized neighbour utilization — consistent with
+    /// published noisy-neighbour measurements showing 10–50% slowdown at
+    /// full co-location.
+    pub fn interference(&self, other_util_cores: f64) -> f64 {
+        if self.cores <= 0.0 {
+            return 1.0;
+        }
+        let norm = (other_util_cores / self.cores).clamp(0.0, 1.0);
+        1.0 + self.interference_slope.max(0.0) * norm
+    }
+}
+
+/// Mutable allocation bookkeeping for a server during placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerAllocation {
+    /// The node being allocated.
+    pub spec: ServerSpec,
+    /// Cores already committed to placed VNFs.
+    pub cores_used: f64,
+    /// Memory already committed, MiB.
+    pub mem_used_mib: f64,
+    /// Number of VNF instances placed here.
+    pub instances: usize,
+}
+
+impl ServerAllocation {
+    /// Fresh, empty allocation of `spec`.
+    pub fn new(spec: ServerSpec) -> Self {
+        Self {
+            spec,
+            cores_used: 0.0,
+            mem_used_mib: 0.0,
+            instances: 0,
+        }
+    }
+
+    /// Remaining core budget.
+    pub fn cores_free(&self) -> f64 {
+        (self.spec.cores - self.cores_used).max(0.0)
+    }
+
+    /// Remaining memory budget, MiB.
+    pub fn mem_free_mib(&self) -> f64 {
+        (self.spec.mem_mib - self.mem_used_mib).max(0.0)
+    }
+
+    /// Whether a request for (`cpu_share` cores, `mem_mib`) fits.
+    pub fn fits(&self, cpu_share: f64, mem_mib: f64) -> bool {
+        cpu_share <= self.cores_free() + 1e-9 && mem_mib <= self.mem_free_mib() + 1e-9
+    }
+
+    /// Commits a placement. Returns `false` (and changes nothing) if it does
+    /// not fit.
+    pub fn commit(&mut self, cpu_share: f64, mem_mib: f64) -> bool {
+        if !self.fits(cpu_share, mem_mib) {
+            return false;
+        }
+        self.cores_used += cpu_share;
+        self.mem_used_mib += mem_mib;
+        self.instances += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_grows_with_neighbours() {
+        let s = ServerSpec::standard();
+        assert_eq!(s.interference(0.0), 1.0);
+        let half = s.interference(8.0);
+        let full = s.interference(16.0);
+        assert!(half > 1.0 && full > half);
+        assert!((full - (1.0 + s.interference_slope)).abs() < 1e-12);
+        // Saturates beyond the core count.
+        assert_eq!(s.interference(100.0), full);
+    }
+
+    #[test]
+    fn allocation_accounting() {
+        let mut a = ServerAllocation::new(ServerSpec::edge());
+        assert!(a.fits(2.0, 1024.0));
+        assert!(a.commit(2.0, 1024.0));
+        assert_eq!(a.instances, 1);
+        assert!((a.cores_free() - 2.0).abs() < 1e-12);
+        assert!(!a.commit(3.0, 0.0), "over core budget");
+        assert!(!a.commit(1.0, 8.0 * 1024.0), "over memory budget");
+        assert_eq!(a.instances, 1, "failed commit leaves state untouched");
+    }
+
+    #[test]
+    fn zero_core_server_neutral_interference() {
+        let s = ServerSpec {
+            cores: 0.0,
+            core_ghz: 2.0,
+            mem_mib: 0.0,
+            interference_slope: 0.5,
+        };
+        assert_eq!(s.interference(4.0), 1.0);
+    }
+}

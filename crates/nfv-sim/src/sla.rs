@@ -1,0 +1,139 @@
+//! Service-level agreements and their evaluation against window telemetry.
+
+use crate::telemetry::WindowSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// An SLA on a service chain, checked per measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// p95 end-to-end latency bound, seconds.
+    pub p95_latency_s: f64,
+    /// Maximum tolerated drop fraction in [0, 1].
+    pub max_drop_rate: f64,
+    /// Minimum delivered throughput as a fraction of offered load in [0, 1]
+    /// (guards against silent starvation when almost nothing is offered).
+    pub min_goodput_fraction: f64,
+}
+
+impl Sla {
+    /// A typical latency-sensitive SLA: 5 ms p95, 0.1% drops, 99% goodput.
+    pub fn tight() -> Self {
+        Self {
+            p95_latency_s: 5e-3,
+            max_drop_rate: 1e-3,
+            min_goodput_fraction: 0.99,
+        }
+    }
+
+    /// A bulk-transfer SLA: 50 ms p95, 1% drops, 95% goodput.
+    pub fn relaxed() -> Self {
+        Self {
+            p95_latency_s: 50e-3,
+            max_drop_rate: 1e-2,
+            min_goodput_fraction: 0.95,
+        }
+    }
+
+    /// Evaluates one window, returning which clauses were violated.
+    pub fn check(&self, snap: &WindowSnapshot) -> SlaVerdict {
+        let p95 = snap.latency.quantile_secs(0.95);
+        let latency_violated = snap.latency.count() > 0 && p95 > self.p95_latency_s;
+        let drop_violated = snap.drop_rate() > self.max_drop_rate;
+        let offered = snap.offered_pps * snap.window_s;
+        let goodput_violated = offered > 1.0
+            && (snap.goodput_pps() * snap.window_s) / offered < self.min_goodput_fraction;
+        SlaVerdict {
+            latency_violated,
+            drop_violated,
+            goodput_violated,
+            p95_latency_s: p95,
+            drop_rate: snap.drop_rate(),
+        }
+    }
+}
+
+/// Outcome of checking one window against an [`Sla`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaVerdict {
+    /// p95 latency exceeded the bound.
+    pub latency_violated: bool,
+    /// Drop rate exceeded the bound.
+    pub drop_violated: bool,
+    /// Goodput fell below the bound.
+    pub goodput_violated: bool,
+    /// Measured p95 latency, s.
+    pub p95_latency_s: f64,
+    /// Measured drop rate.
+    pub drop_rate: f64,
+}
+
+impl SlaVerdict {
+    /// True when any clause failed.
+    pub fn violated(&self) -> bool {
+        self.latency_violated || self.drop_violated || self.goodput_violated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::LatencyHistogram;
+    use crate::time::SimDuration;
+
+    fn snap(latencies_us: &[u64], delivered: u64, dropped: u64) -> WindowSnapshot {
+        let mut h = LatencyHistogram::new();
+        for &us in latencies_us {
+            h.record(SimDuration(us * 1_000));
+        }
+        WindowSnapshot {
+            start_s: 0.0,
+            window_s: 1.0,
+            delivered,
+            dropped,
+            offered_pps: (delivered + dropped) as f64,
+            mean_payload_bytes: 500.0,
+            latency: h,
+            per_vnf: vec![],
+            interference: vec![],
+        }
+    }
+
+    #[test]
+    fn healthy_window_passes_tight_sla() {
+        let s = snap(&[100, 200, 300, 400], 4, 0);
+        let v = Sla::tight().check(&s);
+        assert!(!v.violated(), "{v:?}");
+    }
+
+    #[test]
+    fn slow_window_fails_latency_clause_only() {
+        let s = snap(&[8_000, 9_000, 10_000, 12_000], 4, 0);
+        let v = Sla::tight().check(&s);
+        assert!(v.latency_violated);
+        assert!(!v.drop_violated);
+        assert!(v.violated());
+    }
+
+    #[test]
+    fn droppy_window_fails_drop_and_goodput() {
+        let s = snap(&[100; 90], 90, 10);
+        let v = Sla::tight().check(&s);
+        assert!(v.drop_violated);
+        assert!(v.goodput_violated);
+        assert!((v.drop_rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_sla_tolerates_what_tight_does_not() {
+        let s = snap(&[20_000; 50], 50, 0);
+        assert!(Sla::tight().check(&s).violated());
+        assert!(!Sla::relaxed().check(&s).violated());
+    }
+
+    #[test]
+    fn empty_window_is_not_a_violation() {
+        let s = snap(&[], 0, 0);
+        let v = Sla::tight().check(&s);
+        assert!(!v.violated(), "no traffic, no violation: {v:?}");
+    }
+}

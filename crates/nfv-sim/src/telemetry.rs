@@ -1,0 +1,343 @@
+//! Telemetry collection: latency histograms, per-VNF counters, and the
+//! windowed snapshots that become ML features downstream.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A log-bucketed latency histogram covering 100 ns .. ~100 s with ~4%
+/// relative bucket width — an HdrHistogram-style structure sized for packet
+/// latencies without per-sample allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_secs: f64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Number of buckets: 512 log-spaced buckets across 9 decades.
+const NBUCKETS: usize = 512;
+const LO_NS: f64 = 100.0; // 100 ns
+const HI_NS: f64 = 1e11; // 100 s
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NBUCKETS],
+            count: 0,
+            sum_secs: 0.0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: f64) -> usize {
+        if ns <= LO_NS {
+            return 0;
+        }
+        let frac = (ns.ln() - LO_NS.ln()) / (HI_NS.ln() - LO_NS.ln());
+        ((frac * NBUCKETS as f64) as usize).min(NBUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `i`, ns.
+    fn bucket_lo(i: usize) -> f64 {
+        (LO_NS.ln() + (HI_NS.ln() - LO_NS.ln()) * i as f64 / NBUCKETS as f64).exp()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.0 as f64;
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_secs += d.as_secs_f64();
+        self.min_ns = self.min_ns.min(d.0);
+        self.max_ns = self.max_ns.max(d.0);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_secs / self.count as f64
+        }
+    }
+
+    /// q-quantile (q in [0,1]) in seconds, by bucket interpolation; exact min
+    /// and max are used at the extremes. Returns 0 when empty.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min_ns as f64 * 1e-9;
+        }
+        if q >= 1.0 {
+            return self.max_ns as f64 * 1e-9;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                // Midpoint of the bucket in log space.
+                let lo = Self::bucket_lo(i);
+                let hi = Self::bucket_lo(i + 1);
+                return ((lo * hi).sqrt() * 1e-9).min(self.max_ns as f64 * 1e-9);
+            }
+        }
+        self.max_ns as f64 * 1e-9
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_secs += other.sum_secs;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of buckets in the fixed layout (for codecs).
+    pub fn n_buckets() -> usize {
+        NBUCKETS
+    }
+
+    /// Decomposes into `(buckets, count, sum_secs, min_ns, max_ns)` — the
+    /// exact state, for binary trace encoding.
+    pub fn raw_parts(&self) -> (&[u64], u64, f64, u64, u64) {
+        (&self.buckets, self.count, self.sum_secs, self.min_ns, self.max_ns)
+    }
+
+    /// Rebuilds from [`Self::raw_parts`] output. Validates the bucket count
+    /// and that the bucket sum matches `count`.
+    pub fn from_raw_parts(
+        buckets: Vec<u64>,
+        count: u64,
+        sum_secs: f64,
+        min_ns: u64,
+        max_ns: u64,
+    ) -> Result<LatencyHistogram, String> {
+        if buckets.len() != NBUCKETS {
+            return Err(format!(
+                "histogram needs {NBUCKETS} buckets, got {}",
+                buckets.len()
+            ));
+        }
+        let total: u64 = buckets.iter().sum();
+        if total != count {
+            return Err(format!("bucket sum {total} != count {count}"));
+        }
+        Ok(LatencyHistogram {
+            buckets,
+            count,
+            sum_secs,
+            min_ns,
+            max_ns,
+        })
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum_secs = 0.0;
+        self.min_ns = u64::MAX;
+        self.max_ns = 0;
+    }
+}
+
+/// Per-VNF counters accumulated inside one measurement window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VnfWindowStats {
+    /// Packets fully processed.
+    pub processed: u64,
+    /// Packets dropped at the ingress queue.
+    pub dropped: u64,
+    /// Busy time of the VNF's processor share, s.
+    pub busy_secs: f64,
+    /// Time-integral of queue length (packet·s) for mean-queue computation.
+    pub queue_area: f64,
+    /// Maximum instantaneous queue length observed.
+    pub queue_max: usize,
+    /// Bytes processed.
+    pub bytes: f64,
+}
+
+impl VnfWindowStats {
+    /// Offered packets (processed + dropped).
+    pub fn offered(&self) -> u64 {
+        self.processed + self.dropped
+    }
+
+    /// Drop fraction in [0,1].
+    pub fn drop_rate(&self) -> f64 {
+        let o = self.offered();
+        if o == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / o as f64
+        }
+    }
+
+    /// CPU utilization of the allocated share over a window of `window_s`.
+    pub fn cpu_utilization(&self, window_s: f64) -> f64 {
+        if window_s <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs / window_s).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Time-averaged queue length over the window.
+    pub fn mean_queue(&self, window_s: f64) -> f64 {
+        if window_s <= 0.0 {
+            0.0
+        } else {
+            self.queue_area / window_s
+        }
+    }
+}
+
+/// Everything measured for one chain in one window: the row that feature
+/// extraction consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSnapshot {
+    /// Window start, s.
+    pub start_s: f64,
+    /// Window length, s.
+    pub window_s: f64,
+    /// Packets that completed the whole chain in this window.
+    pub delivered: u64,
+    /// Packets dropped anywhere along the chain.
+    pub dropped: u64,
+    /// Arrival rate offered to the chain, packets/s.
+    pub offered_pps: f64,
+    /// Mean payload of offered packets, bytes.
+    pub mean_payload_bytes: f64,
+    /// End-to-end latency distribution of delivered packets.
+    pub latency: LatencyHistogram,
+    /// Per-VNF stats, in chain order.
+    pub per_vnf: Vec<VnfWindowStats>,
+    /// Per-VNF interference multiplier that was in effect (mean over window).
+    pub interference: Vec<f64>,
+}
+
+impl WindowSnapshot {
+    /// End-to-end drop fraction.
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+
+    /// Delivered throughput, packets/s.
+    pub fn goodput_pps(&self) -> f64 {
+        if self.window_s <= 0.0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.window_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration(i * 1_000)); // 1..1000 µs
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_secs(0.5);
+        let p95 = h.quantile_secs(0.95);
+        let p99 = h.quantile_secs(0.99);
+        assert!(p50 < p95 && p95 < p99);
+        // Within bucket resolution (~4%) of the exact values.
+        assert!((p50 / 500e-6 - 1.0).abs() < 0.08, "p50={p50}");
+        assert!((p95 / 950e-6 - 1.0).abs() < 0.08, "p95={p95}");
+        assert!((h.mean_secs() / 500.5e-6 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_secs(0.5), 0.0, "empty histogram");
+        h.record(SimDuration(42));
+        assert!((h.quantile_secs(0.0) - 42e-9).abs() < 1e-18);
+        assert!((h.quantile_secs(1.0) - 42e-9).abs() < 1e-18);
+        h.record(SimDuration(u64::MAX / 2)); // beyond top bucket — clamped
+        assert!(h.quantile_secs(1.0) > 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_and_reset() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration(1_000));
+        b.record(SimDuration(2_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        a.reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean_secs(), 0.0);
+    }
+
+    #[test]
+    fn vnf_stats_derived_metrics() {
+        let s = VnfWindowStats {
+            processed: 900,
+            dropped: 100,
+            busy_secs: 0.5,
+            queue_area: 10.0,
+            queue_max: 37,
+            bytes: 1e6,
+        };
+        assert_eq!(s.offered(), 1000);
+        assert!((s.drop_rate() - 0.1).abs() < 1e-12);
+        assert!((s.cpu_utilization(1.0) - 0.5).abs() < 1e-12);
+        assert!((s.mean_queue(2.0) - 5.0).abs() < 1e-12);
+        let empty = VnfWindowStats::default();
+        assert_eq!(empty.drop_rate(), 0.0);
+        assert_eq!(empty.cpu_utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let snap = WindowSnapshot {
+            start_s: 0.0,
+            window_s: 2.0,
+            delivered: 1800,
+            dropped: 200,
+            offered_pps: 1000.0,
+            mean_payload_bytes: 500.0,
+            latency: LatencyHistogram::new(),
+            per_vnf: vec![],
+            interference: vec![],
+        };
+        assert!((snap.drop_rate() - 0.1).abs() < 1e-12);
+        assert!((snap.goodput_pps() - 900.0).abs() < 1e-12);
+    }
+}

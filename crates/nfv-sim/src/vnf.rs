@@ -1,0 +1,281 @@
+//! Virtual network function (VNF) models.
+//!
+//! Each VNF kind carries a per-packet processing cost model calibrated to the
+//! relative costs reported in the NFV measurement literature (e.g., simple
+//! L3/L4 functions at hundreds of cycles/packet, DPI/IDS at thousands): the
+//! absolute numbers are synthetic, the *ordering and spread* are what the
+//! downstream ML task learns.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The catalogue of VNF types the simulator knows how to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VnfKind {
+    /// Stateless L3/L4 packet filter.
+    Firewall,
+    /// Network address translation with per-flow state.
+    Nat,
+    /// Signature-based intrusion detection (payload scanning).
+    Ids,
+    /// L4 load balancer (connection hashing).
+    LoadBalancer,
+    /// Deep packet inspection (regex over payload).
+    Dpi,
+    /// WAN optimizer (dedup + compression).
+    WanOptimizer,
+    /// Software router (LPM lookup).
+    Router,
+    /// IPsec/VPN gateway (encryption per byte).
+    VpnGateway,
+    /// Traffic shaper / policer.
+    TrafficShaper,
+    /// Caching proxy.
+    Cache,
+}
+
+impl VnfKind {
+    /// All modeled kinds, in a stable order.
+    pub const ALL: [VnfKind; 10] = [
+        VnfKind::Firewall,
+        VnfKind::Nat,
+        VnfKind::Ids,
+        VnfKind::LoadBalancer,
+        VnfKind::Dpi,
+        VnfKind::WanOptimizer,
+        VnfKind::Router,
+        VnfKind::VpnGateway,
+        VnfKind::TrafficShaper,
+        VnfKind::Cache,
+    ];
+
+    /// Short stable identifier used in telemetry feature names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            VnfKind::Firewall => "fw",
+            VnfKind::Nat => "nat",
+            VnfKind::Ids => "ids",
+            VnfKind::LoadBalancer => "lb",
+            VnfKind::Dpi => "dpi",
+            VnfKind::WanOptimizer => "wanopt",
+            VnfKind::Router => "router",
+            VnfKind::VpnGateway => "vpn",
+            VnfKind::TrafficShaper => "shaper",
+            VnfKind::Cache => "cache",
+        }
+    }
+
+    /// Baseline CPU cycles consumed per packet, excluding the per-byte term.
+    pub fn cycles_per_packet(self) -> f64 {
+        match self {
+            VnfKind::Firewall => 350.0,
+            VnfKind::Nat => 420.0,
+            VnfKind::Ids => 2_400.0,
+            VnfKind::LoadBalancer => 300.0,
+            VnfKind::Dpi => 3_800.0,
+            VnfKind::WanOptimizer => 1_600.0,
+            VnfKind::Router => 260.0,
+            VnfKind::VpnGateway => 900.0,
+            VnfKind::TrafficShaper => 220.0,
+            VnfKind::Cache => 700.0,
+        }
+    }
+
+    /// Additional CPU cycles per payload byte (payload-touching functions
+    /// pay this; header-only functions are ~0).
+    pub fn cycles_per_byte(self) -> f64 {
+        match self {
+            VnfKind::Firewall => 0.0,
+            VnfKind::Nat => 0.0,
+            VnfKind::Ids => 3.4,
+            VnfKind::LoadBalancer => 0.0,
+            VnfKind::Dpi => 6.0,
+            VnfKind::WanOptimizer => 4.2,
+            VnfKind::Router => 0.0,
+            VnfKind::VpnGateway => 8.5,
+            VnfKind::TrafficShaper => 0.1,
+            VnfKind::Cache => 1.2,
+        }
+    }
+
+    /// Coefficient of variation of the per-packet service time: header-only
+    /// functions are near-deterministic, payload scanners are highly
+    /// variable (match/no-match early exit).
+    pub fn service_cv(self) -> f64 {
+        match self {
+            VnfKind::Firewall => 0.15,
+            VnfKind::Nat => 0.20,
+            VnfKind::Ids => 0.90,
+            VnfKind::LoadBalancer => 0.15,
+            VnfKind::Dpi => 1.10,
+            VnfKind::WanOptimizer => 0.70,
+            VnfKind::Router => 0.10,
+            VnfKind::VpnGateway => 0.25,
+            VnfKind::TrafficShaper => 0.10,
+            VnfKind::Cache => 0.60,
+        }
+    }
+
+    /// Resident memory per tracked flow, in bytes (stateless functions ~0).
+    pub fn mem_bytes_per_flow(self) -> f64 {
+        match self {
+            VnfKind::Firewall => 0.0,
+            VnfKind::Nat => 256.0,
+            VnfKind::Ids => 1_024.0,
+            VnfKind::LoadBalancer => 128.0,
+            VnfKind::Dpi => 2_048.0,
+            VnfKind::WanOptimizer => 4_096.0,
+            VnfKind::Router => 0.0,
+            VnfKind::VpnGateway => 512.0,
+            VnfKind::TrafficShaper => 64.0,
+            VnfKind::Cache => 8_192.0,
+        }
+    }
+
+    /// Base memory footprint of the function itself, in MiB.
+    pub fn mem_base_mib(self) -> f64 {
+        match self {
+            VnfKind::Firewall => 64.0,
+            VnfKind::Nat => 96.0,
+            VnfKind::Ids => 512.0,
+            VnfKind::LoadBalancer => 64.0,
+            VnfKind::Dpi => 768.0,
+            VnfKind::WanOptimizer => 1_024.0,
+            VnfKind::Router => 128.0,
+            VnfKind::VpnGateway => 128.0,
+            VnfKind::TrafficShaper => 48.0,
+            VnfKind::Cache => 2_048.0,
+        }
+    }
+}
+
+/// Deployment-time configuration of one VNF instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VnfConfig {
+    /// What function this instance runs.
+    pub kind: VnfKind,
+    /// Fraction of one core allocated to the instance, in (0, ncores].
+    /// Values above 1.0 mean multiple dedicated cores (run-to-completion
+    /// model: service rate scales linearly).
+    pub cpu_share: f64,
+    /// Packet queue capacity in front of the instance; arrivals beyond this
+    /// are dropped (tail drop).
+    pub queue_capacity: usize,
+    /// Memory limit for the instance, MiB.
+    pub mem_limit_mib: f64,
+}
+
+impl VnfConfig {
+    /// A reasonable default deployment of `kind`: one core, 512-packet
+    /// queue, memory limit at 2× the base footprint.
+    pub fn standard(kind: VnfKind) -> Self {
+        Self {
+            kind,
+            cpu_share: 1.0,
+            queue_capacity: 512,
+            mem_limit_mib: kind.mem_base_mib() * 2.0,
+        }
+    }
+
+    /// Mean service time for a packet of `payload_bytes` on a core running
+    /// at `core_ghz`, scaled by the allocated CPU share and by an
+    /// `interference` multiplier ≥ 1 (cache/memory-bandwidth contention from
+    /// co-located tenants).
+    pub fn mean_service_secs(
+        &self,
+        payload_bytes: f64,
+        core_ghz: f64,
+        interference: f64,
+    ) -> f64 {
+        let cycles = self.kind.cycles_per_packet()
+            + self.kind.cycles_per_byte() * payload_bytes.max(0.0);
+        let hz = (core_ghz * 1e9 * self.cpu_share.max(1e-6)).max(1.0);
+        cycles * interference.max(1.0) / hz
+    }
+
+    /// Draws a stochastic service time around [`Self::mean_service_secs`]
+    /// using a gamma distribution matching the kind's coefficient of
+    /// variation.
+    pub fn sample_service_secs(
+        &self,
+        payload_bytes: f64,
+        core_ghz: f64,
+        interference: f64,
+        rng: &mut SimRng,
+    ) -> f64 {
+        let mean = self.mean_service_secs(payload_bytes, core_ghz, interference);
+        let cv = self.kind.service_cv();
+        if cv <= 1e-9 {
+            return mean;
+        }
+        // Gamma with shape k = 1/cv², scale θ = mean·cv² has the requested
+        // mean and CV.
+        let shape = 1.0 / (cv * cv);
+        let scale = mean * cv * cv;
+        rng.gamma(shape, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_distinct() {
+        let mut names: Vec<_> = VnfKind::ALL.iter().map(|k| k.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), VnfKind::ALL.len());
+    }
+
+    #[test]
+    fn dpi_costs_more_than_router() {
+        assert!(VnfKind::Dpi.cycles_per_packet() > VnfKind::Router.cycles_per_packet());
+        assert!(VnfKind::Dpi.cycles_per_byte() > VnfKind::Router.cycles_per_byte());
+    }
+
+    #[test]
+    fn service_time_scales_with_share_and_bytes() {
+        let cfg = VnfConfig::standard(VnfKind::Ids);
+        let t1 = cfg.mean_service_secs(500.0, 2.5, 1.0);
+        let t2 = cfg.mean_service_secs(1500.0, 2.5, 1.0);
+        assert!(t2 > t1, "bigger packets take longer");
+        let mut half = cfg.clone();
+        half.cpu_share = 0.5;
+        assert!(
+            (half.mean_service_secs(500.0, 2.5, 1.0) / t1 - 2.0).abs() < 1e-9,
+            "halving the share doubles the time"
+        );
+        let t3 = cfg.mean_service_secs(500.0, 2.5, 1.5);
+        assert!((t3 / t1 - 1.5).abs() < 1e-9, "interference multiplies");
+    }
+
+    #[test]
+    fn sampled_service_matches_mean() {
+        let cfg = VnfConfig::standard(VnfKind::Dpi);
+        let mut rng = SimRng::new(5);
+        let mean = cfg.mean_service_secs(800.0, 2.5, 1.0);
+        let n = 50_000;
+        let avg: f64 = (0..n)
+            .map(|_| cfg.sample_service_secs(800.0, 2.5, 1.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg / mean - 1.0).abs() < 0.03, "avg={avg} mean={mean}");
+    }
+
+    #[test]
+    fn negative_payload_clamps() {
+        let cfg = VnfConfig::standard(VnfKind::Dpi);
+        let base = cfg.mean_service_secs(0.0, 2.5, 1.0);
+        assert_eq!(cfg.mean_service_secs(-100.0, 2.5, 1.0), base);
+    }
+
+    #[test]
+    fn interference_below_one_is_clamped() {
+        let cfg = VnfConfig::standard(VnfKind::Firewall);
+        assert_eq!(
+            cfg.mean_service_secs(100.0, 2.5, 0.2),
+            cfg.mean_service_secs(100.0, 2.5, 1.0)
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Traffic workload models: arrival processes and packet-size distributions.
+//!
+//! The dataset generator sweeps these to produce the load diversity the
+//! paper's ML models are trained on: steady Poisson, bursty MMPP, diurnal
+//! sinusoidal modulation, and flash crowds.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A stochastic packet arrival process. Implementations generate the time to
+/// the next arrival given the current simulated time (non-homogeneous
+/// processes use it to look up the current rate).
+pub trait ArrivalProcess {
+    /// Time from `now` until the next arrival.
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration;
+
+    /// The long-run average rate in packets/s (for reporting and for sizing
+    /// the fluid model).
+    fn mean_rate_pps(&self) -> f64;
+}
+
+/// Homogeneous Poisson arrivals at `rate_pps`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    /// Arrival rate, packets/s.
+    pub rate_pps: f64,
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_interarrival(&mut self, _now: SimTime, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exp(self.rate_pps))
+    }
+    fn mean_rate_pps(&self) -> f64 {
+        self.rate_pps.max(0.0)
+    }
+}
+
+/// Two-state Markov-modulated Poisson process: alternates between a calm
+/// state and a burst state with exponentially distributed dwell times.
+/// Captures the burstiness of real packet traces that plain Poisson misses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mmpp2 {
+    /// Rate in the calm state, packets/s.
+    pub calm_pps: f64,
+    /// Rate in the burst state, packets/s.
+    pub burst_pps: f64,
+    /// Mean dwell time in the calm state, s.
+    pub mean_calm_s: f64,
+    /// Mean dwell time in the burst state, s.
+    pub mean_burst_s: f64,
+    /// Current state (true = bursting).
+    bursting: bool,
+    /// When the current state expires.
+    state_until: SimTime,
+}
+
+impl Mmpp2 {
+    /// Creates the process starting in the calm state.
+    pub fn new(calm_pps: f64, burst_pps: f64, mean_calm_s: f64, mean_burst_s: f64) -> Self {
+        Self {
+            calm_pps,
+            burst_pps,
+            mean_calm_s,
+            mean_burst_s,
+            bursting: false,
+            state_until: SimTime::ZERO,
+        }
+    }
+
+    fn current_rate(&mut self, now: SimTime, rng: &mut SimRng) -> f64 {
+        while now >= self.state_until {
+            // Advance through state changes until the dwell covers `now`.
+            self.bursting = if self.state_until == SimTime::ZERO {
+                false
+            } else {
+                !self.bursting
+            };
+            let dwell = if self.bursting {
+                rng.exp(1.0 / self.mean_burst_s.max(1e-9))
+            } else {
+                rng.exp(1.0 / self.mean_calm_s.max(1e-9))
+            };
+            self.state_until = self.state_until.max(now)
+                + SimDuration::from_secs_f64(dwell.max(1e-9));
+        }
+        if self.bursting {
+            self.burst_pps
+        } else {
+            self.calm_pps
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp2 {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        let rate = self.current_rate(now, rng);
+        SimDuration::from_secs_f64(rng.exp(rate))
+    }
+    fn mean_rate_pps(&self) -> f64 {
+        // Stationary mix weighted by mean dwell times.
+        let (c, b) = (self.mean_calm_s.max(1e-9), self.mean_burst_s.max(1e-9));
+        (self.calm_pps * c + self.burst_pps * b) / (c + b)
+    }
+}
+
+/// Sinusoidally modulated Poisson process — the classic diurnal load curve
+/// compressed to simulation scale: rate(t) = base·(1 + amp·sin(2πt/period)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diurnal {
+    /// Mean rate, packets/s.
+    pub base_pps: f64,
+    /// Relative amplitude in [0, 1).
+    pub amplitude: f64,
+    /// Period of one "day", s.
+    pub period_s: f64,
+}
+
+impl ArrivalProcess for Diurnal {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        let phase = 2.0 * std::f64::consts::PI * now.as_secs_f64() / self.period_s.max(1e-9);
+        let rate = self.base_pps * (1.0 + self.amplitude.clamp(0.0, 0.99) * phase.sin());
+        SimDuration::from_secs_f64(rng.exp(rate.max(1e-6)))
+    }
+    fn mean_rate_pps(&self) -> f64 {
+        self.base_pps.max(0.0)
+    }
+}
+
+/// A flash crowd: baseline Poisson with a multiplicative spike in a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Baseline rate, packets/s.
+    pub base_pps: f64,
+    /// Rate multiplier during the spike.
+    pub spike_factor: f64,
+    /// Spike start time.
+    pub spike_start: SimTime,
+    /// Spike duration.
+    pub spike_len: SimDuration,
+}
+
+impl ArrivalProcess for FlashCrowd {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        let in_spike = now >= self.spike_start && now < self.spike_start + self.spike_len;
+        let rate = if in_spike {
+            self.base_pps * self.spike_factor.max(1.0)
+        } else {
+            self.base_pps
+        };
+        SimDuration::from_secs_f64(rng.exp(rate.max(1e-6)))
+    }
+    fn mean_rate_pps(&self) -> f64 {
+        self.base_pps.max(0.0)
+    }
+}
+
+/// Boxed arrival process selector — the scenario format needs a closed set
+/// it can serialize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// See [`Poisson`].
+    Poisson(Poisson),
+    /// See [`Mmpp2`].
+    Mmpp2(Mmpp2),
+    /// See [`Diurnal`].
+    Diurnal(Diurnal),
+    /// See [`FlashCrowd`].
+    FlashCrowd(FlashCrowd),
+}
+
+impl Workload {
+    /// Convenience Poisson constructor.
+    pub fn poisson(rate_pps: f64) -> Self {
+        Workload::Poisson(Poisson { rate_pps })
+    }
+
+    /// Convenience bursty constructor with a 5× burst and 80/20 dwell split.
+    pub fn bursty(base_pps: f64) -> Self {
+        Workload::Mmpp2(Mmpp2::new(base_pps * 0.8, base_pps * 4.0, 2.0, 0.5))
+    }
+}
+
+impl ArrivalProcess for Workload {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        match self {
+            Workload::Poisson(p) => p.next_interarrival(now, rng),
+            Workload::Mmpp2(p) => p.next_interarrival(now, rng),
+            Workload::Diurnal(p) => p.next_interarrival(now, rng),
+            Workload::FlashCrowd(p) => p.next_interarrival(now, rng),
+        }
+    }
+    fn mean_rate_pps(&self) -> f64 {
+        match self {
+            Workload::Poisson(p) => p.mean_rate_pps(),
+            Workload::Mmpp2(p) => p.mean_rate_pps(),
+            Workload::Diurnal(p) => p.mean_rate_pps(),
+            Workload::FlashCrowd(p) => p.mean_rate_pps(),
+        }
+    }
+}
+
+/// Packet payload-size model: an IMIX-like trimodal mix (small ACK-sized,
+/// medium, MTU-sized) or a bounded-Pareto heavy tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PacketSizes {
+    /// Classic IMIX: 58% × 90 B, 33% × 576 B, 9% × 1500 B (≈ mean 373 B).
+    Imix,
+    /// Bounded Pareto on `[lo, hi]` with shape `alpha`.
+    Pareto {
+        /// Tail index (smaller = heavier).
+        alpha: f64,
+        /// Minimum payload, bytes.
+        lo: f64,
+        /// Maximum payload, bytes.
+        hi: f64,
+    },
+    /// Every packet the same size.
+    Fixed(f64),
+}
+
+impl PacketSizes {
+    /// Draws one payload size in bytes.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            PacketSizes::Imix => {
+                let u = rng.f64();
+                if u < 0.58 {
+                    90.0
+                } else if u < 0.91 {
+                    576.0
+                } else {
+                    1500.0
+                }
+            }
+            PacketSizes::Pareto { alpha, lo, hi } => rng.bounded_pareto(*alpha, *lo, *hi),
+            PacketSizes::Fixed(b) => b.max(0.0),
+        }
+    }
+
+    /// Mean payload size, bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        match self {
+            PacketSizes::Imix => 0.58 * 90.0 + 0.33 * 576.0 + 0.09 * 1500.0,
+            PacketSizes::Pareto { alpha, lo, hi } => {
+                // Mean of the bounded Pareto.
+                if (*alpha - 1.0).abs() < 1e-9 {
+                    (hi / lo).ln() * lo * hi / (hi - lo)
+                } else {
+                    let a = *alpha;
+                    (lo.powf(a) / (1.0 - (lo / hi).powf(a)))
+                        * (a / (a - 1.0))
+                        * (1.0 / lo.powf(a - 1.0) - 1.0 / hi.powf(a - 1.0))
+                }
+            }
+            PacketSizes::Fixed(b) => b.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate(w: &mut dyn ArrivalProcess, horizon_s: f64, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        let mut t = SimTime::ZERO;
+        let end = SimTime::from_secs_f64(horizon_s);
+        let mut n = 0u64;
+        while t < end {
+            t += w.next_interarrival(t, &mut rng);
+            n += 1;
+        }
+        n as f64 / horizon_s
+    }
+
+    #[test]
+    fn poisson_rate_matches() {
+        let mut w = Poisson { rate_pps: 2_000.0 };
+        let r = empirical_rate(&mut w, 50.0, 1);
+        assert!((r / 2_000.0 - 1.0).abs() < 0.03, "r={r}");
+    }
+
+    #[test]
+    fn mmpp_mean_rate_matches_stationary_mix() {
+        let mut w = Mmpp2::new(500.0, 5_000.0, 2.0, 0.5);
+        let expected = w.mean_rate_pps();
+        let r = empirical_rate(&mut w, 400.0, 2);
+        assert!((r / expected - 1.0).abs() < 0.10, "r={r} expected={expected}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Compare windowed count variance at equal mean rate.
+        let mut rng = SimRng::new(3);
+        let mut count_var = |w: &mut dyn ArrivalProcess| {
+            let mut t = SimTime::ZERO;
+            let window = SimDuration::from_secs_f64(0.1);
+            let mut counts = vec![0u64; 400];
+            let end = SimTime::from_secs_f64(40.0);
+            while t < end {
+                t += w.next_interarrival(t, &mut rng);
+                let idx = (t.as_secs_f64() / window.as_secs_f64()) as usize;
+                if idx < counts.len() {
+                    counts[idx] += 1;
+                }
+            }
+            let m = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+            let v = counts
+                .iter()
+                .map(|&c| (c as f64 - m).powi(2))
+                .sum::<f64>()
+                / counts.len() as f64;
+            v / m // index of dispersion; 1 for Poisson
+        };
+        let mut mmpp = Mmpp2::new(500.0, 5_000.0, 2.0, 0.5);
+        let disp_mmpp = count_var(&mut mmpp);
+        let mut pois = Poisson {
+            rate_pps: Mmpp2::new(500.0, 5_000.0, 2.0, 0.5).mean_rate_pps(),
+        };
+        let disp_pois = count_var(&mut pois);
+        assert!(
+            disp_mmpp > 2.0 * disp_pois,
+            "mmpp dispersion {disp_mmpp} vs poisson {disp_pois}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_spikes_inside_window() {
+        let mut w = FlashCrowd {
+            base_pps: 1_000.0,
+            spike_factor: 8.0,
+            spike_start: SimTime::from_secs_f64(10.0),
+            spike_len: SimDuration::from_secs_f64(5.0),
+        };
+        let mut rng = SimRng::new(4);
+        let mut count_in = |from: f64, to: f64, w: &mut FlashCrowd| {
+            let mut t = SimTime::from_secs_f64(from);
+            let end = SimTime::from_secs_f64(to);
+            let mut n = 0;
+            while t < end {
+                t += w.next_interarrival(t, &mut rng);
+                n += 1;
+            }
+            n as f64 / (to - from)
+        };
+        let before = count_in(0.0, 8.0, &mut w);
+        let during = count_in(10.5, 14.5, &mut w);
+        assert!(during > 5.0 * before, "before={before} during={during}");
+    }
+
+    #[test]
+    fn imix_mean_matches_analytic() {
+        let sizes = PacketSizes::Imix;
+        let mut rng = SimRng::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| sizes.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - sizes.mean_bytes()).abs() < 5.0, "mean={mean}");
+    }
+
+    #[test]
+    fn pareto_mean_matches_analytic() {
+        let sizes = PacketSizes::Pareto {
+            alpha: 1.4,
+            lo: 64.0,
+            hi: 1500.0,
+        };
+        let mut rng = SimRng::new(6);
+        let n = 300_000;
+        let mean: f64 = (0..n).map(|_| sizes.sample(&mut rng)).sum::<f64>() / n as f64;
+        let analytic = sizes.mean_bytes();
+        assert!(
+            (mean / analytic - 1.0).abs() < 0.02,
+            "mean={mean} analytic={analytic}"
+        );
+    }
+
+    #[test]
+    fn workload_enum_dispatches() {
+        let mut w = Workload::bursty(1_000.0);
+        assert!(w.mean_rate_pps() > 0.0);
+        let mut rng = SimRng::new(7);
+        let d = w.next_interarrival(SimTime::ZERO, &mut rng);
+        assert!(d > SimDuration::ZERO);
+    }
+}

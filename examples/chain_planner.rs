@@ -1,0 +1,82 @@
+//! Capacity planning for service chains with the analytic queueing backend:
+//! sweep the load on every catalogue chain, find its knee and bottleneck,
+//! and cross-check one operating point against the discrete-event engine.
+//!
+//! Run with: `cargo run --release --example chain_planner`
+
+use nfv_sim::chain::estimate_chain;
+use nfv_sim::prelude::*;
+
+fn main() {
+    let core_ghz = ServerSpec::standard().core_ghz;
+    let payload = 600.0;
+
+    println!("chain            | max load @ SLA 5ms p95 | bottleneck stage");
+    println!("-----------------+-------------------------+-----------------");
+    for chain in ChainSpec::catalogue() {
+        let interference = vec![1.0; chain.len()];
+        // Binary search for the highest load whose analytic p95 ≤ 5 ms.
+        let (mut lo, mut hi) = (1_000.0f64, 3_000_000.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            let est = estimate_chain(&chain, mid, payload, core_ghz, &interference);
+            if est.p95_latency_s <= 5e-3 && est.delivery_probability > 0.999 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let est = estimate_chain(&chain, lo, payload, core_ghz, &interference);
+        let bname = est
+            .bottleneck
+            .map(|i| format!("{i}:{}", chain.vnfs[i].kind.short_name()))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<16} | {:>18.0} pps | {}",
+            chain.name, lo, bname
+        );
+    }
+
+    // Cross-check the analytic model against the DES for one chain at 70%
+    // of its knee — the planner is only useful if its numbers hold up.
+    let chain = ChainSpec::of_kinds("secure-web", &[VnfKind::Firewall, VnfKind::Ids, VnfKind::LoadBalancer]);
+    let interference = vec![1.0; chain.len()];
+    let load = 150_000.0;
+    let est = estimate_chain(&chain, load, payload, core_ghz, &interference);
+
+    let scenario = ScenarioBuilder::new()
+        .servers(1, ServerSpec::standard())
+        .chain(
+            chain,
+            Workload::poisson(load),
+            PacketSizes::Fixed(payload),
+            Sla::tight(),
+        )
+        .build()
+        .expect("scenario");
+    let res = scenario
+        .run_des(&RunConfig {
+            horizon: SimDuration::from_secs_f64(5.0),
+            window: SimDuration::from_secs_f64(1.0),
+            seed: 3,
+            warmup_windows: 1,
+        })
+        .expect("run");
+    let mut h = LatencyHistogram::new();
+    for w in &res.windows[0] {
+        h.merge(&w.latency);
+    }
+    println!("\ncross-check @ {load:.0} pps on secure-web:");
+    println!(
+        "  analytic  mean {:.1} µs   p95 {:.1} µs",
+        est.mean_latency_s * 1e6,
+        est.p95_latency_s * 1e6
+    );
+    println!(
+        "  DES       mean {:.1} µs   p95 {:.1} µs",
+        h.mean_secs() * 1e6,
+        h.quantile_secs(0.95) * 1e6
+    );
+    let ratio = est.mean_latency_s / h.mean_secs();
+    println!("  mean ratio analytic/DES = {ratio:.2} (1.0 = perfect)");
+}

@@ -1,0 +1,108 @@
+//! Headroom analysis with counterfactuals, stage-grouped attributions,
+//! and interaction values — the "what would it take" questions an
+//! operator asks after the "why" ones.
+//!
+//! Run with: `cargo run --release --example headroom`
+
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_xai::prelude::*;
+
+fn main() {
+    // The SLA-violation risk model from the quickstart.
+    let sweep = SweepConfig::secure_web(77);
+    let data = generate_fluid(&sweep, 4_000, Target::SlaViolation).expect("dataset");
+    let (train, test) = data.split(0.25, 1).expect("split");
+    let model = Gbdt::fit(&train, &GbdtParams::default(), 0).expect("fit");
+    let surface = ProbaSurface(&model);
+    let bg = Background::from_dataset(&train, 60, 2).expect("background");
+
+    // A window currently in violation.
+    let proba: Vec<f64> = test.rows().map(|r| model.predict_proba(r)).collect();
+    let idx = (0..test.n_rows())
+        .max_by(|&a, &b| proba[a].total_cmp(&proba[b]))
+        .expect("nonempty");
+    let x = test.row(idx).to_vec();
+    println!("alert: window #{idx} at violation risk {:.2}\n", proba[idx]);
+
+    // --- 1. Which *stage* is responsible? (grouped Shapley) --------------
+    let groups = FeatureGroups::per_stage(&test.names).expect("schema grouping");
+    let staged = grouped_shapley(&surface, &x, &bg, &groups).expect("grouped");
+    println!("stage-level attribution (exact Shapley over feature groups):");
+    for (name, phi) in staged.names.iter().zip(&staged.values) {
+        println!("  {name:<16} {phi:+.4}");
+    }
+    println!();
+
+    // --- 2. Do the top features act alone or together? (interactions) ----
+    // Exact interaction values over the top-6 SHAP features, holding the
+    // rest of the instance fixed inside a wrapper model.
+    let attr = gbdt_shap(&model, &x, &test.names).expect("shap");
+    let top: Vec<usize> = attr.order_by_magnitude().into_iter().take(6).collect();
+    let sub_x: Vec<f64> = top.iter().map(|&i| x[i]).collect();
+    let sub_names: Vec<String> = top.iter().map(|&i| test.names[i].clone()).collect();
+    let sub_bg = Background::from_rows(
+        bg.rows()
+            .iter()
+            .map(|r| top.iter().map(|&i| r[i]).collect())
+            .collect(),
+    )
+    .expect("sub background");
+    let sub_model = {
+        let model = model.clone();
+        let top = top.clone();
+        let x_full = x.clone();
+        FnModel::new(sub_x.len(), move |sub: &[f64]| {
+            let mut full = x_full.clone();
+            for (k, &i) in top.iter().enumerate() {
+                full[i] = sub[k];
+            }
+            model.predict_proba(&full)
+        })
+    };
+    let inter = interaction_values(&sub_model, &sub_x, &sub_bg, &sub_names).expect("interactions");
+    println!("strongest pairwise interactions among the top-6 features:");
+    for (i, j, v) in inter.top_pairs(3) {
+        println!("  {:<14} × {:<14} {v:+.6}", sub_names[i], sub_names[j]);
+    }
+    println!();
+
+    // --- 3. What clears the alert? (counterfactual) ----------------------
+    // The per-VNF columns are actionable — CPU, queue depth and drops all
+    // respond to resource actions (more cores, bigger buffers, migrating
+    // noisy neighbours). The offered traffic is not ours to change.
+    let actionable: Vec<bool> = (0..test.n_features())
+        .map(|j| j >= nfv_data::features::GLOBAL_FEATURES)
+        .collect();
+    let cf = counterfactual(
+        &surface,
+        &x,
+        &bg,
+        &CounterfactualConfig {
+            threshold: 0.2,
+            direction: CrossingDirection::Below,
+            actionable,
+            n_restarts: 8,
+            max_sweeps: 40,
+            seed: 3,
+        },
+    )
+    .expect("search ran");
+    match cf {
+        Some(cf) => {
+            println!(
+                "cheapest actionable fix (risk {:.2} → {:.2}, {} features changed):",
+                proba[idx], cf.prediction, cf.n_changed
+            );
+            for (i, d) in cf.deltas.iter().enumerate() {
+                if d.abs() > 1e-9 {
+                    println!(
+                        "  {:<16} {d:+.4}  ({:.4} → {:.4})",
+                        test.names[i], x[i], cf.x_cf[i]
+                    );
+                }
+            }
+        }
+        None => println!("no actionable change clears this alert — escalate."),
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate an NFV chain, train a model on its telemetry,
+//! and explain one prediction.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_xai::prelude::*;
+
+fn main() {
+    // 1. Generate telemetry from the simulated secure-web chain
+    //    (firewall → IDS → load balancer) across a load sweep.
+    let sweep = SweepConfig::secure_web(42);
+    let data = generate_fluid(&sweep, 4_000, Target::SlaViolation).expect("dataset");
+    println!(
+        "dataset: {} windows × {} features, {:.0}% violations",
+        data.n_rows(),
+        data.n_features(),
+        100.0 * data.positive_fraction()
+    );
+
+    // 2. Train an SLA-violation classifier.
+    let (train, test) = data.split(0.25, 1).expect("split");
+    let model = Gbdt::fit(&train, &GbdtParams::default(), 0).expect("fit");
+    let proba: Vec<f64> = test.rows().map(|r| model.predict_proba(r)).collect();
+    println!(
+        "model:   GBDT, test AUC {:.3}, accuracy {:.3}",
+        metrics::roc_auc(&test.y, &proba).unwrap(),
+        metrics::accuracy(&test.y, &proba).unwrap()
+    );
+
+    // 3. Pick a predicted violation and explain it with TreeSHAP.
+    let idx = (0..test.n_rows())
+        .max_by(|&a, &b| proba[a].total_cmp(&proba[b]))
+        .expect("nonempty test set");
+    let x = test.row(idx).to_vec();
+    let attr = gbdt_shap(&model, &x, &test.names).expect("explanation");
+
+    // 4. Render the operator report.
+    let report = render_report(&attr, PredictionKind::SlaViolationRisk, 4);
+    println!("\n{}", report.text);
+
+    // TreeSHAP is exactly additive — the residual line above is ~0.
+    assert!(attr.efficiency_gap().abs() < 1e-8);
+}

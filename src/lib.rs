@@ -1,0 +1,1 @@
+//! Root reproduction package: hosts examples and integration tests.

@@ -1,0 +1,104 @@
+//! End-to-end integration: simulator → dataset → model → explanation →
+//! operator report, through public APIs only.
+
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_sim::prelude::*;
+use nfv_xai::prelude::*;
+
+#[test]
+fn full_pipeline_fluid_backend() {
+    // Simulate, featurize, train, explain, report.
+    let sweep = SweepConfig::secure_web(1);
+    let data = generate_fluid(&sweep, 1_500, Target::SlaViolation).unwrap();
+    assert!(data.n_rows() == 1_500);
+    let (train, test) = data.split(0.3, 1).unwrap();
+    let model = Gbdt::fit(&train, &GbdtParams { n_rounds: 60, ..Default::default() }, 0).unwrap();
+    let proba: Vec<f64> = test.rows().map(|r| model.predict_proba(r)).collect();
+    let auc = metrics::roc_auc(&test.y, &proba).unwrap();
+    assert!(auc > 0.95, "pipeline model must be skilled: auc={auc}");
+
+    let x = test.row(0).to_vec();
+    let attr = gbdt_shap(&model, &x, &test.names).unwrap();
+    assert_eq!(attr.len(), test.n_features());
+    assert!(attr.efficiency_gap().abs() < 1e-8);
+    let report = render_report(&attr, PredictionKind::SlaViolationRisk, 3);
+    assert!(report.text.contains("SLA-violation risk"));
+}
+
+#[test]
+fn full_pipeline_des_backend() {
+    let mut sweep = SweepConfig::secure_web(3);
+    sweep.rate_range = (10_000.0, 250_000.0);
+    let data = generate_des(&sweep, 30, 3, Target::LatencyP95LogMs).unwrap();
+    assert!(data.n_rows() >= 60);
+    let model = RandomForest::fit(
+        &data,
+        &ForestParams { n_trees: 30, ..Default::default() },
+        0,
+        2,
+    )
+    .unwrap();
+    let preds: Vec<f64> = data.rows().map(|r| model.predict(r)).collect();
+    assert!(metrics::r2(&data.y, &preds).unwrap() > 0.8, "in-sample fit");
+
+    let attr = forest_shap(&model, data.row(0), &data.names).unwrap();
+    assert!(attr.efficiency_gap().abs() < 1e-8);
+}
+
+#[test]
+fn explanations_survive_csv_roundtrip_of_the_dataset() {
+    let sweep = SweepConfig::secure_web(5);
+    let data = generate_fluid(&sweep, 300, Target::LatencyP95LogMs).unwrap();
+    let text = to_csv(&data);
+    let back = from_csv(&text, Task::Regression).unwrap();
+    assert_eq!(back, data);
+    // A model trained on the round-tripped data is identical.
+    let m1 = DecisionTree::fit(&data, &TreeParams::default(), 0).unwrap();
+    let m2 = DecisionTree::fit(&back, &TreeParams::default(), 0).unwrap();
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn model_agnostic_methods_explain_the_simulator_directly() {
+    // The explained "model" is the analytic simulator itself — no ML at
+    // all. This is the purest use of model-agnostic explainers.
+    let chain = ChainSpec::of_kinds("t", &[VnfKind::Firewall, VnfKind::Ids]);
+    let ghz = ServerSpec::standard().core_ghz;
+    let chain2 = chain.clone();
+    let sim = FnModel::new(2, move |x: &[f64]| {
+        // x = [load_kpps, payload_bytes] → p95 ms
+        let est = nfv_sim::chain::estimate_chain(&chain2, x[0] * 1e3, x[1], ghz, &[1.0, 1.0]);
+        est.p95_latency_s * 1e3
+    });
+    let bg = Background::from_rows(
+        (0..12)
+            .map(|i| vec![20.0 + 10.0 * i as f64, 400.0 + 50.0 * i as f64])
+            .collect(),
+    )
+    .unwrap();
+    let names = vec!["load_kpps".to_string(), "payload_bytes".to_string()];
+    let x = [220.0, 1_200.0];
+    let exact = exact_shapley(&sim, &x, &bg, &names).unwrap();
+    assert!(exact.efficiency_gap().abs() < 1e-9);
+    // Load pushes latency up at this operating point.
+    assert!(exact.values[0] > 0.0, "{:?}", exact.values);
+    // Kernel SHAP agrees with exact on the same game.
+    let kernel = kernel_shap(&sim, &x, &bg, &names, &KernelShapConfig::for_features(2)).unwrap();
+    for (k, e) in kernel.values.iter().zip(&exact.values) {
+        assert!((k - e).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn violation_labels_match_sla_semantics_across_crates() {
+    // Windows flagged by the Sla type must be the positive class the
+    // dataset generator emits.
+    let mut sweep = SweepConfig::secure_web(9);
+    sweep.rate_range = (500_000.0, 700_000.0); // far past the knee → violations certain
+    let hot = generate_des(&sweep, 6, 3, Target::SlaViolation).unwrap();
+    assert!(hot.positive_fraction() > 0.8, "{}", hot.positive_fraction());
+    sweep.rate_range = (1_000.0, 5_000.0); // light → none
+    let cold = generate_des(&sweep, 6, 3, Target::SlaViolation).unwrap();
+    assert!(cold.positive_fraction() < 0.1, "{}", cold.positive_fraction());
+}

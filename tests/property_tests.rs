@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) on the invariants the whole stack
+//! leans on: Shapley efficiency on arbitrary models, histogram/quantile
+//! laws, queueing monotonicity, dataset round-trips, and rank-metric
+//! bounds.
+
+use nfv_data::prelude::*;
+use nfv_data::stats;
+use nfv_ml::prelude::*;
+use nfv_sim::prelude::*;
+use nfv_sim::queueing;
+use nfv_sim::rng::SimRng;
+use nfv_xai::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact Shapley is efficient for ANY polynomial model, instance and
+    /// background.
+    #[test]
+    fn exact_shapley_is_always_efficient(
+        x in prop::collection::vec(-5.0f64..5.0, 3),
+        bg_rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 1..6),
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        c in -2.0f64..2.0,
+    ) {
+        let bg = Background::from_rows(bg_rows).unwrap();
+        let model = FnModel::new(3, move |v: &[f64]| {
+            a * v[0] * v[1] + b * v[2] * v[2] + c * v[0]
+        });
+        let names: Vec<String> = (0..3).map(|i| format!("x{i}")).collect();
+        let attr = exact_shapley(&model, &x, &bg, &names).unwrap();
+        prop_assert!(attr.efficiency_gap().abs() < 1e-8,
+            "gap {}", attr.efficiency_gap());
+    }
+
+    /// KernelSHAP's constraint makes it efficient at any budget.
+    #[test]
+    fn kernel_shap_is_always_efficient(
+        x in prop::collection::vec(-3.0f64..3.0, 4),
+        budget in 8usize..64,
+        seed in 0u64..1000,
+    ) {
+        let bg = Background::from_rows(vec![
+            vec![0.0, 0.5, -0.5, 1.0],
+            vec![1.0, -1.0, 0.0, 0.0],
+        ]).unwrap();
+        let model = FnModel::new(4, |v: &[f64]| v[0].sin() + v[1] * v[2] - v[3]);
+        let names: Vec<String> = (0..4).map(|i| format!("x{i}")).collect();
+        let attr = kernel_shap(&model, &x, &bg, &names, &KernelShapConfig {
+            n_coalitions: budget, ridge: 1e-8, seed,
+        }).unwrap();
+        prop_assert!(attr.efficiency_gap().abs() < 1e-7);
+    }
+
+    /// TreeSHAP is efficient on arbitrary fitted trees at arbitrary probes.
+    #[test]
+    fn tree_shap_is_always_efficient(
+        seed in 0u64..500,
+        probe in prop::collection::vec(0.0f64..1.0, 5),
+    ) {
+        let s = friedman1(150, 5, 0.3, seed).unwrap();
+        let tree = DecisionTree::fit(&s.data, &TreeParams::default(), seed).unwrap();
+        let names: Vec<String> = (0..5).map(|i| format!("x{i}")).collect();
+        let attr = tree_shap(&tree, &probe, &names).unwrap();
+        prop_assert!(attr.efficiency_gap().abs() < 1e-8,
+            "gap {}", attr.efficiency_gap());
+    }
+
+    /// Histogram quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimDuration(s));
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile_secs(lo) <= h.quantile_secs(hi) + 1e-15);
+        prop_assert!(h.quantile_secs(0.0) <= h.quantile_secs(1.0));
+        // Interior quantiles are bucket midpoints: allow one bucket width
+        // (~4.5%) of slack around the exact sample extremes.
+        let min = *samples.iter().min().unwrap() as f64 * 1e-9;
+        let max = *samples.iter().max().unwrap() as f64 * 1e-9;
+        prop_assert!(h.quantile_secs(lo) >= min * 0.95 - 1e-12);
+        prop_assert!(h.quantile_secs(hi) <= max * 1.05 + 1e-12);
+    }
+
+    /// M/G/1 wait grows with load and with service variability.
+    #[test]
+    fn mg1_wait_is_monotone(
+        mu in 1.0f64..1000.0,
+        rho1 in 0.05f64..0.9,
+        drho in 0.01f64..0.09,
+        cv in 0.0f64..2.0,
+    ) {
+        let ms = 1.0 / mu;
+        let w1 = queueing::mg1_mean_wait(rho1 * mu, ms, cv);
+        let w2 = queueing::mg1_mean_wait((rho1 + drho) * mu, ms, cv);
+        prop_assert!(w2 >= w1);
+        let w_smoother = queueing::mg1_mean_wait(rho1 * mu, ms, cv * 0.5);
+        prop_assert!(w_smoother <= w1 + 1e-12);
+    }
+
+    /// CSV round-trip is lossless for arbitrary finite datasets.
+    #[test]
+    fn csv_roundtrip_is_lossless(
+        rows in 1usize..20,
+        cols in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let x: Vec<f64> = (0..rows * cols).map(|_| rng.normal(0.0, 100.0)).collect();
+        let y: Vec<f64> = (0..rows).map(|_| rng.normal(0.0, 10.0)).collect();
+        let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+        let d = Dataset::new(names, x, y, Task::Regression).unwrap();
+        let back = from_csv(&to_csv(&d), Task::Regression).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// Rank correlations stay in [−1, 1] and are symmetric.
+    #[test]
+    fn rank_correlations_are_bounded_and_symmetric(
+        a in prop::collection::vec(-100.0f64..100.0, 2..30),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let b: Vec<f64> = a.iter().map(|v| v + rng.normal(0.0, 50.0)).collect();
+        let sp = stats::spearman(&a, &b);
+        let kt = stats::kendall_tau(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&sp), "spearman {sp}");
+        prop_assert!((-1.0..=1.0).contains(&kt), "kendall {kt}");
+        prop_assert!((stats::spearman(&b, &a) - sp).abs() < 1e-12);
+        prop_assert!((stats::kendall_tau(&b, &a) - kt).abs() < 1e-12);
+    }
+
+    /// The event queue dispatches any schedule in nondecreasing time order
+    /// with FIFO ties.
+    #[test]
+    fn event_queue_is_totally_ordered(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+    ) {
+        let mut q = nfv_sim::event::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t != last_time {
+                seen_at_time.clear();
+                last_time = t;
+            }
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(id > prev, "FIFO tie-break violated");
+            }
+            seen_at_time.push(id);
+        }
+    }
+
+    /// Scalers invert exactly on arbitrary rows within the fitted space.
+    #[test]
+    fn scaler_roundtrip(
+        seed in 0u64..5_000,
+        probe in prop::collection::vec(-50.0f64..50.0, 4),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let x: Vec<f64> = (0..80).map(|_| rng.normal(0.0, 10.0)).collect();
+        let d = Dataset::new(
+            (0..4).map(|i| format!("c{i}")).collect(),
+            x,
+            vec![0.0; 20],
+            Task::Regression,
+        ).unwrap();
+        let sc = Scaler::standard(&d);
+        let mut row = probe.clone();
+        sc.transform_row(&mut row).unwrap();
+        sc.inverse_row(&mut row).unwrap();
+        for (a, b) in row.iter().zip(&probe) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Tree predictions are always a convex combination of training
+    /// targets (within [min y, max y]).
+    #[test]
+    fn tree_predictions_stay_in_target_range(
+        seed in 0u64..2_000,
+        probe in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let s = linear_gaussian(100, 3, 1, 0.5, seed).unwrap();
+        let tree = DecisionTree::fit(&s.data, &TreeParams::default(), seed).unwrap();
+        let lo = s.data.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = s.data.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p = Regressor::predict(&tree, &probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+}
