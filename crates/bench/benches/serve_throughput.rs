@@ -1,0 +1,99 @@
+//! Serving throughput: requests/second through the `nfv-serve` engine,
+//! cached vs uncached, single client vs a concurrent client pool.
+//!
+//! The cached path measures the full client round trip (validate, key,
+//! shard lock, LRU touch); the uncached path adds queueing, batching, and
+//! the explainer itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfv_bench::SizedTask;
+use nfv_serve::prelude::*;
+use std::time::Duration;
+
+fn engine_for(task: &SizedTask, seed: u64) -> ServeEngine {
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 512,
+        max_batch: 8,
+        gather_window: Duration::from_micros(200),
+        cache_capacity: 8192,
+        cache_shards: 8,
+        quantization_grid: 1e-6,
+        seed,
+    });
+    engine
+        .registry()
+        .register(
+            "forest",
+            ServeModel::Forest(task.forest.clone()),
+            task.names.clone(),
+            task.background.clone(),
+        )
+        .unwrap();
+    engine
+}
+
+fn req(task: &SizedTask, row: usize) -> ExplainRequest {
+    ExplainRequest {
+        model_id: "forest".into(),
+        features: task.data.row(row % task.data.n_rows()).to_vec(),
+        method: ExplainMethod::TreeShap,
+        budget: Duration::from_secs(5),
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let task = SizedTask::new(14, 1);
+    let mut g = c.benchmark_group("serve_throughput_d14");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Cached: a warmed entry answered from the LRU fast path.
+    let engine = engine_for(&task, 1);
+    engine.explain(req(&task, 7)).unwrap();
+    g.bench_function("cached_hit", |b| {
+        b.iter(|| engine.explain(req(&task, 7)).unwrap())
+    });
+
+    // Uncached: every request hits a distinct grid cell, so each one runs
+    // TreeSHAP through the queue and worker pool.
+    let mut cell = 0u64;
+    g.bench_function("uncached_tree_shap", |b| {
+        b.iter(|| {
+            cell += 1;
+            let mut r = req(&task, 7);
+            // Shift one feature by a full grid step per call: same model,
+            // never the same cache key.
+            r.features[0] += cell as f64 * 1e-3;
+            engine.explain(r).unwrap()
+        })
+    });
+
+    // Concurrent clients replaying a small telemetry window (high hit
+    // rate): the contended-shard / queue-handoff figure.
+    g.bench_function("hot_replay_8_clients", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for c in 0..8 {
+                    let engine = &engine;
+                    let task = &task;
+                    s.spawn(move || {
+                        for i in 0..16 {
+                            engine.explain(req(task, c * 16 + i)).unwrap();
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    let stats = engine.stats();
+    println!(
+        "serve stats: {} served, hit rate {:.3}, mean batch {:.2}, p99 {:.0}us",
+        stats.completed, stats.cache_hit_rate, stats.mean_batch_size, stats.total_p99_us
+    );
+    g.finish();
+    engine.shutdown();
+}
+
+criterion_group!(serve, bench_serve);
+criterion_main!(serve);

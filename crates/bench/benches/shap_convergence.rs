@@ -30,22 +30,26 @@ fn bench_convergence(c: &mut Criterion) {
         });
     }
     for budget in [64usize, 256, 1024] {
-        g.bench_with_input(BenchmarkId::new("kernel_coalitions", budget), &budget, |b, &k| {
-            b.iter(|| {
-                kernel_shap(
-                    &task.forest,
-                    &x,
-                    &task.background,
-                    &task.names,
-                    &KernelShapConfig {
-                        n_coalitions: k,
-                        ridge: 1e-6,
-                        seed: 1,
-                    },
-                )
-                .unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("kernel_coalitions", budget),
+            &budget,
+            |b, &k| {
+                b.iter(|| {
+                    kernel_shap(
+                        &task.forest,
+                        &x,
+                        &task.background,
+                        &task.names,
+                        &KernelShapConfig {
+                            n_coalitions: k,
+                            ridge: 1e-6,
+                            seed: 1,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }

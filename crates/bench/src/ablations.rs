@@ -10,12 +10,18 @@ pub fn a1(quick: bool) {
     let d = 10;
     let task = SizedTask::new(d, 41);
     let n_inst = if quick { 2 } else { 6 };
-    let instances: Vec<Vec<f64>> = (0..n_inst).map(|i| task.data.row(i * 13).to_vec()).collect();
+    let instances: Vec<Vec<f64>> = (0..n_inst)
+        .map(|i| task.data.row(i * 13).to_vec())
+        .collect();
     println!("A1 — ablations (d = {d}, RF subject; relative MAE vs exact Shapley)\n");
 
     // Exact references per background size (the reference changes with the
     // background because the value function does).
-    let bg_sizes: &[usize] = if quick { &[5, 25] } else { &[5, 10, 25, 50, 100] };
+    let bg_sizes: &[usize] = if quick {
+        &[5, 25]
+    } else {
+        &[5, 10, 25, 50, 100]
+    };
 
     // (a) Background size: error of KernelSHAP at fixed budget against the
     // *large-background* exact values — measures the bias a small
@@ -62,7 +68,11 @@ pub fn a1(quick: bool) {
         .iter()
         .map(|x| exact_shapley(&task.forest, x, &bg, &task.names).expect("exact"))
         .collect();
-    let ridges: &[f64] = if quick { &[0.0, 1e-2] } else { &[0.0, 1e-6, 1e-3, 1e-1, 1.0] };
+    let ridges: &[f64] = if quick {
+        &[0.0, 1e-2]
+    } else {
+        &[0.0, 1e-6, 1e-3, 1e-1, 1.0]
+    };
     let mut rows = Vec::new();
     for &ridge in ridges {
         let mut mae = 0.0;
@@ -90,7 +100,11 @@ pub fn a1(quick: bool) {
     print_table(&["ridge λ", "rel-MAE"], &rows);
 
     // (c) LIME kernel width: agreement with exact Shapley ranking.
-    let widths: &[f64] = if quick { &[0.75, 5.0] } else { &[0.1, 0.25, 0.75, 2.0, 5.0] };
+    let widths: &[f64] = if quick {
+        &[0.75, 5.0]
+    } else {
+        &[0.1, 0.25, 0.75, 2.0, 5.0]
+    };
     let mut rows = Vec::new();
     for &w in widths {
         let mut rho = 0.0;
@@ -106,7 +120,9 @@ pub fn a1(quick: bool) {
                 },
             )
             .expect("lime");
-            rho += agreement(&e.attribution, ex).expect("agree").spearman_magnitude;
+            rho += agreement(&e.attribution, ex)
+                .expect("agree")
+                .spearman_magnitude;
         }
         rows.push(vec![
             format!("{w}"),

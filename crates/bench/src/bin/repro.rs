@@ -21,8 +21,8 @@ fn main() {
         .collect();
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
-            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
-            "f10", "a1",
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
+            "a1",
         ];
     }
     for (i, id) in ids.iter().enumerate() {

@@ -32,12 +32,10 @@ pub fn t4(quick: bool) {
     let instances: Vec<Vec<f64>> = (0..n_explain.min(test.n_rows()))
         .map(|i| test.row(i).to_vec())
         .collect();
-    let attrs =
-        explain_batch(&instances, 4, |x| gbdt_shap(&model, x, &test.names)).expect("batch");
+    let attrs = explain_batch(&instances, 4, |x| gbdt_shap(&model, x, &test.names)).expect("batch");
     let shap_global = mean_absolute_attribution(&attrs);
 
-    let pfi =
-        permutation_importance(&surface, test, &PermutationConfig::default()).expect("pfi");
+    let pfi = permutation_importance(&surface, test, &PermutationConfig::default()).expect("pfi");
 
     let mut order: Vec<usize> = (0..test.n_features()).collect();
     order.sort_by(|&a, &b| sage_imp.values[b].total_cmp(&sage_imp.values[a]));
@@ -86,7 +84,10 @@ pub fn f8(quick: bool) {
     let proba: Vec<f64> = test.rows().map(|r| model.predict_proba(r)).collect();
     let mut idx: Vec<usize> = (0..test.n_rows()).collect();
     idx.sort_by(|&a, &b| proba[b].total_cmp(&proba[a]));
-    let alerts: Vec<Vec<f64>> = idx[..n_alerts].iter().map(|&i| test.row(i).to_vec()).collect();
+    let alerts: Vec<Vec<f64>> = idx[..n_alerts]
+        .iter()
+        .map(|&i| test.row(i).to_vec())
+        .collect();
 
     let masks: Vec<(&str, Vec<bool>)> = vec![
         (
@@ -237,7 +238,10 @@ pub fn f9(quick: bool) {
     };
     let r2 = run_scaling(&scaling_cfg, &mut predictive).expect("predictive");
     let mut frozen_rows = Vec::new();
-    for (name, run) in [("reactive threshold", &r1), ("predictive (stage-ranked)", &r2)] {
+    for (name, run) in [
+        ("reactive threshold", &r1),
+        ("predictive (stage-ranked)", &r2),
+    ] {
         frozen_rows.push(vec![
             name.to_string(),
             format!("{:.1}%", 100.0 * run.violation_rate),
@@ -273,12 +277,8 @@ pub fn f10(quick: bool) {
     let shap_global = mean_absolute_attribution(&attrs);
     let mut shap_rank: Vec<usize> = (0..train.n_features()).collect();
     shap_rank.sort_by(|&a, &b| shap_global[b].total_cmp(&shap_global[a]));
-    let pfi = permutation_importance(
-        &ProbaSurface(&model),
-        test,
-        &PermutationConfig::default(),
-    )
-    .expect("pfi");
+    let pfi = permutation_importance(&ProbaSurface(&model), test, &PermutationConfig::default())
+        .expect("pfi");
     let pfi_rank = pfi.ranking();
     let d = train.n_features();
     let arbitrary: Vec<usize> = (0..d).map(|i| (i * 5 + 3) % d).collect();
@@ -314,7 +314,11 @@ pub fn f10(quick: bool) {
         rows.push(cells);
     }
     let mut header: Vec<String> = vec!["ranking".into()];
-    header.extend(fractions.iter().map(|f| format!("{:.0}% removed", f * 100.0)));
+    header.extend(
+        fractions
+            .iter()
+            .map(|f| format!("{:.0}% removed", f * 100.0)),
+    );
     header.push("AUC ↓".into());
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     print_table(&header_refs, &rows);

@@ -53,7 +53,12 @@ pub fn f1(quick: bool) {
         })
         .collect();
     print_table(
-        &["feature", "mean |SHAP|", "perm. importance", "|logit coef| (std)"],
+        &[
+            "feature",
+            "mean |SHAP|",
+            "perm. importance",
+            "|logit coef| (std)",
+        ],
         &rows,
     );
     let rho_shap_pfi = nfv_data::stats::spearman(&shap_global, &pfi.importances);
@@ -103,7 +108,13 @@ pub fn f2(quick: bool) {
         })
         .collect();
     print_table(
-        &["feature", "value", "TreeSHAP (margin)", "KernelSHAP (risk)", "LIME (risk)"],
+        &[
+            "feature",
+            "value",
+            "TreeSHAP (margin)",
+            "KernelSHAP (risk)",
+            "LIME (risk)",
+        ],
         &rows,
     );
     let a = agreement(&tree, &kernel).expect("agree");
@@ -111,7 +122,10 @@ pub fn f2(quick: bool) {
         "\nTreeSHAP↔KernelSHAP magnitude ρ = {:.3}, top-3 overlap = {:.2}",
         a.spearman_magnitude, a.top3_overlap
     );
-    println!("\n{}", render_report(&kernel, PredictionKind::SlaViolationRisk, 4).text);
+    println!(
+        "\n{}",
+        render_report(&kernel, PredictionKind::SlaViolationRisk, 4).text
+    );
 }
 
 /// F3 — fidelity: deletion & insertion AUC for SHAP, LIME, PFI-order and
@@ -126,10 +140,16 @@ pub fn f3(quick: bool) {
     println!("F3 — explanation fidelity (deletion ↓ better / insertion ↑ better)\n");
 
     // Explain the highest-prediction instances.
-    let preds: Vec<f64> = train.rows().map(|r| Regressor::predict(&model, r)).collect();
+    let preds: Vec<f64> = train
+        .rows()
+        .map(|r| Regressor::predict(&model, r))
+        .collect();
     let mut idx: Vec<usize> = (0..train.n_rows()).collect();
     idx.sort_by(|&a, &b| preds[b].total_cmp(&preds[a]));
-    let instances: Vec<Vec<f64>> = idx[..n_inst].iter().map(|&i| train.row(i).to_vec()).collect();
+    let instances: Vec<Vec<f64>> = idx[..n_inst]
+        .iter()
+        .map(|&i| train.row(i).to_vec())
+        .collect();
 
     let shap_attrs =
         explain_batch(&instances, 4, |x| gbdt_shap(&model, x, &train.names)).expect("batch");
@@ -185,7 +205,9 @@ pub fn f4(quick: bool) {
     };
     let n_inst = if quick { 2 } else { 6 };
     println!("F4 — convergence to exact Shapley (d = {d}, relative MAE vs budget)\n");
-    let instances: Vec<Vec<f64>> = (0..n_inst).map(|i| task.data.row(i * 31).to_vec()).collect();
+    let instances: Vec<Vec<f64>> = (0..n_inst)
+        .map(|i| task.data.row(i * 31).to_vec())
+        .collect();
     let exact: Vec<Attribution> = instances
         .iter()
         .map(|x| exact_shapley(&task.forest, x, &task.background, &task.names).expect("exact"))
@@ -252,7 +274,12 @@ pub fn f4(quick: bool) {
         ]);
     }
     print_table(
-        &["budget (evals)", "sampling", "sampling+antithetic", "KernelSHAP"],
+        &[
+            "budget (evals)",
+            "sampling",
+            "sampling+antithetic",
+            "KernelSHAP",
+        ],
         &rows,
     );
     println!("\nExpected shape: error falls ~1/√budget; KernelSHAP lowest at every budget.");
@@ -283,13 +310,7 @@ pub fn f5(quick: bool) {
     })
     .expect("batch");
     let sampling_attrs = explain_batch(&instances, 4, |x| {
-        sampling_shapley(
-            &surface,
-            x,
-            &bg,
-            &train.names,
-            &SamplingConfig::default(),
-        )
+        sampling_shapley(&surface, x, &bg, &train.names, &SamplingConfig::default())
     })
     .expect("batch");
     let lime_attrs = explain_batch(&instances, 4, |x| {
@@ -335,8 +356,7 @@ pub fn f5(quick: bool) {
         seed: 1,
     };
     let mut rows = Vec::new();
-    let mut tree_fn =
-        |p: &[f64]| gbdt_shap(&model, p, &train.names).map(|a| a.values);
+    let mut tree_fn = |p: &[f64]| gbdt_shap(&model, p, &train.names).map(|a| a.values);
     let s_tree = stability(&x, &mut tree_fn, &probe_cfg.clone()).expect("stab");
     rows.push(vec!["TreeSHAP".into(), format!("{:.3}", s_tree.lipschitz)]);
     let mut kern_fn = |p: &[f64]| {
@@ -350,10 +370,12 @@ pub fn f5(quick: bool) {
         .map(|a| a.values)
     };
     let s_kern = stability(&x, &mut kern_fn, &probe_cfg).expect("stab");
-    rows.push(vec!["KernelSHAP".into(), format!("{:.3}", s_kern.lipschitz)]);
+    rows.push(vec![
+        "KernelSHAP".into(),
+        format!("{:.3}", s_kern.lipschitz),
+    ]);
     let mut lime_fn = |p: &[f64]| {
-        lime(&surface, p, &bg, &train.names, &LimeConfig::default())
-            .map(|e| e.attribution.values)
+        lime(&surface, p, &bg, &train.names, &LimeConfig::default()).map(|e| e.attribution.values)
     };
     let s_lime = stability(&x, &mut lime_fn, &probe_cfg).expect("stab");
     rows.push(vec!["LIME".into(), format!("{:.3}", s_lime.lipschitz)]);
@@ -367,7 +389,11 @@ pub fn f6(quick: bool) {
     use nfv_sim::prelude::*;
     println!("F6 — scalability\n");
     // (a) vs chain length: build sweeps over growing chains.
-    let lengths: &[usize] = if quick { &[2, 4] } else { &[2, 3, 4, 5, 6, 7, 8] };
+    let lengths: &[usize] = if quick {
+        &[2, 4]
+    } else {
+        &[2, 3, 4, 5, 6, 7, 8]
+    };
     let kinds = [
         VnfKind::Firewall,
         VnfKind::Ids,
@@ -402,8 +428,14 @@ pub fn f6(quick: bool) {
         let reps = if quick { 2 } else { 5 };
         let tree_ms = time_ms(reps * 10, || gbdt_shap(&model, &x, &data.names).expect("t"));
         let kernel_ms = time_ms(reps, || {
-            kernel_shap(&model, &x, &bg, &data.names, &KernelShapConfig::for_features(d))
-                .expect("k")
+            kernel_shap(
+                &model,
+                &x,
+                &bg,
+                &data.names,
+                &KernelShapConfig::for_features(d),
+            )
+            .expect("k")
         });
         let lime_ms = time_ms(reps, || {
             lime(&model, &x, &bg, &data.names, &LimeConfig::default()).expect("l")
@@ -417,10 +449,17 @@ pub fn f6(quick: bool) {
         ]);
     }
     println!("(a) latency (ms/instance) vs chain length:");
-    print_table(&["chain VNFs", "features", "TreeSHAP", "KernelSHAP", "LIME"], &rows);
+    print_table(
+        &["chain VNFs", "features", "TreeSHAP", "KernelSHAP", "LIME"],
+        &rows,
+    );
 
     // (b) TreeSHAP vs ensemble size.
-    let sizes: &[usize] = if quick { &[10, 50] } else { &[10, 25, 50, 100, 200] };
+    let sizes: &[usize] = if quick {
+        &[10, 50]
+    } else {
+        &[10, 25, 50, 100, 200]
+    };
     let s = friedman1(if quick { 300 } else { 1_000 }, 10, 0.3, 31).expect("friedman");
     let mut rows = Vec::new();
     for &n_trees in sizes {
@@ -449,7 +488,11 @@ pub fn f7(quick: bool) {
     let n = if quick { 800 } else { 4_000 };
     let n_explain = if quick { 40 } else { 200 };
     println!("F7 — Clever Hans: leaky monitoring counter vs SHAP audit\n");
-    let strengths: &[f64] = if quick { &[0.0, 0.95] } else { &[0.0, 0.5, 0.8, 0.95] };
+    let strengths: &[f64] = if quick {
+        &[0.0, 0.95]
+    } else {
+        &[0.0, 0.5, 0.8, 0.95]
+    };
     let deployed = clever_hans_nfv(n, 0.0, 97).expect("deploy data");
     let mut rows = Vec::new();
     for &leak in strengths {

@@ -28,9 +28,7 @@ pub fn t1(quick: bool) {
         ),
         (
             "decision tree",
-            Box::new(|d| {
-                Box::new(DecisionTree::fit(d, &TreeParams::default(), 0).expect("fit"))
-            }),
+            Box::new(|d| Box::new(DecisionTree::fit(d, &TreeParams::default(), 0).expect("fit"))),
         ),
         (
             "random forest",
@@ -68,7 +66,10 @@ pub fn t1(quick: bool) {
                     0,
                 )
                 .expect("fit");
-                Box::new(ScaledRegressor { scaler: sc, inner: mlp })
+                Box::new(ScaledRegressor {
+                    scaler: sc,
+                    inner: mlp,
+                })
             }),
         ),
     ];
@@ -115,9 +116,7 @@ pub fn t1(quick: bool) {
         ),
         (
             "decision tree",
-            Box::new(|d| {
-                Box::new(DecisionTree::fit(d, &TreeParams::default(), 0).expect("fit"))
-            }),
+            Box::new(|d| Box::new(DecisionTree::fit(d, &TreeParams::default(), 0).expect("fit"))),
         ),
         (
             "random forest",
@@ -176,7 +175,9 @@ struct ScaledRegressor {
 impl Regressor for ScaledRegressor {
     fn predict(&self, x: &[f64]) -> f64 {
         let mut row = x.to_vec();
-        self.scaler.transform_row(&mut row).expect("row width fixed");
+        self.scaler
+            .transform_row(&mut row)
+            .expect("row width fixed");
         self.inner.predict(&row)
     }
     fn n_features(&self) -> usize {
@@ -277,7 +278,9 @@ pub fn t3(quick: bool) {
     println!("T3 — Shapley approximation error vs exact (d = {d}, RF subject)\n");
 
     // Exact references.
-    let instances: Vec<Vec<f64>> = (0..n_instances).map(|i| task.data.row(i * 17).to_vec()).collect();
+    let instances: Vec<Vec<f64>> = (0..n_instances)
+        .map(|i| task.data.row(i * 17).to_vec())
+        .collect();
     let exact: Vec<Attribution> = instances
         .iter()
         .map(|x| exact_shapley(&task.forest, x, &task.background, &task.names).expect("exact"))

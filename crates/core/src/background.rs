@@ -34,7 +34,9 @@ impl Background {
             return Err(XaiError::Input("background rows have mixed lengths".into()));
         }
         if rows.iter().flatten().any(|v| !v.is_finite()) {
-            return Err(XaiError::Input("background contains non-finite values".into()));
+            return Err(XaiError::Input(
+                "background contains non-finite values".into(),
+            ));
         }
         let mut means = vec![0.0; d];
         for r in &rows {
@@ -50,7 +52,11 @@ impl Background {
 
     /// Builds by sampling at most `max_rows` rows of `data` (deterministic
     /// subsample; KernelSHAP cost scales linearly in this).
-    pub fn from_dataset(data: &Dataset, max_rows: usize, seed: u64) -> Result<Background, XaiError> {
+    pub fn from_dataset(
+        data: &Dataset,
+        max_rows: usize,
+        seed: u64,
+    ) -> Result<Background, XaiError> {
         if max_rows == 0 {
             return Err(XaiError::Input("max_rows must be positive".into()));
         }
@@ -99,12 +105,7 @@ impl Background {
     /// Estimates `v(S) = E[f(x_S, B_{\bar S})]`: for every background row,
     /// substitute the coalition features from `x` and average the model
     /// output. `in_coalition[j]` marks membership of feature `j`.
-    pub fn coalition_value(
-        &self,
-        model: &dyn Regressor,
-        x: &[f64],
-        in_coalition: &[bool],
-    ) -> f64 {
+    pub fn coalition_value(&self, model: &dyn Regressor, x: &[f64], in_coalition: &[bool]) -> f64 {
         let mut composite = vec![0.0; x.len()];
         let mut sum = 0.0;
         for b in &self.rows {

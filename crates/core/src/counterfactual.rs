@@ -108,7 +108,9 @@ pub fn counterfactual(
         )));
     }
     if cfg.n_restarts == 0 || cfg.max_sweeps == 0 {
-        return Err(XaiError::Budget("n_restarts and max_sweeps must be positive".into()));
+        return Err(XaiError::Budget(
+            "n_restarts and max_sweeps must be positive".into(),
+        ));
     }
     let actionable = |j: usize| cfg.actionable.is_empty() || cfg.actionable[j];
 

@@ -74,7 +74,9 @@ pub fn check_axioms(
     let fg = FnModel::new(4, |x: &[f64]| (x[0] * x[1] + x[2]) + (2.0 * x[3] - x[0]));
     let attr_fg = explain(&fg, &x, background)?;
     if attr_f.len() != 4 || attr_g.len() != 4 || attr_fg.len() != 4 {
-        return Err(XaiError::Numeric("explainer returned wrong dimension".into()));
+        return Err(XaiError::Numeric(
+            "explainer returned wrong dimension".into(),
+        ));
     }
     let linearity_gap = (0..4)
         .map(|i| (attr_fg.values[i] - attr_f.values[i] - attr_g.values[i]).abs())

@@ -26,10 +26,7 @@ fn auc_of(outputs: &[f64]) -> f64 {
         return outputs.first().copied().unwrap_or(0.0);
     }
     let step = 1.0 / (n - 1) as f64;
-    outputs
-        .windows(2)
-        .map(|w| 0.5 * (w[0] + w[1]) * step)
-        .sum()
+    outputs.windows(2).map(|w| 0.5 * (w[0] + w[1]) * step).sum()
 }
 
 fn curve(

@@ -8,7 +8,9 @@ pub mod roar;
 pub mod stability;
 
 pub use axioms::{check_axioms, AxiomReport};
-pub use fidelity::{deletion_curve, fidelity_summary, insertion_curve, FidelityCurve, FidelitySummary};
+pub use fidelity::{
+    deletion_curve, fidelity_summary, insertion_curve, FidelityCurve, FidelitySummary,
+};
 pub use rank::{agreement, attribution_mae, mean_agreement, Agreement};
 pub use roar::{roar, RoarCurve};
 pub use stability::{stability, Stability, StabilityConfig};

@@ -38,10 +38,7 @@ pub fn agreement(a: &Attribution, b: &Attribution) -> Result<Agreement, XaiError
 }
 
 /// Mean agreement across aligned instance lists from two methods.
-pub fn mean_agreement(
-    a: &[Attribution],
-    b: &[Attribution],
-) -> Result<Agreement, XaiError> {
+pub fn mean_agreement(a: &[Attribution], b: &[Attribution]) -> Result<Agreement, XaiError> {
     if a.is_empty() || a.len() != b.len() {
         return Err(XaiError::Input(format!(
             "attribution lists {} vs {}",

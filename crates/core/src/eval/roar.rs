@@ -145,11 +145,7 @@ mod tests {
         let (train, test) = s.data.split(0.3, 1).unwrap();
         // Ground-truth ranking: by |coefficient| descending, noise last.
         let mut truth: Vec<usize> = (0..8).collect();
-        truth.sort_by(|&a, &b| {
-            s.coefficients[b]
-                .abs()
-                .total_cmp(&s.coefficients[a].abs())
-        });
+        truth.sort_by(|&a, &b| s.coefficients[b].abs().total_cmp(&s.coefficients[a].abs()));
         let reversed: Vec<usize> = truth.iter().rev().copied().collect();
         let fr = [0.0, 0.25, 0.5, 0.75, 1.0];
         let good = roar(&train, &test, &truth, &fr, &fit_r2).unwrap();
@@ -187,11 +183,26 @@ mod tests {
         let s = linear_gaussian(100, 2, 1, 0.1, 93).unwrap();
         let (train, test) = s.data.split(0.3, 3).unwrap();
         let ranking = [0usize, 1, 2];
-        assert!(roar(&train, &test, &ranking[..2], &[0.0], &fit_r2).is_err(), "short ranking");
-        assert!(roar(&train, &test, &[0, 0, 1], &[0.0], &fit_r2).is_err(), "duplicate");
-        assert!(roar(&train, &test, &ranking, &[], &fit_r2).is_err(), "no fractions");
-        assert!(roar(&train, &test, &ranking, &[0.5, 0.2], &fit_r2).is_err(), "decreasing");
-        assert!(roar(&train, &test, &ranking, &[1.5], &fit_r2).is_err(), "out of range");
+        assert!(
+            roar(&train, &test, &ranking[..2], &[0.0], &fit_r2).is_err(),
+            "short ranking"
+        );
+        assert!(
+            roar(&train, &test, &[0, 0, 1], &[0.0], &fit_r2).is_err(),
+            "duplicate"
+        );
+        assert!(
+            roar(&train, &test, &ranking, &[], &fit_r2).is_err(),
+            "no fractions"
+        );
+        assert!(
+            roar(&train, &test, &ranking, &[0.5, 0.2], &fit_r2).is_err(),
+            "decreasing"
+        );
+        assert!(
+            roar(&train, &test, &ranking, &[1.5], &fit_r2).is_err(),
+            "out of range"
+        );
     }
 
     #[test]

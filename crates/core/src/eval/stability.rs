@@ -65,7 +65,9 @@ pub fn stability(
         return Err(XaiError::Input("empty instance".into()));
     }
     if cfg.n_probes == 0 || cfg.radius <= 0.0 {
-        return Err(XaiError::Input("n_probes and radius must be positive".into()));
+        return Err(XaiError::Input(
+            "n_probes and radius must be positive".into(),
+        ));
     }
     if !cfg.scales.is_empty() && cfg.scales.len() != x.len() {
         return Err(XaiError::Input(format!(
@@ -131,9 +133,7 @@ mod tests {
     #[test]
     fn discontinuous_explanation_is_flagged_unstable() {
         // A hard jump at x0 = 0 creates huge ratios when probes cross it.
-        let mut explain = |x: &[f64]| {
-            Ok(vec![if x[0] > 0.0 { 100.0 } else { -100.0 }])
-        };
+        let mut explain = |x: &[f64]| Ok(vec![if x[0] > 0.0 { 100.0 } else { -100.0 }]);
         let s = stability(
             &[0.0],
             &mut explain,

@@ -203,13 +203,10 @@ mod tests {
         .unwrap();
         let model = FnModel::new(3, |x: &[f64]| x[0] + x[1] + x[2] * x[2]);
         let x = [1.5, 2.5, -2.0];
-        let groups =
-            FeatureGroups::new(vec!["pair".into(), "solo".into()], vec![0, 0, 1]).unwrap();
+        let groups = FeatureGroups::new(vec!["pair".into(), "solo".into()], vec![0, 0, 1]).unwrap();
         let grouped = grouped_shapley(&model, &x, &bg, &groups).unwrap();
         let ungrouped = exact_shapley(&model, &x, &bg, &names(3)).unwrap();
-        assert!(
-            (grouped.values[0] - (ungrouped.values[0] + ungrouped.values[1])).abs() < 1e-9
-        );
+        assert!((grouped.values[0] - (ungrouped.values[0] + ungrouped.values[1])).abs() < 1e-9);
         assert!((grouped.values[1] - ungrouped.values[2]).abs() < 1e-9);
         assert!(grouped.efficiency_gap().abs() < 1e-9);
     }
@@ -233,11 +230,7 @@ mod tests {
         let bg = Background::from_rows(vec![vec![1.0, 2.0, 3.0, 4.0], vec![0.0, 0.0, 0.0, 0.0]])
             .unwrap();
         let model = FnModel::new(4, |x: &[f64]| x[0].sin() * x[1] + x[2] / (1.0 + x[3].abs()));
-        let groups = FeatureGroups::new(
-            vec!["a".into(), "b".into()],
-            vec![0, 0, 1, 1],
-        )
-        .unwrap();
+        let groups = FeatureGroups::new(vec!["a".into(), "b".into()], vec![0, 0, 1, 1]).unwrap();
         let g = grouped_shapley(&model, &[0.3, -1.0, 2.0, 0.5], &bg, &groups).unwrap();
         assert!(g.efficiency_gap().abs() < 1e-9, "{}", g.efficiency_gap());
     }

@@ -91,7 +91,9 @@ pub fn interaction_values(
 ) -> Result<InteractionMatrix, XaiError> {
     let d = x.len();
     if d < 2 {
-        return Err(XaiError::Input("interactions need at least two features".into()));
+        return Err(XaiError::Input(
+            "interactions need at least two features".into(),
+        ));
     }
     if d > MAX_INTERACTION_FEATURES {
         return Err(XaiError::Budget(format!(
@@ -150,10 +152,9 @@ pub fn interaction_values(
                     if (mask >> j) & 1 == 1 {
                         continue;
                     }
-                    let delta = v[mask | (1 << i) | (1 << j)]
-                        - v[mask | (1 << i)]
-                        - v[mask | (1 << j)]
-                        + v_s;
+                    let delta =
+                        v[mask | (1 << i) | (1 << j)] - v[mask | (1 << i)] - v[mask | (1 << j)]
+                            + v_s;
                     let contribution = w * delta;
                     // Split evenly onto both symmetric entries.
                     inter[i * d + j] += contribution / 2.0;
@@ -253,7 +254,10 @@ mod tests {
     fn guards() {
         let bg = Background::from_rows(vec![vec![0.0]]).unwrap();
         let model = FnModel::new(1, |x: &[f64]| x[0]);
-        assert!(interaction_values(&model, &[1.0], &bg, &names(1)).is_err(), "d < 2");
+        assert!(
+            interaction_values(&model, &[1.0], &bg, &names(1)).is_err(),
+            "d < 2"
+        );
         let big = vec![0.0; MAX_INTERACTION_FEATURES + 1];
         let bg_big = Background::from_rows(vec![big.clone()]).unwrap();
         let model_big = FnModel::new(big.len(), |x: &[f64]| x[0]);

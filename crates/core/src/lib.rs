@@ -91,27 +91,27 @@ impl std::error::Error for XaiError {}
 /// One-stop imports.
 pub mod prelude {
     pub use crate::background::Background;
-    pub use crate::batch::explain_batch;
+    pub use crate::batch::{explain_batch, explain_batch_seeded};
     pub use crate::counterfactual::{
         counterfactual, Counterfactual, CounterfactualConfig, CrossingDirection,
     };
+    pub use crate::eval::{
+        agreement, attribution_mae, check_axioms, deletion_curve, fidelity_summary,
+        insertion_curve, mean_agreement, roar, stability, Agreement, AxiomReport, FidelityCurve,
+        FidelitySummary, RoarCurve, Stability, StabilityConfig,
+    };
+    pub use crate::explanation::{mean_absolute_attribution, Attribution};
     pub use crate::grouped::{grouped_shapley, FeatureGroups};
     pub use crate::interactions::{
         interaction_values, InteractionMatrix, MAX_INTERACTION_FEATURES,
     };
-    pub use crate::sage::{sage, SageConfig, SageImportance};
-    pub use crate::eval::{
-        agreement, attribution_mae, check_axioms, deletion_curve, fidelity_summary,
-        insertion_curve, mean_agreement, roar, stability, Agreement, AxiomReport,
-        FidelityCurve, FidelitySummary, RoarCurve, Stability, StabilityConfig,
-    };
-    pub use crate::explanation::{mean_absolute_attribution, Attribution};
     pub use crate::lime::{lime, LimeConfig, LimeExplanation};
     pub use crate::pdp::{partial_dependence, PartialDependence};
     pub use crate::permutation::{
         permutation_importance, PermutationConfig, PermutationImportance,
     };
     pub use crate::report::{humanize_feature, render_report, OperatorReport, PredictionKind};
+    pub use crate::sage::{sage, SageConfig, SageImportance};
     pub use crate::shapley::{
         exact_shapley, forest_shap, gbdt_shap, kernel_shap, sampling_shapley, tree_shap,
         KernelShapConfig, SamplingConfig, MAX_EXACT_FEATURES,

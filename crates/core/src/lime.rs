@@ -75,7 +75,9 @@ pub fn lime(
 ) -> Result<LimeExplanation, XaiError> {
     let d = x.len();
     if d == 0 {
-        return Err(XaiError::Input("cannot explain a zero-feature input".into()));
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
     }
     if background.n_features() != d || names.len() != d {
         return Err(XaiError::Input(format!(
@@ -131,10 +133,9 @@ pub fn lime(
         yvec.push(model.predict(&sample));
         wvec.push(w);
     }
-    let xm =
-        Matrix::from_vec(n, d + 1, xmat).map_err(|e| XaiError::Numeric(e.to_string()))?;
-    let beta =
-        weighted_ridge(&xm, &yvec, &wvec, cfg.ridge).map_err(|e| XaiError::Numeric(e.to_string()))?;
+    let xm = Matrix::from_vec(n, d + 1, xmat).map_err(|e| XaiError::Numeric(e.to_string()))?;
+    let beta = weighted_ridge(&xm, &yvec, &wvec, cfg.ridge)
+        .map_err(|e| XaiError::Numeric(e.to_string()))?;
     let intercept = beta[0];
     let coefficients = beta[1..].to_vec();
 
@@ -158,7 +159,11 @@ pub fn lime(
         .zip(&wvec)
         .map(|((y, p), w)| w * (y - p).powi(2))
         .sum();
-    let local_r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+    let local_r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        0.0
+    };
 
     // Effects form, anchored on the background mean.
     let values: Vec<f64> = coefficients

@@ -138,15 +138,14 @@ mod tests {
     fn classification_uses_auc() {
         let s = interaction_xor(1_500, 1, 72).unwrap();
         let g = Gbdt::fit(&s.data, &GbdtParams::default(), 0).unwrap();
-        let pi = permutation_importance(
-            &ProbaSurface(&g),
-            &s.data,
-            &PermutationConfig::default(),
-        )
-        .unwrap();
+        let pi = permutation_importance(&ProbaSurface(&g), &s.data, &PermutationConfig::default())
+            .unwrap();
         assert!(pi.baseline_score > 0.9, "auc={}", pi.baseline_score);
         let rank = pi.ranking();
-        assert!(rank[0] < 2 && rank[1] < 2, "interacting pair on top: {rank:?}");
+        assert!(
+            rank[0] < 2 && rank[1] < 2,
+            "interacting pair on top: {rank:?}"
+        );
         assert!(pi.importances[2] < pi.importances[rank[1]] * 0.3);
     }
 

@@ -52,11 +52,7 @@ pub fn humanize_feature(name: &str) -> String {
 
 /// Renders an attribution as an operator report, listing the `top_k`
 /// drivers with their share of the total attribution mass.
-pub fn render_report(
-    attr: &Attribution,
-    kind: PredictionKind,
-    top_k: usize,
-) -> OperatorReport {
+pub fn render_report(attr: &Attribution, kind: PredictionKind, top_k: usize) -> OperatorReport {
     let what = match kind {
         PredictionKind::SlaViolationRisk => "SLA-violation risk",
         PredictionKind::LatencyP95 => "predicted p95 latency",
@@ -99,7 +95,11 @@ pub fn render_report(
             text.push('\n');
         }
     }
-    text.push_str(&format!("(method: {}, residual: {:+.2e})\n", attr.method, attr.efficiency_gap()));
+    text.push_str(&format!(
+        "(method: {}, residual: {:+.2e})\n",
+        attr.method,
+        attr.efficiency_gap()
+    ));
     OperatorReport {
         headline,
         drivers,

@@ -147,7 +147,11 @@ mod tests {
         let bg = Background::from_dataset(&s.data, 20, 1).unwrap();
         let imp = sage(&model, &s.data, &bg, &SageConfig::default()).unwrap();
         // Informative features reduce loss; noise features hover near 0.
-        assert!(imp.values[0] > 5.0 * imp.values[2].abs(), "{:?}", imp.values);
+        assert!(
+            imp.values[0] > 5.0 * imp.values[2].abs(),
+            "{:?}",
+            imp.values
+        );
         assert!(imp.values[1] > 3.0 * imp.values[3].abs());
         assert_eq!(imp.ranking()[0], 0, "strongest coefficient first");
         // Conservation: values sum to base − full loss.
@@ -164,13 +168,7 @@ mod tests {
     #[test]
     fn sage_on_classification_uses_log_loss() {
         let s = interaction_xor(1_500, 1, 72).unwrap();
-        let model = FnModel::new(3, |x: &[f64]| {
-            if x[0] * x[1] > 0.0 {
-                0.95
-            } else {
-                0.05
-            }
-        });
+        let model = FnModel::new(3, |x: &[f64]| if x[0] * x[1] > 0.0 { 0.95 } else { 0.05 });
         let bg = Background::from_dataset(&s.data, 20, 2).unwrap();
         let imp = sage(&model, &s.data, &bg, &SageConfig::default()).unwrap();
         // Both interacting features matter; the noise one does not.

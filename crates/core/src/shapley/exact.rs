@@ -23,7 +23,9 @@ pub fn exact_shapley(
 ) -> Result<Attribution, XaiError> {
     let d = x.len();
     if d == 0 {
-        return Err(XaiError::Input("cannot explain a zero-feature input".into()));
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
     }
     if d > MAX_EXACT_FEATURES {
         return Err(XaiError::Budget(format!(
@@ -150,7 +152,11 @@ mod tests {
         let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
         let x = s.data.row(5).to_vec();
         let attr = exact_shapley(&t, &x, &bg, &names(6)).unwrap();
-        assert!(attr.efficiency_gap().abs() < 1e-9, "{}", attr.efficiency_gap());
+        assert!(
+            attr.efficiency_gap().abs() < 1e-9,
+            "{}",
+            attr.efficiency_gap()
+        );
         assert!((attr.prediction - nfv_ml::model::Regressor::predict(&t, &x)).abs() < 1e-9);
     }
 
@@ -159,8 +165,14 @@ mod tests {
         let bg = Background::from_rows(vec![vec![0.0, 0.0]]).unwrap();
         let model = FnModel::new(2, |x: &[f64]| x[0]);
         assert!(exact_shapley(&model, &[], &bg, &[]).is_err());
-        assert!(exact_shapley(&model, &[1.0], &bg, &names(1)).is_err(), "bg mismatch");
-        assert!(exact_shapley(&model, &[1.0, 2.0], &bg, &names(3)).is_err(), "names mismatch");
+        assert!(
+            exact_shapley(&model, &[1.0], &bg, &names(1)).is_err(),
+            "bg mismatch"
+        );
+        assert!(
+            exact_shapley(&model, &[1.0, 2.0], &bg, &names(3)).is_err(),
+            "names mismatch"
+        );
         let big = vec![0.0; MAX_EXACT_FEATURES + 1];
         let bg_big = Background::from_rows(vec![big.clone()]).unwrap();
         let model_big = FnModel::new(big.len(), |x: &[f64]| x[0]);

@@ -61,7 +61,9 @@ pub fn kernel_shap(
 ) -> Result<Attribution, XaiError> {
     let d = x.len();
     if d == 0 {
-        return Err(XaiError::Input("cannot explain a zero-feature input".into()));
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
     }
     if background.n_features() != d || names.len() != d {
         return Err(XaiError::Input(format!(
@@ -130,8 +132,7 @@ pub fn kernel_shap(
         let total_mass: f64 = masses.iter().sum();
         let mut idx_pool: Vec<usize> = (0..d).collect();
         for (&s, &mass) in sampled_sizes.iter().zip(&masses) {
-            let share =
-                ((budget as f64) * mass / total_mass).round().max(1.0) as usize;
+            let share = ((budget as f64) * mass / total_mass).round().max(1.0) as usize;
             let w = mass / share as f64;
             for _ in 0..share {
                 idx_pool.shuffle(&mut rng);

@@ -48,7 +48,9 @@ pub fn sampling_shapley(
 ) -> Result<Attribution, XaiError> {
     let d = x.len();
     if d == 0 {
-        return Err(XaiError::Input("cannot explain a zero-feature input".into()));
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
     }
     if background.n_features() != d || names.len() != d {
         return Err(XaiError::Input(format!(
@@ -203,7 +205,13 @@ mod tests {
         let x = [1.5, 2.5, 0.7];
         let spread = |antithetic: bool| {
             let mut first_phis = Vec::new();
-            for seed in 0..40 {
+            // 150 replications (not 40): the variance-of-variance at 40
+            // seeds is large enough that a legitimate RNG-stream change
+            // (e.g. the vendored xoshiro StdRng) can flip the comparison
+            // by luck. At 150 seeds the ~2x positional-variance reduction
+            // antithetics buy on this interaction-heavy model dominates
+            // sampling noise for any healthy uniform stream.
+            for seed in 0..150 {
                 let a = sampling_shapley(
                     &model,
                     &x,

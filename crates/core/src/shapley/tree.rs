@@ -115,7 +115,12 @@ fn recurse(
     let mut io = 1.0;
     // Skip the dummy element at index 0 when searching for a prior split
     // on this feature.
-    if let Some(k) = m.iter().enumerate().skip(1).find(|(_, e)| e.d == f as isize) {
+    if let Some(k) = m
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(_, e)| e.d == f as isize)
+    {
         let k = k.0;
         iz = m[k].z;
         io = m[k].o;
@@ -150,11 +155,7 @@ pub fn tree_expected_value(tree: &DecisionTree) -> f64 {
 /// `in_coalition` is true take x's path; others split by covers). This is
 /// the value function TreeSHAP attributes — exported for the brute-force
 /// verification used in tests and the convergence experiments.
-pub fn path_dependent_value(
-    tree: &DecisionTree,
-    x: &[f64],
-    in_coalition: &[bool],
-) -> f64 {
+pub fn path_dependent_value(tree: &DecisionTree, x: &[f64], in_coalition: &[bool]) -> f64 {
     fn walk(tree: &DecisionTree, i: usize, x: &[f64], s: &[bool]) -> f64 {
         let n = &tree.nodes[i];
         if n.is_leaf {
@@ -180,7 +181,9 @@ pub fn path_dependent_value(
 
 fn check(d_tree: usize, x: &[f64], names: &[String]) -> Result<(), XaiError> {
     if x.is_empty() {
-        return Err(XaiError::Input("cannot explain a zero-feature input".into()));
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
     }
     if d_tree != x.len() || names.len() != x.len() {
         return Err(XaiError::Input(format!(

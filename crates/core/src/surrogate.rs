@@ -55,13 +55,7 @@ pub fn global_surrogate(
 /// Renders the surrogate tree as an indented rule list — the operator-
 /// facing artifact.
 pub fn render_rules(surrogate: &Surrogate, names: &[String]) -> String {
-    fn walk(
-        tree: &DecisionTree,
-        i: usize,
-        names: &[String],
-        indent: usize,
-        out: &mut String,
-    ) {
+    fn walk(tree: &DecisionTree, i: usize, names: &[String], indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
         let n = &tree.nodes[i];
         if n.is_leaf {
@@ -118,7 +112,13 @@ mod tests {
         let s = friedman1(300, 5, 0.0, 93).unwrap();
         let model = FnModel::new(5, |x: &[f64]| if x[0] > 0.5 { 1.0 } else { 0.0 });
         let sur = global_surrogate(&model, &s.data, 2).unwrap();
-        let names: Vec<String> = vec!["load".into(), "b".into(), "c".into(), "d".into(), "e".into()];
+        let names: Vec<String> = vec![
+            "load".into(),
+            "b".into(),
+            "c".into(),
+            "d".into(),
+            "e".into(),
+        ];
         let text = render_rules(&sur, &names);
         assert!(text.contains("if load <="), "{text}");
         assert!(text.contains("→ predict"), "{text}");

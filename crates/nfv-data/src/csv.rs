@@ -133,13 +133,7 @@ mod tests {
 
     #[test]
     fn header_quoting() {
-        let d = Dataset::new(
-            vec!["a,b".into()],
-            vec![1.0],
-            vec![2.0],
-            Task::Regression,
-        )
-        .unwrap();
+        let d = Dataset::new(vec!["a,b".into()], vec![1.0], vec![2.0], Task::Regression).unwrap();
         let text = to_csv(&d);
         assert!(text.starts_with("\"a,b\",target\n"));
     }
@@ -147,10 +141,22 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         assert!(from_csv("", Task::Regression).is_err());
-        assert!(from_csv("a,b\n1,2\n", Task::Regression).is_err(), "no target column");
-        assert!(from_csv("a,target\n1\n", Task::Regression).is_err(), "short row");
-        assert!(from_csv("a,target\nx,2\n", Task::Regression).is_err(), "bad number");
-        assert!(from_csv("target\n1\n", Task::Regression).is_err(), "no features");
+        assert!(
+            from_csv("a,b\n1,2\n", Task::Regression).is_err(),
+            "no target column"
+        );
+        assert!(
+            from_csv("a,target\n1\n", Task::Regression).is_err(),
+            "short row"
+        );
+        assert!(
+            from_csv("a,target\nx,2\n", Task::Regression).is_err(),
+            "bad number"
+        );
+        assert!(
+            from_csv("target\n1\n", Task::Regression).is_err(),
+            "no features"
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl Dataset {
     ) -> Result<Self, DataError> {
         let d = names.len();
         if d == 0 {
-            return Err(DataError::Shape("dataset needs at least one feature".into()));
+            return Err(DataError::Shape(
+                "dataset needs at least one feature".into(),
+            ));
         }
         if y.is_empty() {
             return Err(DataError::Shape("dataset needs at least one row".into()));
@@ -55,7 +57,9 @@ impl Dataset {
             )));
         }
         if let Some(bad) = x.iter().chain(y.iter()).find(|v| !v.is_finite()) {
-            return Err(DataError::Value(format!("non-finite value {bad} in dataset")));
+            return Err(DataError::Value(format!(
+                "non-finite value {bad} in dataset"
+            )));
         }
         if task == Task::BinaryClassification {
             if let Some(bad) = y.iter().find(|v| **v != 0.0 && **v != 1.0) {
@@ -164,14 +168,13 @@ impl Dataset {
         idx.shuffle(&mut rng);
         let mut folds = Vec::with_capacity(k);
         for f in 0..k {
-            let val: Vec<usize> = idx
+            let val: Vec<usize> = idx.iter().copied().skip(f).step_by(k).collect();
+            let valset: std::collections::HashSet<usize> = val.iter().copied().collect();
+            let train: Vec<usize> = idx
                 .iter()
                 .copied()
-                .skip(f)
-                .step_by(k)
+                .filter(|i| !valset.contains(i))
                 .collect();
-            let valset: std::collections::HashSet<usize> = val.iter().copied().collect();
-            let train: Vec<usize> = idx.iter().copied().filter(|i| !valset.contains(i)).collect();
             folds.push((train, val));
         }
         Ok(folds)
@@ -204,9 +207,13 @@ mod tests {
     fn shape_validation() {
         assert!(Dataset::new(vec![], vec![], vec![1.0], Task::Regression).is_err());
         assert!(Dataset::new(vec!["a".into()], vec![1.0], vec![], Task::Regression).is_err());
-        assert!(
-            Dataset::new(vec!["a".into()], vec![1.0, 2.0], vec![1.0], Task::Regression).is_err()
-        );
+        assert!(Dataset::new(
+            vec!["a".into()],
+            vec![1.0, 2.0],
+            vec![1.0],
+            Task::Regression
+        )
+        .is_err());
         assert!(Dataset::new(
             vec!["a".into()],
             vec![f64::NAN],

@@ -200,9 +200,16 @@ mod tests {
             .unwrap();
         assert_eq!(row.len(), schema.len());
         // Interference columns carried through.
-        let idx = schema.names.iter().position(|n| n == "1_ids_interf").unwrap();
+        let idx = schema
+            .names
+            .iter()
+            .position(|n| n == "1_ids_interf")
+            .unwrap();
         assert!((row[idx] - 1.2).abs() < 1e-12);
-        assert!(schema.from_estimate(&est, 1.0, 1.0, &[]).is_some(), "defaults fill");
+        assert!(
+            schema.from_estimate(&est, 1.0, 1.0, &[]).is_some(),
+            "defaults fill"
+        );
         let wrong = nfv_sim::chain::estimate_chain(
             &ChainSpec::of_kinds("o", &[VnfKind::Nat]),
             1_000.0,

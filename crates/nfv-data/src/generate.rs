@@ -117,11 +117,16 @@ pub fn generate_fluid(
         for v in &mut chain.vnfs {
             let j = 1.0 + cfg.cpu_jitter * (2.0 * rng.f64() - 1.0);
             v.cpu_share = (v.cpu_share * j).max(0.05);
-            interference
-                .push(rng.uniform(cfg.interference_range.0, cfg.interference_range.1).max(1.0));
+            interference.push(
+                rng.uniform(cfg.interference_range.0, cfg.interference_range.1)
+                    .max(1.0),
+            );
         }
         let payload = rng.uniform(cfg.payload_range.0, cfg.payload_range.1);
-        let mu_log = rng.uniform(cfg.rate_range.0.max(1.0).ln(), cfg.rate_range.1.max(2.0).ln());
+        let mu_log = rng.uniform(
+            cfg.rate_range.0.max(1.0).ln(),
+            cfg.rate_range.1.max(2.0).ln(),
+        );
         let mut log_lambda = mu_log;
         let sigma = cfg.load_noise.max(0.05);
 
@@ -194,7 +199,9 @@ pub fn generate_des(
     target: Target,
 ) -> Result<Dataset, DataError> {
     if n_runs == 0 || windows_per_run == 0 {
-        return Err(DataError::Shape("n_runs and windows_per_run must be positive".into()));
+        return Err(DataError::Shape(
+            "n_runs and windows_per_run must be positive".into(),
+        ));
     }
     let schema = FeatureSchema::for_chain(&cfg.chain);
     let mut rng = SimRng::new(cfg.seed ^ 0xDE5);
@@ -210,7 +217,9 @@ pub fn generate_des(
         }
         // Random global interference realized as a noisy-neighbour fault on
         // every VNF for the whole run.
-        let interf = rng.uniform(cfg.interference_range.0, cfg.interference_range.1).max(1.0);
+        let interf = rng
+            .uniform(cfg.interference_range.0, cfg.interference_range.1)
+            .max(1.0);
         let faults: Vec<Fault> = (0..chain.len())
             .map(|v| Fault {
                 chain: 0,

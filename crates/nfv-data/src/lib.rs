@@ -54,6 +54,8 @@ pub mod prelude {
     pub use crate::features::{latency_target_ms, FeatureSchema};
     pub use crate::generate::{generate_des, generate_fluid, SweepConfig, Target};
     pub use crate::scaler::Scaler;
-    pub use crate::synth::{clever_hans_nfv, friedman1, interaction_xor, linear_gaussian, SynthData};
+    pub use crate::synth::{
+        clever_hans_nfv, friedman1, interaction_xor, linear_gaussian, SynthData,
+    };
     pub use crate::DataError;
 }

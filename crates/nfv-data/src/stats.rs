@@ -70,7 +70,11 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -143,7 +147,9 @@ pub fn top_k_agreement(a: &[f64], b: &[f64], k: usize) -> f64 {
     let top = |xs: &[f64]| -> Vec<usize> {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
         idx.sort_by(|&i, &j| {
-            xs[j].partial_cmp(&xs[i]).unwrap_or(std::cmp::Ordering::Equal)
+            xs[j]
+                .partial_cmp(&xs[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         idx.truncate(k);
         idx
@@ -230,6 +236,9 @@ mod tests {
         let c = [0.0, 0.9, 0.1, 0.8];
         assert_eq!(top_k_agreement(&a, &c, 2), 0.0);
         assert_eq!(top_k_agreement(&a, &b, 0), 0.0);
-        assert!((top_k_agreement(&a, &b, 99) - 1.0).abs() < 1e-12, "k clamps to d");
+        assert!(
+            (top_k_agreement(&a, &b, 99) - 1.0).abs() < 1e-12,
+            "k clamps to d"
+        );
     }
 }

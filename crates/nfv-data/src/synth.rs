@@ -79,7 +79,11 @@ pub fn linear_gaussian(
     let mut y = Vec::with_capacity(n_rows);
     for _ in 0..n_rows {
         let row: Vec<f64> = (0..d).map(|_| standard_normal(&mut rng)).collect();
-        let target: f64 = row.iter().zip(&coefficients).map(|(a, b)| a * b).sum::<f64>()
+        let target: f64 = row
+            .iter()
+            .zip(&coefficients)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
             + noise * standard_normal(&mut rng);
         x.extend_from_slice(&row);
         y.push(target);
@@ -95,9 +99,16 @@ pub fn linear_gaussian(
 
 /// Friedman #1: `y = 10 sin(π x0 x1) + 20 (x2 − 0.5)² + 10 x3 + 5 x4 + ε`,
 /// features uniform on [0,1]; columns 5.. are irrelevant noise.
-pub fn friedman1(n_rows: usize, n_features: usize, noise: f64, seed: u64) -> Result<SynthData, DataError> {
+pub fn friedman1(
+    n_rows: usize,
+    n_features: usize,
+    noise: f64,
+    seed: u64,
+) -> Result<SynthData, DataError> {
     if n_features < 5 || n_rows == 0 {
-        return Err(DataError::Shape("friedman1 needs ≥5 features and ≥1 row".into()));
+        return Err(DataError::Shape(
+            "friedman1 needs ≥5 features and ≥1 row".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut x = Vec::with_capacity(n_rows * n_features);
@@ -160,7 +171,11 @@ pub fn interaction_xor(n_rows: usize, n_noise: usize, seed: u64) -> Result<Synth
 ///
 /// `leak_strength` in [0, 1]: probability the counter copies the label
 /// rather than noise.
-pub fn clever_hans_nfv(n_rows: usize, leak_strength: f64, seed: u64) -> Result<SynthData, DataError> {
+pub fn clever_hans_nfv(
+    n_rows: usize,
+    leak_strength: f64,
+    seed: u64,
+) -> Result<SynthData, DataError> {
     if n_rows == 0 {
         return Err(DataError::Shape("need ≥1 row".into()));
     }
@@ -181,12 +196,11 @@ pub fn clever_hans_nfv(n_rows: usize, leak_strength: f64, seed: u64) -> Result<S
         let offered: f64 = rng.gen_range(5.0..60.0);
         let payload: f64 = rng.gen_range(200.0..1400.0);
         // DPI stress rises with load and payload; squashed to [0, 1].
-        let stress = (offered / 60.0) * (payload / 1400.0).sqrt()
-            + 0.1 * standard_normal(&mut rng);
+        let stress = (offered / 60.0) * (payload / 1400.0).sqrt() + 0.1 * standard_normal(&mut rng);
         let dpi_cpu = stress.clamp(0.0, 1.0);
-        let dpi_queue = (stress.max(0.0).powi(2) * 120.0 + 2.0
-            + 5.0 * standard_normal(&mut rng).abs())
-        .max(0.0);
+        let dpi_queue =
+            (stress.max(0.0).powi(2) * 120.0 + 2.0 + 5.0 * standard_normal(&mut rng).abs())
+                .max(0.0);
         let fw_cpu = (offered / 120.0 + 0.05 * standard_normal(&mut rng)).clamp(0.0, 1.0);
         let nat_cpu = (offered / 100.0 + 0.05 * standard_normal(&mut rng)).clamp(0.0, 1.0);
         // Causal label: violation when DPI saturates.
@@ -198,7 +212,9 @@ pub fn clever_hans_nfv(n_rows: usize, leak_strength: f64, seed: u64) -> Result<S
         } else {
             rng.gen_range(0.0..84.0)
         };
-        x.extend_from_slice(&[offered, payload, dpi_cpu, dpi_queue, fw_cpu, nat_cpu, counter]);
+        x.extend_from_slice(&[
+            offered, payload, dpi_cpu, dpi_queue, fw_cpu, nat_cpu, counter,
+        ]);
         y.push(label);
     }
     Ok(SynthData {
@@ -243,7 +259,10 @@ mod tests {
         let x = [1.0, -1.0, 5.0];
         let phi = s.linear_shapley(&x).unwrap();
         assert!((phi[0] - s.coefficients[0]).abs() < 1e-12);
-        assert!((phi[1] + s.coefficients[1] * -1.0 * -1.0).abs() < 1e-12 || phi[1] == s.coefficients[1] * -1.0);
+        assert!(
+            (phi[1] + s.coefficients[1] * -1.0 * -1.0).abs() < 1e-12
+                || phi[1] == s.coefficients[1] * -1.0
+        );
         assert_eq!(phi[2], 0.0);
         assert!(s.linear_shapley(&[1.0]).is_none());
         let f = friedman1(10, 5, 0.0, 1).unwrap();

@@ -106,7 +106,9 @@ impl RandomForest {
                 }
             })
             .map_err(|_| MlError::Numeric("forest training thread panicked".into()))?;
-            out.into_iter().map(|o| o.expect("every slot filled")).collect()
+            out.into_iter()
+                .map(|o| o.expect("every slot filled"))
+                .collect()
         };
         let trees = trees.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(RandomForest {

@@ -137,8 +137,7 @@ impl Gbdt {
 
     /// Raw additive margin (regression value / log-odds).
     pub fn margin(&self, x: &[f64]) -> f64 {
-        self.base_score
-            + self.learning_rate * self.trees.iter().map(|t| t.output(x)).sum::<f64>()
+        self.base_score + self.learning_rate * self.trees.iter().map(|t| t.output(x)).sum::<f64>()
     }
 }
 

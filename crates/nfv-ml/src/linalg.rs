@@ -171,12 +171,7 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
 /// `x` is `n×d` row-major (include a bias column yourself if wanted);
 /// weights must be non-negative. This is the numerical core of LIME and
 /// KernelSHAP as well as the plain linear models.
-pub fn weighted_ridge(
-    x: &Matrix,
-    y: &[f64],
-    w: &[f64],
-    lambda: f64,
-) -> Result<Vec<f64>, MlError> {
+pub fn weighted_ridge(x: &Matrix, y: &[f64], w: &[f64], lambda: f64) -> Result<Vec<f64>, MlError> {
     let (n, d) = (x.rows, x.cols);
     if y.len() != n || w.len() != n {
         return Err(MlError::Shape(format!(

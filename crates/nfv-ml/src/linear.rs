@@ -83,7 +83,11 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Fits with L2 penalty `lambda` for at most `max_iter` Newton steps
     /// (converges when the max coefficient update drops below 1e-8).
-    pub fn fit(data: &Dataset, lambda: f64, max_iter: usize) -> Result<LogisticRegression, MlError> {
+    pub fn fit(
+        data: &Dataset,
+        lambda: f64,
+        max_iter: usize,
+    ) -> Result<LogisticRegression, MlError> {
         if data.task != Task::BinaryClassification {
             return Err(MlError::Shape(
                 "logistic regression needs a binary-classification dataset".into(),

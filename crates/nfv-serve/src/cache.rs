@@ -1,0 +1,341 @@
+//! Sharded LRU cache over finished explanations.
+//!
+//! Keys carry the model *version*, so a re-registered model can never serve
+//! a stale entry — the old version's keys simply stop being asked for and
+//! age out of the LRU (or are swept eagerly via [`ShardedCache::invalidate_model`]).
+//!
+//! Inputs are quantized onto a configurable grid before keying: two feature
+//! vectors within the same grid cell share an explanation. The grid is part
+//! of the engine config, so all keys in one engine agree.
+
+use crate::request::{fnv1a_bytes, fnv1a_words, ExplainMethod};
+use nfv_xai::prelude::Attribution;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache identity of one explanation: model, version, method (with
+/// budget), and the quantized input.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registry id of the model.
+    pub model_id: String,
+    /// Registry version the explanation was computed against.
+    pub model_version: u64,
+    /// Method + budget.
+    pub method: ExplainMethod,
+    /// Grid-quantized feature vector.
+    pub qfeatures: Vec<i64>,
+}
+
+impl CacheKey {
+    /// Builds a key, quantizing `features` onto `grid`. Returns `None`
+    /// when any feature is non-finite or overflows the grid (such inputs
+    /// must be rejected upstream, not cached).
+    pub fn build(
+        model_id: &str,
+        model_version: u64,
+        method: ExplainMethod,
+        features: &[f64],
+        grid: f64,
+    ) -> Option<CacheKey> {
+        let grid = if grid > 0.0 { grid } else { 1e-9 };
+        let mut q = Vec::with_capacity(features.len());
+        for &x in features {
+            if !x.is_finite() {
+                return None;
+            }
+            let cell = (x / grid).round();
+            if cell.abs() >= i64::MAX as f64 {
+                return None;
+            }
+            q.push(cell as i64);
+        }
+        Some(CacheKey {
+            model_id: model_id.to_string(),
+            model_version,
+            method,
+            qfeatures: q,
+        })
+    }
+
+    /// A run-to-run stable content hash (FNV-1a): shard selection and
+    /// per-request RNG seeds both derive from this, so it must not depend
+    /// on process-local hasher state.
+    pub fn stable_hash(&self) -> u64 {
+        let (mtag, mbudget) = self.method.hash_parts();
+        let id_hash = fnv1a_bytes(self.model_id.as_bytes());
+        fnv1a_words(
+            [id_hash, self.model_version, mtag, mbudget]
+                .into_iter()
+                .chain(self.qfeatures.iter().map(|&v| v as u64)),
+        )
+    }
+}
+
+/// Slab index sentinel.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    value: Arc<Attribution>,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: a hash map into a slab whose slots form an intrusive
+/// doubly-linked recency list. All operations are O(1).
+#[derive(Debug)]
+struct LruShard {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Attribution>> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slots[i].value))
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<Attribution>) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old = &self.slots[victim];
+            self.map.remove(&old.key);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn retain<F: Fn(&CacheKey) -> bool>(&mut self, keep: F) {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !keep(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in victims {
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key.clone());
+            self.free.push(i);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The concurrent cache: `n_shards` independent LRUs, each behind its own
+/// mutex, selected by the key's stable hash. Lock hold times are a map
+/// probe plus two list splices.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruShard>>,
+}
+
+impl ShardedCache {
+    /// Builds a cache of roughly `capacity` entries spread over
+    /// `n_shards` shards (each shard gets an equal slice, minimum 1).
+    pub fn new(capacity: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.clamp(1, 1024);
+        let per = capacity.div_ceil(n_shards).max(1);
+        ShardedCache {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(LruShard::new(per)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
+        // High bits: FNV's low bits are the most mixed, but keep it simple
+        // and uniform by folding.
+        let h = key.stable_hash();
+        let idx = (h ^ (h >> 32)) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks `key` up, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Attribution>> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Inserts (or refreshes) `key`.
+    pub fn insert(&self, key: CacheKey, value: Arc<Attribution>) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    /// Eagerly drops every entry belonging to `model_id` (all versions).
+    /// Version-carrying keys already make stale hits impossible; this just
+    /// reclaims their space immediately on deregistration.
+    pub fn invalidate_model(&self, model_id: &str) {
+        for s in &self.shards {
+            s.lock().retain(|k| k.model_id != model_id);
+        }
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(v: f64) -> Arc<Attribution> {
+        Arc::new(Attribution {
+            names: vec!["f".into()],
+            values: vec![v],
+            base_value: 0.0,
+            prediction: v,
+            method: "test".into(),
+        })
+    }
+
+    fn key(version: u64, x: f64) -> CacheKey {
+        CacheKey::build("m", version, ExplainMethod::TreeShap, &[x], 1e-6).unwrap()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = LruShard::new(2);
+        s.insert(key(1, 1.0), attr(1.0));
+        s.insert(key(1, 2.0), attr(2.0));
+        // Touch 1.0 so 2.0 becomes the LRU victim.
+        assert!(s.get(&key(1, 1.0)).is_some());
+        s.insert(key(1, 3.0), attr(3.0));
+        assert!(s.get(&key(1, 2.0)).is_none(), "2.0 evicted");
+        assert!(s.get(&key(1, 1.0)).is_some());
+        assert!(s.get(&key(1, 3.0)).is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut s = LruShard::new(2);
+        for i in 0..100 {
+            s.insert(key(1, i as f64), attr(i as f64));
+        }
+        assert_eq!(s.len(), 2);
+        assert!(s.slots.len() <= 3, "slab bounded: {}", s.slots.len());
+    }
+
+    #[test]
+    fn version_is_part_of_identity() {
+        let c = ShardedCache::new(16, 4);
+        c.insert(key(1, 5.0), attr(10.0));
+        assert!(c.get(&key(1, 5.0)).is_some());
+        assert!(
+            c.get(&key(2, 5.0)).is_none(),
+            "newer version must miss, never see v1's entry"
+        );
+    }
+
+    #[test]
+    fn quantization_merges_near_inputs_and_rejects_nonfinite() {
+        let a = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[1.0000001], 1e-3).unwrap();
+        let b = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[0.9999999], 1e-3).unwrap();
+        assert_eq!(a, b);
+        let far = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[1.1], 1e-3).unwrap();
+        assert_ne!(a, far);
+        assert!(CacheKey::build("m", 1, ExplainMethod::TreeShap, &[f64::NAN], 1e-3).is_none());
+        assert!(
+            CacheKey::build("m", 1, ExplainMethod::TreeShap, &[1e300], 1e-9).is_none(),
+            "grid overflow"
+        );
+    }
+
+    #[test]
+    fn invalidate_model_sweeps_all_versions() {
+        let c = ShardedCache::new(64, 4);
+        for v in 1..=3 {
+            for i in 0..5 {
+                c.insert(key(v, i as f64), attr(i as f64));
+            }
+        }
+        let other = CacheKey::build("other", 9, ExplainMethod::TreeShap, &[1.0], 1e-6).unwrap();
+        c.insert(other.clone(), attr(7.0));
+        c.invalidate_model("m");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&other).is_some());
+    }
+}

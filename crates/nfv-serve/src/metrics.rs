@@ -1,0 +1,331 @@
+//! Lock-free serving metrics: monotonic counters, log-bucketed latency
+//! histograms, and an EWMA service-time estimate that admission control
+//! reads on every request.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Buckets per power of two. Four sub-buckets give ≤ ~19% relative error
+/// on reported quantiles — plenty for p50/p99 serving dashboards.
+const SUB_BUCKETS: u64 = 4;
+const N_BUCKETS: usize = (64 * SUB_BUCKETS) as usize;
+
+/// A fixed-size log₂ histogram over nanosecond durations, recordable from
+/// any thread without locks.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < 2 {
+            return ns as usize;
+        }
+        let exp = 63 - ns.leading_zeros() as u64;
+        let sub = (ns >> (exp.saturating_sub(2))) & (SUB_BUCKETS - 1);
+        ((exp * SUB_BUCKETS) + sub) as usize
+    }
+
+    /// Lower edge of bucket `i` in nanoseconds (quantile resolution).
+    fn bucket_floor(i: usize) -> u64 {
+        let i = i as u64;
+        if i < 2 {
+            return i;
+        }
+        let exp = i / SUB_BUCKETS;
+        let sub = i % SUB_BUCKETS;
+        if exp < 2 {
+            return 1u64 << exp;
+        }
+        (1u64 << exp) + (sub << (exp - 2))
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1_000.0
+    }
+
+    /// Quantile `q ∈ [0,1]` in microseconds (bucket lower edge; 0 when
+    /// empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_floor(i) as f64 / 1_000.0;
+            }
+        }
+        Self::bucket_floor(N_BUCKETS - 1) as f64 / 1_000.0
+    }
+}
+
+/// All counters the engine maintains. Everything is monotonic; rates are
+/// derived in [`ServeStats`] snapshots.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests entering `explain` (before any admission decision).
+    pub submitted: AtomicU64,
+    /// Requests answered with an attribution.
+    pub completed: AtomicU64,
+    /// Rejects: bounded queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Rejects: predicted latency exceeded the budget at admission.
+    pub rejected_deadline_unmeetable: AtomicU64,
+    /// Rejects: budget expired while queued (dropped by worker).
+    pub rejected_deadline_expired: AtomicU64,
+    /// Rejects: unknown model id.
+    pub rejected_unknown_model: AtomicU64,
+    /// Rejects: malformed request.
+    pub rejected_invalid: AtomicU64,
+    /// Explainer errors surfaced to callers.
+    pub explain_errors: AtomicU64,
+    /// Cache hits (client fast path + worker recheck).
+    pub cache_hits: AtomicU64,
+    /// Cache misses that went to the explainers.
+    pub cache_misses: AtomicU64,
+    /// Worker batches executed (compatible groups, size ≥ 1).
+    pub batches: AtomicU64,
+    /// Requests explained inside those batches.
+    pub batched_requests: AtomicU64,
+    /// Largest batch observed.
+    pub max_batch: AtomicU64,
+    /// Queue wait of worker-served requests.
+    pub queue_wait: LatencyHistogram,
+    /// Explainer compute time per batch group, attributed per request.
+    pub service: LatencyHistogram,
+    /// End-to-end latency of completed requests (hit or miss).
+    pub total: LatencyHistogram,
+    /// EWMA of per-request service time in ns (admission control's model
+    /// of how expensive one explanation currently is).
+    ewma_service_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observed per-request service time into the EWMA
+    /// (α = 1/8, the classic TCP RTT smoothing constant).
+    pub fn observe_service_ns(&self, ns: u64) {
+        let mut cur = self.ewma_service_ns.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == 0 { ns } else { cur - cur / 8 + ns / 8 };
+            match self.ewma_service_ns.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Current smoothed per-request service-time estimate (ns); 0 until
+    /// the first observation.
+    pub fn ewma_service_ns(&self) -> u64 {
+        self.ewma_service_ns.load(Ordering::Relaxed)
+    }
+
+    /// Records a batch execution of `n` requests.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshots everything into a serializable report.
+    pub fn snapshot(&self) -> ServeStats {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline_unmeetable: self.rejected_deadline_unmeetable.load(Ordering::Relaxed),
+            rejected_deadline_expired: self.rejected_deadline_expired.load(Ordering::Relaxed),
+            rejected_unknown_model: self.rejected_unknown_model.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            explain_errors: self.explain_errors.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            batches,
+            batched_requests: batched,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_wait_p50_us: self.queue_wait.quantile_us(0.50),
+            queue_wait_p99_us: self.queue_wait.quantile_us(0.99),
+            service_p50_us: self.service.quantile_us(0.50),
+            service_p99_us: self.service.quantile_us(0.99),
+            total_p50_us: self.total.quantile_us(0.50),
+            total_p99_us: self.total.quantile_us(0.99),
+            total_mean_us: self.total.mean_us(),
+        }
+    }
+}
+
+/// A serializable point-in-time view of the engine's counters and latency
+/// distributions — what an operator dashboard would scrape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests entering `explain`.
+    pub submitted: u64,
+    /// Requests answered with an attribution.
+    pub completed: u64,
+    /// Rejects: queue full.
+    pub rejected_queue_full: u64,
+    /// Rejects: deadline unmeetable at admission.
+    pub rejected_deadline_unmeetable: u64,
+    /// Rejects: deadline expired while queued.
+    pub rejected_deadline_expired: u64,
+    /// Rejects: unknown model.
+    pub rejected_unknown_model: u64,
+    /// Rejects: malformed request.
+    pub rejected_invalid: u64,
+    /// Explainer errors.
+    pub explain_errors: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// hits / (hits + misses), 0 when no lookups.
+    pub cache_hit_rate: f64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests explained inside batches.
+    pub batched_requests: u64,
+    /// batched_requests / batches.
+    pub mean_batch_size: f64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// Queue-wait median, microseconds.
+    pub queue_wait_p50_us: f64,
+    /// Queue-wait 99th percentile, microseconds.
+    pub queue_wait_p99_us: f64,
+    /// Service-time median, microseconds.
+    pub service_p50_us: f64,
+    /// Service-time 99th percentile, microseconds.
+    pub service_p99_us: f64,
+    /// End-to-end median, microseconds.
+    pub total_p50_us: f64,
+    /// End-to-end 99th percentile, microseconds.
+    pub total_p99_us: f64,
+    /// End-to-end mean, microseconds.
+    pub total_mean_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        // Log buckets: the floor is within ~19% below the true quantile.
+        assert!((380.0..=500.0).contains(&p50), "p50={p50}");
+        assert!((780.0..=990.0).contains(&p99), "p99={p99}");
+        assert!(p50 < p99);
+        assert!((h.mean_us() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let mut last = 0usize;
+        for ns in [0u64, 1, 2, 3, 7, 8, 100, 1_000, 1_000_000, u64::MAX / 2] {
+            let b = LatencyHistogram::bucket_of(ns);
+            assert!(b >= last, "bucket({ns}) regressed");
+            assert!(LatencyHistogram::bucket_floor(b) <= ns.max(1));
+            last = b;
+        }
+    }
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let m = Metrics::new();
+        assert_eq!(m.ewma_service_ns(), 0);
+        m.observe_service_ns(8_000);
+        assert_eq!(m.ewma_service_ns(), 8_000, "first sample seeds the EWMA");
+        for _ in 0..64 {
+            m.observe_service_ns(1_000);
+        }
+        let e = m.ewma_service_ns();
+        assert!(e < 2_500, "ewma={e} should approach 1000");
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.record_batch(4);
+        let snap = m.snapshot();
+        assert_eq!(snap.cache_hit_rate, 0.5);
+        assert_eq!(snap.max_batch, 4);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ServeStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,179 @@
+//! The bounded admission queue: a crossbeam MPMC channel wrapped with
+//! reject-don't-block semantics and a deadline-feasibility check.
+
+use crate::cache::CacheKey;
+use crate::error::{RejectReason, ServeError};
+use crate::metrics::Metrics;
+use crate::registry::ModelEntry;
+use crate::request::{ExplainRequest, ExplainResponse};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One admitted unit of work travelling from client thread to worker.
+pub struct Job {
+    /// The original request.
+    pub request: ExplainRequest,
+    /// Resolved registry entry (pinned: a concurrent re-registration does
+    /// not change what this job is explained against).
+    pub entry: Arc<ModelEntry>,
+    /// Cache identity (also the seed source).
+    pub key: CacheKey,
+    /// When the job was admitted (queue-wait measurement + deadline base).
+    pub admitted: Instant,
+    /// Where the worker sends the outcome; capacity 1, never blocks.
+    pub respond: Sender<Result<ExplainResponse, ServeError>>,
+}
+
+/// The bounded queue plus the admission logic in front of it.
+pub struct JobQueue {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    capacity: usize,
+    workers: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue of `capacity` jobs feeding `workers` workers.
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        let capacity = capacity.max(1);
+        let (tx, rx) = channel::bounded(capacity);
+        JobQueue {
+            tx,
+            rx,
+            capacity,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The consuming end, for worker threads.
+    pub fn receiver(&self) -> Receiver<Job> {
+        self.rx.clone()
+    }
+
+    /// Admission: feasibility check, then a non-blocking enqueue.
+    ///
+    /// Feasibility model: the backlog ahead of this request is served by
+    /// `workers` at the EWMA per-request service time; if even the
+    /// optimistic estimate misses the budget, reject now instead of making
+    /// the caller discover it the slow way.
+    /// The rejected `Job` rides back boxed so the `Err` variant stays
+    /// small on the (hot) `Ok` path; rejection is the cold path and can
+    /// afford the allocation.
+    pub fn admit(&self, job: Job, metrics: &Metrics) -> Result<(), (RejectReason, Box<Job>)> {
+        let ewma_ns = metrics.ewma_service_ns();
+        if ewma_ns > 0 {
+            let backlog = self.tx.len() as u64;
+            let est_ns = ewma_ns * (backlog / self.workers as u64 + 1);
+            let budget_ns = job.request.budget.as_nanos().min(u64::MAX as u128) as u64;
+            if est_ns > budget_ns {
+                return Err((
+                    RejectReason::DeadlineUnmeetable {
+                        estimated_us: est_ns / 1_000,
+                        budget_us: budget_ns / 1_000,
+                    },
+                    Box::new(job),
+                ));
+            }
+        }
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => Err((
+                RejectReason::QueueFull {
+                    capacity: self.capacity,
+                },
+                Box::new(job),
+            )),
+            Err(TrySendError::Disconnected(job)) => {
+                Err((RejectReason::ShuttingDown, Box::new(job)))
+            }
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// True when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ExplainMethod;
+    use nfv_ml::prelude::*;
+    use nfv_xai::prelude::*;
+    use std::time::Duration;
+
+    fn test_job(budget: Duration) -> Job {
+        let data = nfv_data::dataset::Dataset::new(
+            vec!["a".into()],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            nfv_data::dataset::Task::Regression,
+        )
+        .unwrap();
+        let model = LinearRegression::fit(&data, 1e-6).unwrap();
+        let bg = Background::from_rows(vec![vec![0.0]]).unwrap();
+        let entry = Arc::new(crate::registry::ModelEntry {
+            model: crate::registry::ServeModel::Linear(model),
+            version: 1,
+            feature_names: vec!["a".into()],
+            background: bg,
+        });
+        let request = ExplainRequest {
+            model_id: "m".into(),
+            features: vec![0.5],
+            method: ExplainMethod::KernelShap { n_coalitions: 8 },
+            budget,
+        };
+        let key = CacheKey::build("m", 1, request.method, &request.features, 1e-6).unwrap();
+        let (respond, _keep) = channel::bounded(1);
+        // Leak the receiver handle so sends would succeed if attempted.
+        std::mem::forget(_keep);
+        Job {
+            request,
+            entry,
+            key,
+            admitted: Instant::now(),
+            respond,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = JobQueue::new(2, 1);
+        let m = Metrics::new();
+        assert!(q.admit(test_job(Duration::from_secs(1)), &m).is_ok());
+        assert!(q.admit(test_job(Duration::from_secs(1)), &m).is_ok());
+        let (reason, _) = q.admit(test_job(Duration::from_secs(1)), &m).unwrap_err();
+        assert_eq!(reason, RejectReason::QueueFull { capacity: 2 });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_deadline_is_rejected_up_front() {
+        let q = JobQueue::new(8, 1);
+        let m = Metrics::new();
+        // Teach the EWMA that one request costs ~10ms.
+        m.observe_service_ns(10_000_000);
+        let (reason, _) = q
+            .admit(test_job(Duration::from_micros(50)), &m)
+            .unwrap_err();
+        assert!(
+            matches!(reason, RejectReason::DeadlineUnmeetable { .. }),
+            "{reason:?}"
+        );
+        // A generous budget is admitted.
+        assert!(q.admit(test_job(Duration::from_secs(1)), &m).is_ok());
+    }
+}

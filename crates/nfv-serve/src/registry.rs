@@ -1,0 +1,220 @@
+//! The model registry: every servable model lives here behind an `Arc`,
+//! tagged with a monotonically increasing version.
+//!
+//! Versions are global across the registry (not per-id) so a cache key
+//! containing a version can never collide between "model A v2" and a
+//! re-registered "model A" — every registration gets a fresh number.
+
+use crate::error::{RejectReason, ServeError};
+use crate::request::ExplainMethod;
+use nfv_ml::prelude::*;
+use nfv_xai::prelude::*;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A servable model: the closed set of architectures the NFV-management
+/// stack deploys (SLA forecasting, latency regression, baselines).
+#[derive(Debug, Clone)]
+pub enum ServeModel {
+    /// Gradient-boosted trees (explained in margin space).
+    Gbdt(Gbdt),
+    /// Bagged random forest.
+    Forest(RandomForest),
+    /// Ridge regression — the intrinsically interpretable baseline.
+    Linear(LinearRegression),
+    /// The opaque MLP baseline.
+    Mlp(Mlp),
+}
+
+impl ServeModel {
+    /// Feature count the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.as_regressor().n_features()
+    }
+
+    /// The model as the trait object every model-agnostic explainer takes.
+    pub fn as_regressor(&self) -> &dyn Regressor {
+        match self {
+            ServeModel::Gbdt(m) => m,
+            ServeModel::Forest(m) => m,
+            ServeModel::Linear(m) => m,
+            ServeModel::Mlp(m) => m,
+        }
+    }
+
+    /// Whether the structure-aware TreeSHAP path applies.
+    pub fn supports_tree_shap(&self) -> bool {
+        matches!(self, ServeModel::Gbdt(_) | ServeModel::Forest(_))
+    }
+
+    /// Short architecture tag for stats and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeModel::Gbdt(_) => "gbdt",
+            ServeModel::Forest(_) => "forest",
+            ServeModel::Linear(_) => "linear",
+            ServeModel::Mlp(_) => "mlp",
+        }
+    }
+}
+
+/// One registered model with everything its explainers need.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The model itself.
+    pub model: ServeModel,
+    /// Registry-global version assigned at registration.
+    pub version: u64,
+    /// Feature names, aligned with model inputs.
+    pub feature_names: Vec<String>,
+    /// Background distribution for the sampling explainers.
+    pub background: Background,
+}
+
+impl ModelEntry {
+    /// Checks a request's method against this model's capabilities.
+    pub fn supports(&self, method: ExplainMethod) -> Result<(), ServeError> {
+        if matches!(method, ExplainMethod::TreeShap) && !self.model.supports_tree_shap() {
+            return Err(ServeError::Rejected(RejectReason::InvalidRequest {
+                reason: format!(
+                    "tree-shap requires a tree model, got `{}`",
+                    self.model.kind()
+                ),
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe id → model map. Reads (the per-request hot path) take a
+/// shared lock; registrations are rare and take the exclusive lock.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) `id`, returning the assigned version.
+    ///
+    /// Validates that names and background agree with the model's feature
+    /// count up front, so workers never see an inconsistent entry.
+    pub fn register(
+        &self,
+        id: &str,
+        model: ServeModel,
+        feature_names: Vec<String>,
+        background: Background,
+    ) -> Result<u64, ServeError> {
+        let d = model.n_features();
+        if feature_names.len() != d || background.n_features() != d {
+            return Err(ServeError::Rejected(RejectReason::InvalidRequest {
+                reason: format!(
+                    "model `{id}` has {d} features but names={} background={}",
+                    feature_names.len(),
+                    background.n_features()
+                ),
+            }));
+        }
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(ModelEntry {
+            model,
+            version,
+            feature_names,
+            background,
+        });
+        self.models.write().insert(id.to_string(), entry);
+        Ok(version)
+    }
+
+    /// Resolves `id` to its current entry.
+    pub fn get(&self, id: &str) -> Option<Arc<ModelEntry>> {
+        self.models.read().get(id).cloned()
+    }
+
+    /// Removes `id`; returns whether it was present.
+    pub fn deregister(&self, id: &str) -> bool {
+        self.models.write().remove(id).is_some()
+    }
+
+    /// Registered ids, sorted (stable output for stats/debugging).
+    pub fn ids(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.models.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_entry() -> (ServeModel, Vec<String>, Background) {
+        // A 2-feature ridge fit on 4 points.
+        let data = nfv_data::dataset::Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            vec![0.0, 1.0, 2.0, 3.0],
+            nfv_data::dataset::Task::Regression,
+        )
+        .unwrap();
+        let model = LinearRegression::fit(&data, 1e-6).unwrap();
+        let bg = Background::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        (ServeModel::Linear(model), data.names.clone(), bg)
+    }
+
+    #[test]
+    fn versions_increase_across_re_registration() {
+        let reg = ModelRegistry::new();
+        let (m, names, bg) = linear_entry();
+        let v1 = reg
+            .register("sla", m.clone(), names.clone(), bg.clone())
+            .unwrap();
+        let v2 = reg.register("sla", m, names, bg).unwrap();
+        assert!(v2 > v1);
+        assert_eq!(reg.get("sla").unwrap().version, v2);
+        assert_eq!(reg.ids(), vec!["sla".to_string()]);
+        assert!(reg.deregister("sla"));
+        assert!(reg.get("sla").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let reg = ModelRegistry::new();
+        let (m, _, bg) = linear_entry();
+        let err = reg
+            .register("sla", m, vec!["only-one".into()], bg)
+            .unwrap_err();
+        assert!(err.is_reject());
+    }
+
+    #[test]
+    fn tree_shap_gated_to_tree_models() {
+        let reg = ModelRegistry::new();
+        let (m, names, bg) = linear_entry();
+        reg.register("lin", m, names, bg).unwrap();
+        let entry = reg.get("lin").unwrap();
+        assert!(entry.supports(ExplainMethod::TreeShap).is_err());
+        assert!(entry
+            .supports(ExplainMethod::KernelShap { n_coalitions: 64 })
+            .is_ok());
+    }
+}

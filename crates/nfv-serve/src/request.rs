@@ -1,0 +1,125 @@
+//! Request/response types of the in-process serving API, plus the stable
+//! content hash that drives both cache keying and per-request seeding.
+
+use nfv_xai::prelude::Attribution;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which explanation method to run, with its sampling budget where one
+/// applies. Budgets are part of the identity: a 64-coalition KernelSHAP
+/// answer must never be served from a 512-coalition cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplainMethod {
+    /// Structure-aware TreeSHAP (tree models only; deterministic, no RNG).
+    TreeShap,
+    /// KernelSHAP with an explicit coalition budget.
+    KernelShap {
+        /// Coalition evaluation budget.
+        n_coalitions: usize,
+    },
+    /// LIME with an explicit perturbation-sample budget.
+    Lime {
+        /// Number of perturbed samples.
+        n_samples: usize,
+    },
+}
+
+impl ExplainMethod {
+    /// Short tag for metrics and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ExplainMethod::TreeShap => "tree-shap",
+            ExplainMethod::KernelShap { .. } => "kernel-shap",
+            ExplainMethod::Lime { .. } => "lime",
+        }
+    }
+
+    /// Discriminant + budget folded into the content hash.
+    pub(crate) fn hash_parts(&self) -> (u64, u64) {
+        match self {
+            ExplainMethod::TreeShap => (1, 0),
+            ExplainMethod::KernelShap { n_coalitions } => (2, *n_coalitions as u64),
+            ExplainMethod::Lime { n_samples } => (3, *n_samples as u64),
+        }
+    }
+}
+
+/// One explanation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRequest {
+    /// Registry id of the model to explain.
+    pub model_id: String,
+    /// The instance to explain (must match the model's feature count).
+    pub features: Vec<f64>,
+    /// Which explainer to run.
+    pub method: ExplainMethod,
+    /// End-to-end latency budget; admission control rejects requests it
+    /// cannot serve within this, and workers drop requests whose budget
+    /// expired while queued.
+    pub budget: Duration,
+}
+
+/// A served explanation plus its provenance.
+#[derive(Debug, Clone)]
+pub struct ExplainResponse {
+    /// The attribution (shared with the cache; cloning is pointer-cheap).
+    pub attribution: Arc<Attribution>,
+    /// Version of the model that produced it.
+    pub model_version: u64,
+    /// True when served from the cache without touching the queue/workers.
+    pub cache_hit: bool,
+    /// Size of the worker batch this request was explained in (1 for cache
+    /// hits and singleton batches).
+    pub batch_size: usize,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Explainer compute time attributed to this request's batch group.
+    pub service_time: Duration,
+}
+
+/// FNV-1a over explicit little-endian words: a stable, dependency-free
+/// content hash. Used for cache sharding and per-request seed derivation,
+/// so it must be identical across runs and platforms (`DefaultHasher`
+/// makes no such cross-version promise).
+pub(crate) fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// FNV-1a over raw bytes (for model ids).
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let a = fnv1a_words([1, 2, 3]);
+        assert_eq!(a, fnv1a_words([1, 2, 3]), "deterministic");
+        assert_ne!(a, fnv1a_words([1, 2, 4]));
+        assert_ne!(a, fnv1a_words([3, 2, 1]), "order matters");
+        assert_ne!(fnv1a_bytes(b"gbdt"), fnv1a_bytes(b"mlp"));
+    }
+
+    #[test]
+    fn method_identity_includes_budget() {
+        let a = ExplainMethod::KernelShap { n_coalitions: 64 };
+        let b = ExplainMethod::KernelShap { n_coalitions: 512 };
+        assert_ne!(a.hash_parts(), b.hash_parts());
+        assert_eq!(a.tag(), b.tag());
+    }
+}

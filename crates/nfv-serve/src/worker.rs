@@ -1,0 +1,218 @@
+//! Worker threads: pull jobs, micro-batch them, run the explainers through
+//! `nfv-xai`'s batch path, fill the cache, and answer the waiting clients.
+//!
+//! Determinism: stochastic explainers get a seed derived from the request's
+//! *content* (cache key hash mixed with the engine seed), never from
+//! arrival order, thread id, or batch composition. The same request on the
+//! same engine therefore yields bit-for-bit the same attribution no matter
+//! how it was batched.
+
+use crate::batcher::{gather, group_compatible, BatchPolicy};
+use crate::cache::ShardedCache;
+use crate::error::{RejectReason, ServeError};
+use crate::metrics::Metrics;
+use crate::queue::Job;
+use crate::registry::ServeModel;
+use crate::request::{fnv1a_words, ExplainMethod, ExplainResponse};
+use crossbeam::channel::Receiver;
+use nfv_xai::prelude::*;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Shared state a worker needs (a slice of the engine).
+pub struct WorkerContext {
+    /// The shared explanation cache.
+    pub cache: Arc<ShardedCache>,
+    /// Shared metrics.
+    pub metrics: Arc<Metrics>,
+    /// Batch formation policy.
+    pub policy: BatchPolicy,
+    /// Engine seed mixed into every per-request explainer seed.
+    pub seed: u64,
+}
+
+/// Spawns `n` worker threads consuming `rx`. Threads exit when every
+/// sender is dropped and the queue drains.
+pub fn spawn_workers(n: usize, rx: Receiver<Job>, ctx: Arc<WorkerContext>) -> Vec<JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let rx = rx.clone();
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("nfv-serve-worker-{i}"))
+                .spawn(move || worker_loop(rx, ctx))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
+    while let Ok(first) = rx.recv() {
+        let batch = gather(&rx, first, &ctx.policy);
+        for group in group_compatible(batch) {
+            process_group(group, &ctx);
+        }
+    }
+}
+
+/// The per-request explainer seed: engine seed mixed with the request's
+/// stable content hash.
+fn request_seed(engine_seed: u64, key_hash: u64) -> u64 {
+    fnv1a_words([engine_seed, key_hash])
+}
+
+fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(group.len());
+    for job in group {
+        // Drop requests whose budget burned away in the queue: answering
+        // late is worse than answering "no" (the caller's deadline passed).
+        let waited = now.duration_since(job.admitted);
+        if waited > job.request.budget {
+            ctx.metrics
+                .rejected_deadline_expired
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let _ = job
+                .respond
+                .send(Err(ServeError::Rejected(RejectReason::DeadlineExpired {
+                    waited_us: waited.as_micros().min(u64::MAX as u128) as u64,
+                    budget_us: job.request.budget.as_micros().min(u64::MAX as u128) as u64,
+                })));
+            continue;
+        }
+        // Re-check the cache: an identical request may have been explained
+        // while this one sat in the queue.
+        if let Some(attr) = ctx.cache.get(&job.key) {
+            ctx.metrics
+                .cache_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            ctx.metrics
+                .completed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            ctx.metrics.queue_wait.record(waited);
+            ctx.metrics.total.record(waited);
+            let _ = job.respond.send(Ok(ExplainResponse {
+                attribution: attr,
+                model_version: job.key.model_version,
+                cache_hit: true,
+                batch_size: 1,
+                queue_wait: waited,
+                service_time: std::time::Duration::ZERO,
+            }));
+            continue;
+        }
+        live.push(job);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    ctx.metrics.record_batch(live.len());
+    ctx.metrics
+        .cache_misses
+        .fetch_add(live.len() as u64, std::sync::atomic::Ordering::Relaxed);
+
+    let entry = Arc::clone(&live[0].entry);
+    let method = live[0].key.method;
+    let names = entry.feature_names.clone();
+    let instances: Vec<Vec<f64>> = live.iter().map(|j| j.request.features.clone()).collect();
+    let seeds: Vec<u64> = live
+        .iter()
+        .map(|j| request_seed(ctx.seed, j.key.stable_hash()))
+        .collect();
+
+    let t0 = Instant::now();
+    // threads=1: parallelism comes from the worker pool itself.
+    let result = explain_batch_seeded(&instances, &seeds, 1, |x, seed| {
+        match (&entry.model, method) {
+            (ServeModel::Gbdt(m), ExplainMethod::TreeShap) => gbdt_shap(m, x, &names),
+            (ServeModel::Forest(m), ExplainMethod::TreeShap) => forest_shap(m, x, &names),
+            (_, ExplainMethod::TreeShap) => Err(XaiError::Input(format!(
+                "tree-shap unsupported for `{}`",
+                entry.model.kind()
+            ))),
+            (_, ExplainMethod::KernelShap { n_coalitions }) => {
+                let cfg = KernelShapConfig {
+                    n_coalitions,
+                    ridge: 0.0,
+                    seed,
+                };
+                kernel_shap(
+                    entry.model.as_regressor(),
+                    x,
+                    &entry.background,
+                    &names,
+                    &cfg,
+                )
+            }
+            (_, ExplainMethod::Lime { n_samples }) => {
+                let cfg = LimeConfig {
+                    n_samples,
+                    seed,
+                    ..LimeConfig::default()
+                };
+                lime(
+                    entry.model.as_regressor(),
+                    x,
+                    &entry.background,
+                    &names,
+                    &cfg,
+                )
+                .map(|e| e.attribution)
+            }
+        }
+    });
+    let service = t0.elapsed();
+    let per_request_ns = (service.as_nanos() / live.len() as u128).min(u64::MAX as u128) as u64;
+    ctx.metrics.observe_service_ns(per_request_ns);
+
+    match result {
+        Ok(attrs) => {
+            let batch_size = live.len();
+            for (job, attr) in live.into_iter().zip(attrs) {
+                let attr = Arc::new(attr);
+                ctx.cache.insert(job.key.clone(), Arc::clone(&attr));
+                let waited = now.duration_since(job.admitted);
+                ctx.metrics.queue_wait.record(waited);
+                ctx.metrics.service.record(service);
+                ctx.metrics.total.record(waited + service);
+                ctx.metrics
+                    .completed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let _ = job.respond.send(Ok(ExplainResponse {
+                    attribution: attr,
+                    model_version: job.key.model_version,
+                    cache_hit: false,
+                    batch_size,
+                    queue_wait: waited,
+                    service_time: service,
+                }));
+            }
+        }
+        Err(e) => {
+            // One failing instance fails its whole group (the batch call
+            // reports the first error); callers see the explainer error.
+            for job in live {
+                ctx.metrics
+                    .explain_errors
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let _ = job.respond.send(Err(ServeError::Explain(e.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_depend_on_content_not_order() {
+        let a = request_seed(7, 100);
+        let b = request_seed(7, 101);
+        assert_ne!(a, b);
+        assert_eq!(a, request_seed(7, 100), "pure function of (seed, key)");
+        assert_ne!(a, request_seed(8, 100), "engine seed matters");
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration surface of `nfv-serve`: lifecycle (register → serve →
+//! re-register → deregister), stats serialization, and cache eviction
+//! under a capacity squeeze — all through the public prelude only.
+
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_serve::prelude::*;
+use nfv_xai::prelude::*;
+use std::time::Duration;
+
+fn fitted(seed: u64) -> (Gbdt, Vec<String>, Background, SynthData) {
+    let synth = friedman1(300, 5, 0.1, seed).unwrap();
+    let model = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 12,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let bg = Background::from_dataset(&synth.data, 12, 1).unwrap();
+    let names = synth.data.names.clone();
+    (model, names, bg, synth)
+}
+
+fn tree_req(x: &[f64]) -> ExplainRequest {
+    ExplainRequest {
+        model_id: "m".into(),
+        features: x.to_vec(),
+        method: ExplainMethod::TreeShap,
+        budget: Duration::from_secs(2),
+    }
+}
+
+#[test]
+fn lifecycle_register_serve_deregister() {
+    let (model, names, bg, synth) = fitted(5);
+    let engine = ServeEngine::start(ServeConfig::default());
+    let v = engine
+        .registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    let resp = engine.explain(tree_req(synth.data.row(0))).unwrap();
+    assert_eq!(resp.model_version, v);
+    assert!(resp.attribution.efficiency_gap().abs() < 1e-8);
+
+    assert!(engine.registry().deregister("m"));
+    engine.invalidate_model("m");
+    assert_eq!(engine.cache_len(), 0, "invalidation empties the cache");
+    let err = engine.explain(tree_req(synth.data.row(0))).unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::Rejected(RejectReason::UnknownModel { .. })
+    ));
+    engine.shutdown();
+}
+
+#[test]
+fn stats_snapshot_round_trips_through_json() {
+    let (model, names, bg, synth) = fitted(9);
+    let engine = ServeEngine::start(ServeConfig::default());
+    engine
+        .registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    for i in 0..8 {
+        engine.explain(tree_req(synth.data.row(i % 4))).unwrap();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 8);
+    assert!(stats.cache_hits >= 4, "rows repeat: {stats:?}");
+    let json = serde_json::to_string_pretty(&stats).unwrap();
+    let back: ServeStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+    engine.shutdown();
+}
+
+#[test]
+fn tiny_cache_evicts_but_stays_correct() {
+    let (model, names, bg, synth) = fitted(13);
+    let engine = ServeEngine::start(ServeConfig {
+        cache_capacity: 4,
+        cache_shards: 1,
+        ..ServeConfig::default()
+    });
+    engine
+        .registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    // First pass computes 20 distinct answers through a 4-slot cache.
+    let first: Vec<_> = (0..20)
+        .map(|i| engine.explain(tree_req(synth.data.row(i))).unwrap())
+        .collect();
+    assert!(engine.cache_len() <= 4);
+    // Second pass recomputes evicted entries; answers must be identical
+    // (deterministic TreeSHAP), eviction only costs time, never changes
+    // results.
+    for (i, old) in first.iter().enumerate() {
+        let again = engine.explain(tree_req(synth.data.row(i))).unwrap();
+        assert_eq!(again.attribution, old.attribution);
+    }
+    engine.shutdown();
+}

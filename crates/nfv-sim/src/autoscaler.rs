@@ -173,7 +173,9 @@ pub fn run_scaling(
     policy: &mut dyn ScalingPolicy,
 ) -> Result<ScalingRun, SimError> {
     if cfg.n_epochs == 0 || cfg.epoch_s <= 0.0 {
-        return Err(SimError::Config("n_epochs and epoch_s must be positive".into()));
+        return Err(SimError::Config(
+            "n_epochs and epoch_s must be positive".into(),
+        ));
     }
     if cfg.chain.is_empty() {
         return Err(SimError::Config("cannot scale an empty chain".into()));
@@ -218,8 +220,7 @@ pub fn run_scaling(
         }
     }
     let violation_rate = violations as f64 / cfg.n_epochs as f64;
-    let mean_reserved_cores =
-        reserved / (cfg.n_epochs as f64) ;
+    let mean_reserved_cores = reserved / (cfg.n_epochs as f64);
     Ok(ScalingRun {
         epochs,
         violation_rate,

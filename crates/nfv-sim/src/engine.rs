@@ -255,8 +255,7 @@ impl<'a> Engine<'a> {
                         chains[c].delivered += 1;
                         chains[c].latency.record(SimDuration::ZERO);
                     } else {
-                        let hop =
-                            SimDuration::from_secs_f64(self.chains[c].hop_latency_s.max(0.0));
+                        let hop = SimDuration::from_secs_f64(self.chains[c].hop_latency_s.max(0.0));
                         q.schedule(now + hop, Event::Enqueue { c, v: 0, pkt });
                     }
                 }
@@ -416,10 +415,7 @@ impl<'a> Engine<'a> {
         let mut eff = spec.clone();
         eff.cpu_share = spec.cpu_share * deg.cpu_factor;
         let secs = eff.sample_service_secs(payload_bytes, server.core_ghz, interf, rng);
-        (
-            SimDuration::from_secs_f64(secs.max(1e-9)),
-            interf,
-        )
+        (SimDuration::from_secs_f64(secs.max(1e-9)), interf)
     }
 }
 

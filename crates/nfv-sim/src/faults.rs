@@ -165,9 +165,15 @@ mod tests {
 
     #[test]
     fn leak_decays_linearly() {
-        let f = fault(FaultKind::MemoryLeak { floor_fraction: 0.2 });
+        let f = fault(FaultKind::MemoryLeak {
+            floor_fraction: 0.2,
+        });
         let mid = degradation_at(std::slice::from_ref(&f), 0, 1, SimTime::from_secs_f64(15.0));
-        assert!((mid.queue_factor - 0.6).abs() < 1e-9, "{}", mid.queue_factor);
+        assert!(
+            (mid.queue_factor - 0.6).abs() < 1e-9,
+            "{}",
+            mid.queue_factor
+        );
         let start = degradation_at(std::slice::from_ref(&f), 0, 1, SimTime::from_secs_f64(10.0));
         assert!((start.queue_factor - 1.0).abs() < 1e-9);
     }
@@ -184,7 +190,9 @@ mod tests {
 
     #[test]
     fn wrong_target_is_untouched() {
-        let f = fault(FaultKind::LinkDegrade { extra_latency_s: 1e-3 });
+        let f = fault(FaultKind::LinkDegrade {
+            extra_latency_s: 1e-3,
+        });
         let d = degradation_at(std::slice::from_ref(&f), 0, 0, SimTime::from_secs_f64(15.0));
         assert_eq!(d, Degradation::none());
         let d2 = degradation_at(&[f], 1, 1, SimTime::from_secs_f64(15.0));
@@ -197,7 +205,12 @@ mod tests {
         let d = degradation_at(std::slice::from_ref(&f), 0, 1, SimTime::from_secs_f64(15.0));
         assert!(d.cpu_factor > 0.0, "clamped away from zero");
         let f2 = fault(FaultKind::NoisyNeighbor { factor: 0.5 });
-        let d2 = degradation_at(std::slice::from_ref(&f2), 0, 1, SimTime::from_secs_f64(15.0));
+        let d2 = degradation_at(
+            std::slice::from_ref(&f2),
+            0,
+            1,
+            SimTime::from_secs_f64(15.0),
+        );
         assert_eq!(d2.interference_factor, 1.0, "neighbour cannot speed you up");
     }
 }

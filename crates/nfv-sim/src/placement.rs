@@ -37,11 +37,8 @@ pub fn place(
     if pool.is_empty() {
         return Err(SimError::Placement("empty server pool".into()));
     }
-    let mut alloc: Vec<ServerAllocation> = pool
-        .iter()
-        .cloned()
-        .map(ServerAllocation::new)
-        .collect();
+    let mut alloc: Vec<ServerAllocation> =
+        pool.iter().cloned().map(ServerAllocation::new).collect();
     let mut rng = SimRng::new(seed);
     let mut rr_cursor = 0usize;
     let mut out = Vec::with_capacity(chains.len());
@@ -80,9 +77,7 @@ pub fn place(
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("nonempty"),
-                PlacementPolicy::Random => {
-                    feasible[rng.index(feasible.len()).expect("nonempty")]
-                }
+                PlacementPolicy::Random => feasible[rng.index(feasible.len()).expect("nonempty")],
                 PlacementPolicy::RoundRobin => {
                     // Next feasible server at or after the cursor.
                     let n = alloc.len();
@@ -160,7 +155,10 @@ mod tests {
             .collect();
         used.sort_unstable();
         used.dedup();
-        assert!(used.len() >= 6, "worst-fit should use many servers, used {used:?}");
+        assert!(
+            used.len() >= 6,
+            "worst-fit should use many servers, used {used:?}"
+        );
     }
 
     #[test]

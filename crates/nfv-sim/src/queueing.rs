@@ -180,8 +180,8 @@ pub fn stage_estimate(
     // physical worst case — a full buffer ahead of you — which the
     // unbounded P-K formula wildly exceeds near saturation.
     let capped_lambda = rho * mu;
-    let wait = mg1_mean_wait(capped_lambda, mean_service, cv)
-        .min(queue_capacity as f64 * mean_service);
+    let wait =
+        mg1_mean_wait(capped_lambda, mean_service, cv).min(queue_capacity as f64 * mean_service);
     StageEstimate {
         utilization: utilization(lambda, mu),
         mean_wait_s: wait,
@@ -268,7 +268,10 @@ mod tests {
         let s = stage_estimate(2_000.0, 0.001, 0.5, 64);
         assert!(s.utilization > 1.0);
         assert!(s.drop_probability > 0.3);
-        assert!(s.mean_sojourn_s.is_finite(), "finite buffer keeps sojourn finite");
+        assert!(
+            s.mean_sojourn_s.is_finite(),
+            "finite buffer keeps sojourn finite"
+        );
         let light = stage_estimate(100.0, 0.001, 0.5, 64);
         assert!(light.drop_probability < 1e-6);
         assert!(light.mean_sojourn_s < s.mean_sojourn_s);

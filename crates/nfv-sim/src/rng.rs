@@ -61,7 +61,8 @@ impl SimRng {
     /// component (arrivals, service times, faults, …) its own stream so that
     /// adding a component never perturbs the draws of another.
     pub fn fork(&mut self, stream_tag: u64) -> SimRng {
-        let mut sm = SplitMix64::new(self.next_u64() ^ stream_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut sm =
+            SplitMix64::new(self.next_u64() ^ stream_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = sm.next_u64();
@@ -73,10 +74,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -208,9 +206,7 @@ impl SimRng {
                 continue;
             }
             let u = self.f64();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * scale;
             }
         }
@@ -319,8 +315,7 @@ mod tests {
         let mut r = SimRng::new(17);
         for lambda in [3.0, 120.0] {
             let n = 50_000;
-            let mean: f64 =
-                (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() / lambda < 0.03,
                 "lambda={lambda} mean={mean}"

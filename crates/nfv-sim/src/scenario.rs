@@ -68,7 +68,13 @@ impl ScenarioBuilder {
     }
 
     /// Adds a chain with its workload and SLA.
-    pub fn chain(mut self, spec: ChainSpec, workload: Workload, sizes: PacketSizes, sla: Sla) -> Self {
+    pub fn chain(
+        mut self,
+        spec: ChainSpec,
+        workload: Workload,
+        sizes: PacketSizes,
+        sla: Sla,
+    ) -> Self {
         self.scenario.chains.push(spec);
         self.scenario.workloads.push((workload, sizes));
         self.scenario.slas.push(sla);
@@ -102,7 +108,12 @@ impl ScenarioBuilder {
 impl Scenario {
     /// Computes the placement for this scenario.
     pub fn place(&self) -> Result<Vec<ChainPlacement>, SimError> {
-        place(&self.chains, &self.servers, self.policy, self.placement_seed)
+        place(
+            &self.chains,
+            &self.servers,
+            self.policy,
+            self.placement_seed,
+        )
     }
 
     /// Runs the discrete-event engine.
@@ -148,14 +159,11 @@ impl Scenario {
                 // Static proxy for neighbour busy-cores: committed load minus
                 // this VNF's own share, damped by 0.5 mean duty cycle.
                 let others = (loads[sid] - vnf.cpu_share).max(0.0) * 0.5;
-                let interf =
-                    self.servers[sid].interference(others) * deg.interference_factor;
+                let interf = self.servers[sid].interference(others) * deg.interference_factor;
                 interference.push(interf);
                 eff_chain.vnfs[v].cpu_share = vnf.cpu_share * deg.cpu_factor;
-                eff_chain.vnfs[v].queue_capacity = (((vnf.queue_capacity as f64)
-                    * deg.queue_factor)
-                    .floor() as usize)
-                    .max(1);
+                eff_chain.vnfs[v].queue_capacity =
+                    (((vnf.queue_capacity as f64) * deg.queue_factor).floor() as usize).max(1);
             }
             let ghz = self.servers[placements[c].servers[0].0].core_ghz;
             let est = estimate_chain(&eff_chain, lambda, sizes.mean_bytes(), ghz, &interference);
@@ -178,7 +186,11 @@ impl Scenario {
             } else {
                 Workload::bursty(base)
             };
-            let sla = if i % 2 == 0 { Sla::tight() } else { Sla::relaxed() };
+            let sla = if i % 2 == 0 {
+                Sla::tight()
+            } else {
+                Sla::relaxed()
+            };
             b = b.chain(c, wl, PacketSizes::Imix, sla);
         }
         b = b.fault(Fault {
@@ -229,7 +241,9 @@ mod tests {
             })
             .unwrap();
         assert_eq!(des.windows.len(), sc.chains.len());
-        let fluid = sc.evaluate_fluid(SimTime::from_secs_f64(1.0), 0.0, 1).unwrap();
+        let fluid = sc
+            .evaluate_fluid(SimTime::from_secs_f64(1.0), 0.0, 1)
+            .unwrap();
         assert_eq!(fluid.len(), sc.chains.len());
         for (est, lambda) in &fluid {
             assert!(est.mean_latency_s.is_finite());
@@ -240,8 +254,12 @@ mod tests {
     #[test]
     fn fluid_fault_window_raises_latency() {
         let sc = Scenario::demo(2);
-        let before = sc.evaluate_fluid(SimTime::from_secs_f64(1.0), 0.0, 3).unwrap();
-        let during = sc.evaluate_fluid(SimTime::from_secs_f64(6.0), 0.0, 3).unwrap();
+        let before = sc
+            .evaluate_fluid(SimTime::from_secs_f64(1.0), 0.0, 3)
+            .unwrap();
+        let during = sc
+            .evaluate_fluid(SimTime::from_secs_f64(6.0), 0.0, 3)
+            .unwrap();
         // Chain 0 has a CPU throttle active in [4, 8).
         assert!(
             during[0].0.mean_latency_s > before[0].0.mean_latency_s,
@@ -270,8 +288,7 @@ mod tests {
         let a = Scenario::demo(4);
         let b = Scenario::demo(4);
         assert_eq!(a.chains.len(), b.chains.len());
-        let (Workload::Poisson(pa), Workload::Poisson(pb)) =
-            (&a.workloads[0].0, &b.workloads[0].0)
+        let (Workload::Poisson(pa), Workload::Poisson(pb)) = (&a.workloads[0].0, &b.workloads[0].0)
         else {
             panic!("chain 0 is poisson in the demo");
         };

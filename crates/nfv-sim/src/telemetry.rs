@@ -122,7 +122,13 @@ impl LatencyHistogram {
     /// Decomposes into `(buckets, count, sum_secs, min_ns, max_ns)` — the
     /// exact state, for binary trace encoding.
     pub fn raw_parts(&self) -> (&[u64], u64, f64, u64, u64) {
-        (&self.buckets, self.count, self.sum_secs, self.min_ns, self.max_ns)
+        (
+            &self.buckets,
+            self.count,
+            self.sum_secs,
+            self.min_ns,
+            self.max_ns,
+        )
     }
 
     /// Rebuilds from [`Self::raw_parts`] output. Validates the bucket count

@@ -75,7 +75,7 @@ fn get_histogram(buf: &mut Bytes) -> Result<LatencyHistogram, SimError> {
         }
     }
     LatencyHistogram::from_raw_parts(buckets, count, sum_secs, min_ns, max_ns)
-        .map_err(|m| SimError::Config(m))
+        .map_err(SimError::Config)
 }
 
 fn put_snapshot(buf: &mut BytesMut, s: &WindowSnapshot) {
@@ -230,10 +230,7 @@ mod tests {
         let windows = sample_windows();
         let binary = encode_trace(&windows).len();
         let json = serde_json::to_string(&windows).unwrap().len();
-        assert!(
-            binary * 4 < json,
-            "binary {binary} should be ≪ json {json}"
-        );
+        assert!(binary * 4 < json, "binary {binary} should be ≪ json {json}");
     }
 
     #[test]

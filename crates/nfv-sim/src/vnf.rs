@@ -181,14 +181,9 @@ impl VnfConfig {
     /// at `core_ghz`, scaled by the allocated CPU share and by an
     /// `interference` multiplier ≥ 1 (cache/memory-bandwidth contention from
     /// co-located tenants).
-    pub fn mean_service_secs(
-        &self,
-        payload_bytes: f64,
-        core_ghz: f64,
-        interference: f64,
-    ) -> f64 {
-        let cycles = self.kind.cycles_per_packet()
-            + self.kind.cycles_per_byte() * payload_bytes.max(0.0);
+    pub fn mean_service_secs(&self, payload_bytes: f64, core_ghz: f64, interference: f64) -> f64 {
+        let cycles =
+            self.kind.cycles_per_packet() + self.kind.cycles_per_byte() * payload_bytes.max(0.0);
         let hz = (core_ghz * 1e9 * self.cpu_share.max(1e-6)).max(1.0);
         cycles * interference.max(1.0) / hz
     }

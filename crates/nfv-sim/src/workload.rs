@@ -81,8 +81,8 @@ impl Mmpp2 {
             } else {
                 rng.exp(1.0 / self.mean_calm_s.max(1e-9))
             };
-            self.state_until = self.state_until.max(now)
-                + SimDuration::from_secs_f64(dwell.max(1e-9));
+            self.state_until =
+                self.state_until.max(now) + SimDuration::from_secs_f64(dwell.max(1e-9));
         }
         if self.bursting {
             self.burst_pps
@@ -286,7 +286,10 @@ mod tests {
         let mut w = Mmpp2::new(500.0, 5_000.0, 2.0, 0.5);
         let expected = w.mean_rate_pps();
         let r = empirical_rate(&mut w, 400.0, 2);
-        assert!((r / expected - 1.0).abs() < 0.10, "r={r} expected={expected}");
+        assert!(
+            (r / expected - 1.0).abs() < 0.10,
+            "r={r} expected={expected}"
+        );
     }
 
     #[test]
@@ -306,11 +309,8 @@ mod tests {
                 }
             }
             let m = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
-            let v = counts
-                .iter()
-                .map(|&c| (c as f64 - m).powi(2))
-                .sum::<f64>()
-                / counts.len() as f64;
+            let v =
+                counts.iter().map(|&c| (c as f64 - m).powi(2)).sum::<f64>() / counts.len() as f64;
             v / m // index of dispersion; 1 for Poisson
         };
         let mut mmpp = Mmpp2::new(500.0, 5_000.0, 2.0, 0.5);

@@ -59,13 +59,15 @@ fn main() {
         .expect("nonempty");
     let x = test.row(idx).to_vec();
     let attr = gbdt_shap(&model, &x, &test.names).expect("explanation");
-    println!("\n{}", render_report(&attr, PredictionKind::LatencyP95, 3).text);
+    println!(
+        "\n{}",
+        render_report(&attr, PredictionKind::LatencyP95, 3).text
+    );
 
     // Map the top per-VNF driver back to a chain stage.
     let order = attr.order_by_magnitude();
-    let stage_of = |name: &str| -> Option<usize> {
-        name.split('_').next().and_then(|s| s.parse().ok())
-    };
+    let stage_of =
+        |name: &str| -> Option<usize> { name.split('_').next().and_then(|s| s.parse().ok()) };
     let culprit = order
         .iter()
         .find_map(|&i| stage_of(&attr.names[i]))
@@ -109,6 +111,8 @@ fn main() {
     if after_culprit < base * 0.8 && after_control > after_culprit {
         println!("\nverdict: the explanation was causally actionable — scale the blamed stage.");
     } else {
-        println!("\nverdict: interventions disagree with the attribution — investigate before scaling.");
+        println!(
+            "\nverdict: interventions disagree with the attribution — investigate before scaling."
+        );
     }
 }

@@ -31,15 +31,15 @@ fn main() {
             .bottleneck
             .map(|i| format!("{i}:{}", chain.vnfs[i].kind.short_name()))
             .unwrap_or_else(|| "-".into());
-        println!(
-            "{:<16} | {:>18.0} pps | {}",
-            chain.name, lo, bname
-        );
+        println!("{:<16} | {:>18.0} pps | {}", chain.name, lo, bname);
     }
 
     // Cross-check the analytic model against the DES for one chain at 70%
     // of its knee — the planner is only useful if its numbers hold up.
-    let chain = ChainSpec::of_kinds("secure-web", &[VnfKind::Firewall, VnfKind::Ids, VnfKind::LoadBalancer]);
+    let chain = ChainSpec::of_kinds(
+        "secure-web",
+        &[VnfKind::Firewall, VnfKind::Ids, VnfKind::LoadBalancer],
+    );
     let interference = vec![1.0; chain.len()];
     let load = 150_000.0;
     let est = estimate_chain(&chain, load, payload, core_ghz, &interference);

@@ -23,7 +23,11 @@ fn main() {
     let model = Gbdt::fit(&train, &GbdtParams::default(), 0).expect("fit");
 
     let val_proba: Vec<f64> = validation.rows().map(|r| model.predict_proba(r)).collect();
-    let dep_proba: Vec<f64> = deployed.data.rows().map(|r| model.predict_proba(r)).collect();
+    let dep_proba: Vec<f64> = deployed
+        .data
+        .rows()
+        .map(|r| model.predict_proba(r))
+        .collect();
     let val_auc = metrics::roc_auc(&validation.y, &val_proba).unwrap();
     let dep_auc = metrics::roc_auc(&deployed.data.y, &dep_proba).unwrap();
     println!("validation AUC (leak present): {val_auc:.3}   ← looks deployable");

@@ -53,8 +53,14 @@ fn main() {
         &KernelShapConfig::for_features(x.len()),
     )
     .expect("kernel-shap");
-    let lime_exp = lime(&surface, &x, &background, &test.names, &LimeConfig::default())
-        .expect("lime");
+    let lime_exp = lime(
+        &surface,
+        &x,
+        &background,
+        &test.names,
+        &LimeConfig::default(),
+    )
+    .expect("lime");
 
     // Cross-method agreement: do they point at the same culprits?
     let ks = agreement(&tree_attr, &kernel_attr).expect("agreement");
@@ -73,6 +79,9 @@ fn main() {
 
     // And the distilled global story for the postmortem.
     let surrogate = global_surrogate(&surface, &train, 3).expect("surrogate");
-    println!("--- global surrogate (fidelity R² = {:.3}) -------------------", surrogate.fidelity_r2);
+    println!(
+        "--- global surrogate (fidelity R² = {:.3}) -------------------",
+        surrogate.fidelity_r2
+    );
     println!("{}", render_rules(&surrogate, &train.names));
 }

@@ -13,7 +13,15 @@ fn full_pipeline_fluid_backend() {
     let data = generate_fluid(&sweep, 1_500, Target::SlaViolation).unwrap();
     assert!(data.n_rows() == 1_500);
     let (train, test) = data.split(0.3, 1).unwrap();
-    let model = Gbdt::fit(&train, &GbdtParams { n_rounds: 60, ..Default::default() }, 0).unwrap();
+    let model = Gbdt::fit(
+        &train,
+        &GbdtParams {
+            n_rounds: 60,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
     let proba: Vec<f64> = test.rows().map(|r| model.predict_proba(r)).collect();
     let auc = metrics::roc_auc(&test.y, &proba).unwrap();
     assert!(auc > 0.95, "pipeline model must be skilled: auc={auc}");
@@ -34,7 +42,10 @@ fn full_pipeline_des_backend() {
     assert!(data.n_rows() >= 60);
     let model = RandomForest::fit(
         &data,
-        &ForestParams { n_trees: 30, ..Default::default() },
+        &ForestParams {
+            n_trees: 30,
+            ..Default::default()
+        },
         0,
         2,
     )
@@ -100,5 +111,9 @@ fn violation_labels_match_sla_semantics_across_crates() {
     assert!(hot.positive_fraction() > 0.8, "{}", hot.positive_fraction());
     sweep.rate_range = (1_000.0, 5_000.0); // light → none
     let cold = generate_des(&sweep, 6, 3, Target::SlaViolation).unwrap();
-    assert!(cold.positive_fraction() < 0.1, "{}", cold.positive_fraction());
+    assert!(
+        cold.positive_fraction() < 0.1,
+        "{}",
+        cold.positive_fraction()
+    );
 }

@@ -10,7 +10,15 @@ fn risk_model() -> (Dataset, Dataset, Gbdt) {
     let sweep = SweepConfig::secure_web(51);
     let data = generate_fluid(&sweep, 2_000, Target::SlaViolation).unwrap();
     let (train, test) = data.split(0.25, 1).unwrap();
-    let model = Gbdt::fit(&train, &GbdtParams { n_rounds: 80, ..Default::default() }, 0).unwrap();
+    let model = Gbdt::fit(
+        &train,
+        &GbdtParams {
+            n_rounds: 80,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
     (train, test, model)
 }
 

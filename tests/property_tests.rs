@@ -201,3 +201,74 @@ proptest! {
         prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serving batches are invisible in the output: explaining a set of
+    /// instances through the batch path (any thread count) is bit-for-bit
+    /// the same as explaining each alone with its own seed.
+    #[test]
+    fn batched_explanations_match_one_at_a_time(
+        instances in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 4), 1..8),
+        threads in 1usize..5,
+        seed0 in 0u64..1_000,
+    ) {
+        let bg = Background::from_rows(vec![
+            vec![0.0, 0.5, -0.5, 1.0],
+            vec![1.0, -1.0, 0.0, 0.0],
+            vec![-0.5, 0.0, 1.0, 0.5],
+        ]).unwrap();
+        let model = FnModel::new(4, |v: &[f64]| v[0].sin() + v[1] * v[2] - v[3].abs());
+        let names: Vec<String> = (0..4).map(|i| format!("x{i}")).collect();
+        let seeds: Vec<u64> = (0..instances.len()).map(|i| seed0 + 31 * i as u64).collect();
+        let cfg_for = |seed| KernelShapConfig { n_coalitions: 24, ridge: 1e-8, seed };
+        let batched = explain_batch_seeded(&instances, &seeds, threads, |x, seed| {
+            kernel_shap(&model, x, &bg, &names, &cfg_for(seed))
+        }).unwrap();
+        for (i, x) in instances.iter().enumerate() {
+            let alone = kernel_shap(&model, x, &bg, &names, &cfg_for(seeds[i])).unwrap();
+            prop_assert_eq!(&batched[i], &alone);
+        }
+    }
+
+    /// Whatever the operation mix (inserts, lookups, version bumps,
+    /// evictions in a tiny cache), a lookup keyed to the current model
+    /// version never observes an entry written under a different version.
+    #[test]
+    fn lru_cache_never_serves_a_stale_model_version(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u8..3, 0i64..6), 1..80),
+    ) {
+        use nfv_serve::cache::{CacheKey, ShardedCache};
+        use nfv_serve::request::ExplainMethod;
+        let cache = ShardedCache::new(capacity, 2);
+        let mut version = 1u64;
+        let key_of = |version: u64, cell: i64| CacheKey::build(
+            "m", version, ExplainMethod::TreeShap, &[cell as f64], 1.0,
+        ).unwrap();
+        // The cached value records the version it was computed under.
+        let attr_of = |version: u64, cell: i64| std::sync::Arc::new(Attribution {
+            names: vec!["f".into()],
+            values: vec![cell as f64],
+            base_value: 0.0,
+            prediction: version as f64,
+            method: "test".into(),
+        });
+        for (op, cell) in ops {
+            match op {
+                // A re-registration: the world moves to a new version.
+                0 => version += 1,
+                1 => cache.insert(key_of(version, cell), attr_of(version, cell)),
+                _ => {
+                    if let Some(hit) = cache.get(&key_of(version, cell)) {
+                        prop_assert_eq!(hit.prediction, version as f64,
+                            "entry from version {} served at version {}",
+                            hit.prediction, version);
+                        prop_assert_eq!(hit.values[0], cell as f64);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -48,20 +48,20 @@ fn all_methods_agree_with_closed_form_on_linear_ground_truth() {
         .unwrap()
         .attribution;
 
-    for i in 0..6 {
-        assert!((exact.values[i] - truth[i]).abs() < 1e-9, "exact[{i}]");
-        assert!((kernel.values[i] - truth[i]).abs() < 1e-6, "kernel[{i}]");
+    for (i, &t) in truth.iter().enumerate() {
+        assert!((exact.values[i] - t).abs() < 1e-9, "exact[{i}]");
+        assert!((kernel.values[i] - t).abs() < 1e-6, "kernel[{i}]");
         assert!(
-            (sampled.values[i] - truth[i]).abs() < 0.15,
+            (sampled.values[i] - t).abs() < 0.15,
             "sampled[{i}]: {} vs {}",
             sampled.values[i],
-            truth[i]
+            t
         );
         assert!(
-            (limed.values[i] - truth[i]).abs() < 0.15,
+            (limed.values[i] - t).abs() < 0.15,
             "lime[{i}]: {} vs {}",
             limed.values[i],
-            truth[i]
+            t
         );
     }
 }
@@ -160,7 +160,15 @@ fn deletion_fidelity_prefers_shap_over_random_ordering() {
 #[test]
 fn clever_hans_is_unmasked_by_global_shap() {
     let leaky = clever_hans_nfv(3_000, 0.95, 9).unwrap();
-    let model = Gbdt::fit(&leaky.data, &GbdtParams { n_rounds: 80, ..Default::default() }, 0).unwrap();
+    let model = Gbdt::fit(
+        &leaky.data,
+        &GbdtParams {
+            n_rounds: 80,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
     let names = names_of(&leaky.data);
     let instances: Vec<Vec<f64>> = (0..200).map(|i| leaky.data.row(i).to_vec()).collect();
     let attrs = explain_batch(&instances, 4, |x| gbdt_shap(&model, x, &names)).unwrap();

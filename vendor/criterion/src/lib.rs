@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bencher API surface the workspace's benches use,
+//! measuring wall-clock time and printing a one-line summary
+//! (`min / mean / p50` per iteration) per benchmark. No plotting, no
+//! statistical regression testing, no HTML reports — the numbers go to
+//! stdout, which is what the bench harness scripts scrape.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            // Real criterion defaults to 5 s; keep the stand-in snappier.
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            id,
+            self.default_sample_size,
+            self.default_measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A named parameterized benchmark id (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name supplies the context).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API fidelity; results already printed).
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub trait IntoBenchId {
+    /// The display id.
+    fn into_bench_id(self) -> String;
+}
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `f` over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // One throwaway call so calibration can estimate cost.
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            return;
+        }
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(t0.elapsed());
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: one un-batched call to estimate per-iter cost.
+    let mut cal = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        calibrating: true,
+    };
+    f(&mut cal);
+    let est = cal.samples.first().copied().unwrap_or(Duration::ZERO);
+
+    // Pick an iteration count so `sample_size` samples fill roughly the
+    // measurement budget (clamped to keep degenerate cases bounded).
+    let per_sample_budget = measurement_time.as_secs_f64() / sample_size as f64;
+    let est_secs = est.as_secs_f64().max(1e-9);
+    let iters = ((per_sample_budget / est_secs).round() as u64).clamp(1, 10_000_000);
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(sample_size),
+        calibrating: false,
+    };
+    let deadline = Instant::now() + measurement_time.mul_f64(2.0);
+    for _ in 0..sample_size {
+        f(&mut b);
+        if Instant::now() > deadline {
+            break; // cost estimate was off; keep total time bounded
+        }
+    }
+
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("{id:<50} no samples collected");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter[0];
+    let p50 = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{id:<50} time: [min {} mean {} p50 {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(p50),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &p| {
+            b.iter(|| {
+                ran += 1;
+                p * 2
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

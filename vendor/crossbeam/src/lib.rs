@@ -1,0 +1,440 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build environment has no crates.io access; this crate provides the
+//! two crossbeam facilities the workspace uses, on top of `std::sync`:
+//!
+//! - [`scope`] — crossbeam-0.8-style scoped threads (the closure receives
+//!   the scope, the call returns `Err` instead of panicking when a worker
+//!   panics), backed by `std::thread::scope`;
+//! - [`channel`] — MPMC bounded/unbounded channels with the
+//!   `try_send`/`recv_timeout` surface `nfv-serve` builds its admission
+//!   control on, backed by a `Mutex<VecDeque>` + two condvars. Not
+//!   lock-free like real crossbeam, but the protocol semantics
+//!   (disconnection, capacity, FIFO) match.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of [`scope`]: `Err` carries the payload of the first panic.
+pub type ScopeResult<R> = std::thread::Result<R>;
+
+/// A handle to a running scope, passed to the scope closure and to every
+/// spawned worker (crossbeam convention), enabling nested spawns.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to one spawned worker.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the worker and returns its result (`Err` on panic).
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker inside the scope. The closure receives the scope
+    /// again (ignored by every current caller, kept for API fidelity).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope_copy: Scope<'scope, 'env> = *self;
+        ScopedJoinHandle(self.inner.spawn(move || f(&scope_copy)))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned workers are joined before
+/// returning. Unlike `std::thread::scope` this does not propagate worker
+/// panics as a panic — it returns them as `Err`, which is what the callers
+/// in `nfv-ml`/`nfv-xai` match on.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+pub mod channel {
+    //! MPMC channels with crossbeam-channel's core API.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half; clonable for multi-producer use.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half; clonable for multi-consumer use.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error on [`Sender::send`]: every receiver is gone; carries the value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error on [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; carries the value back.
+        Full(T),
+        /// Every receiver is gone; carries the value back.
+        Disconnected(T),
+    }
+
+    /// Error on [`Receiver::recv`]: channel empty and every sender gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error on [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing buffered right now.
+        Empty,
+        /// Channel empty and every sender gone.
+        Disconnected,
+    }
+
+    /// Error on [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the deadline.
+        Timeout,
+        /// Channel empty and every sender gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates a bounded FIFO channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap))
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+                if !full {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .0
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Enqueues `value` without blocking; `Full` is the backpressure
+        /// signal admission control turns into a reject.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.0.lock();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues, blocking until a message arrives or all senders leave.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.lock();
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeues, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.0.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                inner = g;
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                // Wake blocked receivers so they observe disconnection.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                // Wake blocked senders so they observe disconnection.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn bounded_fifo_and_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_wakes_receiver() {
+            let (tx, rx) = bounded::<u32>(4);
+            let h = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn mpmc_drains_everything_exactly_once() {
+            let (tx, rx) = bounded::<usize>(8);
+            let n = 1000;
+            let counted = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    handles.push(s.spawn(move || rx.iter().count()));
+                }
+                drop(rx);
+                for w in 0..4 {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        for i in 0..n / 4 {
+                            tx.send(w * (n / 4) + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            });
+            assert_eq!(counted, n);
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<u32>(1);
+            let t0 = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(30)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(t0.elapsed() >= Duration::from_millis(25));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns_ok() {
+        let mut data = vec![0u64; 8];
+        let res = super::scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for c in chunk.iter_mut() {
+                        *c += 1;
+                    }
+                });
+            }
+        });
+        assert!(res.is_ok());
+        assert_eq!(data, vec![1u64; 8]);
+    }
+
+    #[test]
+    fn scope_reports_worker_panic_as_err() {
+        let res = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}
