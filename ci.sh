@@ -13,4 +13,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> bench smoke (serve_throughput --test)"
+cargo bench -p nfv-bench --bench serve_throughput -- --test
+
 echo "==> CI OK"

@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nfv_bench::SizedTask;
 use nfv_serve::prelude::*;
+use nfv_xai::prelude::*;
 use std::time::Duration;
 
 fn engine_for(task: &SizedTask, seed: u64) -> ServeEngine {
@@ -95,5 +96,68 @@ fn bench_serve(c: &mut Criterion) {
     engine.shutdown();
 }
 
-criterion_group!(serve, bench_serve);
+/// Coalition evaluation — the explainer hot path — scalar vs batched.
+///
+/// Same work either way: 64 coalitions × 12 background rows = 768
+/// composite evaluations of the d=14, 50-tree forest. The scalar loop
+/// walks all 50 tree arenas per composite row; the batched path runs
+/// tree-major (each tree's nodes stay hot across the whole block), which
+/// is where the speedup comes from. Results are bit-identical.
+fn bench_coalition_eval(c: &mut Criterion) {
+    let task = SizedTask::new(14, 1);
+    let x = task.data.row(3).to_vec();
+    let d = x.len();
+    // Deterministic pseudo-random memberships spanning all coalition sizes.
+    let coalitions: Vec<Vec<bool>> = (0..64u64)
+        .map(|i| {
+            let bits = (i + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(i as u32);
+            (0..d).map(|j| (bits >> j) & 1 == 1).collect()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("coalition_eval_d14_forest50");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("scalar_loop_64x12", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &coalitions {
+                acc += task.background.coalition_value(&task.forest, &x, m);
+            }
+            acc
+        })
+    });
+    let mut ws = CoalitionWorkspace::default();
+    g.bench_function("batched_block_64x12", |b| {
+        b.iter(|| {
+            task.background
+                .coalition_values(&task.forest, &x, &coalitions, &mut ws)
+                .iter()
+                .sum::<f64>()
+        })
+    });
+    // The end-to-end view: KernelSHAP (which routes through the batched
+    // evaluator) with a reusable per-thread workspace.
+    let cfg = KernelShapConfig {
+        n_coalitions: 64,
+        ridge: 1e-8,
+        seed: 7,
+    };
+    g.bench_function("kernel_shap_64", |b| {
+        b.iter(|| {
+            kernel_shap_with(
+                &task.forest,
+                &x,
+                &task.background,
+                &task.names,
+                &cfg,
+                &mut ws,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(serve, bench_serve, bench_coalition_eval);
 criterion_main!(serve);

@@ -20,6 +20,26 @@ pub struct Background {
     pub means: Vec<f64>,
 }
 
+/// Reusable scratch buffers for [`Background::coalition_values_into`].
+///
+/// Every explainer bottoms out in coalition evaluation; the workspace lets
+/// the (coalition × background-row) composite block be materialized once
+/// and reused across calls instead of allocating per coalition. One
+/// workspace per thread — it is cheap to create (`Default`) and grows to
+/// the largest block it has seen.
+#[derive(Debug, Default, Clone)]
+pub struct CoalitionWorkspace {
+    /// Flat `rows × d` composite block handed to `predict_batch`.
+    composites: Vec<f64>,
+    /// Membership scratch the caller's closure fills per coalition.
+    members: Vec<bool>,
+}
+
+/// Cap on composite rows materialized per `predict_batch` call: bounds the
+/// workspace at `MAX_BLOCK_ROWS × d` f64s (~640 KiB at d = 20) while
+/// keeping blocks large enough for the blocked model evaluators to win.
+const MAX_BLOCK_ROWS: usize = 4096;
+
 impl Background {
     /// Builds from explicit rows (all must share one length).
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Background, XaiError> {
@@ -98,13 +118,21 @@ impl Background {
     }
 
     /// `E[f(X)]` over the background — the base value of every attribution.
+    /// Routed through `predict_batch` (same accumulation order as the
+    /// scalar loop, so the value is unchanged).
     pub fn expected_output(&self, model: &dyn Regressor) -> f64 {
-        self.rows.iter().map(|r| model.predict(r)).sum::<f64>() / self.rows.len() as f64
+        let refs: Vec<&[f64]> = self.rows.iter().map(Vec::as_slice).collect();
+        model.predict_batch(&refs).iter().sum::<f64>() / self.rows.len() as f64
     }
 
     /// Estimates `v(S) = E[f(x_S, B_{\bar S})]`: for every background row,
     /// substitute the coalition features from `x` and average the model
     /// output. `in_coalition[j]` marks membership of feature `j`.
+    ///
+    /// This is the scalar reference path; hot loops should prefer
+    /// [`Background::coalition_values`] /
+    /// [`Background::coalition_values_into`], which are bit-identical but
+    /// evaluate whole coalition blocks per model call.
     pub fn coalition_value(&self, model: &dyn Regressor, x: &[f64], in_coalition: &[bool]) -> f64 {
         let mut composite = vec![0.0; x.len()];
         let mut sum = 0.0;
@@ -115,6 +143,88 @@ impl Background {
             sum += model.predict(&composite);
         }
         sum / self.rows.len() as f64
+    }
+
+    /// Bulk coalition evaluation: computes `v(S)` for `n_coalitions`
+    /// coalitions, materializing all (coalition × background-row)
+    /// composites into the workspace and issuing **one `predict_batch`
+    /// call per block** instead of one scalar `predict` per composite row.
+    ///
+    /// `membership(i, members)` must fill the membership buffer for
+    /// coalition `i`; it is invoked exactly once per coalition, in
+    /// ascending order, against a buffer that starts all-`false` and
+    /// persists between invocations (so incremental fills — flip one
+    /// feature per call — are supported).
+    ///
+    /// Values are appended to `out` in coalition order and are
+    /// bit-identical to looping [`Background::coalition_value`]: the
+    /// per-coalition mean accumulates over background rows in the same
+    /// order, and every model's `predict_batch` preserves scalar `predict`
+    /// arithmetic.
+    pub fn coalition_values_into(
+        &self,
+        model: &dyn Regressor,
+        x: &[f64],
+        n_coalitions: usize,
+        mut membership: impl FnMut(usize, &mut [bool]),
+        ws: &mut CoalitionWorkspace,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if n_coalitions == 0 {
+            return;
+        }
+        let d = x.len();
+        let n_bg = self.rows.len();
+        out.reserve(n_coalitions);
+        ws.members.clear();
+        ws.members.resize(d, false);
+        let block = (MAX_BLOCK_ROWS / n_bg).clamp(1, n_coalitions);
+        let mut next = 0usize;
+        while next < n_coalitions {
+            let take = block.min(n_coalitions - next);
+            ws.composites.clear();
+            ws.composites.reserve(take * n_bg * d);
+            for c in 0..take {
+                membership(next + c, &mut ws.members);
+                for b in &self.rows {
+                    for ((&m, &xv), &bv) in ws.members.iter().zip(x).zip(b) {
+                        ws.composites.push(if m { xv } else { bv });
+                    }
+                }
+            }
+            let refs: Vec<&[f64]> = ws.composites.chunks(d).collect();
+            let preds = model.predict_batch(&refs);
+            for per_coalition in preds.chunks(n_bg) {
+                let mut sum = 0.0;
+                for &p in per_coalition {
+                    sum += p;
+                }
+                out.push(sum / n_bg as f64);
+            }
+            next += take;
+        }
+    }
+
+    /// Convenience wrapper over [`Background::coalition_values_into`] for
+    /// callers that already hold explicit membership vectors.
+    pub fn coalition_values(
+        &self,
+        model: &dyn Regressor,
+        x: &[f64],
+        coalitions: &[Vec<bool>],
+        ws: &mut CoalitionWorkspace,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(coalitions.len());
+        self.coalition_values_into(
+            model,
+            x,
+            coalitions.len(),
+            |i, members| members.copy_from_slice(&coalitions[i]),
+            ws,
+            &mut out,
+        );
+        out
     }
 }
 
@@ -161,6 +271,55 @@ mod tests {
         let all = Background::from_dataset(&data, 500, 3).unwrap();
         assert_eq!(all.len(), 100);
         assert!(Background::from_dataset(&data, 0, 3).is_err());
+    }
+
+    #[test]
+    fn bulk_coalition_values_match_scalar_bitwise() {
+        let b = bg();
+        let model = FnModel::new(2, |x: &[f64]| x[0].sin() * x[1] + x[0]);
+        let x = [3.0, -2.0];
+        let coalitions = vec![
+            vec![false, false],
+            vec![true, false],
+            vec![false, true],
+            vec![true, true],
+        ];
+        let mut ws = CoalitionWorkspace::default();
+        let bulk = b.coalition_values(&model, &x, &coalitions, &mut ws);
+        for (members, v) in coalitions.iter().zip(&bulk) {
+            assert_eq!(*v, b.coalition_value(&model, &x, members), "bit-exact");
+        }
+        // Workspace reuse across calls is safe.
+        let again = b.coalition_values(&model, &x, &coalitions, &mut ws);
+        assert_eq!(bulk, again);
+    }
+
+    #[test]
+    fn incremental_membership_fill_is_supported() {
+        let b = bg();
+        let model = FnModel::new(2, |x: &[f64]| x[0] + 2.0 * x[1]);
+        let x = [5.0, 7.0];
+        let mut ws = CoalitionWorkspace::default();
+        let mut out = Vec::new();
+        // Reveal features one at a time: {}, {0}, {0,1}.
+        b.coalition_values_into(
+            &model,
+            &x,
+            3,
+            |i, members| {
+                if i > 0 {
+                    members[i - 1] = true;
+                }
+            },
+            &mut ws,
+            &mut out,
+        );
+        assert_eq!(out[0], b.coalition_value(&model, &x, &[false, false]));
+        assert_eq!(out[1], b.coalition_value(&model, &x, &[true, false]));
+        assert_eq!(out[2], b.coalition_value(&model, &x, &[true, true]));
+        // Zero coalitions is a no-op that clears the output.
+        b.coalition_values_into(&model, &x, 0, |_, _| {}, &mut ws, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -60,6 +60,36 @@ pub fn explain_batch_seeded<F>(
 where
     F: Fn(&[f64], u64) -> Result<Attribution, XaiError> + Sync,
 {
+    explain_batch_seeded_ws(
+        instances,
+        seeds,
+        threads,
+        || (),
+        |x, seed, _ws| explain(x, seed),
+    )
+}
+
+/// Like [`explain_batch_seeded`], but each worker thread also gets its own
+/// scratch workspace from `make_ws`, handed mutably to every `explain` call
+/// that thread runs.
+///
+/// This is how the batched coalition evaluators amortize allocations: pass
+/// `CoalitionWorkspace::default` as `make_ws` and route each call through
+/// `kernel_shap_with` (or any `coalition_values_into` user). The workspace
+/// only caches buffers — results stay bit-identical regardless of thread
+/// count or batch composition, because each instance's RNG stream is fully
+/// determined by its seed.
+pub fn explain_batch_seeded_ws<W, M, F>(
+    instances: &[Vec<f64>],
+    seeds: &[u64],
+    threads: usize,
+    make_ws: M,
+    explain: F,
+) -> Result<Vec<Attribution>, XaiError>
+where
+    M: Fn() -> W + Sync,
+    F: Fn(&[f64], u64, &mut W) -> Result<Attribution, XaiError> + Sync,
+{
     if instances.len() != seeds.len() {
         return Err(XaiError::Input(format!(
             "instances ({}) and seeds ({}) must be parallel",
@@ -72,10 +102,11 @@ where
     }
     let threads = threads.max(1).min(instances.len());
     if threads == 1 {
+        let mut ws = make_ws();
         return instances
             .iter()
             .zip(seeds)
-            .map(|(x, &s)| explain(x, s))
+            .map(|(x, &s)| explain(x, s, &mut ws))
             .collect();
     }
     let mut slots: Vec<Option<Result<Attribution, XaiError>>> =
@@ -84,10 +115,12 @@ where
     crossbeam::scope(|s| {
         for (w, out_chunk) in slots.chunks_mut(chunk).enumerate() {
             let explain = &explain;
+            let make_ws = &make_ws;
             s.spawn(move |_| {
+                let mut ws = make_ws();
                 for (off, cell) in out_chunk.iter_mut().enumerate() {
                     let idx = w * chunk + off;
-                    *cell = Some(explain(&instances[idx], seeds[idx]));
+                    *cell = Some(explain(&instances[idx], seeds[idx], &mut ws));
                 }
             });
         }
@@ -164,6 +197,38 @@ mod tests {
         })
         .unwrap();
         assert_eq!(alone[0], serial[2]);
+    }
+
+    #[test]
+    fn workspace_batch_matches_plain_seeded_batch() {
+        use crate::background::CoalitionWorkspace;
+        use crate::shapley::kernel::{kernel_shap, kernel_shap_with, KernelShapConfig};
+        let s = friedman1(90, 6, 0.15, 17).unwrap();
+        let model = DecisionTree::fit(&s.data, &TreeParams::default(), 0).unwrap();
+        let bg = Background::from_dataset(&s.data, 10, 1).unwrap();
+        let names = s.data.names.clone();
+        let instances: Vec<Vec<f64>> = (0..9).map(|i| s.data.row(i).to_vec()).collect();
+        let seeds: Vec<u64> = (0..9).map(|i| 7 * i as u64 + 3).collect();
+        let cfg_for = |x: &[f64], seed| KernelShapConfig {
+            seed,
+            ..KernelShapConfig::for_features(x.len())
+        };
+        let plain = explain_batch_seeded(&instances, &seeds, 2, |x, seed| {
+            kernel_shap(&model, x, &bg, &names, &cfg_for(x, seed))
+        })
+        .unwrap();
+        // Per-thread workspaces must not perturb results, at any thread count.
+        for threads in [1usize, 2, 4] {
+            let ws_run = explain_batch_seeded_ws(
+                &instances,
+                &seeds,
+                threads,
+                CoalitionWorkspace::default,
+                |x, seed, ws| kernel_shap_with(&model, x, &bg, &names, &cfg_for(x, seed), ws),
+            )
+            .unwrap();
+            assert_eq!(plain, ws_run, "threads={threads}");
+        }
     }
 
     #[test]

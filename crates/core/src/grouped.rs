@@ -7,7 +7,7 @@
 //! answers that directly, is exact for any model, and needs only `2^G`
 //! coalition values for `G` groups (G = chain length + 1, tiny).
 
-use crate::background::Background;
+use crate::background::{Background, CoalitionWorkspace};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::model::Regressor;
@@ -114,15 +114,22 @@ pub fn grouped_shapley(
     }
 
     // v(S) over group masks: features of in-coalition groups come from x.
+    // Block-evaluated; the group mask doubles as the coalition index.
     let n_masks = 1usize << g;
-    let mut v = vec![0.0; n_masks];
-    let mut members = vec![false; d];
-    for (mask, value) in v.iter_mut().enumerate() {
-        for (j, m) in members.iter_mut().enumerate() {
-            *m = (mask >> groups.assignment[j]) & 1 == 1;
-        }
-        *value = background.coalition_value(model, x, &members);
-    }
+    let mut v = Vec::with_capacity(n_masks);
+    let mut ws = CoalitionWorkspace::default();
+    background.coalition_values_into(
+        model,
+        x,
+        n_masks,
+        |mask, members| {
+            for (j, m) in members.iter_mut().enumerate() {
+                *m = (mask >> groups.assignment[j]) & 1 == 1;
+            }
+        },
+        &mut ws,
+        &mut v,
+    );
     let mut fact = vec![1.0f64; g + 1];
     for i in 1..=g {
         fact[i] = fact[i - 1] * i as f64;

@@ -8,7 +8,7 @@
 //! to small `d` like exact Shapley; the NFV use is stage-level (pass the
 //! grouped value function when d is large).
 
-use crate::background::Background;
+use crate::background::{Background, CoalitionWorkspace};
 use crate::XaiError;
 use nfv_ml::model::Regressor;
 use serde::{Deserialize, Serialize};
@@ -108,16 +108,22 @@ pub fn interaction_values(
         )));
     }
 
-    // All coalition values once.
+    // All coalition values once, block-evaluated (mask == coalition index).
     let n_masks = 1usize << d;
-    let mut v = vec![0.0; n_masks];
-    let mut members = vec![false; d];
-    for (mask, value) in v.iter_mut().enumerate() {
-        for (j, m) in members.iter_mut().enumerate() {
-            *m = (mask >> j) & 1 == 1;
-        }
-        *value = background.coalition_value(model, x, &members);
-    }
+    let mut v = Vec::with_capacity(n_masks);
+    let mut ws = CoalitionWorkspace::default();
+    background.coalition_values_into(
+        model,
+        x,
+        n_masks,
+        |mask, members| {
+            for (j, m) in members.iter_mut().enumerate() {
+                *m = (mask >> j) & 1 == 1;
+            }
+        },
+        &mut ws,
+        &mut v,
+    );
 
     let mut fact = vec![1.0f64; d + 1];
     for i in 1..=d {

@@ -90,8 +90,8 @@ impl std::error::Error for XaiError {}
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::background::Background;
-    pub use crate::batch::{explain_batch, explain_batch_seeded};
+    pub use crate::background::{Background, CoalitionWorkspace};
+    pub use crate::batch::{explain_batch, explain_batch_seeded, explain_batch_seeded_ws};
     pub use crate::counterfactual::{
         counterfactual, Counterfactual, CounterfactualConfig, CrossingDirection,
     };
@@ -113,8 +113,8 @@ pub mod prelude {
     pub use crate::report::{humanize_feature, render_report, OperatorReport, PredictionKind};
     pub use crate::sage::{sage, SageConfig, SageImportance};
     pub use crate::shapley::{
-        exact_shapley, forest_shap, gbdt_shap, kernel_shap, sampling_shapley, tree_shap,
-        KernelShapConfig, SamplingConfig, MAX_EXACT_FEATURES,
+        exact_shapley, forest_shap, gbdt_shap, kernel_shap, kernel_shap_with, sampling_shapley,
+        tree_shap, KernelShapConfig, SamplingConfig, MAX_EXACT_FEATURES,
     };
     pub use crate::surrogate::{global_surrogate, render_rules, Surrogate};
     pub use crate::XaiError;

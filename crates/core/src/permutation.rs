@@ -76,25 +76,34 @@ pub fn permutation_importance(
     }
     let n = data.n_rows();
     let d = data.n_features();
-    let base_preds: Vec<f64> = data.rows().map(|r| model.predict(r)).collect();
+    let base_refs: Vec<&[f64]> = data.rows().collect();
+    let base_preds = model.predict_batch(&base_refs);
     let baseline_score = score(data.task, &data.y, &base_preds)?;
 
+    // Shuffled evaluations go through `predict_batch` in bounded blocks:
+    // one model call per block of composite rows instead of one per row.
+    const BLOCK_ROWS: usize = 4096;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut importances = vec![0.0; d];
     let mut col_idx: Vec<usize> = (0..n).collect();
-    let mut row_buf = vec![0.0; d];
+    let mut block = Vec::with_capacity(BLOCK_ROWS.min(n) * d);
     for j in 0..d {
         let col = data.column(j);
         let mut drop_sum = 0.0;
         for _ in 0..cfg.n_repeats {
             col_idx.shuffle(&mut rng);
-            let preds: Vec<f64> = (0..n)
-                .map(|i| {
-                    row_buf.copy_from_slice(data.row(i));
-                    row_buf[j] = col[col_idx[i]];
-                    model.predict(&row_buf)
-                })
-                .collect();
+            let mut preds: Vec<f64> = Vec::with_capacity(n);
+            for chunk_start in (0..n).step_by(BLOCK_ROWS) {
+                let chunk_end = (chunk_start + BLOCK_ROWS).min(n);
+                block.clear();
+                for i in chunk_start..chunk_end {
+                    let start = block.len();
+                    block.extend_from_slice(data.row(i));
+                    block[start + j] = col[col_idx[i]];
+                }
+                let refs: Vec<&[f64]> = block.chunks(d).collect();
+                preds.extend_from_slice(&model.predict_batch(&refs));
+            }
             drop_sum += baseline_score - score(data.task, &data.y, &preds)?;
         }
         importances[j] = drop_sum / cfg.n_repeats as f64;

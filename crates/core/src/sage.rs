@@ -7,7 +7,7 @@
 //! "this feature makes the model *better*" — exactly the question when
 //! deciding which telemetry streams are worth exporting at all.
 
-use crate::background::Background;
+use crate::background::{Background, CoalitionWorkspace};
 use crate::XaiError;
 use nfv_data::dataset::{Dataset, Task};
 use nfv_ml::model::Regressor;
@@ -99,20 +99,33 @@ pub fn sage(
     let mut base_loss_sum = 0.0;
     let mut full_loss_sum = 0.0;
     let mut count = 0.0;
-    let mut members = vec![false; d];
+    let mut ws = CoalitionWorkspace::default();
+    let mut vals: Vec<f64> = Vec::new();
     for _ in 0..cfg.n_permutations {
         perm.shuffle(&mut rng);
         for _ in 0..cfg.rows_per_permutation {
             let i = rng.gen_range(0..n);
             let x = data.row(i);
             let y = data.y[i];
-            members.iter_mut().for_each(|m| *m = false);
-            // Start fully marginalized.
-            let mut prev = loss(data.task, background.coalition_value(model, x, &members), y);
+            // The d + 1 coalitions of one reveal walk ({}, {π₁}, {π₁,π₂},
+            // …) evaluated in bulk: the membership buffer starts all-false
+            // and persists, so each step just flips one feature on.
+            background.coalition_values_into(
+                model,
+                x,
+                d + 1,
+                |k, members| {
+                    if k > 0 {
+                        members[perm[k - 1]] = true;
+                    }
+                },
+                &mut ws,
+                &mut vals,
+            );
+            let mut prev = loss(data.task, vals[0], y);
             base_loss_sum += prev;
-            for &j in &perm {
-                members[j] = true;
-                let cur = loss(data.task, background.coalition_value(model, x, &members), y);
+            for (k, &j) in perm.iter().enumerate() {
+                let cur = loss(data.task, vals[k + 1], y);
                 values[j] += prev - cur;
                 prev = cur;
             }

@@ -4,7 +4,7 @@
 //! the gold standard that the sampling methods (and Table 3) are scored
 //! against, feasible up to `d ≤ MAX_EXACT_FEATURES`.
 
-use crate::background::Background;
+use crate::background::{Background, CoalitionWorkspace};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::model::Regressor;
@@ -40,16 +40,23 @@ pub fn exact_shapley(
         )));
     }
 
-    // v(S) for every coalition mask.
+    // v(S) for every coalition mask, evaluated in blocks so each model
+    // call covers many composites (coalition index == mask).
     let n_masks = 1usize << d;
-    let mut v = vec![0.0f64; n_masks];
-    let mut members = vec![false; d];
-    for (mask, value) in v.iter_mut().enumerate() {
-        for (j, m) in members.iter_mut().enumerate() {
-            *m = (mask >> j) & 1 == 1;
-        }
-        *value = background.coalition_value(model, x, &members);
-    }
+    let mut v = Vec::with_capacity(n_masks);
+    let mut ws = CoalitionWorkspace::default();
+    background.coalition_values_into(
+        model,
+        x,
+        n_masks,
+        |mask, members| {
+            for (j, m) in members.iter_mut().enumerate() {
+                *m = (mask >> j) & 1 == 1;
+            }
+        },
+        &mut ws,
+        &mut v,
+    );
 
     // Shapley weights w(s) = s!(d−s−1)!/d! indexed by |S| (coalition size
     // before adding the player).

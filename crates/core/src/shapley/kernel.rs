@@ -8,7 +8,7 @@
 //! ≥ 2^d − 2 the method therefore reproduces exact Shapley values of the
 //! interventional value function.
 
-use crate::background::Background;
+use crate::background::{Background, CoalitionWorkspace};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::linalg::{weighted_ridge, Matrix};
@@ -22,6 +22,12 @@ use rand::SeedableRng;
 pub struct KernelShapConfig {
     /// Coalition evaluation budget (model calls = budget × background size).
     /// The shap library default is `2d + 2048`; ours is `2d + 512`.
+    ///
+    /// This is a **hard cap**: the selected coalition count never exceeds
+    /// it. Sizes that fit entirely in the remaining budget are enumerated
+    /// exactly; the leftover budget is split across the remaining sizes by
+    /// largest-remainder apportionment of their kernel mass, so the shares
+    /// reconcile to the budget instead of each rounding up independently.
     pub n_coalitions: usize,
     /// Ridge regularization of the weighted regression (0 reproduces plain
     /// WLS; small positive values stabilize tiny budgets).
@@ -51,45 +57,13 @@ fn binom(n: usize, k: usize) -> f64 {
     acc
 }
 
-/// Computes KernelSHAP attributions of `model` at `x`.
-pub fn kernel_shap(
-    model: &dyn Regressor,
-    x: &[f64],
-    background: &Background,
-    names: &[String],
-    cfg: &KernelShapConfig,
-) -> Result<Attribution, XaiError> {
-    let d = x.len();
-    if d == 0 {
-        return Err(XaiError::Input(
-            "cannot explain a zero-feature input".into(),
-        ));
-    }
-    if background.n_features() != d || names.len() != d {
-        return Err(XaiError::Input(format!(
-            "shape mismatch: x has {d}, background {}, names {}",
-            background.n_features(),
-            names.len()
-        )));
-    }
-    let base = background.expected_output(model);
-    let fx = model.predict(x);
-
-    // One feature: efficiency pins it down completely.
-    if d == 1 {
-        return Ok(Attribution {
-            names: names.to_vec(),
-            values: vec![fx - base],
-            base_value: base,
-            prediction: fx,
-            method: "kernel-shap".into(),
-        });
-    }
-    if cfg.n_coalitions == 0 {
-        return Err(XaiError::Budget("n_coalitions must be positive".into()));
-    }
-
-    // ---- Coalition selection -------------------------------------------
+/// Selects the coalitions (membership, kernel weight) for `d` features
+/// under `cfg`. The returned count never exceeds `cfg.n_coalitions`: fully
+/// enumerable sizes are consumed from the outside in, and the leftover
+/// budget is apportioned over the sampled sizes by largest remainder of
+/// their exact kernel-mass shares (a share can round to zero; it can never
+/// round the total above the budget).
+fn select_coalitions(d: usize, cfg: &KernelShapConfig) -> Vec<(Vec<bool>, f64)> {
     // Kernel mass of one subset of size s: (d−1) / (C(d,s)·s·(d−s));
     // total mass of size s: (d−1) / (s·(d−s)).
     let mut coalitions: Vec<(Vec<bool>, f64)> = Vec::new(); // (membership, weight)
@@ -123,16 +97,41 @@ pub fn kernel_shap(
     }
     if !sampled_sizes.is_empty() && budget > 0 {
         // Distribute the remaining budget across the un-enumerated sizes
-        // proportionally to their kernel mass; within a size subsets are
-        // uniform, so each sample carries (size mass / samples of size).
+        // proportionally to their kernel mass, reconciled by largest
+        // remainder so Σ shares == budget exactly; within a size subsets
+        // are uniform, so each sample carries (size mass / samples of
+        // size).
         let masses: Vec<f64> = sampled_sizes
             .iter()
             .map(|&s| (d as f64 - 1.0) / (s as f64 * (d - s) as f64))
             .collect();
         let total_mass: f64 = masses.iter().sum();
+        let ideals: Vec<f64> = masses
+            .iter()
+            .map(|m| budget as f64 * m / total_mass)
+            .collect();
+        let mut shares: Vec<usize> = ideals.iter().map(|v| v.floor() as usize).collect();
+        let mut leftover = budget - shares.iter().sum::<usize>().min(budget);
+        // Hand the leftover units to the largest fractional parts (ties
+        // broken by size order, i.e. by descending mass).
+        let mut order: Vec<usize> = (0..sampled_sizes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = ideals[a] - ideals[a].floor();
+            let fb = ideals[b] - ideals[b].floor();
+            fb.total_cmp(&fa).then(a.cmp(&b))
+        });
+        for i in order {
+            if leftover == 0 {
+                break;
+            }
+            shares[i] += 1;
+            leftover -= 1;
+        }
         let mut idx_pool: Vec<usize> = (0..d).collect();
-        for (&s, &mass) in sampled_sizes.iter().zip(&masses) {
-            let share = ((budget as f64) * mass / total_mass).round().max(1.0) as usize;
+        for ((&s, &mass), &share) in sampled_sizes.iter().zip(&masses).zip(&shares) {
+            if share == 0 {
+                continue;
+            }
             let w = mass / share as f64;
             for _ in 0..share {
                 idx_pool.shuffle(&mut rng);
@@ -144,12 +143,80 @@ pub fn kernel_shap(
             }
         }
     }
+    coalitions
+}
+
+/// Computes KernelSHAP attributions of `model` at `x` (allocates a fresh
+/// evaluation workspace; batch callers should hold one per thread and use
+/// [`kernel_shap_with`]).
+pub fn kernel_shap(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    names: &[String],
+    cfg: &KernelShapConfig,
+) -> Result<Attribution, XaiError> {
+    kernel_shap_with(model, x, background, names, cfg, &mut Default::default())
+}
+
+/// [`kernel_shap`] with a caller-provided [`CoalitionWorkspace`], so the
+/// composite-row block is reused across many explanations on one thread.
+pub fn kernel_shap_with(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    names: &[String],
+    cfg: &KernelShapConfig,
+    ws: &mut CoalitionWorkspace,
+) -> Result<Attribution, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
+    }
+    if background.n_features() != d || names.len() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x has {d}, background {}, names {}",
+            background.n_features(),
+            names.len()
+        )));
+    }
+    let base = background.expected_output(model);
+    let fx = model.predict(x);
+
+    // One feature: efficiency pins it down completely.
+    if d == 1 {
+        return Ok(Attribution {
+            names: names.to_vec(),
+            values: vec![fx - base],
+            base_value: base,
+            prediction: fx,
+            method: "kernel-shap".into(),
+        });
+    }
+    if cfg.n_coalitions == 0 {
+        return Err(XaiError::Budget("n_coalitions must be positive".into()));
+    }
+
+    let coalitions = select_coalitions(d, cfg);
     if coalitions.is_empty() {
         return Err(XaiError::Budget(format!(
             "budget {} produced no coalitions for d={d}",
             cfg.n_coalitions
         )));
     }
+
+    // ---- Coalition evaluation (the hot path, batched) -------------------
+    let mut values = Vec::with_capacity(coalitions.len());
+    background.coalition_values_into(
+        model,
+        x,
+        coalitions.len(),
+        |i, members| members.copy_from_slice(&coalitions[i].0),
+        ws,
+        &mut values,
+    );
 
     // ---- Weighted regression with the efficiency constraint -------------
     // Eliminate φ_{d−1}: with Δ = fx − base,
@@ -159,8 +226,7 @@ pub fn kernel_shap(
     let mut yvec = Vec::with_capacity(n);
     let mut wvec = Vec::with_capacity(n);
     let delta = fx - base;
-    for (members, w) in &coalitions {
-        let v = background.coalition_value(model, x, members);
+    for ((members, w), &v) in coalitions.iter().zip(&values) {
         let z_last = if members[d - 1] { 1.0 } else { 0.0 };
         for &m in &members[..d - 1] {
             let z_j = if m { 1.0 } else { 0.0 };
@@ -375,6 +441,62 @@ mod tests {
             &KernelShapConfig::for_features(3)
         )
         .is_err());
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap_across_dimensions() {
+        // Regression: the old sampled-size shares used `.round().max(1.0)`
+        // independently per size, so the total could exceed n_coalitions.
+        for d in 5..=20usize {
+            for budget in [d, 2 * d, 37, 64, 2 * d + 7, 200] {
+                let cfg = KernelShapConfig {
+                    n_coalitions: budget,
+                    ridge: 0.0,
+                    seed: d as u64,
+                };
+                let coalitions = select_coalitions(d, &cfg);
+                assert!(
+                    coalitions.len() <= budget,
+                    "d={d} budget={budget}: selected {}",
+                    coalitions.len()
+                );
+                assert!(!coalitions.is_empty(), "d={d} budget={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_budget_is_spent_exactly_when_sampling() {
+        // When at least one size is sampled, largest-remainder reconciling
+        // spends the whole leftover budget (no systematic undershoot).
+        let d = 12;
+        let cfg = KernelShapConfig {
+            n_coalitions: 100,
+            ridge: 0.0,
+            seed: 3,
+        };
+        // Sizes 1 and 11 enumerate (12 each); 24 spent, 76 sampled.
+        let coalitions = select_coalitions(d, &cfg);
+        assert_eq!(coalitions.len(), 100);
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_path() {
+        let s = friedman1(120, 7, 0.2, 21).unwrap();
+        let bg = Background::from_dataset(&s.data, 9, 2).unwrap();
+        let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
+        let cfg = KernelShapConfig {
+            n_coalitions: 48,
+            ridge: 1e-8,
+            seed: 5,
+        };
+        let mut ws = crate::background::CoalitionWorkspace::default();
+        for row in [0usize, 3, 11] {
+            let x = s.data.row(row).to_vec();
+            let plain = kernel_shap(&t, &x, &bg, &names(7), &cfg).unwrap();
+            let with_ws = kernel_shap_with(&t, &x, &bg, &names(7), &cfg, &mut ws).unwrap();
+            assert_eq!(plain, with_ws, "workspace reuse must not change values");
+        }
     }
 
     #[test]

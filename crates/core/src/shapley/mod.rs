@@ -7,6 +7,6 @@ pub mod sampling;
 pub mod tree;
 
 pub use exact::{exact_shapley, MAX_EXACT_FEATURES};
-pub use kernel::{kernel_shap, KernelShapConfig};
+pub use kernel::{kernel_shap, kernel_shap_with, KernelShapConfig};
 pub use sampling::{sampling_shapley, SamplingConfig};
 pub use tree::{forest_shap, gbdt_shap, tree_shap};

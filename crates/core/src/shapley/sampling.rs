@@ -68,15 +68,25 @@ pub fn sampling_shapley(
     let mut n_samples = 0usize;
     let mut perm: Vec<usize> = (0..d).collect();
     let mut composite = vec![0.0; d];
+    let mut walk_rows: Vec<f64> = Vec::with_capacity((d + 1) * d);
 
+    // One walk = d + 1 composites (background row, then one feature of x
+    // revealed per step). Materialize them all and issue a single
+    // `predict_batch` call; the step deltas are consecutive differences.
+    // Bit-identical to the scalar walk: each composite row is the same, and
+    // `predict_batch` preserves per-row `predict` arithmetic.
     let mut walk = |order: &[usize], b: &[f64], phi: &mut [f64]| {
+        walk_rows.clear();
         composite.copy_from_slice(b);
-        let mut prev = model.predict(&composite);
+        walk_rows.extend_from_slice(&composite);
         for &j in order {
             composite[j] = x[j];
-            let cur = model.predict(&composite);
-            phi[j] += cur - prev;
-            prev = cur;
+            walk_rows.extend_from_slice(&composite);
+        }
+        let refs: Vec<&[f64]> = walk_rows.chunks(d).collect();
+        let preds = model.predict_batch(&refs);
+        for (k, &j) in order.iter().enumerate() {
+            phi[j] += preds[k + 1] - preds[k];
         }
     };
 

@@ -128,6 +128,27 @@ impl Regressor for RandomForest {
     fn predict(&self, x: &[f64]) -> f64 {
         self.output(x)
     }
+    /// Blocked evaluation: trees outer, rows inner, with each tree walked
+    /// via the interleaved multi-row traversal (see
+    /// [`DecisionTree::output_batch_into`]) so independent rows' descent
+    /// chains overlap. Accumulation order per row matches
+    /// [`RandomForest::output`] (tree order), so results are bit-identical
+    /// to the scalar loop.
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut out = vec![0.0f64; rows.len()];
+        let mut tree_out = vec![0.0f64; rows.len()];
+        for tree in &self.trees {
+            tree.output_batch_into(rows, &mut tree_out);
+            for (acc, v) in out.iter_mut().zip(&tree_out) {
+                *acc += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for acc in &mut out {
+            *acc /= n;
+        }
+        out
+    }
     fn n_features(&self) -> usize {
         self.n_features
     }

@@ -148,6 +148,29 @@ impl Regressor for Gbdt {
             Task::BinaryClassification => sigmoid(self.margin(x)),
         }
     }
+    /// Blocked evaluation: boosting rounds outer, rows inner, each round's
+    /// shallow tree walked with the interleaved multi-row traversal (see
+    /// [`DecisionTree::output_batch_into`]). Per-row tree sums accumulate
+    /// in boosting order, matching [`Gbdt::margin`] bit-for-bit.
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut sums = vec![0.0f64; rows.len()];
+        let mut tree_out = vec![0.0f64; rows.len()];
+        for tree in &self.trees {
+            tree.output_batch_into(rows, &mut tree_out);
+            for (acc, v) in sums.iter_mut().zip(&tree_out) {
+                *acc += v;
+            }
+        }
+        sums.into_iter()
+            .map(|s| {
+                let margin = self.base_score + self.learning_rate * s;
+                match self.task {
+                    Task::Regression => margin,
+                    Task::BinaryClassification => sigmoid(margin),
+                }
+            })
+            .collect()
+    }
     fn n_features(&self) -> usize {
         self.n_features
     }

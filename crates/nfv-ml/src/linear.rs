@@ -54,6 +54,13 @@ impl Regressor for LinearRegression {
     fn predict(&self, x: &[f64]) -> f64 {
         self.intercept + dot(&self.coefficients, x)
     }
+    /// Blocked dot products over the coefficient vector (kept resident
+    /// across the batch); identical arithmetic to scalar `predict`.
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        rows.iter()
+            .map(|row| self.intercept + dot(&self.coefficients, row))
+            .collect()
+    }
     fn n_features(&self) -> usize {
         self.coefficients.len()
     }

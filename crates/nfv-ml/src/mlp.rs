@@ -227,12 +227,47 @@ impl Mlp {
     }
 }
 
+impl Mlp {
+    /// `raw` with caller-provided activation buffers (no per-row
+    /// allocations); arithmetic is identical to [`Mlp::raw`].
+    fn raw_buffered(&self, x: &[f64], a: &mut Vec<f64>, z: &mut Vec<f64>) -> f64 {
+        a.clear();
+        a.extend_from_slice(x);
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(a, z);
+            a.clear();
+            if li < last {
+                a.extend(z.iter().map(|v| v.tanh()));
+            } else {
+                a.extend_from_slice(z);
+            }
+        }
+        a[0]
+    }
+}
+
 impl Regressor for Mlp {
     fn predict(&self, x: &[f64]) -> f64 {
         match self.task {
             Task::Regression => self.raw(x),
             Task::BinaryClassification => sigmoid(self.raw(x)),
         }
+    }
+    /// Blocked forward passes sharing two activation buffers across the
+    /// whole batch (the scalar path allocates per layer per row).
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut a = Vec::new();
+        let mut z = Vec::new();
+        rows.iter()
+            .map(|row| {
+                let raw = self.raw_buffered(row, &mut a, &mut z);
+                match self.task {
+                    Task::Regression => raw,
+                    Task::BinaryClassification => sigmoid(raw),
+                }
+            })
+            .collect()
     }
     fn n_features(&self) -> usize {
         self.n_features

@@ -9,7 +9,14 @@ pub trait Regressor: Send + Sync {
     /// Predicts the target for one feature row.
     fn predict(&self, x: &[f64]) -> f64;
 
-    /// Predicts a batch (default: row-by-row).
+    /// Predicts a batch of rows in one call.
+    ///
+    /// The default loops scalar [`Regressor::predict`]; concrete models
+    /// override it with blocked implementations (tree-major ensemble
+    /// traversal, reused activation buffers) that are **bit-identical** to
+    /// the scalar loop — callers such as `Background::coalition_values`
+    /// rely on that equivalence, so overrides must preserve the per-row
+    /// operation order of `predict`.
     fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
         rows.iter().map(|r| self.predict(r)).collect()
     }

@@ -137,6 +137,45 @@ impl DecisionTree {
         }
     }
 
+    /// Writes `output(rows[i])` into `out[i]` for a whole block.
+    ///
+    /// Traversals of up to 16 rows are interleaved: a single row's descent
+    /// is one dependent-load chain (node → feature → child index), so the
+    /// CPU stalls on every level; stepping 16 independent chains per pass
+    /// keeps many node loads in flight at once. Per-row results are exactly
+    /// [`DecisionTree::output`] — only the schedule changes, not the
+    /// arithmetic.
+    pub fn output_batch_into(&self, rows: &[&[f64]], out: &mut [f64]) {
+        const LANES: usize = 16;
+        assert_eq!(rows.len(), out.len(), "rows and out must be parallel");
+        // Fixed pass count makes the lane step branch-free: a lane parked
+        // on a leaf re-selects its own index (both `if`s lower to cmov),
+        // so there is no per-lane "done" branch to mispredict.
+        let passes = self.depth();
+        let mut start = 0usize;
+        while start < rows.len() {
+            let n = LANES.min(rows.len() - start);
+            let lane_rows = &rows[start..start + n];
+            let mut idx = [0u32; LANES];
+            for _ in 0..passes {
+                for l in 0..n {
+                    let node = &self.nodes[idx[l] as usize];
+                    let v = lane_rows[l].get(node.feature).copied().unwrap_or(0.0);
+                    let next = if v <= node.threshold {
+                        node.left
+                    } else {
+                        node.right
+                    };
+                    idx[l] = if node.is_leaf { idx[l] } else { next };
+                }
+            }
+            for l in 0..n {
+                out[start + l] = self.nodes[idx[l] as usize].value;
+            }
+            start += n;
+        }
+    }
+
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_leaf).count()
@@ -296,6 +335,13 @@ fn partition(data: &Dataset, idx: &mut [usize], f: usize, thr: f64) -> usize {
 impl Regressor for DecisionTree {
     fn predict(&self, x: &[f64]) -> f64 {
         self.output(x)
+    }
+    /// Batch traversal of the node arena: interleaved descent over the
+    /// whole block (see [`DecisionTree::output_batch_into`]).
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut out = vec![0.0f64; rows.len()];
+        self.output_batch_into(rows, &mut out);
+        out
     }
     fn n_features(&self) -> usize {
         self.n_features

@@ -145,6 +145,7 @@ impl ServeEngine {
                 gather_window: config.gather_window,
             },
             seed: config.seed,
+            in_flight: queue.in_flight_handle(),
         });
         let workers = worker::spawn_workers(config.workers, queue.receiver(), ctx);
         ServeEngine {

@@ -136,10 +136,18 @@ pub struct Metrics {
     pub service: LatencyHistogram,
     /// End-to-end latency of completed requests (hit or miss).
     pub total: LatencyHistogram,
-    /// EWMA of per-request service time in ns (admission control's model
-    /// of how expensive one explanation currently is).
-    ewma_service_ns: AtomicU64,
+    /// EWMA of per-request service time, stored in fixed-point 1/256-ns
+    /// units (admission control's model of how expensive one explanation
+    /// currently is). Fixed point matters: a plain integer EWMA
+    /// `cur − cur/8 + ns/8` stalls once `cur < 8` ns-units above the
+    /// target, because both division terms truncate to 0 and the estimate
+    /// never converges below ~8 ns of its floor.
+    ewma_service_fp: AtomicU64,
 }
+
+/// Fixed-point shift for the service-time EWMA (values carry 8 fractional
+/// bits, i.e. 1/256 ns resolution).
+const EWMA_FP_SHIFT: u32 = 8;
 
 impl Metrics {
     /// Creates zeroed metrics.
@@ -148,12 +156,19 @@ impl Metrics {
     }
 
     /// Folds one observed per-request service time into the EWMA
-    /// (α = 1/8, the classic TCP RTT smoothing constant).
+    /// (α = 1/8, the classic TCP RTT smoothing constant). The accumulator
+    /// keeps [`EWMA_FP_SHIFT`] fractional bits so repeated small samples
+    /// keep moving the estimate instead of truncating to a no-op.
     pub fn observe_service_ns(&self, ns: u64) {
-        let mut cur = self.ewma_service_ns.load(Ordering::Relaxed);
+        let scaled = ns.saturating_mul(1 << EWMA_FP_SHIFT);
+        let mut cur = self.ewma_service_fp.load(Ordering::Relaxed);
         loop {
-            let next = if cur == 0 { ns } else { cur - cur / 8 + ns / 8 };
-            match self.ewma_service_ns.compare_exchange_weak(
+            let next = if cur == 0 {
+                scaled
+            } else {
+                cur - cur / 8 + scaled / 8
+            };
+            match self.ewma_service_fp.compare_exchange_weak(
                 cur,
                 next,
                 Ordering::Relaxed,
@@ -168,7 +183,7 @@ impl Metrics {
     /// Current smoothed per-request service-time estimate (ns); 0 until
     /// the first observation.
     pub fn ewma_service_ns(&self) -> u64 {
-        self.ewma_service_ns.load(Ordering::Relaxed)
+        self.ewma_service_fp.load(Ordering::Relaxed) >> EWMA_FP_SHIFT
     }
 
     /// Records a batch execution of `n` requests.
@@ -312,6 +327,31 @@ mod tests {
         }
         let e = m.ewma_service_ns();
         assert!(e < 2_500, "ewma={e} should approach 1000");
+    }
+
+    #[test]
+    fn ewma_tracks_tiny_service_times_without_stalling() {
+        // Regression: the integer EWMA `cur − cur/8 + ns/8` truncated both
+        // division terms to 0 once `cur < 8`, so the estimate could never
+        // fall below ~7 ns no matter how many 1-ns samples arrived. The
+        // fixed-point accumulator must drive it all the way down.
+        let m = Metrics::new();
+        m.observe_service_ns(10_000);
+        for target in [4u64, 2, 1] {
+            for _ in 0..512 {
+                m.observe_service_ns(target);
+            }
+            let e = m.ewma_service_ns();
+            assert!(
+                e <= target + 1,
+                "ewma={e} should have converged to ~{target} ns"
+            );
+        }
+        // And it climbs back out of the tiny regime too.
+        for _ in 0..512 {
+            m.observe_service_ns(10_000);
+        }
+        assert!(m.ewma_service_ns() > 9_000);
     }
 
     #[test]

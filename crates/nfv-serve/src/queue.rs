@@ -7,6 +7,7 @@ use crate::metrics::Metrics;
 use crate::registry::ModelEntry;
 use crate::request::{ExplainRequest, ExplainResponse};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +32,11 @@ pub struct JobQueue {
     rx: Receiver<Job>,
     capacity: usize,
     workers: usize,
+    /// Jobs pulled off the channel but not yet answered. Workers keep this
+    /// current via [`JobQueue::in_flight_handle`]; without it, admission
+    /// only sees the channel length and underestimates the backlog by up
+    /// to one full batch per worker.
+    in_flight: Arc<AtomicU64>,
 }
 
 impl JobQueue {
@@ -43,6 +49,7 @@ impl JobQueue {
             rx,
             capacity,
             workers: workers.max(1),
+            in_flight: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -51,26 +58,43 @@ impl JobQueue {
         self.rx.clone()
     }
 
+    /// Shared in-flight counter. Workers `fetch_add` when they take jobs
+    /// off the channel and `fetch_sub` once responses are sent, so
+    /// admission sees dequeued-but-unfinished work.
+    pub fn in_flight_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.in_flight)
+    }
+
+    /// Jobs dequeued by workers but not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
     /// Admission: feasibility check, then a non-blocking enqueue.
     ///
-    /// Feasibility model: the backlog ahead of this request is served by
-    /// `workers` at the EWMA per-request service time; if even the
-    /// optimistic estimate misses the budget, reject now instead of making
-    /// the caller discover it the slow way.
+    /// Feasibility model: the backlog ahead of this request — everything
+    /// still queued *plus* jobs workers have dequeued but not finished —
+    /// is served by `workers` at the EWMA per-request service time. The
+    /// estimate is compared against the budget *remaining* at admission
+    /// time (the budget runs from `Job.admitted`, which the caller stamps
+    /// before any admission work). If even this optimistic estimate misses,
+    /// reject now instead of making the caller discover it the slow way.
     /// The rejected `Job` rides back boxed so the `Err` variant stays
     /// small on the (hot) `Ok` path; rejection is the cold path and can
     /// afford the allocation.
     pub fn admit(&self, job: Job, metrics: &Metrics) -> Result<(), (RejectReason, Box<Job>)> {
         let ewma_ns = metrics.ewma_service_ns();
         if ewma_ns > 0 {
-            let backlog = self.tx.len() as u64;
+            let backlog = self.tx.len() as u64 + self.in_flight.load(Ordering::Relaxed);
             let est_ns = ewma_ns * (backlog / self.workers as u64 + 1);
             let budget_ns = job.request.budget.as_nanos().min(u64::MAX as u128) as u64;
-            if est_ns > budget_ns {
+            let spent_ns = job.admitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let remaining_ns = budget_ns.saturating_sub(spent_ns);
+            if est_ns > remaining_ns {
                 return Err((
                     RejectReason::DeadlineUnmeetable {
                         estimated_us: est_ns / 1_000,
-                        budget_us: budget_ns / 1_000,
+                        budget_us: remaining_ns / 1_000,
                     },
                     Box::new(job),
                 ));
@@ -175,5 +199,47 @@ mod tests {
         );
         // A generous budget is admitted.
         assert!(q.admit(test_job(Duration::from_secs(1)), &m).is_ok());
+    }
+
+    #[test]
+    fn in_flight_work_counts_toward_the_backlog() {
+        let q = JobQueue::new(8, 1);
+        let m = Metrics::new();
+        // One request costs ~10ms; the channel is empty but the single
+        // worker is busy with 3 dequeued jobs → estimate (3/1 + 1) × 10ms
+        // = 40ms, so a 25ms budget must be rejected. The old channel-only
+        // backlog saw 0 queued and wrongly admitted.
+        m.observe_service_ns(10_000_000);
+        q.in_flight_handle().store(3, Ordering::Relaxed);
+        assert_eq!(q.in_flight(), 3);
+        assert!(q.is_empty(), "nothing queued; pressure is all in-flight");
+        let (reason, _) = q
+            .admit(test_job(Duration::from_millis(25)), &m)
+            .unwrap_err();
+        assert!(
+            matches!(reason, RejectReason::DeadlineUnmeetable { .. }),
+            "{reason:?}"
+        );
+        // Enough budget for the same backlog is still admitted.
+        assert!(q.admit(test_job(Duration::from_millis(200)), &m).is_ok());
+        // Once the worker drains, the tight budget becomes feasible again.
+        q.in_flight_handle().store(0, Ordering::Relaxed);
+        assert!(q.admit(test_job(Duration::from_millis(25)), &m).is_ok());
+    }
+
+    #[test]
+    fn admission_compares_against_remaining_budget() {
+        let q = JobQueue::new(8, 1);
+        let m = Metrics::new();
+        m.observe_service_ns(10_000_000);
+        // The job was stamped 30ms ago; of its 35ms budget only ~5ms is
+        // left, which one 10ms service cannot meet.
+        let mut job = test_job(Duration::from_millis(35));
+        job.admitted = Instant::now() - Duration::from_millis(30);
+        let (reason, _) = q.admit(job, &m).unwrap_err();
+        assert!(
+            matches!(reason, RejectReason::DeadlineUnmeetable { .. }),
+            "{reason:?}"
+        );
     }
 }

@@ -16,6 +16,7 @@ use crate::registry::ServeModel;
 use crate::request::{fnv1a_words, ExplainMethod, ExplainResponse};
 use crossbeam::channel::Receiver;
 use nfv_xai::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -30,6 +31,9 @@ pub struct WorkerContext {
     pub policy: BatchPolicy,
     /// Engine seed mixed into every per-request explainer seed.
     pub seed: u64,
+    /// Dequeued-but-unanswered job count, shared with admission control
+    /// (see [`crate::queue::JobQueue::in_flight_handle`]).
+    pub in_flight: Arc<AtomicU64>,
 }
 
 /// Spawns `n` worker threads consuming `rx`. Threads exit when every
@@ -50,8 +54,15 @@ pub fn spawn_workers(n: usize, rx: Receiver<Job>, ctx: Arc<WorkerContext>) -> Ve
 fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
     while let Ok(first) = rx.recv() {
         let batch = gather(&rx, first, &ctx.policy);
+        // Everything gathered is now invisible to the channel length;
+        // count it as in-flight until each group's responses are sent, so
+        // admission keeps seeing the work.
+        ctx.in_flight
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         for group in group_compatible(batch) {
+            let n = group.len() as u64;
             process_group(group, &ctx);
+            ctx.in_flight.fetch_sub(n, Ordering::Relaxed);
         }
     }
 }
@@ -123,9 +134,15 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
         .collect();
 
     let t0 = Instant::now();
-    // threads=1: parallelism comes from the worker pool itself.
-    let result = explain_batch_seeded(&instances, &seeds, 1, |x, seed| {
-        match (&entry.model, method) {
+    // threads=1: parallelism comes from the worker pool itself. The
+    // workspace keeps KernelSHAP's composite-row block allocated across
+    // the whole group (it does not affect results).
+    let result = explain_batch_seeded_ws(
+        &instances,
+        &seeds,
+        1,
+        CoalitionWorkspace::default,
+        |x, seed, ws| match (&entry.model, method) {
             (ServeModel::Gbdt(m), ExplainMethod::TreeShap) => gbdt_shap(m, x, &names),
             (ServeModel::Forest(m), ExplainMethod::TreeShap) => forest_shap(m, x, &names),
             (_, ExplainMethod::TreeShap) => Err(XaiError::Input(format!(
@@ -138,12 +155,13 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
                     ridge: 0.0,
                     seed,
                 };
-                kernel_shap(
+                kernel_shap_with(
                     entry.model.as_regressor(),
                     x,
                     &entry.background,
                     &names,
                     &cfg,
+                    ws,
                 )
             }
             (_, ExplainMethod::Lime { n_samples }) => {
@@ -161,8 +179,8 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
                 )
                 .map(|e| e.attribution)
             }
-        }
-    });
+        },
+    );
     let service = t0.elapsed();
     let per_request_ns = (service.as_nanos() / live.len() as u128).min(u64::MAX as u128) as u64;
     ctx.metrics.observe_service_ns(per_request_ns);

@@ -202,12 +202,126 @@ proptest! {
     }
 }
 
+/// Named, boxed fitted models for the batched-evaluation equivalence tests.
+type ModelZoo = Vec<(&'static str, Box<dyn Regressor>)>;
+
+/// Fitted instances of every `Regressor` the crate ships, plus a shared
+/// background — built once (fitting per proptest case would dominate the
+/// runtime) and reused by the batched-evaluation equivalence tests below.
+fn coalition_fixture() -> &'static (Background, ModelZoo) {
+    static FIX: std::sync::OnceLock<(Background, ModelZoo)> = std::sync::OnceLock::new();
+    FIX.get_or_init(|| {
+        let s = friedman1(150, 5, 0.2, 42).unwrap();
+        let bg = Background::from_dataset(&s.data, 6, 1).unwrap();
+        let models: Vec<(&'static str, Box<dyn Regressor>)> = vec![
+            (
+                "tree",
+                Box::new(DecisionTree::fit(&s.data, &TreeParams::default(), 0).unwrap()),
+            ),
+            (
+                "forest",
+                Box::new(
+                    RandomForest::fit(
+                        &s.data,
+                        &ForestParams {
+                            n_trees: 10,
+                            ..Default::default()
+                        },
+                        0,
+                        1,
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "gbdt",
+                Box::new(
+                    Gbdt::fit(
+                        &s.data,
+                        &GbdtParams {
+                            n_rounds: 10,
+                            ..Default::default()
+                        },
+                        0,
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "mlp",
+                Box::new(
+                    Mlp::fit(
+                        &s.data,
+                        &MlpParams {
+                            hidden: vec![8],
+                            epochs: 20,
+                            ..Default::default()
+                        },
+                        0,
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "linear",
+                Box::new(LinearRegression::fit(&s.data, 1e-6).unwrap()),
+            ),
+        ];
+        (bg, models)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
+    /// The blocked coalition evaluator is bit-identical to the scalar
+    /// `coalition_value` loop for every model type the crate ships —
+    /// the invariant that lets every explainer route through
+    /// `predict_batch` without changing a single attribution.
+    #[test]
+    fn batched_coalition_values_match_scalar_for_every_model(
+        x in prop::collection::vec(0.0f64..1.0, 5),
+        coalition_bits in prop::collection::vec(prop::collection::vec(0u8..2, 5), 1..12),
+    ) {
+        let coalitions: Vec<Vec<bool>> = coalition_bits
+            .iter()
+            .map(|row| row.iter().map(|&b| b == 1).collect())
+            .collect();
+        let (bg, models) = coalition_fixture();
+        let mut ws = CoalitionWorkspace::default();
+        for (kind, model) in models {
+            let bulk = bg.coalition_values(model.as_ref(), &x, &coalitions, &mut ws);
+            for (members, v) in coalitions.iter().zip(&bulk) {
+                let scalar = bg.coalition_value(model.as_ref(), &x, members);
+                prop_assert!(
+                    v.to_bits() == scalar.to_bits(),
+                    "{kind}: bulk {v} != scalar {scalar} for {members:?}"
+                );
+            }
+        }
+    }
+
+    /// `predict_batch` itself is bit-identical to the scalar `predict`
+    /// loop for every model type (the trait-override contract).
+    #[test]
+    fn predict_batch_matches_scalar_predict_for_every_model(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 5), 1..20),
+    ) {
+        let (_, models) = coalition_fixture();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        for (kind, model) in models {
+            let batch = model.predict_batch(&refs);
+            for (row, b) in refs.iter().zip(&batch) {
+                let s = model.predict(row);
+                prop_assert!(b.to_bits() == s.to_bits(), "{kind}: batch {b} != scalar {s}");
+            }
+        }
+    }
+
     /// Serving batches are invisible in the output: explaining a set of
-    /// instances through the batch path (any thread count) is bit-for-bit
-    /// the same as explaining each alone with its own seed.
+    /// instances through the batch path (any thread count, with or without
+    /// per-thread workspaces) is bit-for-bit the same as explaining each
+    /// alone with its own seed.
     #[test]
     fn batched_explanations_match_one_at_a_time(
         instances in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 4), 1..8),
@@ -229,6 +343,16 @@ proptest! {
         for (i, x) in instances.iter().enumerate() {
             let alone = kernel_shap(&model, x, &bg, &names, &cfg_for(seeds[i])).unwrap();
             prop_assert_eq!(&batched[i], &alone);
+        }
+        // The workspace-carrying pool must agree at every thread count:
+        // scratch reuse is invisible, so results cannot depend on how
+        // instances were sliced across workers.
+        for ws_threads in [1usize, 2, 4] {
+            let pooled = explain_batch_seeded_ws(
+                &instances, &seeds, ws_threads, CoalitionWorkspace::default,
+                |x, seed, ws| kernel_shap_with(&model, x, &bg, &names, &cfg_for(seed), ws),
+            ).unwrap();
+            prop_assert_eq!(&pooled, &batched, "ws pool diverged at {} threads", ws_threads);
         }
     }
 

@@ -171,10 +171,27 @@ impl Bencher {
     }
 }
 
+/// True when the bench binary was invoked with `--test` (the criterion
+/// smoke-mode flag `cargo bench -- --test` forwards): run each benchmark
+/// body once to prove it executes, skip all timing.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark<F>(id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    if test_mode() {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            calibrating: true,
+        };
+        f(&mut b);
+        println!("{id:<50} test: ok (1 iteration, untimed)");
+        return;
+    }
     // Calibration pass: one un-batched call to estimate per-iter cost.
     let mut cal = Bencher {
         iters_per_sample: 1,
