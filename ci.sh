@@ -13,7 +13,8 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> bench smoke (serve_throughput --test)"
+echo "==> bench smoke (serve_throughput + explain_latency --test)"
 cargo bench -p nfv-bench --bench serve_throughput -- --test
+cargo bench -p nfv-bench --bench explain_latency -- --test
 
 echo "==> CI OK"

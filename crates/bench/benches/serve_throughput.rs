@@ -100,9 +100,14 @@ fn bench_serve(c: &mut Criterion) {
 ///
 /// Same work either way: 64 coalitions × 12 background rows = 768
 /// composite evaluations of the d=14, 50-tree forest. The scalar loop
-/// walks all 50 tree arenas per composite row; the batched path runs
-/// tree-major (each tree's nodes stay hot across the whole block), which
-/// is where the speedup comes from. Results are bit-identical.
+/// walks all 50 interleaved trees per composite row; the batched path
+/// hands the whole block to the pre-packed SoA engine (tree-major,
+/// children-pair layout, register-resident row chunks), which is the form
+/// `nfv-serve` evaluates — the registry packs once at registration. The
+/// `_unpacked` case measures the same block through the generic
+/// `predict_block` entry point on the raw forest — what a caller with no
+/// cached engine pays (below the repack breakeven this stays on the
+/// interleaved path). Results are bit-identical across all cases.
 fn bench_coalition_eval(c: &mut Criterion) {
     let task = SizedTask::new(14, 1);
     let x = task.data.row(3).to_vec();
@@ -132,13 +137,22 @@ fn bench_coalition_eval(c: &mut Criterion) {
     g.bench_function("batched_block_64x12", |b| {
         b.iter(|| {
             task.background
+                .coalition_values(&task.packed, &x, &coalitions, &mut ws)
+                .iter()
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("batched_block_64x12_unpacked", |b| {
+        b.iter(|| {
+            task.background
                 .coalition_values(&task.forest, &x, &coalitions, &mut ws)
                 .iter()
                 .sum::<f64>()
         })
     });
     // The end-to-end view: KernelSHAP (which routes through the batched
-    // evaluator) with a reusable per-thread workspace.
+    // evaluator) with a reusable per-thread workspace and the packed
+    // engine, exactly as a serve worker runs it.
     let cfg = KernelShapConfig {
         n_coalitions: 64,
         ridge: 1e-8,
@@ -147,7 +161,7 @@ fn bench_coalition_eval(c: &mut Criterion) {
     g.bench_function("kernel_shap_64", |b| {
         b.iter(|| {
             kernel_shap_with(
-                &task.forest,
+                &task.packed,
                 &x,
                 &task.background,
                 &task.names,

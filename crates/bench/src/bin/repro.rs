@@ -7,7 +7,9 @@
 //! cargo run --release -p nfv-bench --bin repro -- --quick all
 //! ```
 //!
-//! Experiment ids: t1 t2 t3 t4 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 a1 (see DESIGN.md §3).
+//! Experiment ids: t1 t2 t3 t4 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 a1 serve
+//! (see DESIGN.md §3; `serve` is the workers × cache × arrival-rate
+//! serving frontier from EXPERIMENTS.md).
 
 use nfv_bench::{ablations, extensions, figures, tables};
 
@@ -22,7 +24,7 @@ fn main() {
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
             "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-            "a1",
+            "a1", "serve",
         ];
     }
     for (i, id) in ids.iter().enumerate() {
@@ -45,8 +47,11 @@ fn main() {
             "f9" => extensions::f9(quick),
             "f10" => extensions::f10(quick),
             "a1" => ablations::a1(quick),
+            "serve" => extensions::serve(quick),
             other => {
-                eprintln!("unknown experiment id '{other}' (expected t1..t4, f1..f10, a1, all)");
+                eprintln!(
+                    "unknown experiment id '{other}' (expected t1..t4, f1..f10, a1, serve, all)"
+                );
                 std::process::exit(2);
             }
         }

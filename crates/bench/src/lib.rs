@@ -58,6 +58,9 @@ pub struct SizedTask {
     pub data: Dataset,
     /// A fitted random forest (50 trees, depth ≤ 8).
     pub forest: RandomForest,
+    /// The forest packed into the SoA engine once, up front — the form a
+    /// serving deployment evaluates (bit-identical to `forest`).
+    pub packed: SoaForest,
     /// Background for model-agnostic methods.
     pub background: Background,
     /// Feature names.
@@ -84,9 +87,11 @@ impl SizedTask {
         .expect("forest");
         let background = Background::from_dataset(&s.data, 12, seed).expect("background");
         let names = s.data.names.clone();
+        let packed = SoaForest::from_forest(&forest).expect("pack forest");
         SizedTask {
             data: s.data,
             forest,
+            packed,
             background,
             names,
         }
@@ -155,6 +160,12 @@ mod tests {
         assert_eq!(t.data.n_features(), 8);
         assert_eq!(t.names.len(), 8);
         assert_eq!(t.background.n_features(), 8);
+        let x = t.data.row(0);
+        assert_eq!(
+            t.packed.predict(x).to_bits(),
+            t.forest.predict(x).to_bits(),
+            "packed engine must match the forest bit-for-bit"
+        );
     }
 
     #[test]

@@ -20,19 +20,79 @@ pub struct Background {
     pub means: Vec<f64>,
 }
 
+/// Tuning for fanning coalition blocks across scoped worker threads in
+/// [`Background::coalition_values_into`].
+///
+/// Determinism: the block size is a pure function of the coalition budget
+/// and background size — never of `threads` — and every coalition's value
+/// is computed entirely within one block with the same arithmetic as the
+/// serial path. Changing `threads` therefore changes *which OS thread*
+/// evaluates a block, not any result bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParCoalitionConfig {
+    /// Scoped worker threads to fan blocks across (1 = stay serial).
+    pub threads: usize,
+    /// Coalition budgets below this stay serial: small budgets fit one or
+    /// two blocks and the spawn overhead would dominate.
+    pub min_coalitions: usize,
+}
+
+impl Default for ParCoalitionConfig {
+    fn default() -> Self {
+        ParCoalitionConfig {
+            threads: 1,
+            min_coalitions: 256,
+        }
+    }
+}
+
 /// Reusable scratch buffers for [`Background::coalition_values_into`].
 ///
 /// Every explainer bottoms out in coalition evaluation; the workspace lets
-/// the (coalition × background-row) composite block be materialized once
-/// and reused across calls instead of allocating per coalition. One
-/// workspace per thread — it is cheap to create (`Default`) and grows to
-/// the largest block it has seen.
+/// the (coalition × background-row) composite block, the prediction
+/// buffer, and the membership scratch be materialized once and reused
+/// across calls — a steady-state call allocates nothing. One workspace per
+/// thread — it is cheap to create (`Default`) and grows to the largest
+/// block it has seen.
 #[derive(Debug, Default, Clone)]
 pub struct CoalitionWorkspace {
-    /// Flat `rows × d` composite block handed to `predict_batch`.
+    /// Flat `rows × d` composite block handed to `predict_block`.
     composites: Vec<f64>,
     /// Membership scratch the caller's closure fills per coalition.
     members: Vec<bool>,
+    /// Per-block model outputs (parallel to composite rows).
+    preds: Vec<f64>,
+    /// Member feature indices of the coalition being materialized.
+    member_idx: Vec<usize>,
+    /// Materialized membership matrix (`n_coalitions × d`) for the
+    /// parallel path.
+    all_members: Vec<bool>,
+    /// Parallel fan-out tuning.
+    par: ParCoalitionConfig,
+}
+
+impl CoalitionWorkspace {
+    /// A workspace whose coalition evaluations fan out across `threads`
+    /// scoped workers once the budget reaches the default threshold.
+    pub fn parallel(threads: usize) -> CoalitionWorkspace {
+        CoalitionWorkspace {
+            par: ParCoalitionConfig {
+                threads: threads.max(1),
+                ..ParCoalitionConfig::default()
+            },
+            ..CoalitionWorkspace::default()
+        }
+    }
+
+    /// Overrides the parallel fan-out tuning.
+    pub fn set_parallelism(&mut self, cfg: ParCoalitionConfig) {
+        self.par = cfg;
+    }
+
+    /// The current parallel fan-out tuning.
+    pub fn parallelism(&self) -> ParCoalitionConfig {
+        self.par
+    }
 }
 
 /// Cap on composite rows materialized per `predict_batch` call: bounds the
@@ -147,8 +207,11 @@ impl Background {
 
     /// Bulk coalition evaluation: computes `v(S)` for `n_coalitions`
     /// coalitions, materializing all (coalition × background-row)
-    /// composites into the workspace and issuing **one `predict_batch`
-    /// call per block** instead of one scalar `predict` per composite row.
+    /// composites into the workspace and issuing **one
+    /// [`Regressor::predict_block`] call per block** instead of one scalar
+    /// `predict` per composite row. Composite rows are built by copying
+    /// the background row wholesale and scattering only the coalition's
+    /// member features over it — no per-element branch.
     ///
     /// `membership(i, members)` must fill the membership buffer for
     /// coalition `i`; it is invoked exactly once per coalition, in
@@ -156,10 +219,17 @@ impl Background {
     /// persists between invocations (so incremental fills — flip one
     /// feature per call — are supported).
     ///
+    /// When the workspace's [`ParCoalitionConfig`] enables more than one
+    /// thread and the budget reaches `min_coalitions`, blocks fan out
+    /// across scoped workers. The block size never depends on the thread
+    /// count and every coalition's mean is computed entirely within its
+    /// block, so results are **bit-identical across thread counts** (and
+    /// to the serial path).
+    ///
     /// Values are appended to `out` in coalition order and are
     /// bit-identical to looping [`Background::coalition_value`]: the
     /// per-coalition mean accumulates over background rows in the same
-    /// order, and every model's `predict_batch` preserves scalar `predict`
+    /// order, and every model's `predict_block` preserves scalar `predict`
     /// arithmetic.
     pub fn coalition_values_into(
         &self,
@@ -176,10 +246,24 @@ impl Background {
         }
         let d = x.len();
         let n_bg = self.rows.len();
-        out.reserve(n_coalitions);
         ws.members.clear();
         ws.members.resize(d, false);
         let block = (MAX_BLOCK_ROWS / n_bg).clamp(1, n_coalitions);
+        let threads = ws.par.threads.max(1).min(n_coalitions.div_ceil(block));
+        if threads > 1 && n_coalitions >= ws.par.min_coalitions {
+            self.coalition_values_parallel(
+                model,
+                x,
+                n_coalitions,
+                &mut membership,
+                ws,
+                out,
+                block,
+                threads,
+            );
+            return;
+        }
+        out.reserve(n_coalitions);
         let mut next = 0usize;
         while next < n_coalitions {
             let take = block.min(n_coalitions - next);
@@ -187,15 +271,23 @@ impl Background {
             ws.composites.reserve(take * n_bg * d);
             for c in 0..take {
                 membership(next + c, &mut ws.members);
+                ws.member_idx.clear();
+                for (j, &m) in ws.members.iter().enumerate() {
+                    if m {
+                        ws.member_idx.push(j);
+                    }
+                }
                 for b in &self.rows {
-                    for ((&m, &xv), &bv) in ws.members.iter().zip(x).zip(b) {
-                        ws.composites.push(if m { xv } else { bv });
+                    let start = ws.composites.len();
+                    ws.composites.extend_from_slice(b);
+                    for &j in &ws.member_idx {
+                        ws.composites[start + j] = x[j];
                     }
                 }
             }
-            let refs: Vec<&[f64]> = ws.composites.chunks(d).collect();
-            let preds = model.predict_batch(&refs);
-            for per_coalition in preds.chunks(n_bg) {
+            ws.preds.resize(take * n_bg, 0.0);
+            model.predict_block(&ws.composites, d, &mut ws.preds[..take * n_bg]);
+            for per_coalition in ws.preds[..take * n_bg].chunks(n_bg) {
                 let mut sum = 0.0;
                 for &p in per_coalition {
                     sum += p;
@@ -204,6 +296,85 @@ impl Background {
             }
             next += take;
         }
+    }
+
+    /// The fan-out arm of [`Background::coalition_values_into`]: memberships
+    /// are materialized sequentially (preserving the closure's incremental
+    /// contract), then disjoint output blocks are assigned round-robin to
+    /// worker slots — block `k` to slot `k % threads` — each evaluating
+    /// with its own scratch. Identical per-block arithmetic to the serial
+    /// path makes the result independent of `threads`.
+    #[allow(clippy::too_many_arguments)]
+    fn coalition_values_parallel(
+        &self,
+        model: &dyn Regressor,
+        x: &[f64],
+        n_coalitions: usize,
+        membership: &mut impl FnMut(usize, &mut [bool]),
+        ws: &mut CoalitionWorkspace,
+        out: &mut Vec<f64>,
+        block: usize,
+        threads: usize,
+    ) {
+        let d = x.len();
+        let n_bg = self.rows.len();
+        ws.all_members.clear();
+        ws.all_members.reserve(n_coalitions * d);
+        for i in 0..n_coalitions {
+            membership(i, &mut ws.members);
+            ws.all_members.extend_from_slice(&ws.members);
+        }
+        out.resize(n_coalitions, 0.0);
+        let all_members = &ws.all_members;
+        let rows = &self.rows;
+        let mut per_slot: Vec<Vec<(usize, &mut [f64])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (k, chunk) in out.chunks_mut(block).enumerate() {
+            per_slot[k % threads].push((k, chunk));
+        }
+        crossbeam::scope(|s| {
+            for slot in per_slot {
+                s.spawn(move |_| {
+                    let mut composites: Vec<f64> = Vec::new();
+                    let mut preds: Vec<f64> = Vec::new();
+                    let mut member_idx: Vec<usize> = Vec::new();
+                    for (k, chunk) in slot {
+                        let first = k * block;
+                        let take = chunk.len();
+                        composites.clear();
+                        composites.reserve(take * n_bg * d);
+                        for c in 0..take {
+                            let members = &all_members[(first + c) * d..(first + c + 1) * d];
+                            member_idx.clear();
+                            for (j, &m) in members.iter().enumerate() {
+                                if m {
+                                    member_idx.push(j);
+                                }
+                            }
+                            for b in rows {
+                                let start = composites.len();
+                                composites.extend_from_slice(b);
+                                for &j in &member_idx {
+                                    composites[start + j] = x[j];
+                                }
+                            }
+                        }
+                        preds.resize(take * n_bg, 0.0);
+                        model.predict_block(&composites, d, &mut preds[..take * n_bg]);
+                        for (o, per_coalition) in
+                            chunk.iter_mut().zip(preds[..take * n_bg].chunks(n_bg))
+                        {
+                            let mut sum = 0.0;
+                            for &p in per_coalition {
+                                sum += p;
+                            }
+                            *o = sum / n_bg as f64;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("coalition block worker panicked");
     }
 
     /// Convenience wrapper over [`Background::coalition_values_into`] for
@@ -320,6 +491,106 @@ mod tests {
         // Zero coalitions is a no-op that clears the output.
         b.coalition_values_into(&model, &x, 0, |_, _| {}, &mut ws, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_blocks_are_thread_count_invariant_bitwise() {
+        // Enough coalitions and background rows to split into many blocks
+        // (block = 4096 / 40 = 102 coalitions), nonlinear model so any
+        // reassociation of the arithmetic would show up in the bits.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                (0..7)
+                    .map(|j| ((i * 7 + j) as f64 * 0.7130).sin() * 3.0)
+                    .collect()
+            })
+            .collect();
+        let b = Background::from_rows(rows).unwrap();
+        let model = FnModel::new(7, |x: &[f64]| {
+            x.iter()
+                .enumerate()
+                .map(|(j, &v)| (v * (j as f64 + 0.5)).sin() * v)
+                .sum::<f64>()
+        });
+        let x: Vec<f64> = (0..7).map(|j| j as f64 * 0.31 - 1.0).collect();
+        let n = 512usize;
+        let membership = |i: usize, members: &mut [bool]| {
+            let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for m in members.iter_mut() {
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                *m = h & 1 == 1;
+            }
+        };
+        let run = |threads: usize| {
+            let mut ws = CoalitionWorkspace::parallel(threads);
+            ws.set_parallelism(ParCoalitionConfig {
+                threads,
+                min_coalitions: 64,
+            });
+            let mut out = Vec::new();
+            b.coalition_values_into(&model, &x, n, membership, &mut ws, &mut out);
+            out
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), n);
+        for threads in [2usize, 3, 5, 8] {
+            let par = run(threads);
+            for (i, (a, p)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    p.to_bits(),
+                    "coalition {i} differs at threads={threads}"
+                );
+            }
+        }
+        // And both match the scalar reference evaluator bit-for-bit.
+        let mut members = vec![false; 7];
+        for (i, v) in serial.iter().enumerate().step_by(37) {
+            membership(i, &mut members);
+            assert_eq!(
+                v.to_bits(),
+                b.coalition_value(&model, &x, &members).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_path_supports_incremental_membership() {
+        // The membership closure's incremental contract (buffer persists
+        // across calls) must survive the parallel arm, which materializes
+        // memberships up front.
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, -(i as f64), 2.0]).collect();
+        let b = Background::from_rows(rows).unwrap();
+        let model = FnModel::new(3, |x: &[f64]| x[0] * 1.5 + x[1] * x[2]);
+        let x = [9.0, -3.0, 4.0];
+        let run = |threads: usize, min: usize| {
+            let mut ws = CoalitionWorkspace::default();
+            ws.set_parallelism(ParCoalitionConfig {
+                threads,
+                min_coalitions: min,
+            });
+            let mut out = Vec::new();
+            // Reveal one more feature per coalition: {}, {0}, {0,1}, {0,1,2}.
+            b.coalition_values_into(
+                &model,
+                &x,
+                4,
+                |i, members| {
+                    if i > 0 {
+                        members[i - 1] = true;
+                    }
+                },
+                &mut ws,
+                &mut out,
+            );
+            out
+        };
+        let serial = run(1, 256);
+        let parallel = run(4, 1); // force the parallel arm even at 4 coalitions
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], model.predict(&x), "full coalition = f(x)");
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl std::error::Error for XaiError {}
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::background::{Background, CoalitionWorkspace};
+    pub use crate::background::{Background, CoalitionWorkspace, ParCoalitionConfig};
     pub use crate::batch::{explain_batch, explain_batch_seeded, explain_batch_seeded_ws};
     pub use crate::counterfactual::{
         counterfactual, Counterfactual, CounterfactualConfig, CrossingDirection,

@@ -500,6 +500,47 @@ mod tests {
     }
 
     #[test]
+    fn seeded_explanations_invariant_to_coalition_thread_count() {
+        // Parallel coalition blocks must not perturb a single seeded
+        // explanation bit-for-bit, whatever the fan-out width.
+        let s = friedman1(150, 10, 0.25, 29).unwrap();
+        let bg = Background::from_dataset(&s.data, 24, 4).unwrap();
+        let f = nfv_ml::forest::RandomForest::fit(
+            &s.data,
+            &nfv_ml::forest::ForestParams {
+                n_trees: 10,
+                ..Default::default()
+            },
+            6,
+            1,
+        )
+        .unwrap();
+        let cfg = KernelShapConfig {
+            n_coalitions: 300,
+            ridge: 0.0,
+            seed: 99,
+        };
+        let x = s.data.row(5).to_vec();
+        let run = |threads: usize| {
+            let mut ws = crate::background::CoalitionWorkspace::default();
+            ws.set_parallelism(crate::background::ParCoalitionConfig {
+                threads,
+                min_coalitions: 32,
+            });
+            kernel_shap_with(&f, &x, &bg, &names(10), &cfg, &mut ws).unwrap()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 7] {
+            let par = run(threads);
+            assert_eq!(serial.prediction.to_bits(), par.prediction.to_bits());
+            assert_eq!(serial.base_value.to_bits(), par.base_value.to_bits());
+            for (a, b) in serial.values.iter().zip(&par.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn enumerate_size_yields_binomial_count() {
         let mut n = 0;
         enumerate_size(6, 3, &mut |m: &Vec<bool>| {

@@ -171,6 +171,19 @@ impl Regressor for Gbdt {
             })
             .collect()
     }
+    /// Large contiguous blocks pack the rounds into the SoA engine on the
+    /// fly ([`crate::soa::SoaForest`], SIMD traversal, bit-identical);
+    /// small blocks keep the interleaved per-tree path whose setup is
+    /// cheaper.
+    fn predict_block(&self, flat: &[f64], d: usize, out: &mut [f64]) {
+        if out.len() >= crate::soa::PACK_MIN_ROWS {
+            if let Ok(packed) = crate::soa::SoaForest::from_gbdt(self) {
+                return packed.predict_block_into(flat, out);
+            }
+        }
+        let refs: Vec<&[f64]> = flat.chunks_exact(d).collect();
+        out.copy_from_slice(&self.predict_batch(&refs));
+    }
     fn n_features(&self) -> usize {
         self.n_features
     }

@@ -16,9 +16,14 @@
 //! - [`linalg`] — dense matrices, Cholesky, and the weighted-ridge solver
 //!   that LIME and KernelSHAP reuse;
 //! - [`model`] — the [`model::Regressor`] / [`model::Classifier`] traits
-//!   every explainer targets.
+//!   every explainer targets;
+//! - [`soa`] — the flattened structure-of-arrays ensemble engine
+//!   ([`soa::SoaForest`]) with runtime-detected AVX2 traversal.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `soa` module opts back in (with a module-level
+// justification) for `std::arch` SIMD intrinsics. Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cv;
@@ -29,6 +34,7 @@ pub mod linear;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
+pub mod soa;
 pub mod tree;
 
 use std::fmt;
@@ -62,6 +68,7 @@ pub mod prelude {
     pub use crate::metrics;
     pub use crate::mlp::{Mlp, MlpParams};
     pub use crate::model::{Classifier, FnModel, ProbaSurface, Regressor};
+    pub use crate::soa::{set_force_scalar, simd_active, EnsemblePost, SoaForest};
     pub use crate::tree::{DecisionTree, TreeNode, TreeParams};
     pub use crate::MlError;
 }

@@ -21,6 +21,27 @@ pub trait Regressor: Send + Sync {
         rows.iter().map(|r| self.predict(r)).collect()
     }
 
+    /// Predicts a **contiguous** row-major block: `flat` holds
+    /// `out.len()` rows of `d` values each, `out[i]` receives row `i`'s
+    /// prediction. This is the allocation-free entry the coalition
+    /// evaluator uses — composite rows are materialized flat, so no
+    /// per-row `&[f64]` fan-out is needed.
+    ///
+    /// The default slices `flat` into rows and delegates to
+    /// [`Regressor::predict_batch`] (one small `Vec<&[f64]>` per call);
+    /// models with packed representations override it to run directly on
+    /// the flat block. Overrides must stay bit-identical to `predict`.
+    fn predict_block(&self, flat: &[f64], d: usize, out: &mut [f64]) {
+        assert_eq!(
+            flat.len(),
+            out.len() * d,
+            "flat block must hold out.len() rows of d values"
+        );
+        let refs: Vec<&[f64]> = flat.chunks_exact(d).collect();
+        let vals = self.predict_batch(&refs);
+        out.copy_from_slice(&vals);
+    }
+
     /// Number of features the model was trained on.
     fn n_features(&self) -> usize;
 }

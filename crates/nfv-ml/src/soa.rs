@@ -1,0 +1,1041 @@
+//! Structure-of-arrays tree-ensemble engine: the SIMD-friendly packed form
+//! of [`DecisionTree`] ensembles that the coalition hot path evaluates.
+//!
+//! The arena-of-structs layout ([`crate::tree::TreeNode`] is 48 bytes)
+//! costs a scattered cache line per node visit and leaves the compare /
+//! child-select scalar. [`SoaForest`] flattens every tree of an ensemble
+//! into parallel arrays —
+//!
+//! - `thresh: Vec<f64>` — split thresholds (f64 because bit-identity with
+//!   [`DecisionTree::output`] requires comparing the *exact* fitted value),
+//! - `meta: Vec<u64>` — the split feature index (validated to fit u16; an
+//!   ensemble over more than 65 536 features is rejected loudly at build
+//!   time rather than truncated) packed with the node's **child-pair
+//!   base**: `feat << 48 | pair_base`,
+//! - `value: Vec<f64>` — node outputs (leaf payloads),
+//!
+//! where each internal node's children occupy **adjacent slots**
+//! `[right, left]` starting at `pair_base`. A descent step is then pure
+//! arithmetic: `next = pair_base + (x[feat] <= thresh)`. This matters
+//! enormously: any formulation with a *select* in it — `if`, `cmov`,
+//! `select_unpredictable`, an integer xor-blend — gets rewritten by
+//! LLVM's x86 cmov-conversion pass into a data-dependent branch, and a
+//! tree split mispredicts ~50%, which measured **8× slower** than this
+//! compare-and-add form. Leaves route to a dedicated two-slot *sink pair*
+//! holding the leaf value in both slots, so a fixed-pass-count descent
+//! needs no `is_leaf` test at all — parked lanes cycle harmlessly inside
+//! the sink until the pass loop ends (and NaN inputs, which fail `<=`,
+//! land in the sink's right slot exactly like the reference walk sends
+//! NaN right).
+//!
+//! Traversal processes [`LANES`] rows per step as independent interleaved
+//! descent chains, three loads per chain-step (`meta`, `thresh`, row
+//! value). Two kernels implement the same schedule: an AVX2 gather
+//! kernel (`std::arch` x86-64 intrinsics, usable only where runtime
+//! feature detection finds AVX2) and a portable scalar kernel. Because the
+//! two are **bit-identical** — proven by `to_bits` proptests — the choice
+//! between them is pure policy: the first sufficiently large block
+//! evaluated in a process times both kernels and caches the winner
+//! (dependent gathers lose to scalar compare-add chains on several x86-64
+//! microarchitectures, so "AVX2 present" does not imply "AVX2 faster").
+//! [`set_force_scalar`] or the `NFV_ML_FORCE_SCALAR` / `NFV_ML_FORCE_SIMD`
+//! environment variables pin the choice for tests and A/B measurement.
+//!
+//! Bit-identity to walking [`DecisionTree::output`] per tree and
+//! accumulating in tree order holds on every path: comparisons and sums
+//! stay in f64, the accumulation order is unchanged, and `v <= threshold`
+//! and the AVX2 `_CMP_LE_OQ` predicate agree on every input including NaN
+//! (both send it right).
+
+// The only unsafe in the workspace: `std::arch` SIMD intrinsics behind
+// runtime feature detection, plus the `target_feature` functions that hold
+// them. Every pointer fed to a gather is derived from a slice whose bounds
+// are asserted on entry, and lane indices are produced exclusively from
+// in-range node arrays.
+#![allow(unsafe_code)]
+
+use crate::model::Regressor;
+use crate::tree::DecisionTree;
+use crate::MlError;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Rows traversed in lockstep per AVX2-kernel step: independent descent
+/// chains whose gathers overlap. Sized well past the per-chain gather
+/// latency so the out-of-order window always has ready work (empirically
+/// flat from 16 to 128 on current x86-64; 32 balances that against
+/// sink-spin waste on ragged tails).
+pub const LANES: usize = 32;
+
+/// The child-pair base index occupies the low 32 bits of the meta word
+/// (bits 32..48 are zero, the split feature sits at 48..64).
+const PAIR_MASK: u64 = 0xFFFF_FFFF;
+
+/// Rows per register-resident chunk in the scalar kernel: enough
+/// independent descent chains to hide the three-load step latency, small
+/// enough that the fully-unrolled chunk state stays in registers.
+const SCALAR_CHUNK: usize = 8;
+
+/// Row count above which packing an ensemble on the fly pays for itself
+/// for a one-shot [`Regressor::predict_block`] call: the `O(nodes)` build
+/// amortizes across `rows × trees × depth` traversal steps. Measured on
+/// the d=14, 50-tree reference forest, packing costs ~400µs while blocked
+/// traversal saves ~0.4µs/row over the interleaved path — breakeven near
+/// 1000 rows. Below that, repacking per call is a net loss (it turned the
+/// 64×12-coalition block into a wash). Callers with any reuse should keep
+/// a cached [`SoaForest`] and skip the rebuild entirely, as `nfv-serve`'s
+/// registry does.
+pub(crate) const PACK_MIN_ROWS: usize = 1024;
+
+/// How the per-row sum of tree outputs becomes the model prediction.
+/// Mirrors the scalar ensembles bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnsemblePost {
+    /// Random forest: `sum / n_trees`.
+    Mean,
+    /// GBDT regression margin: `base + rate * sum`.
+    Margin {
+        /// Initial prediction (mean target / prior log-odds).
+        base: f64,
+        /// Shrinkage applied to the tree sum.
+        rate: f64,
+    },
+    /// GBDT classification probability: `sigmoid(base + rate * sum)`.
+    Proba {
+        /// Prior log-odds.
+        base: f64,
+        /// Shrinkage applied to the tree sum.
+        rate: f64,
+    },
+}
+
+impl EnsemblePost {
+    #[inline]
+    fn apply(&self, sum: f64, n_trees: usize) -> f64 {
+        match *self {
+            EnsemblePost::Mean => sum / n_trees as f64,
+            EnsemblePost::Margin { base, rate } => base + rate * sum,
+            EnsemblePost::Proba { base, rate } => crate::linear::sigmoid(base + rate * sum),
+        }
+    }
+}
+
+/// A packed, immutable ensemble ready for blocked traversal. Build once
+/// (at model registration / fixture setup) with [`SoaForest::from_forest`]
+/// or [`SoaForest::from_gbdt`] and reuse; construction is `O(total nodes)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaForest {
+    /// Split thresholds, one per node across all trees.
+    thresh: Vec<f64>,
+    /// `feat << 48 | pair_base` per slot: the node's children live at the
+    /// adjacent slots `[pair_base] = right`, `[pair_base + 1] = left`, so
+    /// the descent step is `pair_base + (x[feat] <= thresh)` — no select.
+    /// A leaf's pair is a two-slot sink holding its value twice, with the
+    /// sink's own meta pointing back at itself; parked lanes cycle there.
+    meta: Vec<u64>,
+    /// Node output values (leaf payloads at the end of a descent).
+    value: Vec<f64>,
+    /// Root index of each tree in the flat arrays.
+    roots: Vec<u32>,
+    /// Fixed pass count (max depth) of each tree.
+    depth: Vec<u32>,
+    /// Feature count the ensemble was trained on.
+    n_features: usize,
+    /// Prediction post-processing.
+    post: EnsemblePost,
+}
+
+// ---------------------------------------------------------------------------
+// Kernel policy: runtime AVX2 detection gates *eligibility*; the choice
+// between the (bit-identical) kernels is decided empirically — the first
+// large block times both and caches the winner — with explicit overrides
+// for tests and A/B measurement.
+// ---------------------------------------------------------------------------
+
+/// Kernel policy states.
+const K_UNRESOLVED: u8 = 0;
+/// Calibration (or override) picked the AVX2 gather kernel.
+const K_SIMD: u8 = 1;
+/// Calibration picked the scalar kernel, or AVX2 is absent.
+const K_SCALAR: u8 = 2;
+/// Scalar pinned via [`set_force_scalar`] / `NFV_ML_FORCE_SCALAR`.
+const K_FORCE_SCALAR: u8 = 3;
+/// SIMD pinned via `NFV_ML_FORCE_SIMD` (still requires AVX2).
+const K_FORCE_SIMD: u8 = 4;
+
+static KERNEL_STATE: AtomicU8 = AtomicU8::new(K_UNRESOLVED);
+
+/// Minimum block work (`rows × trees`) for a calibration run to be
+/// trustworthy; smaller blocks run scalar without committing a choice.
+const CALIBRATE_MIN_WORK: usize = 4096;
+
+fn env_truthy(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+}
+
+/// Applies environment overrides once, returning the (possibly still
+/// unresolved) state.
+fn kernel_state() -> u8 {
+    let s = KERNEL_STATE.load(Ordering::Relaxed);
+    if s != K_UNRESOLVED {
+        return s;
+    }
+    let forced = if env_truthy("NFV_ML_FORCE_SCALAR") {
+        K_FORCE_SCALAR
+    } else if env_truthy("NFV_ML_FORCE_SIMD") && avx2_detected() {
+        K_FORCE_SIMD
+    } else if !avx2_detected() {
+        K_SCALAR
+    } else {
+        K_UNRESOLVED
+    };
+    if forced != K_UNRESOLVED {
+        KERNEL_STATE.store(forced, Ordering::Relaxed);
+    }
+    forced
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_detected() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_detected() -> bool {
+    false
+}
+
+/// Forces the portable scalar traversal on (`true`) or resets the policy
+/// to re-detect and re-calibrate (`false`). Exposed so tests and benches
+/// can prove the SIMD and scalar kernels are bit-identical on the same
+/// build — and measure them separately.
+pub fn set_force_scalar(force: bool) {
+    KERNEL_STATE.store(
+        if force { K_FORCE_SCALAR } else { K_UNRESOLVED },
+        Ordering::Relaxed,
+    );
+}
+
+/// True when blocked traversals currently take the AVX2 gather kernel.
+/// Before the first calibrating block this reports `false` (the scalar
+/// kernel runs until a choice is made).
+pub fn simd_active() -> bool {
+    matches!(kernel_state(), K_SIMD | K_FORCE_SIMD)
+}
+
+impl SoaForest {
+    /// Packs an arbitrary tree list with an explicit post-processing rule.
+    pub fn from_trees(trees: &[DecisionTree], post: EnsemblePost) -> Result<SoaForest, MlError> {
+        let Some(first) = trees.first() else {
+            return Err(MlError::Shape("cannot pack an empty ensemble".into()));
+        };
+        let n_features = first.n_features;
+        if n_features == 0 {
+            return Err(MlError::Shape("ensemble has zero features".into()));
+        }
+        // u16 feature indices: widen-or-fail, never truncate. Feature ids
+        // up to 65 535 pack losslessly; beyond that the layout cannot
+        // represent the ensemble and packing must refuse.
+        if n_features > u16::MAX as usize + 1 {
+            return Err(MlError::Shape(format!(
+                "SoA layout stores u16 feature indices; {n_features} features exceed {}",
+                u16::MAX as usize + 1
+            )));
+        }
+        let total: usize = trees.iter().map(|t| t.nodes.len()).sum();
+        if total == 0 {
+            return Err(MlError::Shape("ensemble has no nodes".into()));
+        }
+        // Every source node allocates one two-slot pair (children for
+        // internal nodes, the value sink for leaves) plus one root slot
+        // per tree.
+        let total_slots = trees.len() + 2 * total;
+        if total_slots > PAIR_MASK as usize {
+            return Err(MlError::Shape(format!(
+                "ensemble needs {total_slots} arena slots; packed pair bases are u32 (max {PAIR_MASK})"
+            )));
+        }
+        let mut f = SoaForest {
+            thresh: Vec::with_capacity(total_slots),
+            meta: Vec::with_capacity(total_slots),
+            value: Vec::with_capacity(total_slots),
+            roots: Vec::with_capacity(trees.len()),
+            depth: Vec::with_capacity(trees.len()),
+            n_features,
+            post,
+        };
+        for tree in trees {
+            if tree.n_features != n_features {
+                return Err(MlError::Shape(format!(
+                    "mixed feature counts in ensemble: {} vs {n_features}",
+                    tree.n_features
+                )));
+            }
+            if tree.nodes.is_empty() {
+                return Err(MlError::Shape("tree with no nodes".into()));
+            }
+            let start = f.thresh.len();
+            let n_slots = 1 + 2 * tree.nodes.len();
+            f.thresh.resize(start + n_slots, 0.0);
+            f.meta.resize(start + n_slots, 0);
+            f.value.resize(start + n_slots, 0.0);
+            f.roots.push(start as u32);
+            f.depth.push(tree.depth() as u32);
+            // DFS emission: each node is written into the slot its parent
+            // reserved for it (the root into the tree's first slot), and
+            // reserves the next free pair for its own children / sink.
+            let mut next_free = start + 1;
+            let mut emitted = 0usize;
+            let mut stack = vec![(0usize, start)];
+            while let Some((n, s)) = stack.pop() {
+                emitted += 1;
+                if emitted > tree.nodes.len() {
+                    // More emissions than nodes means a child is reachable
+                    // twice: the arena is not a tree.
+                    return Err(MlError::Shape("tree node graph is not a tree".into()));
+                }
+                let node = &tree.nodes[n];
+                let p = next_free;
+                next_free += 2;
+                if node.is_leaf {
+                    // Sink pair: both outcomes of the (meaningless) leaf
+                    // compare land on the leaf's value, and the sink's own
+                    // pair points back at itself.
+                    for slot in [s, p, p + 1] {
+                        f.thresh[slot] = 0.0;
+                        f.meta[slot] = p as u64;
+                        f.value[slot] = node.value;
+                    }
+                } else {
+                    if node.feature >= n_features {
+                        return Err(MlError::Shape(format!(
+                            "node split feature {} out of range (d = {n_features})",
+                            node.feature
+                        )));
+                    }
+                    let l = node.left as usize;
+                    let r = node.right as usize;
+                    if l >= tree.nodes.len() || r >= tree.nodes.len() {
+                        return Err(MlError::Shape("child index out of arena".into()));
+                    }
+                    f.thresh[s] = node.threshold;
+                    f.meta[s] = (node.feature as u64) << 48 | p as u64;
+                    f.value[s] = node.value;
+                    stack.push((r, p));
+                    stack.push((l, p + 1));
+                }
+            }
+            debug_assert_eq!(next_free, start + n_slots);
+        }
+        Ok(f)
+    }
+
+    /// Packs a random forest (mean post-processing). Predictions are
+    /// bit-identical to [`crate::forest::RandomForest::output`].
+    pub fn from_forest(forest: &crate::forest::RandomForest) -> Result<SoaForest, MlError> {
+        Self::from_trees(&forest.trees, EnsemblePost::Mean)
+    }
+
+    /// Packs a GBDT. Regression tasks reproduce [`crate::gbdt::Gbdt::margin`];
+    /// classification reproduces the sigmoid-squashed probability, matching
+    /// `Gbdt`'s [`Regressor::predict`] either way.
+    pub fn from_gbdt(gbdt: &crate::gbdt::Gbdt) -> Result<SoaForest, MlError> {
+        let post = match gbdt.task {
+            nfv_data::dataset::Task::Regression => EnsemblePost::Margin {
+                base: gbdt.base_score,
+                rate: gbdt.learning_rate,
+            },
+            nfv_data::dataset::Task::BinaryClassification => EnsemblePost::Proba {
+                base: gbdt.base_score,
+                rate: gbdt.learning_rate,
+            },
+        };
+        Self::from_trees(&gbdt.trees, post)
+    }
+
+    /// Number of packed trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total arena slots across all trees (≈ `2 × source nodes + 1` per
+    /// tree: one slot per node placement plus the two-slot leaf sinks).
+    pub fn n_nodes(&self) -> usize {
+        self.thresh.len()
+    }
+
+    /// The post-processing rule applied to per-row tree sums.
+    pub fn post(&self) -> EnsemblePost {
+        self.post
+    }
+
+    /// Scalar descent of tree `t` for one row (the reference schedule: the
+    /// same loads and compares as [`DecisionTree::output`]).
+    #[inline]
+    fn tree_output(&self, t: usize, x: &[f64]) -> f64 {
+        let mut i = self.roots[t] as usize;
+        for _ in 0..self.depth[t] {
+            let m = self.meta[i];
+            let le = (x[(m >> 48) as usize] <= self.thresh[i]) as usize;
+            i = (m & PAIR_MASK) as usize + le;
+        }
+        self.value[i]
+    }
+
+    /// Evaluates a contiguous row-major block: `flat` holds `out.len()`
+    /// rows of `d = n_features` values; `out[i]` receives the prediction
+    /// for row `i`. This is the zero-allocation hot path the coalition
+    /// evaluator calls.
+    pub fn predict_block_into(&self, flat: &[f64], out: &mut [f64]) {
+        let d = self.n_features;
+        assert_eq!(
+            flat.len(),
+            out.len() * d,
+            "flat block must hold out.len() rows of n_features values"
+        );
+        if out.is_empty() {
+            return;
+        }
+        out.fill(0.0);
+        match kernel_state() {
+            K_SIMD | K_FORCE_SIMD => {
+                // Safety: these states are only reachable when runtime
+                // detection confirmed AVX2.
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    self.accumulate_block_avx2(flat, out)
+                };
+            }
+            K_UNRESOLVED if out.len() * self.roots.len() >= CALIBRATE_MIN_WORK => {
+                self.calibrate_block(flat, out);
+            }
+            _ => self.accumulate_block_scalar(flat, out),
+        }
+        self.finish(out);
+    }
+
+    /// Runs the block through both kernels, timing each, and caches the
+    /// faster one process-wide. Safe to race: both kernels are
+    /// bit-identical, so whichever store wins only affects future *speed*.
+    /// The duplicated work is one block, once per process.
+    #[allow(unused_variables, unreachable_code)]
+    fn calibrate_block(&self, flat: &[f64], out: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Each kernel gets an untimed warm-up pass first — otherwise
+            // whichever runs second inherits hot caches and wins unfairly
+            // — then the timed runs alternate and each kernel keeps its
+            // best, so a one-off stall can't flip the verdict.
+            // Safety (both avx2 calls): K_UNRESOLVED survives
+            // `kernel_state()` only when AVX2 was detected (absence
+            // resolves to K_SCALAR there).
+            self.accumulate_block_scalar(flat, out);
+            out.fill(0.0);
+            unsafe { self.accumulate_block_avx2(flat, out) };
+            let (mut scalar_ns, mut simd_ns) = (u128::MAX, u128::MAX);
+            for _ in 0..2 {
+                out.fill(0.0);
+                let t = std::time::Instant::now();
+                self.accumulate_block_scalar(flat, out);
+                scalar_ns = scalar_ns.min(t.elapsed().as_nanos());
+                out.fill(0.0);
+                let t = std::time::Instant::now();
+                unsafe { self.accumulate_block_avx2(flat, out) };
+                simd_ns = simd_ns.min(t.elapsed().as_nanos());
+            }
+            KERNEL_STATE.store(
+                if simd_ns < scalar_ns {
+                    K_SIMD
+                } else {
+                    K_SCALAR
+                },
+                Ordering::Relaxed,
+            );
+            return;
+        }
+        self.accumulate_block_scalar(flat, out);
+    }
+
+    #[inline]
+    fn finish(&self, out: &mut [f64]) {
+        let n_trees = self.roots.len();
+        for v in out.iter_mut() {
+            *v = self.post.apply(*v, n_trees);
+        }
+    }
+
+    /// Portable kernel: interleaved scalar lanes over the SoA arrays,
+    /// tree-major so each (small) tree's arrays stay cache-hot across the
+    /// whole block. Rows advance in fixed chunks of [`SCALAR_CHUNK`] whose
+    /// descent indices live entirely in registers: the chunk loop has
+    /// constant bounds, so it fully unrolls and scalar-replaces the index
+    /// array — no per-step spill/reload. Three unchecked loads per
+    /// lane-step (`meta`, `thresh`, row value); the step itself is
+    /// compare-and-add (see the module docs for why it must not contain a
+    /// select). Safety: every node index comes from `roots`/`meta`, which
+    /// the builder constrains to the arena, and the packed feature index
+    /// is `< n_features` for internal nodes (sinks use feature 0), so
+    /// `row_base + feat` stays inside the asserted `out.len() * d` extent
+    /// of `flat`.
+    fn accumulate_block_scalar(&self, flat: &[f64], out: &mut [f64]) {
+        let d = self.n_features;
+        let n_rows = out.len();
+        let thresh = self.thresh.as_ptr();
+        let meta = self.meta.as_ptr();
+        let value = self.value.as_ptr();
+        let flat_p = flat.as_ptr();
+        for t in 0..self.roots.len() {
+            let root = self.roots[t] as usize;
+            let passes = self.depth[t];
+            let mut start = 0usize;
+            while start + SCALAR_CHUNK <= n_rows {
+                let mut idx = [root; SCALAR_CHUNK];
+                let base = start * d;
+                for _ in 0..passes {
+                    for (l, il) in idx.iter_mut().enumerate() {
+                        let i = *il;
+                        // Safety: see method docs — indices are arena- and
+                        // block-bounded by construction.
+                        unsafe {
+                            let m = *meta.add(i);
+                            let v = *flat_p.add(base + l * d + (m >> 48) as usize);
+                            let le = (v <= *thresh.add(i)) as usize;
+                            *il = (m & PAIR_MASK) as usize + le;
+                        }
+                    }
+                }
+                for (l, i) in idx.into_iter().enumerate() {
+                    // Safety: descent indices stay inside the arena.
+                    out[start + l] += unsafe { *value.add(i) };
+                }
+                start += SCALAR_CHUNK;
+            }
+            // Ragged tail: the per-row reference descent (identical
+            // arithmetic, so still bit-exact).
+            for r in start..n_rows {
+                out[r] += self.tree_output(t, &flat[r * d..(r + 1) * d]);
+            }
+        }
+    }
+
+    /// AVX2 gather kernel: [`LANES`] rows per step as `LANES / 4` 4-lane
+    /// f64 groups. Per pass and group: gather each lane's meta word and
+    /// threshold by node index, unpack the feature index with vector
+    /// shifts, gather the four row values by `row_base + feature`, compare
+    /// (`_CMP_LE_OQ` ≡ scalar `<=`), and *subtract* the all-ones compare
+    /// mask from the pair base (`base - (-1) = base + 1` = left) — the
+    /// same compare-and-add descent as the scalar kernel, with every
+    /// group's gathers in flight at once.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available. All gather indices are node
+    /// ids (`< self.thresh.len()`) or `row_base + feat` offsets
+    /// (`< flat.len()`), both enforced by construction and the entry
+    /// assertions in [`SoaForest::predict_block_into`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_block_avx2(&self, flat: &[f64], out: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let d = self.n_features;
+        let n_rows = out.len();
+        let thresh = self.thresh.as_ptr();
+        let meta = self.meta.as_ptr() as *const i64;
+        let value = self.value.as_ptr();
+        let flat_ptr = flat.as_ptr();
+        // Packs the low u32 of each 64-bit lane down to a 4×u32 vector.
+        let pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+        let pair_mask = _mm256_set1_epi64x(PAIR_MASK as i64);
+
+        const GROUPS: usize = LANES / 4;
+        let mut start = 0usize;
+        while start + LANES <= n_rows {
+            for t in 0..self.roots.len() {
+                let root = self.roots[t] as i32;
+                let passes = self.depth[t];
+                // GROUPS independent 4-lane descent chains: the gathers
+                // are high-latency, so what matters is keeping many of
+                // them in flight at once, not the 4-wide math.
+                let mut vidx = [_mm_set1_epi32(root); GROUPS];
+                let mut vbase = [_mm_setzero_si128(); GROUPS];
+                for (g, vb) in vbase.iter_mut().enumerate() {
+                    let r = (start + g * 4) as i32;
+                    *vb = _mm_setr_epi32(
+                        r * d as i32,
+                        (r + 1) * d as i32,
+                        (r + 2) * d as i32,
+                        (r + 3) * d as i32,
+                    );
+                }
+                for _ in 0..passes {
+                    for g in 0..GROUPS {
+                        let idx = vidx[g];
+                        let vthr = _mm256_i32gather_pd::<8>(thresh, idx);
+                        let vmeta = _mm256_i32gather_epi64::<8>(meta, idx);
+                        // feat = meta >> 48, packed down to 32-bit lanes.
+                        let vfeat = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+                            _mm256_srli_epi64::<48>(vmeta),
+                            pack,
+                        ));
+                        let xi = _mm_add_epi32(vbase[g], vfeat);
+                        let vx = _mm256_i32gather_pd::<8>(flat_ptr, xi);
+                        let m = _mm256_cmp_pd::<_CMP_LE_OQ>(vx, vthr);
+                        // next = pair_base + (v <= thr): the compare mask
+                        // is all-ones (-1) on `<=`, so subtracting it adds
+                        // one, stepping from the right slot to the left.
+                        let base = _mm256_and_si256(vmeta, pair_mask);
+                        let next = _mm256_sub_epi64(base, _mm256_castpd_si256(m));
+                        vidx[g] = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(next, pack));
+                    }
+                }
+                for (g, &idx) in vidx.iter().enumerate() {
+                    let vval = _mm256_i32gather_pd::<8>(value, idx);
+                    let o = out.as_mut_ptr().add(start + g * 4);
+                    let acc = _mm256_loadu_pd(o);
+                    _mm256_storeu_pd(o, _mm256_add_pd(acc, vval));
+                }
+            }
+            start += LANES;
+        }
+        // Tail rows: the scalar reference descent (identical arithmetic).
+        for r in start..n_rows {
+            let row = &flat[r * d..(r + 1) * d];
+            let mut sum = 0.0;
+            for t in 0..self.roots.len() {
+                sum += self.tree_output(t, row);
+            }
+            out[r] += sum;
+        }
+    }
+}
+
+impl Regressor for SoaForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for t in 0..self.roots.len() {
+            sum += self.tree_output(t, x);
+        }
+        self.post.apply(sum, self.roots.len())
+    }
+
+    /// Copies the (possibly scattered) rows into one contiguous block and
+    /// runs the packed traversal.
+    fn predict_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let d = self.n_features;
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            flat.extend_from_slice(&r[..d]);
+        }
+        let mut out = vec![0.0f64; rows.len()];
+        self.predict_block_into(&flat, &mut out);
+        out
+    }
+
+    fn predict_block(&self, flat: &[f64], d: usize, out: &mut [f64]) {
+        assert_eq!(d, self.n_features, "block width must match n_features");
+        self.predict_block_into(flat, out);
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+    use crate::gbdt::{Gbdt, GbdtParams};
+    use crate::tree::{DecisionTree, TreeNode, TreeParams};
+    use nfv_data::dataset::Task;
+    use nfv_data::prelude::*;
+
+    fn leaf(value: f64) -> TreeNode {
+        TreeNode {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+            cover: 1.0,
+            is_leaf: true,
+        }
+    }
+
+    fn split(feature: usize, threshold: f64, left: u32, right: u32) -> TreeNode {
+        TreeNode {
+            feature,
+            threshold,
+            left,
+            right,
+            value: 0.0,
+            cover: 2.0,
+            is_leaf: false,
+        }
+    }
+
+    fn tree(nodes: Vec<TreeNode>, d: usize) -> DecisionTree {
+        DecisionTree {
+            nodes,
+            n_features: d,
+            task: Task::Regression,
+        }
+    }
+
+    /// Deterministic pseudo-random rows covering negatives, zeros, and
+    /// values straddling thresholds.
+    fn rows(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        (s >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_block_matches_scalar(trees: &[DecisionTree], post: EnsemblePost, d: usize) {
+        let soa = SoaForest::from_trees(trees, post).unwrap();
+        let xs = rows(67, d, trees.len() as u64 + d as u64); // odd count → SIMD tail
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let mut out = vec![0.0; xs.len()];
+        soa.predict_block_into(&flat, &mut out);
+        for (x, got) in xs.iter().zip(&out) {
+            let sum: f64 = trees.iter().map(|t| t.output(x)).sum();
+            let want = post.apply(sum, trees.len());
+            assert_eq!(got.to_bits(), want.to_bits(), "x={x:?}");
+            assert_eq!(
+                soa.predict(x).to_bits(),
+                want.to_bits(),
+                "scalar predict path"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_only_tree_packs_and_evaluates() {
+        let t = tree(vec![leaf(3.25)], 4);
+        assert_eq!(t.depth(), 0);
+        assert_block_matches_scalar(&[t], EnsemblePost::Mean, 4);
+    }
+
+    #[test]
+    fn depth_one_tree_packs_and_evaluates() {
+        let t = tree(vec![split(2, 0.5, 1, 2), leaf(-1.0), leaf(7.0)], 4);
+        assert_eq!(t.depth(), 1);
+        assert_block_matches_scalar(&[t], EnsemblePost::Mean, 4);
+    }
+
+    #[test]
+    fn unused_features_are_harmless() {
+        // d = 6 but the tree only ever splits feature 5.
+        let t = tree(vec![split(5, 0.0, 1, 2), leaf(1.0), leaf(2.0)], 6);
+        assert_block_matches_scalar(&[t], EnsemblePost::Mean, 6);
+    }
+
+    #[test]
+    fn feature_indices_beyond_255_widen_not_truncate() {
+        // Splitting on feature 300 must survive the u16 packing: a u8
+        // layout would silently alias it to feature 44.
+        let d = 400;
+        let t = tree(vec![split(300, 0.0, 1, 2), leaf(-5.0), leaf(5.0)], d);
+        let soa = SoaForest::from_trees(&[t.clone()], EnsemblePost::Mean).unwrap();
+        let mut x = vec![0.0; d];
+        x[300] = 1.0; // feature 300 high → right leaf
+        x[44] = -1.0; // the u8-aliased index low → would pick left
+        assert_eq!(soa.predict(&x), 5.0);
+        let mut out = [0.0];
+        soa.predict_block_into(&x, &mut out);
+        assert_eq!(out[0], 5.0);
+        assert_eq!(t.output(&x), 5.0);
+    }
+
+    #[test]
+    fn too_many_features_fail_loudly() {
+        let d = u16::MAX as usize + 2;
+        let t = tree(vec![split(d - 1, 0.0, 1, 2), leaf(0.0), leaf(1.0)], d);
+        let err = SoaForest::from_trees(&[t], EnsemblePost::Mean).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("u16"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn empty_and_inconsistent_ensembles_rejected() {
+        assert!(SoaForest::from_trees(&[], EnsemblePost::Mean).is_err());
+        let a = tree(vec![leaf(1.0)], 3);
+        let b = tree(vec![leaf(1.0)], 4);
+        assert!(SoaForest::from_trees(&[a, b], EnsemblePost::Mean).is_err());
+    }
+
+    #[test]
+    fn fitted_forest_is_bit_identical() {
+        let s = friedman1(400, 9, 0.3, 31).unwrap();
+        let f = RandomForest::fit(
+            &s.data,
+            &ForestParams {
+                n_trees: 20,
+                ..ForestParams::default()
+            },
+            3,
+            1,
+        )
+        .unwrap();
+        let soa = SoaForest::from_forest(&f).unwrap();
+        let xs = rows(50, 9, 5)
+            .into_iter()
+            .chain((0..20).map(|i| s.data.row(i).to_vec()));
+        for x in xs {
+            assert_eq!(soa.predict(&x).to_bits(), f.output(&x).to_bits());
+        }
+        assert_block_matches_scalar(&f.trees, EnsemblePost::Mean, 9);
+    }
+
+    #[test]
+    fn fitted_gbdt_is_bit_identical_both_tasks() {
+        let s = friedman1(400, 7, 0.3, 33).unwrap();
+        let g = Gbdt::fit(
+            &s.data,
+            &GbdtParams {
+                n_rounds: 25,
+                ..GbdtParams::default()
+            },
+            1,
+        )
+        .unwrap();
+        let soa = SoaForest::from_gbdt(&g).unwrap();
+        for x in rows(40, 7, 9) {
+            assert_eq!(soa.predict(&x).to_bits(), g.predict(&x).to_bits());
+        }
+        let c = interaction_xor(500, 3, 17).unwrap();
+        let gc = Gbdt::fit(
+            &c.data,
+            &GbdtParams {
+                n_rounds: 15,
+                ..GbdtParams::default()
+            },
+            2,
+        )
+        .unwrap();
+        let soac = SoaForest::from_gbdt(&gc).unwrap();
+        for x in rows(40, c.data.n_features(), 11) {
+            assert_eq!(soac.predict(&x).to_bits(), gc.predict(&x).to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_and_forced_scalar_agree_bitwise() {
+        let s = friedman1(600, 11, 0.4, 41).unwrap();
+        let f = RandomForest::fit(
+            &s.data,
+            &ForestParams {
+                n_trees: 12,
+                ..ForestParams::default()
+            },
+            7,
+            1,
+        )
+        .unwrap();
+        let soa = SoaForest::from_forest(&f).unwrap();
+        let xs = rows(113, 11, 3);
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let mut fast = vec![0.0; xs.len()];
+        let mut slow = vec![0.0; xs.len()];
+        soa.predict_block_into(&flat, &mut fast);
+        set_force_scalar(true);
+        assert!(!simd_active());
+        soa.predict_block_into(&flat, &mut slow);
+        set_force_scalar(false);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_block_and_regressor_contract() {
+        let s = friedman1(300, 6, 0.2, 51).unwrap();
+        let f = RandomForest::fit(
+            &s.data,
+            &ForestParams {
+                n_trees: 8,
+                ..ForestParams::default()
+            },
+            5,
+            1,
+        )
+        .unwrap();
+        let soa = SoaForest::from_forest(&f).unwrap();
+        assert_eq!(Regressor::n_features(&soa), 6);
+        assert_eq!(soa.n_trees(), 8);
+        assert!(soa.n_nodes() >= 8);
+        let xs = rows(21, 6, 13);
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let batch = soa.predict_batch(&refs);
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let mut block = vec![0.0; xs.len()];
+        soa.predict_block(&flat, 6, &mut block);
+        for ((b, blk), x) in batch.iter().zip(&block).zip(&xs) {
+            assert_eq!(b.to_bits(), blk.to_bits());
+            assert_eq!(b.to_bits(), f.output(x).to_bits());
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Builds a small random synthetic ensemble: full binary trees of
+        /// the given depth with xorshift-driven features/thresholds. Covers
+        /// depth 0 (leaf-only) upward without paying a fit per case.
+        fn synth_trees(n_trees: usize, depth: usize, d: usize, seed: u64) -> Vec<DecisionTree> {
+            let mut s = seed | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            (0..n_trees)
+                .map(|_| {
+                    // Level-order full tree: internal nodes 0..2^depth-1,
+                    // leaves after. Node i's children are 2i+1, 2i+2.
+                    let internal = (1usize << depth) - 1;
+                    let total = (1usize << (depth + 1)) - 1;
+                    let nodes = (0..total)
+                        .map(|i| {
+                            if i < internal {
+                                split(
+                                    (next() as usize) % d,
+                                    (next() >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0,
+                                    (2 * i + 1) as u32,
+                                    (2 * i + 2) as u32,
+                                )
+                            } else {
+                                leaf((next() >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0)
+                            }
+                        })
+                        .collect();
+                    tree(nodes, d)
+                })
+                .collect()
+        }
+
+        fn fitted() -> &'static (
+            crate::forest::RandomForest,
+            crate::gbdt::Gbdt,
+            crate::gbdt::Gbdt,
+        ) {
+            static MODELS: OnceLock<(
+                crate::forest::RandomForest,
+                crate::gbdt::Gbdt,
+                crate::gbdt::Gbdt,
+            )> = OnceLock::new();
+            MODELS.get_or_init(|| {
+                let s = friedman1(300, 8, 0.3, 77).unwrap();
+                let forest = RandomForest::fit(
+                    &s.data,
+                    &ForestParams {
+                        n_trees: 10,
+                        ..ForestParams::default()
+                    },
+                    5,
+                    1,
+                )
+                .unwrap();
+                let greg = Gbdt::fit(
+                    &s.data,
+                    &GbdtParams {
+                        n_rounds: 12,
+                        ..GbdtParams::default()
+                    },
+                    9,
+                )
+                .unwrap();
+                let c = interaction_xor(300, 6, 23).unwrap();
+                let gcls = Gbdt::fit(
+                    &c.data,
+                    &GbdtParams {
+                        n_rounds: 10,
+                        ..GbdtParams::default()
+                    },
+                    11,
+                )
+                .unwrap();
+                (forest, greg, gcls)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn synthetic_ensembles_bit_identical(
+                n_trees in 1usize..5,
+                depth in 0usize..5,
+                d in 1usize..20,
+                n_rows in 1usize..40,
+                seed in 1u64..u64::MAX,
+            ) {
+                let trees = synth_trees(n_trees, depth, d, seed);
+                let soa = SoaForest::from_trees(&trees, EnsemblePost::Mean).unwrap();
+                let xs = rows(n_rows, d, seed ^ 0xABCD);
+                let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+                let mut out = vec![0.0; n_rows];
+                soa.predict_block_into(&flat, &mut out);
+                for (x, got) in xs.iter().zip(&out) {
+                    let sum: f64 = trees.iter().map(|t| t.output(x)).sum();
+                    let want = sum / trees.len() as f64;
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+
+            #[test]
+            fn fitted_models_bit_identical(
+                n_rows in 1usize..33,
+                seed in 1u64..u64::MAX,
+            ) {
+                let (forest, greg, gcls) = fitted();
+                let fsoa = SoaForest::from_forest(forest).unwrap();
+                let rsoa = SoaForest::from_gbdt(greg).unwrap();
+                let csoa = SoaForest::from_gbdt(gcls).unwrap();
+                for (soa, d, want_of) in [
+                    (&fsoa, 8usize, &(|x: &[f64]| forest.output(x)) as &dyn Fn(&[f64]) -> f64),
+                    (&rsoa, 8, &|x: &[f64]| greg.predict(x)),
+                    (&csoa, 8, &|x: &[f64]| gcls.predict(x)),
+                ] {
+                    let xs = rows(n_rows, d, seed);
+                    let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+                    let mut out = vec![0.0; n_rows];
+                    soa.predict_block_into(&flat, &mut out);
+                    for (x, got) in xs.iter().zip(&out) {
+                        prop_assert_eq!(got.to_bits(), want_of(x).to_bits());
+                        prop_assert_eq!(soa.predict(x).to_bits(), want_of(x).to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_on_single_row_yields_leaf_only_forest() {
+        // Degenerate training data (one effective row) → every tree is a
+        // single leaf; the packed form must round-trip it.
+        let data = nfv_data::dataset::Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 2.0, 1.0, 2.0],
+            vec![3.0, 3.0],
+            Task::Regression,
+        )
+        .unwrap();
+        let t = DecisionTree::fit(&data, &TreeParams::default(), 0).unwrap();
+        assert_eq!(t.depth(), 0);
+        let soa = SoaForest::from_trees(&[t], EnsemblePost::Mean).unwrap();
+        assert_eq!(soa.predict(&[9.0, 9.0]), 3.0);
+    }
+}

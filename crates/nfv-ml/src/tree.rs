@@ -343,6 +343,21 @@ impl Regressor for DecisionTree {
         self.output_batch_into(rows, &mut out);
         out
     }
+    /// Large blocks run through the SoA engine (a one-tree "ensemble" with
+    /// mean post-processing divides by 1.0, which is exact); small blocks
+    /// keep the interleaved arena walk.
+    fn predict_block(&self, flat: &[f64], d: usize, out: &mut [f64]) {
+        if out.len() >= crate::soa::PACK_MIN_ROWS {
+            if let Ok(packed) = crate::soa::SoaForest::from_trees(
+                std::slice::from_ref(self),
+                crate::soa::EnsemblePost::Mean,
+            ) {
+                return packed.predict_block_into(flat, out);
+            }
+        }
+        let refs: Vec<&[f64]> = flat.chunks_exact(d).collect();
+        self.output_batch_into(&refs, out);
+    }
     fn n_features(&self) -> usize {
         self.n_features
     }

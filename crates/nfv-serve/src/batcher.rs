@@ -95,6 +95,7 @@ mod tests {
             version,
             feature_names: vec!["a".into()],
             background: Background::from_rows(vec![vec![0.0]]).unwrap(),
+            packed: None,
         });
         let request = ExplainRequest {
             model_id: model_id.into(),

@@ -11,10 +11,13 @@
 //! - a **bounded MPMC queue** with admission control: when the queue is
 //!   full or a deadline is infeasible the request is *rejected with a
 //!   reason*, never silently delayed (backpressure, not buffer bloat),
-//! - a **worker pool** that micro-batches compatible requests through
-//!   `nfv_xai::batch::explain_batch_seeded`,
-//! - **metrics**: queue wait, batch size, cache hit rate, p50/p99, all
-//!   serializable for scraping.
+//! - a **worker pool** that micro-batches compatible requests and runs the
+//!   explainers with a persistent per-worker coalition arena (steady-state
+//!   serving does not allocate on the hot path) against the registry's
+//!   packed SoA tree engine,
+//! - **metrics**: queue wait, batch size, cache hit rate, p50/p99, and
+//!   per-(model-version, method) service-time EWMAs feeding admission
+//!   control, all serializable for scraping.
 //!
 //! Stochastic explainers are seeded from request *content* (never arrival
 //! order), so results are bit-for-bit reproducible across runs, thread

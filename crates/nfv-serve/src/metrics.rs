@@ -143,11 +143,110 @@ pub struct Metrics {
     /// target, because both division terms truncate to 0 and the estimate
     /// never converges below ~8 ns of its floor.
     ewma_service_fp: AtomicU64,
+    /// Per-(model-version, method) service-time EWMAs. The global EWMA
+    /// above blends a 40µs TreeSHAP with a 10ms KernelSHAP into one
+    /// number that misprices both; admission prefers the class estimate
+    /// and only falls back to the blend for classes it has never seen.
+    pub class_service: ClassEwmaTable,
 }
 
 /// Fixed-point shift for the service-time EWMA (values carry 8 fractional
 /// bits, i.e. 1/256 ns resolution).
 const EWMA_FP_SHIFT: u32 = 8;
+
+/// Slots in the per-class service-time table. Open addressing with linear
+/// probing; classes are (model-version, method) pairs, so 64 slots cover
+/// far more concurrently-live workload mixes than a realistic deployment
+/// runs. A full table degrades gracefully: unplaced classes fall back to
+/// the global EWMA.
+const CLASS_SLOTS: usize = 64;
+
+/// Folds one ns sample into a fixed-point EWMA cell (α = 1/8, the classic
+/// TCP RTT smoothing constant; a zero cell is seeded by its first sample).
+fn ewma_fold(cell: &AtomicU64, ns: u64) {
+    let scaled = ns.saturating_mul(1 << EWMA_FP_SHIFT);
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = if cur == 0 {
+            scaled
+        } else {
+            cur - cur / 8 + scaled / 8
+        };
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A lock-free open-addressed map from service-class key to a fixed-point
+/// service-time EWMA. Keys are claimed once with a CAS and never removed
+/// (re-registered models get fresh versions, hence fresh keys; stale
+/// classes just stop being read).
+#[derive(Debug)]
+pub struct ClassEwmaTable {
+    keys: [AtomicU64; CLASS_SLOTS],
+    ewma_fp: [AtomicU64; CLASS_SLOTS],
+}
+
+impl Default for ClassEwmaTable {
+    fn default() -> Self {
+        ClassEwmaTable {
+            keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            ewma_fp: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ClassEwmaTable {
+    /// Finds `class`'s slot, optionally claiming an empty one. `None`
+    /// means "not present" (lookup) or "table full" (claim).
+    fn slot_of(&self, class: u64, claim: bool) -> Option<usize> {
+        debug_assert_ne!(class, 0, "class keys are nonzero by construction");
+        let start = class as usize % CLASS_SLOTS;
+        for i in 0..CLASS_SLOTS {
+            let s = (start + i) % CLASS_SLOTS;
+            match self.keys[s].load(Ordering::Relaxed) {
+                k if k == class => return Some(s),
+                0 => {
+                    if !claim {
+                        return None;
+                    }
+                    match self.keys[s].compare_exchange(
+                        0,
+                        class,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Some(s),
+                        // Lost the race to the same class: that's our slot.
+                        Err(now) if now == class => return Some(s),
+                        // Lost to a different class: keep probing.
+                        Err(_) => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Folds one sample into `class`'s EWMA (no-op when the table is full
+    /// and `class` has no slot — the global EWMA still sees the sample).
+    pub fn observe(&self, class: u64, ns: u64) {
+        if let Some(s) = self.slot_of(class, true) {
+            ewma_fold(&self.ewma_fp[s], ns);
+        }
+    }
+
+    /// Smoothed per-request estimate for `class` in ns; `None` until the
+    /// class has been observed (callers fall back to the global EWMA).
+    pub fn get(&self, class: u64) -> Option<u64> {
+        let s = self.slot_of(class, false)?;
+        let ns = self.ewma_fp[s].load(Ordering::Relaxed) >> EWMA_FP_SHIFT;
+        (ns > 0).then_some(ns)
+    }
+}
 
 impl Metrics {
     /// Creates zeroed metrics.
@@ -155,35 +254,34 @@ impl Metrics {
         Self::default()
     }
 
-    /// Folds one observed per-request service time into the EWMA
-    /// (α = 1/8, the classic TCP RTT smoothing constant). The accumulator
-    /// keeps [`EWMA_FP_SHIFT`] fractional bits so repeated small samples
-    /// keep moving the estimate instead of truncating to a no-op.
+    /// Folds one observed per-request service time into the global EWMA.
+    /// The accumulator keeps [`EWMA_FP_SHIFT`] fractional bits so repeated
+    /// small samples keep moving the estimate instead of truncating to a
+    /// no-op.
     pub fn observe_service_ns(&self, ns: u64) {
-        let scaled = ns.saturating_mul(1 << EWMA_FP_SHIFT);
-        let mut cur = self.ewma_service_fp.load(Ordering::Relaxed);
-        loop {
-            let next = if cur == 0 {
-                scaled
-            } else {
-                cur - cur / 8 + scaled / 8
-            };
-            match self.ewma_service_fp.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(now) => cur = now,
-            }
-        }
+        ewma_fold(&self.ewma_service_fp, ns);
+    }
+
+    /// Folds one observed per-request service time into both the class
+    /// EWMA and the global blend (workers call this; the global estimate
+    /// stays live as the fallback for unseen classes).
+    pub fn observe_service_class_ns(&self, class: u64, ns: u64) {
+        self.class_service.observe(class, ns);
+        self.observe_service_ns(ns);
     }
 
     /// Current smoothed per-request service-time estimate (ns); 0 until
     /// the first observation.
     pub fn ewma_service_ns(&self) -> u64 {
         self.ewma_service_fp.load(Ordering::Relaxed) >> EWMA_FP_SHIFT
+    }
+
+    /// Per-class service estimate with the global EWMA as fallback — the
+    /// number admission control prices a request of `class` at.
+    pub fn service_estimate_ns(&self, class: u64) -> u64 {
+        self.class_service
+            .get(class)
+            .unwrap_or_else(|| self.ewma_service_ns())
     }
 
     /// Records a batch execution of `n` requests.
@@ -352,6 +450,48 @@ mod tests {
             m.observe_service_ns(10_000);
         }
         assert!(m.ewma_service_ns() > 9_000);
+    }
+
+    #[test]
+    fn class_table_separates_fast_and_slow_workloads() {
+        let m = Metrics::new();
+        m.observe_service_class_ns(7, 40_000);
+        m.observe_service_class_ns(11, 10_000_000);
+        assert_eq!(m.class_service.get(7), Some(40_000));
+        assert_eq!(m.class_service.get(11), Some(10_000_000));
+        assert_eq!(m.service_estimate_ns(7), 40_000);
+        assert_eq!(m.service_estimate_ns(11), 10_000_000);
+        // An unseen class falls back to the global blend, which sits
+        // between the two extremes and would misprice both.
+        let global = m.ewma_service_ns();
+        assert!(global > 40_000 && global < 10_000_000, "global={global}");
+        assert_eq!(m.service_estimate_ns(999), global);
+        assert_eq!(m.class_service.get(999), None);
+    }
+
+    #[test]
+    fn class_table_probes_past_collisions_and_survives_overflow() {
+        let m = Metrics::new();
+        // 1 and 65 land on the same home slot (mod 64); linear probing
+        // must keep their EWMAs distinct.
+        m.observe_service_class_ns(1, 100);
+        m.observe_service_class_ns(65, 200);
+        assert_eq!(m.class_service.get(1), Some(100));
+        assert_eq!(m.class_service.get(65), Some(200));
+        // Overfill the table: unplaced classes degrade to the fallback
+        // instead of corrupting someone else's slot.
+        for c in 1..=200u64 {
+            m.observe_service_class_ns(c, 1_000);
+        }
+        let overflowed = (1..=200u64)
+            .filter(|&c| m.class_service.get(c).is_none())
+            .count();
+        assert!(overflowed > 0, "200 classes into 64 slots must overflow");
+        assert!(
+            m.class_service.get(1).is_some(),
+            "placed classes keep their slot"
+        );
+        assert!(m.service_estimate_ns(4242) > 0, "fallback keeps working");
     }
 
     #[test]

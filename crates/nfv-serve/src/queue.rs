@@ -5,7 +5,7 @@ use crate::cache::CacheKey;
 use crate::error::{RejectReason, ServeError};
 use crate::metrics::Metrics;
 use crate::registry::ModelEntry;
-use crate::request::{ExplainRequest, ExplainResponse};
+use crate::request::{service_class_key, ExplainRequest, ExplainResponse};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,7 +74,11 @@ impl JobQueue {
     ///
     /// Feasibility model: the backlog ahead of this request — everything
     /// still queued *plus* jobs workers have dequeued but not finished —
-    /// is served by `workers` at the EWMA per-request service time. The
+    /// is served by `workers` at the EWMA per-request service time of this
+    /// request's (model-version, method) class, falling back to the global
+    /// EWMA for classes never observed. Per-class pricing matters in mixed
+    /// workloads: a global blend of cheap TreeSHAP and expensive KernelSHAP
+    /// rejects feasible fast requests and admits doomed slow ones. The
     /// estimate is compared against the budget *remaining* at admission
     /// time (the budget runs from `Job.admitted`, which the caller stamps
     /// before any admission work). If even this optimistic estimate misses,
@@ -83,7 +87,8 @@ impl JobQueue {
     /// small on the (hot) `Ok` path; rejection is the cold path and can
     /// afford the allocation.
     pub fn admit(&self, job: Job, metrics: &Metrics) -> Result<(), (RejectReason, Box<Job>)> {
-        let ewma_ns = metrics.ewma_service_ns();
+        let class = service_class_key(job.key.model_version, job.request.method);
+        let ewma_ns = metrics.service_estimate_ns(class);
         if ewma_ns > 0 {
             let backlog = self.tx.len() as u64 + self.in_flight.load(Ordering::Relaxed);
             let est_ns = ewma_ns * (backlog / self.workers as u64 + 1);
@@ -139,6 +144,10 @@ mod tests {
     use std::time::Duration;
 
     fn test_job(budget: Duration) -> Job {
+        test_job_with(ExplainMethod::KernelShap { n_coalitions: 8 }, budget)
+    }
+
+    fn test_job_with(method: ExplainMethod, budget: Duration) -> Job {
         let data = nfv_data::dataset::Dataset::new(
             vec!["a".into()],
             vec![0.0, 1.0],
@@ -153,11 +162,12 @@ mod tests {
             version: 1,
             feature_names: vec!["a".into()],
             background: bg,
+            packed: None,
         });
         let request = ExplainRequest {
             model_id: "m".into(),
             features: vec![0.5],
-            method: ExplainMethod::KernelShap { n_coalitions: 8 },
+            method,
             budget,
         };
         let key = CacheKey::build("m", 1, request.method, &request.features, 1e-6).unwrap();
@@ -225,6 +235,37 @@ mod tests {
         // Once the worker drains, the tight budget becomes feasible again.
         q.in_flight_handle().store(0, Ordering::Relaxed);
         assert!(q.admit(test_job(Duration::from_millis(25)), &m).is_ok());
+    }
+
+    #[test]
+    fn mixed_workloads_are_priced_per_class() {
+        let q = JobQueue::new(8, 1);
+        let m = Metrics::new();
+        let tree = ExplainMethod::TreeShap;
+        let kernel = ExplainMethod::KernelShap { n_coalitions: 8 };
+        // Workers have observed the two classes at very different costs:
+        // TreeSHAP ~40µs, KernelSHAP ~10ms (version 1 matches test jobs).
+        m.observe_service_class_ns(service_class_key(1, tree), 40_000);
+        m.observe_service_class_ns(service_class_key(1, kernel), 10_000_000);
+        // Under a single global EWMA (the blend, here ~1.3ms) both 5ms
+        // requests would be admitted — including the KernelSHAP one that
+        // cannot possibly finish in time. Per-class pricing splits them.
+        let budget = Duration::from_millis(5);
+        let (reason, _) = q.admit(test_job_with(kernel, budget), &m).unwrap_err();
+        assert!(
+            matches!(reason, RejectReason::DeadlineUnmeetable { .. }),
+            "{reason:?}"
+        );
+        assert!(
+            q.admit(test_job_with(tree, budget), &m).is_ok(),
+            "the cheap class must not be punished for the expensive one"
+        );
+        // A class never observed falls back to the global blend.
+        let lime = ExplainMethod::Lime { n_samples: 16 };
+        assert_eq!(
+            m.service_estimate_ns(service_class_key(1, lime)),
+            m.ewma_service_ns()
+        );
     }
 
     #[test]

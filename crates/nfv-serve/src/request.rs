@@ -92,6 +92,17 @@ pub(crate) fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
     h
 }
 
+/// Stable identity of a (model-version, method) *service class* — the
+/// granularity at which admission control tracks service-time EWMAs. A
+/// 8-coalition KernelSHAP request and a TreeSHAP request against the same
+/// model differ by orders of magnitude in cost; folding the version in
+/// keeps estimates from a retired model from polluting its replacement.
+/// Never zero: zero marks an empty slot in the metrics table.
+pub(crate) fn service_class_key(model_version: u64, method: ExplainMethod) -> u64 {
+    let (discriminant, sample_budget) = method.hash_parts();
+    fnv1a_words([model_version, discriminant, sample_budget]).max(1)
+}
+
 /// FNV-1a over raw bytes (for model ids).
 pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

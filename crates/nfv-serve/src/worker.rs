@@ -1,19 +1,27 @@
-//! Worker threads: pull jobs, micro-batch them, run the explainers through
-//! `nfv-xai`'s batch path, fill the cache, and answer the waiting clients.
+//! Worker threads: pull jobs, micro-batch them, run the explainers, fill
+//! the cache, and answer the waiting clients.
 //!
 //! Determinism: stochastic explainers get a seed derived from the request's
 //! *content* (cache key hash mixed with the engine seed), never from
 //! arrival order, thread id, or batch composition. The same request on the
 //! same engine therefore yields bit-for-bit the same attribution no matter
 //! how it was batched.
+//!
+//! Allocation: each worker owns one [`CoalitionWorkspace`] for its whole
+//! lifetime. KernelSHAP's composite-row block — the largest transient
+//! buffer in serving — grows to its high-water mark during the first few
+//! requests and is then reused verbatim, so steady-state serving does not
+//! allocate on the coalition hot path. Model evaluation inside that path
+//! goes through [`crate::registry::ModelEntry::explain_regressor`], i.e.
+//! the packed SoA engine for tree ensembles.
 
 use crate::batcher::{gather, group_compatible, BatchPolicy};
 use crate::cache::ShardedCache;
 use crate::error::{RejectReason, ServeError};
 use crate::metrics::Metrics;
 use crate::queue::Job;
-use crate::registry::ServeModel;
-use crate::request::{fnv1a_words, ExplainMethod, ExplainResponse};
+use crate::registry::{ModelEntry, ServeModel};
+use crate::request::{fnv1a_words, service_class_key, ExplainMethod, ExplainResponse};
 use crossbeam::channel::Receiver;
 use nfv_xai::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +60,11 @@ pub fn spawn_workers(n: usize, rx: Receiver<Job>, ctx: Arc<WorkerContext>) -> Ve
 }
 
 fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
+    // The worker's arena: persists across every micro-batch this thread
+    // ever serves (not per-group), which is what makes steady state
+    // allocation-free. Seeding keeps results independent of which worker
+    // got the job, so reuse is invisible to callers.
+    let mut ws = CoalitionWorkspace::default();
     while let Ok(first) = rx.recv() {
         let batch = gather(&rx, first, &ctx.policy);
         // Everything gathered is now invisible to the channel length;
@@ -61,7 +74,7 @@ fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         for group in group_compatible(batch) {
             let n = group.len() as u64;
-            process_group(group, &ctx);
+            process_group(group, &ctx, &mut ws);
             ctx.in_flight.fetch_sub(n, Ordering::Relaxed);
         }
     }
@@ -73,7 +86,53 @@ fn request_seed(engine_seed: u64, key_hash: u64) -> u64 {
     fnv1a_words([engine_seed, key_hash])
 }
 
-fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
+/// Runs one explanation against a resolved entry. The model-agnostic
+/// methods (KernelSHAP, LIME) evaluate through
+/// [`ModelEntry::explain_regressor`], so tree ensembles are served by the
+/// packed SoA engine; TreeSHAP walks the source trees directly.
+fn explain_one(
+    entry: &ModelEntry,
+    method: ExplainMethod,
+    x: &[f64],
+    seed: u64,
+    ws: &mut CoalitionWorkspace,
+) -> Result<Attribution, XaiError> {
+    let names = &entry.feature_names;
+    match (&entry.model, method) {
+        (ServeModel::Gbdt(m), ExplainMethod::TreeShap) => gbdt_shap(m, x, names),
+        (ServeModel::Forest(m), ExplainMethod::TreeShap) => forest_shap(m, x, names),
+        (_, ExplainMethod::TreeShap) => Err(XaiError::Input(format!(
+            "tree-shap unsupported for `{}`",
+            entry.model.kind()
+        ))),
+        (_, ExplainMethod::KernelShap { n_coalitions }) => {
+            let cfg = KernelShapConfig {
+                n_coalitions,
+                ridge: 0.0,
+                seed,
+            };
+            kernel_shap_with(
+                entry.explain_regressor(),
+                x,
+                &entry.background,
+                names,
+                &cfg,
+                ws,
+            )
+        }
+        (_, ExplainMethod::Lime { n_samples }) => {
+            let cfg = LimeConfig {
+                n_samples,
+                seed,
+                ..LimeConfig::default()
+            };
+            lime(entry.explain_regressor(), x, &entry.background, names, &cfg)
+                .map(|e| e.attribution)
+        }
+    }
+}
+
+fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspace) {
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(group.len());
     for job in group {
@@ -124,71 +183,32 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
         .cache_misses
         .fetch_add(live.len() as u64, std::sync::atomic::Ordering::Relaxed);
 
+    // Compatibility groups share (model id, version, method), so entry,
+    // method, and service class are group-wide constants.
     let entry = Arc::clone(&live[0].entry);
     let method = live[0].key.method;
-    let names = entry.feature_names.clone();
-    let instances: Vec<Vec<f64>> = live.iter().map(|j| j.request.features.clone()).collect();
-    let seeds: Vec<u64> = live
-        .iter()
-        .map(|j| request_seed(ctx.seed, j.key.stable_hash()))
-        .collect();
+    let class = service_class_key(live[0].key.model_version, method);
 
+    // Explain in admission order, straight off each job's own feature
+    // buffer — no instance/name/seed staging vectors. The worker arena is
+    // threaded through, and a failure is scoped to its own request instead
+    // of failing the whole group.
     let t0 = Instant::now();
-    // threads=1: parallelism comes from the worker pool itself. The
-    // workspace keeps KernelSHAP's composite-row block allocated across
-    // the whole group (it does not affect results).
-    let result = explain_batch_seeded_ws(
-        &instances,
-        &seeds,
-        1,
-        CoalitionWorkspace::default,
-        |x, seed, ws| match (&entry.model, method) {
-            (ServeModel::Gbdt(m), ExplainMethod::TreeShap) => gbdt_shap(m, x, &names),
-            (ServeModel::Forest(m), ExplainMethod::TreeShap) => forest_shap(m, x, &names),
-            (_, ExplainMethod::TreeShap) => Err(XaiError::Input(format!(
-                "tree-shap unsupported for `{}`",
-                entry.model.kind()
-            ))),
-            (_, ExplainMethod::KernelShap { n_coalitions }) => {
-                let cfg = KernelShapConfig {
-                    n_coalitions,
-                    ridge: 0.0,
-                    seed,
-                };
-                kernel_shap_with(
-                    entry.model.as_regressor(),
-                    x,
-                    &entry.background,
-                    &names,
-                    &cfg,
-                    ws,
-                )
-            }
-            (_, ExplainMethod::Lime { n_samples }) => {
-                let cfg = LimeConfig {
-                    n_samples,
-                    seed,
-                    ..LimeConfig::default()
-                };
-                lime(
-                    entry.model.as_regressor(),
-                    x,
-                    &entry.background,
-                    &names,
-                    &cfg,
-                )
-                .map(|e| e.attribution)
-            }
-        },
-    );
+    let results: Vec<Result<Attribution, XaiError>> = live
+        .iter()
+        .map(|job| {
+            let seed = request_seed(ctx.seed, job.key.stable_hash());
+            explain_one(&entry, method, &job.request.features, seed, &mut *ws)
+        })
+        .collect();
     let service = t0.elapsed();
     let per_request_ns = (service.as_nanos() / live.len() as u128).min(u64::MAX as u128) as u64;
-    ctx.metrics.observe_service_ns(per_request_ns);
+    ctx.metrics.observe_service_class_ns(class, per_request_ns);
 
-    match result {
-        Ok(attrs) => {
-            let batch_size = live.len();
-            for (job, attr) in live.into_iter().zip(attrs) {
+    let batch_size = live.len();
+    for (job, result) in live.into_iter().zip(results) {
+        match result {
+            Ok(attr) => {
                 let attr = Arc::new(attr);
                 ctx.cache.insert(job.key.clone(), Arc::clone(&attr));
                 let waited = now.duration_since(job.admitted);
@@ -207,15 +227,11 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext) {
                     service_time: service,
                 }));
             }
-        }
-        Err(e) => {
-            // One failing instance fails its whole group (the batch call
-            // reports the first error); callers see the explainer error.
-            for job in live {
+            Err(e) => {
                 ctx.metrics
                     .explain_errors
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let _ = job.respond.send(Err(ServeError::Explain(e.clone())));
+                let _ = job.respond.send(Err(ServeError::Explain(e)));
             }
         }
     }

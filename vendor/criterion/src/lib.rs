@@ -4,10 +4,14 @@
 //! measuring wall-clock time and printing a one-line summary
 //! (`min / mean / p50` per iteration) per benchmark. No plotting, no
 //! statistical regression testing, no HTML reports — the numbers go to
-//! stdout, which is what the bench harness scripts scrape.
+//! stdout, which is what the bench harness scripts scrape. In addition,
+//! `criterion_main!` writes the per-case medians to a machine-readable
+//! `BENCH_<bench-name>.json` at the workspace root (skipped in `--test`
+//! smoke mode), so the perf trajectory is tracked across commits.
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -178,6 +182,88 @@ fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
+/// Median per-iteration times (ns) of every benchmark this process ran,
+/// collected for the JSON baseline written by [`write_baseline`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// The bench target's name: the executable stem with cargo's trailing
+/// `-<16-hex-digit hash>` removed (`serve_throughput-ac56…` →
+/// `serve_throughput`).
+fn bench_name() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Directory the baseline lands in: the workspace root, found by walking
+/// up from the package's manifest dir to the first `Cargo.lock`. Falls
+/// back to the current directory (standalone invocations).
+fn baseline_dir() -> std::path::PathBuf {
+    if let Ok(pkg) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = std::path::PathBuf::from(pkg);
+        loop {
+            if dir.join("Cargo.lock").is_file() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    std::path::PathBuf::from(".")
+}
+
+/// Writes `BENCH_<name>.json` mapping each benchmark id run by this
+/// process to its median per-iteration time in nanoseconds. Invoked by
+/// `criterion_main!` after all groups finish; a no-op in `--test` smoke
+/// mode or when nothing was timed. Ids pass through a minimal JSON string
+/// escape (they are plain ASCII in practice).
+pub fn write_baseline() {
+    if test_mode() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let mut entries: Vec<(String, f64)> = results.clone();
+    drop(results);
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut json = String::from("{\n  \"median_ns\": {\n");
+    for (i, (id, ns)) in entries.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        json.push_str(&format!(
+            "    \"{escaped}\": {ns:.1}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = baseline_dir().join(format!("BENCH_{}.json", bench_name()));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("baseline medians written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn run_benchmark<F>(id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -233,6 +319,7 @@ where
     let min = per_iter[0];
     let p50 = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    RESULTS.lock().unwrap().push((id.to_string(), p50 * 1e9));
     println!(
         "{id:<50} time: [min {} mean {} p50 {}]  ({} samples x {} iters)",
         fmt_time(min),
@@ -266,12 +353,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, invoking each group.
+/// Declares the bench binary's `main`, invoking each group and then
+/// writing the machine-readable median baseline.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_baseline();
         }
     };
 }
