@@ -17,4 +17,20 @@ echo "==> bench smoke (serve_throughput + explain_latency --test)"
 cargo bench -p nfv-bench --bench serve_throughput -- --test
 cargo bench -p nfv-bench --bench explain_latency -- --test
 
+# Perf-regression gate: rerun the timed benches and diff the fresh medians
+# (BENCH_*.json at the workspace root) against the blessed baselines/.
+# Fails if any median regressed by more than 25%. Set NFV_BENCH_GATE=off to
+# skip on machines whose perf envelope differs from the blessed one.
+if [ "${NFV_BENCH_GATE:-on}" = "off" ]; then
+  echo "==> bench gate: SKIPPED (NFV_BENCH_GATE=off)"
+else
+  echo "==> bench gate (timed run vs baselines/, tolerance 25%)"
+  cargo bench -p nfv-bench --bench serve_throughput
+  cargo bench -p nfv-bench --bench explain_latency
+  cargo run -q --release -p nfv-bench --bin bench_gate -- \
+    baselines/BENCH_serve_throughput.json BENCH_serve_throughput.json
+  cargo run -q --release -p nfv-bench --bin bench_gate -- \
+    baselines/BENCH_explain_latency.json BENCH_explain_latency.json
+fi
+
 echo "==> CI OK"

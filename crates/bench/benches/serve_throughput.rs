@@ -12,16 +12,24 @@ use nfv_xai::prelude::*;
 use std::time::Duration;
 
 fn engine_for(task: &SizedTask, seed: u64) -> ServeEngine {
-    let engine = ServeEngine::start(ServeConfig {
-        workers: 2,
-        queue_capacity: 512,
-        max_batch: 8,
-        gather_window: Duration::from_micros(200),
-        cache_capacity: 8192,
-        cache_shards: 8,
-        quantization_grid: 1e-6,
-        seed,
-    });
+    engine_with(
+        task,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 512,
+            max_batch: 8,
+            gather_window: Duration::from_micros(200),
+            cache_capacity: 8192,
+            cache_shards: 8,
+            quantization_grid: 1e-6,
+            seed,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+fn engine_with(task: &SizedTask, config: ServeConfig) -> ServeEngine {
+    let engine = ServeEngine::start(config);
     engine
         .registry()
         .register(
@@ -94,6 +102,91 @@ fn bench_serve(c: &mut Criterion) {
     );
     g.finish();
     engine.shutdown();
+}
+
+/// A shared uncached KernelSHAP trace: 8 clients concurrently replay the
+/// *same* 16 requests (distinct grid cells per iteration, so nothing is
+/// pre-cached). This is the NFV telemetry-burst shape: one anomaly, many
+/// dashboards asking the same questions at once.
+fn replay_shared_trace(engine: &ServeEngine, task: &SizedTask, cell: u64) {
+    std::thread::scope(|s| {
+        for c in 0..8usize {
+            let engine = &*engine;
+            let task = &*task;
+            s.spawn(move || {
+                for i in 0..16 {
+                    // Two dashboard cohorts replay the trace from
+                    // different offsets; panels within a cohort fire in
+                    // lockstep. Lockstep duplicates are what single-flight
+                    // collapses; the cohorts' concurrent *distinct*
+                    // leaders are what the fusion scheduler stacks. (All
+                    // clients at one offset would serialize the trace
+                    // behind a single leader; all at distinct offsets
+                    // would never produce a concurrent duplicate.)
+                    let mut r = req(task, (i + 8 * (c / 4)) % 16);
+                    r.method = ExplainMethod::KernelShap { n_coalitions: 64 };
+                    // Same 16 cells across all clients, fresh per iteration.
+                    r.features[0] += cell as f64 * 1e-3;
+                    engine.explain(r).unwrap();
+                }
+            });
+        }
+    })
+}
+
+/// Fused vs unfused serving on the shared uncached trace. Both engines run
+/// the identical worker pool, batch policy, and cache; the fused one adds
+/// single-flight dedup (128 concurrent requests collapse to 16 leaders)
+/// and the coalition fusion scheduler (the 16 leaders' coalition matrices
+/// stack into shared `predict_block` calls). Results are bit-identical;
+/// only the evaluation schedule differs.
+fn bench_fused_replay(c: &mut Criterion) {
+    let task = SizedTask::new(14, 1);
+    let base = ServeConfig {
+        workers: 2,
+        queue_capacity: 512,
+        max_batch: 16,
+        gather_window: Duration::from_micros(500),
+        cache_capacity: 8192,
+        cache_shards: 8,
+        quantization_grid: 1e-6,
+        seed: 1,
+        ..ServeConfig::default()
+    };
+    let mut g = c.benchmark_group("fused_replay_d14");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let unfused_cfg = ServeConfig {
+        fusion: FusionPolicy {
+            enabled: false,
+            ..FusionPolicy::default()
+        },
+        single_flight: false,
+        ..base
+    };
+    let unfused = engine_with(&task, unfused_cfg);
+    let mut cell = 0u64;
+    g.bench_function("unfused_replay_8_clients", |b| {
+        b.iter(|| {
+            cell += 1;
+            replay_shared_trace(&unfused, &task, cell);
+        })
+    });
+    unfused.shutdown();
+
+    let fused = engine_with(&task, base);
+    g.bench_function("fused_replay_8_clients", |b| {
+        b.iter(|| {
+            cell += 1;
+            replay_shared_trace(&fused, &task, cell);
+        })
+    });
+    let stats = fused.stats();
+    println!(
+        "fused replay stats: {} groups, {} fused requests, fill ratio {:.3}, {} single-flight hits",
+        stats.fused_groups, stats.fused_requests, stats.fused_fill_ratio, stats.single_flight_hits
+    );
+    fused.shutdown();
 }
 
 /// Coalition evaluation — the explainer hot path — scalar vs batched.
@@ -173,5 +266,5 @@ fn bench_coalition_eval(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(serve, bench_serve, bench_coalition_eval);
+criterion_group!(serve, bench_serve, bench_fused_replay, bench_coalition_eval);
 criterion_main!(serve);

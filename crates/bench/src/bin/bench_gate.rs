@@ -1,0 +1,63 @@
+//! `bench_gate` — the perf-regression gate CLI.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]
+//! ```
+//!
+//! Compares a fresh `BENCH_*.json` (written at the workspace root by a
+//! timed Criterion run) against the blessed copy under `baselines/` and
+//! exits non-zero if any benchmark's median regressed by more than the
+//! tolerance, or vanished from the fresh run. `NFV_BENCH_GATE=off` skips
+//! the comparison entirely (escape hatch for machines whose perf envelope
+//! differs from the one the baseline was blessed on).
+
+use nfv_bench::gate::{gate_files, DEFAULT_TOLERANCE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    if std::env::var("NFV_BENCH_GATE").map(|v| v == "off") == Ok(true) {
+        println!("bench gate: SKIPPED (NFV_BENCH_GATE=off)");
+        return ExitCode::SUCCESS;
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--tolerance" {
+            let Some(t) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                return usage();
+            };
+            if !(t.is_finite() && t >= 0.0) {
+                return usage();
+            }
+            tolerance = t;
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        return usage();
+    };
+    println!(
+        "bench gate: {} vs {} (tolerance {:.0}%)",
+        baseline.display(),
+        fresh.display(),
+        tolerance * 100.0
+    );
+    match gate_files(baseline, fresh, tolerance) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprint!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}

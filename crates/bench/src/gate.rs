@@ -1,0 +1,324 @@
+//! Performance-regression gate: compares a fresh benchmark run's median
+//! times against a committed baseline and fails when any benchmark slowed
+//! down beyond a tolerance.
+//!
+//! Baselines are the `BENCH_<bench>.json` files the vendored Criterion
+//! harness writes at the workspace root after a timed run (shape:
+//! `{"median_ns": {"group/bench": f64, ...}}`). Blessed copies live under
+//! `baselines/`; `ci.sh` reruns the timed benches, then diffs the fresh
+//! file at the root against the blessed one via the `bench_gate` binary.
+//!
+//! Policy:
+//! - a benchmark whose fresh median exceeds `baseline * (1 + tolerance)`
+//!   is a **regression** → the gate fails;
+//! - a benchmark present in the baseline but absent from the fresh run is
+//!   **missing** → the gate fails (a silently dropped bench would let real
+//!   regressions hide behind a stale baseline);
+//! - a benchmark only in the fresh run is **new** → reported, never fatal
+//!   (the baseline is refreshed when the new numbers are blessed);
+//! - everything else — unchanged, faster, or slower within tolerance —
+//!   passes.
+//!
+//! To bless a new baseline, copy the fresh root file over the one in
+//! `baselines/`. On small or shared machines, bless the per-bench
+//! *maximum* across a few runs: thread-heavy benches can swing with
+//! scheduler placement, and the tolerance should sit on top of that
+//! observed envelope, not inside it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default slowdown tolerance: fail only when a median grows by more than
+/// 25% over the blessed baseline. Wide enough to absorb shared-runner
+/// noise on the multi-millisecond benches, tight enough to catch a real
+/// hot-path regression (the fusion wins this gate protects are ≥ 2×).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Median per-iteration times in nanoseconds, keyed by `group/bench` id.
+pub type Medians = BTreeMap<String, f64>;
+
+/// Parses a `BENCH_*.json` baseline file into its median map.
+///
+/// Accepts exactly the shape Criterion writes: a top-level object with a
+/// `median_ns` object of finite, positive numbers. Anything else is an
+/// error naming the offending key — a malformed baseline must fail the
+/// gate loudly, not pass it vacuously.
+pub fn parse_medians(json: &str) -> Result<Medians, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = v
+        .get("median_ns")
+        .and_then(|m| m.as_object())
+        .ok_or_else(|| "missing top-level \"median_ns\" object".to_string())?;
+    let mut out = Medians::new();
+    for (id, ns) in obj {
+        let ns = ns
+            .as_f64()
+            .filter(|n| n.is_finite() && *n > 0.0)
+            .ok_or_else(|| format!("\"{id}\": median must be a finite positive number"))?;
+        out.insert(id.clone(), ns);
+    }
+    if out.is_empty() {
+        return Err("\"median_ns\" is empty — nothing to gate".into());
+    }
+    Ok(out)
+}
+
+/// One benchmark's baseline-vs-fresh comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// `group/bench` id.
+    pub id: String,
+    /// Blessed median, ns.
+    pub baseline_ns: f64,
+    /// Fresh median, ns.
+    pub fresh_ns: f64,
+}
+
+impl Delta {
+    /// Fresh over baseline: 1.30 means 30% slower.
+    pub fn ratio(&self) -> f64 {
+        self.fresh_ns / self.baseline_ns
+    }
+}
+
+/// The gate's verdict over a full baseline/fresh pair.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct GateReport {
+    /// Benchmarks slower than `baseline * (1 + tolerance)` — each fails
+    /// the gate.
+    pub regressions: Vec<Delta>,
+    /// Benchmarks within tolerance (including improvements).
+    pub passed: Vec<Delta>,
+    /// Ids in the baseline with no fresh measurement — each fails the
+    /// gate.
+    pub missing: Vec<String>,
+    /// Ids measured fresh but absent from the baseline — informational.
+    pub new_ids: Vec<String>,
+    /// The tolerance the verdict was computed under.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// True when nothing regressed and nothing vanished.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable multi-line summary, worst regressions first.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let pct = self.tolerance * 100.0;
+        for d in &self.regressions {
+            let _ = writeln!(
+                s,
+                "REGRESSION {:<55} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%, tolerance {pct:.0}%)",
+                d.id,
+                d.baseline_ns,
+                d.fresh_ns,
+                (d.ratio() - 1.0) * 100.0
+            );
+        }
+        for id in &self.missing {
+            let _ = writeln!(s, "MISSING    {id:<55} in baseline but not measured fresh");
+        }
+        for d in &self.passed {
+            let _ = writeln!(
+                s,
+                "ok         {:<55} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",
+                d.id,
+                d.baseline_ns,
+                d.fresh_ns,
+                (d.ratio() - 1.0) * 100.0
+            );
+        }
+        for id in &self.new_ids {
+            let _ = writeln!(s, "new        {id:<55} not in baseline (bless to track)");
+        }
+        let verdict = if self.ok() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            s,
+            "bench gate: {verdict} ({} regressed, {} missing, {} ok, {} new)",
+            self.regressions.len(),
+            self.missing.len(),
+            self.passed.len(),
+            self.new_ids.len()
+        );
+        s
+    }
+}
+
+/// Diffs a fresh run against the blessed baseline under `tolerance`.
+pub fn compare(baseline: &Medians, fresh: &Medians, tolerance: f64) -> GateReport {
+    let mut report = GateReport {
+        tolerance,
+        ..GateReport::default()
+    };
+    for (id, &base_ns) in baseline {
+        match fresh.get(id) {
+            None => report.missing.push(id.clone()),
+            Some(&fresh_ns) => {
+                let d = Delta {
+                    id: id.clone(),
+                    baseline_ns: base_ns,
+                    fresh_ns,
+                };
+                if fresh_ns > base_ns * (1.0 + tolerance) {
+                    report.regressions.push(d);
+                } else {
+                    report.passed.push(d);
+                }
+            }
+        }
+    }
+    report
+        .regressions
+        .sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).unwrap());
+    report.new_ids = fresh
+        .keys()
+        .filter(|id| !baseline.contains_key(*id))
+        .cloned()
+        .collect();
+    report
+}
+
+/// Runs the gate over a (baseline path, fresh path) pair: parse both,
+/// compare, render. `Err` carries the rendered report or the parse error.
+pub fn gate_files(
+    baseline_path: &std::path::Path,
+    fresh_path: &std::path::Path,
+    tolerance: f64,
+) -> Result<String, String> {
+    let read = |p: &std::path::Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    };
+    let baseline = parse_medians(&read(baseline_path)?)
+        .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+    let fresh =
+        parse_medians(&read(fresh_path)?).map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+    let report = compare(&baseline, &fresh, tolerance);
+    let rendered = report.render();
+    if report.ok() {
+        Ok(rendered)
+    } else {
+        Err(rendered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medians(pairs: &[(&str, f64)]) -> Medians {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_the_criterion_baseline_shape() {
+        let json = r#"{
+  "median_ns": {
+    "serve_throughput_d14/cached_hit": 616.2,
+    "fused_replay_d14/fused_replay_8_clients": 10825991.2
+  }
+}"#;
+        let m = parse_medians(json).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["serve_throughput_d14/cached_hit"], 616.2);
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(parse_medians("not json").is_err());
+        assert!(parse_medians(r#"{"medians": {}}"#).is_err());
+        assert!(parse_medians(r#"{"median_ns": {}}"#).is_err());
+        assert!(parse_medians(r#"{"median_ns": {"a": -1.0}}"#).is_err());
+        assert!(parse_medians(r#"{"median_ns": {"a": "fast"}}"#).is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = medians(&[("g/a", 100.0), ("g/b", 2_000.0)]);
+        let r = compare(&base, &base, DEFAULT_TOLERANCE);
+        assert!(r.ok());
+        assert_eq!(r.passed.len(), 2);
+        assert!(r.regressions.is_empty() && r.missing.is_empty());
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes_and_beyond_fails() {
+        let base = medians(&[("g/a", 1_000.0)]);
+        // Exactly at the boundary: 25% slower is tolerated, more is not.
+        let at = medians(&[("g/a", 1_250.0)]);
+        assert!(compare(&base, &at, DEFAULT_TOLERANCE).ok());
+        let over = medians(&[("g/a", 1_251.0)]);
+        let r = compare(&base, &over, DEFAULT_TOLERANCE);
+        assert!(!r.ok());
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].id, "g/a");
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate_and_names_the_bench() {
+        // The scenario the gate exists for: one hot path doubles in cost.
+        let base = medians(&[
+            ("serve_throughput_d14/hot_replay_8_clients", 210_899.0),
+            ("fused_replay_d14/fused_replay_8_clients", 10_825_991.2),
+        ]);
+        let mut fresh = base.clone();
+        fresh.insert(
+            "fused_replay_d14/fused_replay_8_clients".into(),
+            2.0 * 10_825_991.2,
+        );
+        let r = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!r.ok());
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(
+            r.regressions[0].id,
+            "fused_replay_d14/fused_replay_8_clients"
+        );
+        assert!((r.regressions[0].ratio() - 2.0).abs() < 1e-12);
+        let text = r.render();
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn improvements_pass_and_sorting_puts_worst_first() {
+        let base = medians(&[("g/a", 1_000.0), ("g/b", 1_000.0), ("g/c", 1_000.0)]);
+        let fresh = medians(&[("g/a", 1_500.0), ("g/b", 3_000.0), ("g/c", 500.0)]);
+        let r = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.regressions.len(), 2);
+        assert_eq!(r.regressions[0].id, "g/b", "worst first");
+        assert_eq!(r.passed.len(), 1);
+        assert_eq!(r.passed[0].id, "g/c");
+    }
+
+    #[test]
+    fn missing_bench_fails_and_new_bench_is_informational() {
+        let base = medians(&[("g/a", 100.0), ("g/gone", 100.0)]);
+        let fresh = medians(&[("g/a", 100.0), ("g/new", 100.0)]);
+        let r = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!r.ok(), "a vanished bench must fail, not silently pass");
+        assert_eq!(r.missing, vec!["g/gone".to_string()]);
+        assert_eq!(r.new_ids, vec!["g/new".to_string()]);
+
+        let only_new = compare(&medians(&[("g/a", 100.0)]), &fresh, DEFAULT_TOLERANCE);
+        assert!(only_new.ok(), "new benches alone never fail the gate");
+    }
+
+    #[test]
+    fn gate_files_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("nfv_gate_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_p = dir.join("base.json");
+        let fresh_p = dir.join("fresh.json");
+        let body = r#"{"median_ns": {"g/a": 100.0}}"#;
+        std::fs::write(&base_p, body).unwrap();
+        std::fs::write(&fresh_p, body).unwrap();
+        assert!(gate_files(&base_p, &fresh_p, DEFAULT_TOLERANCE).is_ok());
+        std::fs::write(&fresh_p, r#"{"median_ns": {"g/a": 200.0}}"#).unwrap();
+        let err = gate_files(&base_p, &fresh_p, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

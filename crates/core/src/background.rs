@@ -100,6 +100,190 @@ impl CoalitionWorkspace {
 /// keeping blocks large enough for the blocked model evaluators to win.
 const MAX_BLOCK_ROWS: usize = 4096;
 
+/// Collects the indices of `true` entries of `members` into `member_idx`.
+fn collect_member_idx(members: &[bool], member_idx: &mut Vec<usize>) {
+    member_idx.clear();
+    for (j, &m) in members.iter().enumerate() {
+        if m {
+            member_idx.push(j);
+        }
+    }
+}
+
+/// Appends one coalition's composite rows (one per background row) to
+/// `out`: the background row copied wholesale, then the coalition's member
+/// features scattered over it. Single materialization routine shared by
+/// the serial, parallel, and planned (fused) evaluation paths — they
+/// cannot drift apart.
+fn append_composite_rows(
+    bg_rows: &[Vec<f64>],
+    x: &[f64],
+    member_idx: &[usize],
+    out: &mut Vec<f64>,
+) {
+    for b in bg_rows {
+        let start = out.len();
+        out.extend_from_slice(b);
+        for &j in member_idx {
+            out[start + j] = x[j];
+        }
+    }
+}
+
+/// A shared arena of composite rows that several [`CoalitionPlan`]s append
+/// into, so one [`Regressor::predict_block`] call can evaluate the
+/// coalition work of many explanation requests at once (cross-request
+/// fusion). Rows from different plans are simply stacked; each plan
+/// remembers its own row range and scatters its values back out with
+/// [`CoalitionPlan::values_into`].
+///
+/// Lifecycle: `clear` → any number of [`Background::plan_coalitions`]
+/// appends (all with the same feature count) → `evaluate` → per-plan
+/// `values_into`. The buffers persist across cycles, so a steady-state
+/// fusion loop allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct FusedBlock {
+    /// Flat `n_rows × d` composite rows from every plan appended so far.
+    rows: Vec<f64>,
+    /// Model outputs parallel to `rows` (filled by [`FusedBlock::evaluate`]).
+    preds: Vec<f64>,
+    /// Feature count shared by all stacked rows (0 while empty).
+    d: usize,
+}
+
+impl FusedBlock {
+    /// Resets the arena for a new fusion group (buffers are kept).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.preds.clear();
+        self.d = 0;
+    }
+
+    /// Composite rows stacked so far.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len().checked_div(self.d).unwrap_or(0)
+    }
+
+    /// True when no plan has appended rows since the last `clear`.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature count of the stacked rows (0 while empty).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The flat composite-row arena (`n_rows × d`).
+    pub fn rows(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// Appends one composite row directly, returning its row index. Used
+    /// by planners whose rows are not coalition composites (e.g.
+    /// permutation walks in sampling Shapley).
+    ///
+    /// # Panics
+    /// If the block already holds rows of a different feature count.
+    pub fn push_row(&mut self, row: &[f64]) -> usize {
+        if self.d == 0 {
+            self.d = row.len();
+        }
+        assert_eq!(
+            self.d,
+            row.len(),
+            "fused block holds {}-feature rows; cannot stack {}-feature rows",
+            self.d,
+            row.len()
+        );
+        let idx = self.n_rows();
+        self.rows.extend_from_slice(row);
+        idx
+    }
+
+    /// Evaluates every stacked row with **one** `predict_block` call.
+    ///
+    /// Determinism: `predict_block` is row-pure for every model (each
+    /// output depends only on its own row, with the same arithmetic as
+    /// scalar `predict`), so fusing rows from many requests into one call
+    /// changes *which call* evaluates a row, never its bits.
+    pub fn evaluate(&mut self, model: &dyn Regressor) {
+        let n = self.n_rows();
+        self.preds.clear();
+        self.preds.resize(n, 0.0);
+        if n > 0 {
+            model.predict_block(&self.rows, self.d, &mut self.preds);
+        }
+    }
+
+    /// Model outputs for the stacked rows (valid after `evaluate`).
+    pub fn preds(&self) -> &[f64] {
+        &self.preds
+    }
+}
+
+/// The plan half of the coalition plan/execute split: composite rows for
+/// one request's coalitions have been materialized into a [`FusedBlock`],
+/// but not yet evaluated. Produced by [`Background::plan_coalitions`];
+/// after [`FusedBlock::evaluate`], [`CoalitionPlan::values_into`] reduces
+/// this plan's slice of the shared prediction buffer to per-coalition
+/// values with the exact arithmetic of [`Background::coalition_values_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalitionPlan {
+    /// First row of this plan within the shared block.
+    first_row: usize,
+    /// Coalitions planned.
+    n_coalitions: usize,
+    /// Background rows per coalition.
+    n_bg: usize,
+}
+
+impl CoalitionPlan {
+    /// First composite row of this plan within its block.
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Coalitions covered by this plan.
+    pub fn n_coalitions(&self) -> usize {
+        self.n_coalitions
+    }
+
+    /// Composite rows this plan occupies in the block.
+    pub fn n_rows(&self) -> usize {
+        self.n_coalitions * self.n_bg
+    }
+
+    /// Scatters this plan's coalition values out of the evaluated block:
+    /// per-coalition means over background rows, accumulated in the same
+    /// order (and therefore bit-identical to) the unfused path. Values are
+    /// appended to `out` in coalition order.
+    ///
+    /// # Panics
+    /// If `block` has not been evaluated since this plan was appended.
+    pub fn values_into(&self, block: &FusedBlock, out: &mut Vec<f64>) {
+        out.clear();
+        if self.n_coalitions == 0 {
+            return;
+        }
+        let end = self.first_row + self.n_rows();
+        assert!(
+            end <= block.preds.len(),
+            "fused block not evaluated: plan needs rows {}..{end} but only {} predictions exist",
+            self.first_row,
+            block.preds.len()
+        );
+        out.reserve(self.n_coalitions);
+        for per_coalition in block.preds[self.first_row..end].chunks(self.n_bg) {
+            let mut sum = 0.0;
+            for &p in per_coalition {
+                sum += p;
+            }
+            out.push(sum / self.n_bg as f64);
+        }
+    }
+}
+
 impl Background {
     /// Builds from explicit rows (all must share one length).
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Background, XaiError> {
@@ -271,19 +455,8 @@ impl Background {
             ws.composites.reserve(take * n_bg * d);
             for c in 0..take {
                 membership(next + c, &mut ws.members);
-                ws.member_idx.clear();
-                for (j, &m) in ws.members.iter().enumerate() {
-                    if m {
-                        ws.member_idx.push(j);
-                    }
-                }
-                for b in &self.rows {
-                    let start = ws.composites.len();
-                    ws.composites.extend_from_slice(b);
-                    for &j in &ws.member_idx {
-                        ws.composites[start + j] = x[j];
-                    }
-                }
+                collect_member_idx(&ws.members, &mut ws.member_idx);
+                append_composite_rows(&self.rows, x, &ws.member_idx, &mut ws.composites);
             }
             ws.preds.resize(take * n_bg, 0.0);
             model.predict_block(&ws.composites, d, &mut ws.preds[..take * n_bg]);
@@ -345,19 +518,8 @@ impl Background {
                         composites.reserve(take * n_bg * d);
                         for c in 0..take {
                             let members = &all_members[(first + c) * d..(first + c + 1) * d];
-                            member_idx.clear();
-                            for (j, &m) in members.iter().enumerate() {
-                                if m {
-                                    member_idx.push(j);
-                                }
-                            }
-                            for b in rows {
-                                let start = composites.len();
-                                composites.extend_from_slice(b);
-                                for &j in &member_idx {
-                                    composites[start + j] = x[j];
-                                }
-                            }
+                            collect_member_idx(members, &mut member_idx);
+                            append_composite_rows(rows, x, &member_idx, &mut composites);
                         }
                         preds.resize(take * n_bg, 0.0);
                         model.predict_block(&composites, d, &mut preds[..take * n_bg]);
@@ -375,6 +537,57 @@ impl Background {
             }
         })
         .expect("coalition block worker panicked");
+    }
+
+    /// The plan half of [`Background::coalition_values_into`]: materializes
+    /// the composite rows for `n_coalitions` coalitions into the shared
+    /// `block` **without evaluating them**, and returns a
+    /// [`CoalitionPlan`] remembering the row range. Several requests'
+    /// plans can stack into one block; a single
+    /// [`FusedBlock::evaluate`] then feeds every plan's
+    /// [`CoalitionPlan::values_into`].
+    ///
+    /// The membership closure contract is identical to
+    /// [`Background::coalition_values_into`] (called once per coalition in
+    /// ascending order against a persistent all-`false` buffer), and the
+    /// rows are built by the same materialization routine, so
+    /// `plan + evaluate + values_into` is bit-identical to the direct
+    /// call.
+    ///
+    /// # Panics
+    /// If `block` already holds rows of a different feature count.
+    pub fn plan_coalitions(
+        &self,
+        x: &[f64],
+        n_coalitions: usize,
+        mut membership: impl FnMut(usize, &mut [bool]),
+        ws: &mut CoalitionWorkspace,
+        block: &mut FusedBlock,
+    ) -> CoalitionPlan {
+        let d = x.len();
+        let n_bg = self.rows.len();
+        if block.d == 0 {
+            block.d = d;
+        }
+        assert_eq!(
+            block.d, d,
+            "fused block holds {}-feature rows; cannot stack {d}-feature rows",
+            block.d
+        );
+        let first_row = block.n_rows();
+        ws.members.clear();
+        ws.members.resize(d, false);
+        block.rows.reserve(n_coalitions * n_bg * d);
+        for c in 0..n_coalitions {
+            membership(c, &mut ws.members);
+            collect_member_idx(&ws.members, &mut ws.member_idx);
+            append_composite_rows(&self.rows, x, &ws.member_idx, &mut block.rows);
+        }
+        CoalitionPlan {
+            first_row,
+            n_coalitions,
+            n_bg,
+        }
     }
 
     /// Convenience wrapper over [`Background::coalition_values_into`] for
@@ -591,6 +804,92 @@ mod tests {
         let parallel = run(4, 1); // force the parallel arm even at 4 coalitions
         assert_eq!(serial, parallel);
         assert_eq!(serial[3], model.predict(&x), "full coalition = f(x)");
+    }
+
+    #[test]
+    fn planned_execution_is_bit_identical_to_direct() {
+        // Two "requests" with different inputs and coalition budgets stack
+        // their plans into one FusedBlock; a single evaluate call must
+        // reproduce the direct per-request path bit-for-bit.
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| (0..5).map(|j| ((i * 5 + j) as f64 * 0.37).sin()).collect())
+            .collect();
+        let b = Background::from_rows(rows).unwrap();
+        let model = FnModel::new(5, |x: &[f64]| {
+            x.iter().map(|&v| (v * 1.3).cos() * v).sum::<f64>()
+        });
+        let x1: Vec<f64> = (0..5).map(|j| j as f64 * 0.21 - 0.4).collect();
+        let x2: Vec<f64> = (0..5).map(|j| (j as f64 * 1.7).sin()).collect();
+        let membership = |salt: u64| {
+            move |i: usize, members: &mut [bool]| {
+                let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                for m in members.iter_mut() {
+                    h ^= h << 13;
+                    h ^= h >> 7;
+                    h ^= h << 17;
+                    *m = h & 1 == 1;
+                }
+            }
+        };
+        let mut ws = CoalitionWorkspace::default();
+        let mut direct1 = Vec::new();
+        let mut direct2 = Vec::new();
+        b.coalition_values_into(&model, &x1, 7, membership(3), &mut ws, &mut direct1);
+        b.coalition_values_into(&model, &x2, 11, membership(99), &mut ws, &mut direct2);
+
+        let mut block = FusedBlock::default();
+        let p1 = b.plan_coalitions(&x1, 7, membership(3), &mut ws, &mut block);
+        let p2 = b.plan_coalitions(&x2, 11, membership(99), &mut ws, &mut block);
+        assert_eq!(p1.first_row(), 0);
+        assert_eq!(p1.n_rows(), 7 * 12);
+        assert_eq!(p2.first_row(), 7 * 12);
+        assert_eq!(block.n_rows(), (7 + 11) * 12);
+        block.evaluate(&model);
+        let mut fused1 = Vec::new();
+        let mut fused2 = Vec::new();
+        p1.values_into(&block, &mut fused1);
+        p2.values_into(&block, &mut fused2);
+        assert_eq!(direct1.len(), fused1.len());
+        for (a, f) in direct1.iter().zip(&fused1) {
+            assert_eq!(a.to_bits(), f.to_bits(), "request 1 drifted");
+        }
+        for (a, f) in direct2.iter().zip(&fused2) {
+            assert_eq!(a.to_bits(), f.to_bits(), "request 2 drifted");
+        }
+        // The arena is reusable: clear + replan yields the same bits.
+        block.clear();
+        assert!(block.is_empty());
+        let p1b = b.plan_coalitions(&x1, 7, membership(3), &mut ws, &mut block);
+        block.evaluate(&model);
+        let mut again = Vec::new();
+        p1b.values_into(&block, &mut again);
+        assert_eq!(fused1, again);
+    }
+
+    #[test]
+    fn empty_plan_is_harmless() {
+        let b = bg();
+        let model = FnModel::new(2, |x: &[f64]| x[0] - x[1]);
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        let p = b.plan_coalitions(&[1.0, 2.0], 0, |_, _| {}, &mut ws, &mut block);
+        assert_eq!(p.n_rows(), 0);
+        assert!(block.is_empty());
+        block.evaluate(&model);
+        let mut out = vec![5.0];
+        p.values_into(&block, &mut out);
+        assert!(out.is_empty(), "values_into clears the output");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stack")]
+    fn mismatched_feature_width_panics() {
+        let b = bg();
+        let wide = Background::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        b.plan_coalitions(&[1.0, 2.0], 1, |_, _| {}, &mut ws, &mut block);
+        wide.plan_coalitions(&[1.0, 2.0, 3.0], 1, |_, _| {}, &mut ws, &mut block);
     }
 
     #[test]

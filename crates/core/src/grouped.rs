@@ -7,7 +7,7 @@
 //! answers that directly, is exact for any model, and needs only `2^G`
 //! coalition values for `G` groups (G = chain length + 1, tiny).
 
-use crate::background::{Background, CoalitionWorkspace};
+use crate::background::{Background, CoalitionPlan, CoalitionWorkspace, FusedBlock};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::model::Regressor;
@@ -130,29 +130,90 @@ pub fn grouped_shapley(
         &mut ws,
         &mut v,
     );
-    let mut fact = vec![1.0f64; g + 1];
-    for i in 1..=g {
-        fact[i] = fact[i - 1] * i as f64;
-    }
-    let weight = |s: usize| fact[s] * fact[g - s - 1] / fact[g];
-    let mut phi = vec![0.0; g];
-    for (mask, &v_s) in v.iter().enumerate() {
-        let s = mask.count_ones() as usize;
-        if s == g {
-            continue;
-        }
-        let w = weight(s);
-        for (i, p) in phi.iter_mut().enumerate() {
-            if (mask >> i) & 1 == 0 {
-                *p += w * (v[mask | (1 << i)] - v_s);
-            }
-        }
-    }
     Ok(Attribution {
         names: groups.names.clone(),
-        values: phi,
+        values: crate::shapley::exact::phi_from_mask_values(&v, g),
         base_value: v[0],
         prediction: v[n_masks - 1],
+        method: "grouped-shapley".into(),
+    })
+}
+
+/// The plan half of grouped Shapley for cross-request fusion: all `2^G`
+/// group-coalition composites are stacked into the shared block without
+/// evaluating; [`grouped_shapley_finish`] reduces them with the exact
+/// arithmetic of [`grouped_shapley`].
+#[derive(Debug, Clone)]
+pub struct GroupedShapPlan {
+    plan: CoalitionPlan,
+    group_names: Vec<String>,
+    g: usize,
+}
+
+impl GroupedShapPlan {
+    /// Composite rows this plan occupies in its block.
+    pub fn n_rows(&self) -> usize {
+        self.plan.n_rows()
+    }
+}
+
+/// Builds a [`GroupedShapPlan`] for `x`, appending its composite rows to
+/// `block`. Guards mirror [`grouped_shapley`].
+pub fn grouped_shapley_plan(
+    x: &[f64],
+    background: &Background,
+    groups: &FeatureGroups,
+    ws: &mut CoalitionWorkspace,
+    block: &mut FusedBlock,
+) -> Result<GroupedShapPlan, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input("empty instance".into()));
+    }
+    if background.n_features() != d || groups.assignment.len() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x {d}, background {}, assignment {}",
+            background.n_features(),
+            groups.assignment.len()
+        )));
+    }
+    let g = groups.len();
+    if g > 24 {
+        return Err(XaiError::Budget(format!(
+            "grouped Shapley enumerates 2^G coalitions; G = {g} is too large"
+        )));
+    }
+    let plan = background.plan_coalitions(
+        x,
+        1usize << g,
+        |mask, members| {
+            for (j, m) in members.iter_mut().enumerate() {
+                *m = (mask >> groups.assignment[j]) & 1 == 1;
+            }
+        },
+        ws,
+        block,
+    );
+    Ok(GroupedShapPlan {
+        plan,
+        group_names: groups.names.clone(),
+        g,
+    })
+}
+
+/// Completes a [`GroupedShapPlan`] against its evaluated block — results
+/// are bit-identical to [`grouped_shapley`].
+pub fn grouped_shapley_finish(
+    plan: &GroupedShapPlan,
+    block: &FusedBlock,
+) -> Result<Attribution, XaiError> {
+    let mut v = Vec::with_capacity(1usize << plan.g);
+    plan.plan.values_into(block, &mut v);
+    Ok(Attribution {
+        names: plan.group_names.clone(),
+        values: crate::shapley::exact::phi_from_mask_values(&v, plan.g),
+        base_value: v[0],
+        prediction: v[v.len() - 1],
         method: "grouped-shapley".into(),
     })
 }

@@ -90,7 +90,9 @@ impl std::error::Error for XaiError {}
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::background::{Background, CoalitionWorkspace, ParCoalitionConfig};
+    pub use crate::background::{
+        Background, CoalitionPlan, CoalitionWorkspace, FusedBlock, ParCoalitionConfig,
+    };
     pub use crate::batch::{explain_batch, explain_batch_seeded, explain_batch_seeded_ws};
     pub use crate::counterfactual::{
         counterfactual, Counterfactual, CounterfactualConfig, CrossingDirection,
@@ -101,7 +103,10 @@ pub mod prelude {
         FidelitySummary, RoarCurve, Stability, StabilityConfig,
     };
     pub use crate::explanation::{mean_absolute_attribution, Attribution};
-    pub use crate::grouped::{grouped_shapley, FeatureGroups};
+    pub use crate::grouped::{
+        grouped_shapley, grouped_shapley_finish, grouped_shapley_plan, FeatureGroups,
+        GroupedShapPlan,
+    };
     pub use crate::interactions::{
         interaction_values, InteractionMatrix, MAX_INTERACTION_FEATURES,
     };
@@ -113,8 +118,10 @@ pub mod prelude {
     pub use crate::report::{humanize_feature, render_report, OperatorReport, PredictionKind};
     pub use crate::sage::{sage, SageConfig, SageImportance};
     pub use crate::shapley::{
-        exact_shapley, forest_shap, gbdt_shap, kernel_shap, kernel_shap_with, sampling_shapley,
-        tree_shap, KernelShapConfig, SamplingConfig, MAX_EXACT_FEATURES,
+        exact_shapley, exact_shapley_finish, exact_shapley_plan, forest_shap, gbdt_shap,
+        kernel_shap, kernel_shap_finish, kernel_shap_plan, kernel_shap_with, sampling_shapley,
+        sampling_shapley_finish, sampling_shapley_plan, tree_shap, ExactShapPlan, KernelShapConfig,
+        KernelShapPlan, SamplingConfig, SamplingPlan, MAX_EXACT_FEATURES,
     };
     pub use crate::surrogate::{global_surrogate, render_rules, Surrogate};
     pub use crate::XaiError;

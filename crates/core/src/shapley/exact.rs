@@ -4,13 +4,41 @@
 //! the gold standard that the sampling methods (and Table 3) are scored
 //! against, feasible up to `d ≤ MAX_EXACT_FEATURES`.
 
-use crate::background::{Background, CoalitionWorkspace};
+use crate::background::{Background, CoalitionPlan, CoalitionWorkspace, FusedBlock};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::model::Regressor;
 
 /// Hard feature-count cap for exact enumeration (2^20 coalition values).
 pub const MAX_EXACT_FEATURES: usize = 20;
+
+/// Folds the full table of coalition values `v` (indexed by membership
+/// mask) into Shapley values with the factorial weights. Shared by the
+/// direct and planned paths so both reduce with identical arithmetic.
+pub(crate) fn phi_from_mask_values(v: &[f64], d: usize) -> Vec<f64> {
+    // Shapley weights w(s) = s!(d−s−1)!/d! indexed by |S| (coalition size
+    // before adding the player).
+    let mut fact = vec![1.0f64; d + 1];
+    for i in 1..=d {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let weight = |s: usize| fact[s] * fact[d - s - 1] / fact[d];
+
+    let mut phi = vec![0.0; d];
+    for (mask, &v_s) in v.iter().enumerate() {
+        let s = mask.count_ones() as usize;
+        if s == d {
+            continue;
+        }
+        let w = weight(s);
+        for (i, p) in phi.iter_mut().enumerate() {
+            if (mask >> i) & 1 == 0 {
+                *p += w * (v[mask | (1 << i)] - v_s);
+            }
+        }
+    }
+    phi
+}
 
 /// Computes exact Shapley values of `model` at `x` against `background`.
 ///
@@ -58,33 +86,94 @@ pub fn exact_shapley(
         &mut v,
     );
 
-    // Shapley weights w(s) = s!(d−s−1)!/d! indexed by |S| (coalition size
-    // before adding the player).
-    let mut fact = vec![1.0f64; d + 1];
-    for i in 1..=d {
-        fact[i] = fact[i - 1] * i as f64;
-    }
-    let weight = |s: usize| fact[s] * fact[d - s - 1] / fact[d];
-
-    let mut phi = vec![0.0; d];
-    for (mask, &v_s) in v.iter().enumerate() {
-        let s = mask.count_ones() as usize;
-        if s == d {
-            continue;
-        }
-        let w = weight(s);
-        for (i, p) in phi.iter_mut().enumerate() {
-            if (mask >> i) & 1 == 0 {
-                *p += w * (v[mask | (1 << i)] - v_s);
-            }
-        }
-    }
-
     Ok(Attribution {
         names: names.to_vec(),
-        values: phi,
+        values: phi_from_mask_values(&v, d),
         base_value: v[0],
         prediction: v[n_masks - 1],
+        method: "exact-shapley".into(),
+    })
+}
+
+/// The plan half of exact Shapley for cross-request fusion: materializes
+/// all `2^d` coalition composites into the shared block without
+/// evaluating. The model is not consulted at all — base value and
+/// prediction fall out of the coalition table at finish time.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactShapPlan {
+    plan: CoalitionPlan,
+    d: usize,
+}
+
+impl ExactShapPlan {
+    /// Composite rows this plan occupies in its block.
+    pub fn n_rows(&self) -> usize {
+        self.plan.n_rows()
+    }
+}
+
+/// Builds an [`ExactShapPlan`] for `x`, appending its composite rows to
+/// `block`. Guards mirror [`exact_shapley`]. Note the row cost:
+/// `2^d × background.len()` rows — callers fusing many requests should
+/// budget accordingly.
+pub fn exact_shapley_plan(
+    x: &[f64],
+    background: &Background,
+    ws: &mut CoalitionWorkspace,
+    block: &mut FusedBlock,
+) -> Result<ExactShapPlan, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
+    }
+    if d > MAX_EXACT_FEATURES {
+        return Err(XaiError::Budget(format!(
+            "exact Shapley limited to {MAX_EXACT_FEATURES} features, got {d}"
+        )));
+    }
+    if background.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x has {d}, background {}",
+            background.n_features()
+        )));
+    }
+    let plan = background.plan_coalitions(
+        x,
+        1usize << d,
+        |mask, members| {
+            for (j, m) in members.iter_mut().enumerate() {
+                *m = (mask >> j) & 1 == 1;
+            }
+        },
+        ws,
+        block,
+    );
+    Ok(ExactShapPlan { plan, d })
+}
+
+/// Completes an [`ExactShapPlan`] against its evaluated block with the
+/// exact reduction of [`exact_shapley`] — results are bit-identical.
+pub fn exact_shapley_finish(
+    plan: &ExactShapPlan,
+    block: &FusedBlock,
+    names: &[String],
+) -> Result<Attribution, XaiError> {
+    if names.len() != plan.d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: plan has {} features, names {}",
+            plan.d,
+            names.len()
+        )));
+    }
+    let mut v = Vec::with_capacity(1usize << plan.d);
+    plan.plan.values_into(block, &mut v);
+    Ok(Attribution {
+        names: names.to_vec(),
+        values: phi_from_mask_values(&v, plan.d),
+        base_value: v[0],
+        prediction: v[v.len() - 1],
         method: "exact-shapley".into(),
     })
 }

@@ -8,7 +8,7 @@
 //! ≥ 2^d − 2 the method therefore reproduces exact Shapley values of the
 //! interventional value function.
 
-use crate::background::{Background, CoalitionWorkspace};
+use crate::background::{Background, CoalitionPlan, CoalitionWorkspace, FusedBlock};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::linalg::{weighted_ridge, Matrix};
@@ -218,15 +218,30 @@ pub fn kernel_shap_with(
         &mut values,
     );
 
-    // ---- Weighted regression with the efficiency constraint -------------
-    // Eliminate φ_{d−1}: with Δ = fx − base,
-    //   y − base − z_{d−1}·Δ = Σ_{i<d−1} φ_i (z_i − z_{d−1}).
+    solve_weighted(&coalitions, &values, base, fx, cfg.ridge, names)
+}
+
+/// The weighted regression with the efficiency constraint, shared by
+/// [`kernel_shap_with`] and [`kernel_shap_finish`] so the fused and
+/// unfused paths solve with byte-for-byte the same arithmetic.
+///
+/// Eliminate φ_{d−1}: with Δ = fx − base,
+///   y − base − z_{d−1}·Δ = Σ_{i<d−1} φ_i (z_i − z_{d−1}).
+fn solve_weighted(
+    coalitions: &[(Vec<bool>, f64)],
+    values: &[f64],
+    base: f64,
+    fx: f64,
+    ridge: f64,
+    names: &[String],
+) -> Result<Attribution, XaiError> {
+    let d = names.len();
     let n = coalitions.len();
     let mut xmat = Vec::with_capacity(n * (d - 1));
     let mut yvec = Vec::with_capacity(n);
     let mut wvec = Vec::with_capacity(n);
     let delta = fx - base;
-    for ((members, w), &v) in coalitions.iter().zip(&values) {
+    for ((members, w), &v) in coalitions.iter().zip(values) {
         let z_last = if members[d - 1] { 1.0 } else { 0.0 };
         for &m in &members[..d - 1] {
             let z_j = if m { 1.0 } else { 0.0 };
@@ -236,8 +251,8 @@ pub fn kernel_shap_with(
         wvec.push(*w);
     }
     let xm = Matrix::from_vec(n, d - 1, xmat).map_err(|e| XaiError::Numeric(e.to_string()))?;
-    let beta = weighted_ridge(&xm, &yvec, &wvec, cfg.ridge)
-        .map_err(|e| XaiError::Numeric(e.to_string()))?;
+    let beta =
+        weighted_ridge(&xm, &yvec, &wvec, ridge).map_err(|e| XaiError::Numeric(e.to_string()))?;
     let mut phi = beta;
     let last = delta - phi.iter().sum::<f64>();
     phi.push(last);
@@ -249,6 +264,142 @@ pub fn kernel_shap_with(
         prediction: fx,
         method: "kernel-shap".into(),
     })
+}
+
+/// The plan half of KernelSHAP for cross-request fusion: selects the
+/// coalitions and materializes their composite rows into the shared
+/// `block` without evaluating the model on them. Several requests' plans
+/// stack into one block; after a single [`FusedBlock::evaluate`],
+/// [`kernel_shap_finish`] completes each request with the exact
+/// arithmetic of [`kernel_shap_with`] — results are bit-identical.
+#[derive(Debug, Clone)]
+pub struct KernelShapPlan {
+    coalitions: Vec<(Vec<bool>, f64)>,
+    plan: CoalitionPlan,
+    base: f64,
+    fx: f64,
+    d: usize,
+    ridge: f64,
+}
+
+impl KernelShapPlan {
+    /// Composite rows this plan occupies in its block.
+    pub fn n_rows(&self) -> usize {
+        self.plan.n_rows()
+    }
+
+    /// Coalitions selected for this request.
+    pub fn n_coalitions(&self) -> usize {
+        self.coalitions.len()
+    }
+}
+
+/// Builds a [`KernelShapPlan`] for `x`, appending its composite rows to
+/// `block`. `base_hint`, when given, must be bit-equal to
+/// `background.expected_output(model)` (e.g. cached at model registration);
+/// it skips the per-request background sweep without changing any result
+/// bit. The model is still consulted for `f(x)` — the single row the plan
+/// cannot defer.
+///
+/// Guards, the `d == 1` short circuit, and error cases mirror
+/// [`kernel_shap_with`] exactly (a `d == 1` plan occupies zero rows and
+/// resolves fully at finish time).
+pub fn kernel_shap_plan(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    cfg: &KernelShapConfig,
+    base_hint: Option<f64>,
+    ws: &mut CoalitionWorkspace,
+    block: &mut FusedBlock,
+) -> Result<KernelShapPlan, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
+    }
+    if background.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x has {d}, background {}",
+            background.n_features()
+        )));
+    }
+    let base = base_hint.unwrap_or_else(|| background.expected_output(model));
+    let fx = model.predict(x);
+
+    // One feature: efficiency pins it down completely; nothing to stack.
+    if d == 1 {
+        return Ok(KernelShapPlan {
+            coalitions: Vec::new(),
+            plan: background.plan_coalitions(x, 0, |_, _| {}, ws, block),
+            base,
+            fx,
+            d,
+            ridge: cfg.ridge,
+        });
+    }
+    if cfg.n_coalitions == 0 {
+        return Err(XaiError::Budget("n_coalitions must be positive".into()));
+    }
+    let coalitions = select_coalitions(d, cfg);
+    if coalitions.is_empty() {
+        return Err(XaiError::Budget(format!(
+            "budget {} produced no coalitions for d={d}",
+            cfg.n_coalitions
+        )));
+    }
+    let plan = background.plan_coalitions(
+        x,
+        coalitions.len(),
+        |i, members| members.copy_from_slice(&coalitions[i].0),
+        ws,
+        block,
+    );
+    Ok(KernelShapPlan {
+        coalitions,
+        plan,
+        base,
+        fx,
+        d,
+        ridge: cfg.ridge,
+    })
+}
+
+/// Completes a [`KernelShapPlan`] against its evaluated block: reduces the
+/// plan's prediction rows to coalition values and runs the same weighted
+/// regression as [`kernel_shap_with`]. Bit-identical to the unfused path.
+pub fn kernel_shap_finish(
+    plan: &KernelShapPlan,
+    block: &FusedBlock,
+    names: &[String],
+) -> Result<Attribution, XaiError> {
+    if names.len() != plan.d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: plan has {} features, names {}",
+            plan.d,
+            names.len()
+        )));
+    }
+    if plan.d == 1 {
+        return Ok(Attribution {
+            names: names.to_vec(),
+            values: vec![plan.fx - plan.base],
+            base_value: plan.base,
+            prediction: plan.fx,
+            method: "kernel-shap".into(),
+        });
+    }
+    let mut values = Vec::with_capacity(plan.coalitions.len());
+    plan.plan.values_into(block, &mut values);
+    solve_weighted(
+        &plan.coalitions,
+        &values,
+        plan.base,
+        plan.fx,
+        plan.ridge,
+        names,
+    )
 }
 
 /// Calls `f` with every size-`s` subset of `0..d` as a membership vector.
@@ -538,6 +689,92 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn planned_kernel_shap_is_bit_identical_to_direct() {
+        use crate::background::FusedBlock;
+        let s = friedman1(150, 9, 0.2, 13).unwrap();
+        let bg = Background::from_dataset(&s.data, 10, 3).unwrap();
+        let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
+        let base_hint = bg.expected_output(&t);
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        // Three requests (different inputs, seeds, and budgets) fused into
+        // one block must each match their direct computation bit-for-bit.
+        let reqs: Vec<(Vec<f64>, KernelShapConfig)> =
+            [(0usize, 48usize, 5u64), (4, 64, 9), (7, 32, 2)]
+                .iter()
+                .map(|&(row, n, seed)| {
+                    (
+                        s.data.row(row).to_vec(),
+                        KernelShapConfig {
+                            n_coalitions: n,
+                            ridge: 1e-8,
+                            seed,
+                        },
+                    )
+                })
+                .collect();
+        let direct: Vec<Attribution> = reqs
+            .iter()
+            .map(|(x, cfg)| kernel_shap_with(&t, x, &bg, &names(9), cfg, &mut ws).unwrap())
+            .collect();
+        let plans: Vec<KernelShapPlan> = reqs
+            .iter()
+            .map(|(x, cfg)| {
+                kernel_shap_plan(&t, x, &bg, cfg, Some(base_hint), &mut ws, &mut block).unwrap()
+            })
+            .collect();
+        block.evaluate(&t);
+        for (p, dir) in plans.iter().zip(&direct) {
+            let fused = kernel_shap_finish(p, &block, &names(9)).unwrap();
+            assert_eq!(fused.base_value.to_bits(), dir.base_value.to_bits());
+            assert_eq!(fused.prediction.to_bits(), dir.prediction.to_bits());
+            for (a, b) in fused.values.iter().zip(&dir.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fusion changed a result bit");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_single_feature_and_errors_mirror_direct() {
+        use crate::background::FusedBlock;
+        let bg = Background::from_rows(vec![vec![0.0], vec![2.0]]).unwrap();
+        let model = FnModel::new(1, |x: &[f64]| 3.0 * x[0]);
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        let p = kernel_shap_plan(
+            &model,
+            &[4.0],
+            &bg,
+            &KernelShapConfig::for_features(1),
+            None,
+            &mut ws,
+            &mut block,
+        )
+        .unwrap();
+        assert_eq!(p.n_rows(), 0, "d=1 stacks nothing");
+        block.evaluate(&model);
+        let a = kernel_shap_finish(&p, &block, &names(1)).unwrap();
+        assert!((a.values[0] - (12.0 - 3.0)).abs() < 1e-12);
+        // Zero budget errors at plan time, like the direct path.
+        let bg2 = Background::from_rows(vec![vec![0.0, 0.0]]).unwrap();
+        let m2 = FnModel::new(2, |x: &[f64]| x[0]);
+        assert!(kernel_shap_plan(
+            &m2,
+            &[1.0, 2.0],
+            &bg2,
+            &KernelShapConfig {
+                n_coalitions: 0,
+                ridge: 0.0,
+                seed: 0
+            },
+            None,
+            &mut ws,
+            &mut block,
+        )
+        .is_err());
     }
 
     #[test]

@@ -6,7 +6,10 @@ pub mod kernel;
 pub mod sampling;
 pub mod tree;
 
-pub use exact::{exact_shapley, MAX_EXACT_FEATURES};
-pub use kernel::{kernel_shap, kernel_shap_with, KernelShapConfig};
-pub use sampling::{sampling_shapley, SamplingConfig};
+pub use exact::MAX_EXACT_FEATURES;
+pub use exact::{exact_shapley, exact_shapley_finish, exact_shapley_plan, ExactShapPlan};
+pub use kernel::{kernel_shap, kernel_shap_plan, kernel_shap_with, KernelShapConfig};
+pub use kernel::{kernel_shap_finish, KernelShapPlan};
+pub use sampling::{sampling_shapley, sampling_shapley_finish, sampling_shapley_plan};
+pub use sampling::{SamplingConfig, SamplingPlan};
 pub use tree::{forest_shap, gbdt_shap, tree_shap};

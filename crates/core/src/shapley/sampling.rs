@@ -3,7 +3,7 @@
 //! walked in reverse, which cancels a large part of the positional
 //! variance at no extra model-evaluation cost per unit of information).
 
-use crate::background::Background;
+use crate::background::{Background, FusedBlock};
 use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_ml::model::Regressor;
@@ -113,6 +113,141 @@ pub fn sampling_shapley(
         base_value,
         prediction: model.predict(x),
         method: if cfg.antithetic {
+            "sampling-shapley-antithetic".into()
+        } else {
+            "sampling-shapley".into()
+        },
+    })
+}
+
+/// The plan half of sampling Shapley for cross-request fusion: draws the
+/// same permutations and background rows as [`sampling_shapley`] (the RNG
+/// stream is identical) and stacks every walk's composite rows into the
+/// shared block. [`sampling_shapley_finish`] then folds the step deltas
+/// out of the evaluated block with the exact arithmetic of the direct
+/// path — results are bit-identical.
+#[derive(Debug, Clone)]
+pub struct SamplingPlan {
+    first_row: usize,
+    /// Feature-reveal order of each walk (antithetic walks included).
+    orders: Vec<Vec<usize>>,
+    d: usize,
+    base: f64,
+    fx: f64,
+    antithetic: bool,
+}
+
+impl SamplingPlan {
+    /// Composite rows this plan occupies in its block.
+    pub fn n_rows(&self) -> usize {
+        self.orders.len() * (self.d + 1)
+    }
+}
+
+/// Builds a [`SamplingPlan`] for `x`, appending its walk rows to `block`.
+/// `base_hint`, when given, must be bit-equal to
+/// `background.expected_output(model)`. Guards mirror
+/// [`sampling_shapley`].
+pub fn sampling_shapley_plan(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    cfg: &SamplingConfig,
+    base_hint: Option<f64>,
+    block: &mut FusedBlock,
+) -> Result<SamplingPlan, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input(
+            "cannot explain a zero-feature input".into(),
+        ));
+    }
+    if background.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x has {d}, background {}",
+            background.n_features()
+        )));
+    }
+    if cfg.n_permutations == 0 {
+        return Err(XaiError::Budget("n_permutations must be positive".into()));
+    }
+    let first_row = block.n_rows();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut perm: Vec<usize> = (0..d).collect();
+    let mut composite = vec![0.0; d];
+    let mut orders: Vec<Vec<usize>> =
+        Vec::with_capacity(cfg.n_permutations * if cfg.antithetic { 2 } else { 1 });
+    let mut plan_walk = |order: &[usize], b: &[f64], block: &mut FusedBlock| {
+        composite.copy_from_slice(b);
+        block.push_row(&composite);
+        for &j in order {
+            composite[j] = x[j];
+            block.push_row(&composite);
+        }
+    };
+    for _ in 0..cfg.n_permutations {
+        perm.shuffle(&mut rng);
+        let b_idx = rng.gen_range(0..background.len());
+        let b = background.row(b_idx).to_vec();
+        plan_walk(&perm, &b, block);
+        orders.push(perm.clone());
+        if cfg.antithetic {
+            let rev: Vec<usize> = perm.iter().rev().copied().collect();
+            plan_walk(&rev, &b, block);
+            orders.push(rev);
+        }
+    }
+    Ok(SamplingPlan {
+        first_row,
+        orders,
+        d,
+        base: base_hint.unwrap_or_else(|| background.expected_output(model)),
+        fx: model.predict(x),
+        antithetic: cfg.antithetic,
+    })
+}
+
+/// Completes a [`SamplingPlan`] against its evaluated block: per-walk step
+/// deltas are accumulated in the same walk and step order as
+/// [`sampling_shapley`], so the result is bit-identical to the direct
+/// path.
+pub fn sampling_shapley_finish(
+    plan: &SamplingPlan,
+    block: &FusedBlock,
+    names: &[String],
+) -> Result<Attribution, XaiError> {
+    if names.len() != plan.d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: plan has {} features, names {}",
+            plan.d,
+            names.len()
+        )));
+    }
+    let end = plan.first_row + plan.n_rows();
+    assert!(
+        end <= block.preds().len(),
+        "fused block not evaluated: plan needs rows {}..{end} but only {} predictions exist",
+        plan.first_row,
+        block.preds().len()
+    );
+    let mut phi = vec![0.0; plan.d];
+    let mut row = plan.first_row;
+    for order in &plan.orders {
+        let preds = &block.preds()[row..row + order.len() + 1];
+        for (k, &j) in order.iter().enumerate() {
+            phi[j] += preds[k + 1] - preds[k];
+        }
+        row += order.len() + 1;
+    }
+    for p in &mut phi {
+        *p /= plan.orders.len() as f64;
+    }
+    Ok(Attribution {
+        names: names.to_vec(),
+        values: phi,
+        base_value: plan.base,
+        prediction: plan.fx,
+        method: if plan.antithetic {
             "sampling-shapley-antithetic".into()
         } else {
             "sampling-shapley".into()
@@ -287,6 +422,55 @@ mod tests {
         assert!(
             sampling_shapley(&model, &[1.0], &bg, &names(1), &SamplingConfig::default()).is_err()
         );
+    }
+
+    #[test]
+    fn planned_sampling_is_bit_identical_to_direct() {
+        let s = friedman1(120, 5, 0.2, 17).unwrap();
+        let bg = Background::from_dataset(&s.data, 8, 6).unwrap();
+        let t = nfv_ml::tree::DecisionTree::fit(&s.data, &Default::default(), 0).unwrap();
+        let base_hint = bg.expected_output(&t);
+        let mut block = FusedBlock::default();
+        // Two fused requests with different antithetic settings and seeds.
+        let reqs = [
+            (
+                s.data.row(2).to_vec(),
+                SamplingConfig {
+                    n_permutations: 9,
+                    antithetic: true,
+                    seed: 4,
+                },
+            ),
+            (
+                s.data.row(8).to_vec(),
+                SamplingConfig {
+                    n_permutations: 13,
+                    antithetic: false,
+                    seed: 21,
+                },
+            ),
+        ];
+        let direct: Vec<Attribution> = reqs
+            .iter()
+            .map(|(x, cfg)| sampling_shapley(&t, x, &bg, &names(5), cfg).unwrap())
+            .collect();
+        let plans: Vec<SamplingPlan> = reqs
+            .iter()
+            .map(|(x, cfg)| {
+                sampling_shapley_plan(&t, x, &bg, cfg, Some(base_hint), &mut block).unwrap()
+            })
+            .collect();
+        assert_eq!(plans[0].n_rows(), 9 * 2 * 6, "9 antithetic pairs × (d+1)");
+        block.evaluate(&t);
+        for (p, dir) in plans.iter().zip(&direct) {
+            let fused = sampling_shapley_finish(p, &block, &names(5)).unwrap();
+            assert_eq!(fused.method, dir.method);
+            assert_eq!(fused.base_value.to_bits(), dir.base_value.to_bits());
+            assert_eq!(fused.prediction.to_bits(), dir.prediction.to_bits());
+            for (a, b) in fused.values.iter().zip(&dir.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fusion changed a result bit");
+            }
+        }
     }
 
     #[test]

@@ -84,7 +84,7 @@ const SCALAR_CHUNK: usize = 8;
 /// 64×12-coalition block into a wash). Callers with any reuse should keep
 /// a cached [`SoaForest`] and skip the rebuild entirely, as `nfv-serve`'s
 /// registry does.
-pub(crate) const PACK_MIN_ROWS: usize = 1024;
+pub const PACK_MIN_ROWS: usize = 1024;
 
 /// How the per-row sum of tree outputs becomes the model prediction.
 /// Mirrors the scalar ensembles bit-for-bit.
@@ -215,6 +215,22 @@ pub fn set_force_scalar(force: bool) {
         if force { K_FORCE_SCALAR } else { K_UNRESOLVED },
         Ordering::Relaxed,
     );
+}
+
+/// Forces the AVX2 gather kernel on (`true`) or resets the policy to
+/// re-detect and re-calibrate (`false`). Returns `false` — leaving the
+/// policy untouched — when AVX2 is not available on this CPU, so callers
+/// (e.g. fused-vs-unfused bit-identity proptests) can skip the SIMD arm
+/// on machines that cannot run it.
+pub fn set_force_simd(force: bool) -> bool {
+    if force && !avx2_detected() {
+        return false;
+    }
+    KERNEL_STATE.store(
+        if force { K_FORCE_SIMD } else { K_UNRESOLVED },
+        Ordering::Relaxed,
+    );
+    true
 }
 
 /// True when blocked traversals currently take the AVX2 gather kernel.

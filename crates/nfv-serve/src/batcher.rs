@@ -72,6 +72,26 @@ pub fn group_compatible(jobs: Vec<Job>) -> Vec<Vec<Job>> {
     groups
 }
 
+/// Splits a gathered batch by **model identity only** — same model id and
+/// version, methods mixed — preserving first-seen order. This is the
+/// fusion scheduler's grouping: every job in a model group shares one
+/// `Regressor`, so their coalition plans can stack into one fused
+/// evaluation block regardless of method or budget.
+pub fn group_same_model(jobs: Vec<Job>) -> Vec<Vec<Job>> {
+    let mut groups: Vec<Vec<Job>> = Vec::new();
+    for job in jobs {
+        let slot = groups.iter_mut().find(|g| {
+            let k = &g[0].key;
+            k.model_id == job.key.model_id && k.model_version == job.key.model_version
+        });
+        match slot {
+            Some(g) => g.push(job),
+            None => groups.push(vec![job]),
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +116,7 @@ mod tests {
             feature_names: vec!["a".into()],
             background: Background::from_rows(vec![vec![0.0]]).unwrap(),
             packed: None,
+            expected_output: 0.0,
         });
         let request = ExplainRequest {
             model_id: model_id.into(),
@@ -130,6 +151,23 @@ mod tests {
         assert_eq!(groups[0].len(), 2, "two (a, v1, ks8) jobs merge");
         // First-seen order preserved.
         assert_eq!(groups[1][0].request.model_id, "b");
+    }
+
+    #[test]
+    fn model_grouping_merges_methods() {
+        let ks = ExplainMethod::KernelShap { n_coalitions: 8 };
+        let jobs = vec![
+            job_for("a", 1, ks),
+            job_for("a", 1, ExplainMethod::KernelShap { n_coalitions: 16 }),
+            job_for("b", 1, ks),
+            job_for("a", 2, ks),
+            job_for("a", 1, ExplainMethod::TreeShap),
+        ];
+        let groups = group_same_model(jobs);
+        assert_eq!(groups.len(), 3, "split on (id, version) only");
+        assert_eq!(groups[0].len(), 3, "methods fuse within a model group");
+        assert_eq!(groups[1][0].request.model_id, "b");
+        assert_eq!(groups[2][0].key.model_version, 2);
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //! Inputs are quantized onto a configurable grid before keying: two feature
 //! vectors within the same grid cell share an explanation. The grid is part
 //! of the engine config, so all keys in one engine agree.
+//!
+//! The cache also hosts **single-flight fill** ([`ShardedCache::begin_flight`]):
+//! concurrent identical misses elect one leader to compute while followers
+//! wait on the leader's result, so N simultaneous copies of a question cost
+//! one model evaluation instead of N.
 
 use crate::request::{fnv1a_bytes, fnv1a_words, ExplainMethod};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use nfv_xai::prelude::Attribution;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -198,12 +204,39 @@ impl LruShard {
     }
 }
 
+/// Outcome of [`ShardedCache::begin_flight`] for one cache miss.
+pub enum Flight {
+    /// No identical computation is in flight: this caller computes the
+    /// explanation and **must** eventually call
+    /// [`ShardedCache::complete_flight`] (with `None` on failure) so
+    /// followers are released.
+    Leader,
+    /// An identical computation is already running; wait on the receiver
+    /// for the leader's result (`None` = the leader failed or aborted —
+    /// fall back to computing normally).
+    Follower(Receiver<Option<Arc<Attribution>>>),
+}
+
+// Manual impl: the vendored channel handles don't implement `Debug`.
+impl std::fmt::Debug for Flight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Flight::Leader => "Flight::Leader",
+            Flight::Follower(_) => "Flight::Follower",
+        })
+    }
+}
+
 /// The concurrent cache: `n_shards` independent LRUs, each behind its own
 /// mutex, selected by the key's stable hash. Lock hold times are a map
-/// probe plus two list splices.
-#[derive(Debug)]
+/// probe plus two list splices. A side table tracks in-flight fills for
+/// single-flight deduplication of concurrent identical misses.
 pub struct ShardedCache {
     shards: Vec<Mutex<LruShard>>,
+    /// Keys being computed right now → waiting followers. Small (bounded
+    /// by in-flight requests), so one mutex suffices.
+    #[allow(clippy::type_complexity)]
+    in_flight: Mutex<HashMap<CacheKey, Vec<Sender<Option<Arc<Attribution>>>>>>,
 }
 
 impl ShardedCache {
@@ -216,9 +249,64 @@ impl ShardedCache {
             shards: (0..n_shards)
                 .map(|_| Mutex::new(LruShard::new(per)))
                 .collect(),
+            in_flight: Mutex::new(HashMap::new()),
         }
     }
 
+    /// Registers interest in computing `key` after a cache miss. The first
+    /// caller becomes the [`Flight::Leader`]; concurrent callers become
+    /// [`Flight::Follower`]s holding a receiver for the leader's result.
+    ///
+    /// The leader (whoever ends up computing the key — the worker calls
+    /// [`ShardedCache::complete_flight`] unconditionally after every job)
+    /// releases the followers. A leader that aborts before enqueueing must
+    /// call `complete_flight(key, None)` itself.
+    pub fn begin_flight(&self, key: &CacheKey) -> Flight {
+        let mut table = self.in_flight.lock();
+        match table.get_mut(key) {
+            Some(waiters) => {
+                let (tx, rx) = bounded(1);
+                waiters.push(tx);
+                Flight::Follower(rx)
+            }
+            None => {
+                table.insert(key.clone(), Vec::new());
+                Flight::Leader
+            }
+        }
+    }
+
+    /// Resolves an in-flight fill: removes `key` from the flight table and
+    /// sends `result` to every waiting follower (`None` = compute failed;
+    /// followers fall back to their own computation). A no-op when no
+    /// flight is registered, so workers may call it unconditionally.
+    pub fn complete_flight(&self, key: &CacheKey, result: Option<Arc<Attribution>>) {
+        let waiters = self.in_flight.lock().remove(key);
+        if let Some(waiters) = waiters {
+            for tx in waiters {
+                let _ = tx.send(result.clone());
+            }
+        }
+    }
+
+    /// Keys currently being computed (test/introspection hook).
+    pub fn flights_in_progress(&self) -> usize {
+        self.in_flight.lock().len()
+    }
+}
+
+// Manual impl: the flight table's channel senders aren't `Debug`.
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("flights_in_progress", &self.flights_in_progress())
+            .finish()
+    }
+}
+
+impl ShardedCache {
     fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
         // High bits: FNV's low bits are the most mixed, but keep it simple
         // and uniform by folding.
@@ -322,6 +410,37 @@ mod tests {
             CacheKey::build("m", 1, ExplainMethod::TreeShap, &[1e300], 1e-9).is_none(),
             "grid overflow"
         );
+    }
+
+    #[test]
+    fn single_flight_elects_one_leader_and_releases_followers() {
+        let c = ShardedCache::new(16, 2);
+        let k = key(1, 4.0);
+        assert!(matches!(c.begin_flight(&k), Flight::Leader));
+        let followers: Vec<_> = (0..3)
+            .map(|_| match c.begin_flight(&k) {
+                Flight::Follower(rx) => rx,
+                Flight::Leader => panic!("second caller must not lead"),
+            })
+            .collect();
+        assert_eq!(c.flights_in_progress(), 1);
+        c.complete_flight(&k, Some(attr(42.0)));
+        for rx in followers {
+            let got = rx.recv().unwrap().expect("leader succeeded");
+            assert_eq!(got.prediction, 42.0);
+        }
+        assert_eq!(c.flights_in_progress(), 0);
+        // The key is free again: a new leader can be elected.
+        assert!(matches!(c.begin_flight(&k), Flight::Leader));
+        // Aborting releases followers with None.
+        let rx = match c.begin_flight(&k) {
+            Flight::Follower(rx) => rx,
+            Flight::Leader => panic!(),
+        };
+        c.complete_flight(&k, None);
+        assert!(rx.recv().unwrap().is_none(), "abort = None to followers");
+        // Completing an unregistered key is a harmless no-op.
+        c.complete_flight(&key(1, 99.0), None);
     }
 
     #[test]

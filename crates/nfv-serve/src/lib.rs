@@ -15,6 +15,13 @@
 //!   explainers with a persistent per-worker coalition arena (steady-state
 //!   serving does not allocate on the hot path) against the registry's
 //!   packed SoA tree engine,
+//! - a **coalition fusion scheduler**: the coalition matrices of several
+//!   queued same-model KernelSHAP requests are stacked into one shared
+//!   evaluation block and answered by a single `predict_block` call,
+//!   bit-identical to unfused serving (see [`FusionPolicy`]),
+//! - **single-flight cache fills**: concurrent identical misses elect one
+//!   leader to compute; followers wait for its result instead of
+//!   duplicating the evaluation,
 //! - **metrics**: queue wait, batch size, cache hit rate, p50/p99, and
 //!   per-(model-version, method) service-time EWMAs feeding admission
 //!   control, all serializable for scraping.
@@ -98,6 +105,11 @@ pub struct ServeConfig {
     pub quantization_grid: f64,
     /// Engine seed mixed into every stochastic explainer's seed.
     pub seed: u64,
+    /// Cross-request coalition fusion policy (the mega-block scheduler).
+    pub fusion: FusionPolicy,
+    /// Deduplicate concurrent identical cache misses: followers wait for
+    /// the leader's result instead of enqueueing their own computation.
+    pub single_flight: bool,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +123,43 @@ impl Default for ServeConfig {
             cache_shards: 8,
             quantization_grid: 1e-6,
             seed: 0,
+            fusion: FusionPolicy::default(),
+            single_flight: true,
+        }
+    }
+}
+
+/// Policy for the cross-request coalition fusion scheduler: workers stack
+/// the coalition matrices of several queued same-model KernelSHAP requests
+/// into one shared evaluation block, so one `predict_block` call amortizes
+/// traversal setup — and clears the SoA row-major repack breakeven — across
+/// the whole group. Results are bit-identical to unfused serving: fusion
+/// changes *which call* evaluates a composite row, never its arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionPolicy {
+    /// Master switch. Off = every request evaluates its own coalitions
+    /// (the pre-fusion behaviour, kept for A/B benchmarking).
+    pub enabled: bool,
+    /// Smallest fusable group: below this, fusion is pure overhead and the
+    /// direct path runs instead.
+    pub min_jobs: usize,
+    /// Row budget a group *aims* for (the fill-ratio denominator). Sized
+    /// to the SoA engine's pack breakeven so fused blocks take the
+    /// row-major fast path that single requests rarely reach.
+    pub target_rows: usize,
+    /// Hard per-block row cap: the scheduler flushes (evaluates and
+    /// finishes the planned jobs so far) before exceeding it, bounding the
+    /// arena's high-water mark.
+    pub max_rows: usize,
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy {
+            enabled: true,
+            min_jobs: 2,
+            target_rows: nfv_ml::soa::PACK_MIN_ROWS,
+            max_rows: 16_384,
         }
     }
 }
@@ -139,6 +188,11 @@ impl ServeEngine {
             config.cache_shards,
         ));
         let metrics = Arc::new(Metrics::new());
+        if config.fusion.enabled {
+            metrics
+                .fused_target_rows
+                .store(config.fusion.target_rows as u64, Ordering::Relaxed);
+        }
         let queue = JobQueue::new(config.queue_capacity, config.workers);
         let ctx = Arc::new(worker::WorkerContext {
             cache: Arc::clone(&cache),
@@ -148,6 +202,7 @@ impl ServeEngine {
                 gather_window: config.gather_window,
             },
             seed: config.seed,
+            fusion: config.fusion,
             in_flight: queue.in_flight_handle(),
         });
         let workers = worker::spawn_workers(config.workers, queue.receiver(), ctx);
@@ -239,8 +294,42 @@ impl ServeEngine {
             });
         }
 
+        // Single-flight: collapse concurrent *identical* misses onto one
+        // computation. The first miss becomes the leader and proceeds to
+        // admission; followers park on a channel and receive the leader's
+        // attribution the moment it lands in the cache — one model
+        // evaluation instead of N. A follower whose leader fails or whose
+        // budget runs out falls through and computes normally.
+        let mut leads_flight = false;
+        if self.config.single_flight {
+            match self.cache.begin_flight(&key) {
+                cache::Flight::Leader => leads_flight = true,
+                cache::Flight::Follower(rx) => {
+                    let remaining = request.budget.saturating_sub(t0.elapsed());
+                    if let Ok(Some(attr)) = rx.recv_timeout(remaining) {
+                        self.metrics
+                            .single_flight_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.total.record(t0.elapsed());
+                        return Ok(ExplainResponse {
+                            attribution: attr,
+                            model_version: key.model_version,
+                            cache_hit: true,
+                            batch_size: 1,
+                            queue_wait: Duration::ZERO,
+                            service_time: Duration::ZERO,
+                        });
+                    }
+                }
+            }
+        }
+
         // Admission + enqueue.
         let Some(queue) = self.queue.as_ref() else {
+            if leads_flight {
+                self.cache.complete_flight(&key, None);
+            }
             return Err(ServeError::Rejected(RejectReason::ShuttingDown));
         };
         let (respond_tx, respond_rx) = crossbeam::channel::bounded(1);
@@ -251,7 +340,13 @@ impl ServeEngine {
             admitted: t0,
             respond: respond_tx,
         };
-        if let Err((reason, _job)) = queue.admit(job, &self.metrics) {
+        if let Err((reason, job)) = queue.admit(job, &self.metrics) {
+            // An admitted leader's flight is resolved by the worker; a
+            // rejected leader must release its followers itself (they fall
+            // through and try on their own).
+            if leads_flight {
+                self.cache.complete_flight(&job.key, None);
+            }
             match &reason {
                 RejectReason::QueueFull { .. } => {
                     self.metrics
@@ -324,7 +419,7 @@ pub mod prelude {
     pub use crate::metrics::ServeStats;
     pub use crate::registry::{ModelEntry, ModelRegistry, ServeModel};
     pub use crate::request::{ExplainMethod, ExplainRequest, ExplainResponse};
-    pub use crate::{ServeConfig, ServeEngine};
+    pub use crate::{FusionPolicy, ServeConfig, ServeEngine};
 }
 
 #[cfg(test)]

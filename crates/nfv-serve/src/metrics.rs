@@ -130,6 +130,24 @@ pub struct Metrics {
     pub batched_requests: AtomicU64,
     /// Largest batch observed.
     pub max_batch: AtomicU64,
+    /// Fused evaluation blocks executed (≥ 2 requests sharing one
+    /// `predict_block` call).
+    pub fused_groups: AtomicU64,
+    /// Requests whose coalition work rode inside a fused block.
+    pub fused_requests: AtomicU64,
+    /// Composite rows evaluated inside fused blocks (fill-ratio numerator:
+    /// `fused_rows / (fused_groups × fusion.target_rows)` says how well
+    /// fused blocks clear the SoA pack breakeven).
+    pub fused_rows: AtomicU64,
+    /// The fusion row target configured at engine start (denominator of
+    /// the fill ratio; 0 when fusion is disabled).
+    pub fused_target_rows: AtomicU64,
+    /// Requests answered by another request's in-flight computation
+    /// (single-flight dedup followers).
+    pub single_flight_hits: AtomicU64,
+    /// Probe admissions: requests the per-class estimate would have
+    /// rejected, admitted to resample a possibly-stale EWMA.
+    pub probe_admits: AtomicU64,
     /// Queue wait of worker-served requests.
     pub queue_wait: LatencyHistogram,
     /// Explainer compute time per batch group, attributed per request.
@@ -187,6 +205,11 @@ fn ewma_fold(cell: &AtomicU64, ns: u64) {
 pub struct ClassEwmaTable {
     keys: [AtomicU64; CLASS_SLOTS],
     ewma_fp: [AtomicU64; CLASS_SLOTS],
+    /// Consecutive deadline-unmeetable rejects per class. A nonzero streak
+    /// means the EWMA may be poisoned (one slow outlier inflated it and no
+    /// admitted request can ever resample it); admission uses the streak to
+    /// decide when to probe.
+    rejects: [AtomicU64; CLASS_SLOTS],
 }
 
 impl Default for ClassEwmaTable {
@@ -194,6 +217,7 @@ impl Default for ClassEwmaTable {
         ClassEwmaTable {
             keys: std::array::from_fn(|_| AtomicU64::new(0)),
             ewma_fp: std::array::from_fn(|_| AtomicU64::new(0)),
+            rejects: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -246,6 +270,41 @@ impl ClassEwmaTable {
         let ns = self.ewma_fp[s].load(Ordering::Relaxed) >> EWMA_FP_SHIFT;
         (ns > 0).then_some(ns)
     }
+
+    /// Records a deadline-unmeetable reject for `class`: bumps its
+    /// consecutive-reject streak and multiplicatively ages the EWMA cell
+    /// (× 7/8), so an estimate poisoned by one slow outlier decays toward
+    /// feasibility even though rejected requests never produce a service
+    /// sample. Returns the new streak length (0 when the table has no slot
+    /// for the class).
+    pub fn note_reject(&self, class: u64) -> u64 {
+        let Some(s) = self.slot_of(class, true) else {
+            return 0;
+        };
+        let mut cur = self.ewma_fp[s].load(Ordering::Relaxed);
+        loop {
+            let next = cur - cur / 8;
+            match self.ewma_fp[s].compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        self.rejects[s].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Clears `class`'s consecutive-reject streak (called on every
+    /// successful feasibility pass — an admit proves the estimate isn't
+    /// blocking the class).
+    pub fn note_admit(&self, class: u64) {
+        if let Some(s) = self.slot_of(class, false) {
+            self.rejects[s].store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 impl Metrics {
@@ -291,6 +350,26 @@ impl Metrics {
         self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
     }
 
+    /// Records one fused evaluation block: `n` requests whose coalition
+    /// rows (`rows` total) shared a single `predict_block` call.
+    pub fn record_fused_group(&self, n: usize, rows: usize) {
+        self.fused_groups.fetch_add(1, Ordering::Relaxed);
+        self.fused_requests.fetch_add(n as u64, Ordering::Relaxed);
+        self.fused_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Records a deadline-unmeetable reject for `class` (ages the class
+    /// estimate) and returns the consecutive-reject streak — admission
+    /// probes when the streak crosses its threshold.
+    pub fn note_class_reject(&self, class: u64) -> u64 {
+        self.class_service.note_reject(class)
+    }
+
+    /// Clears `class`'s reject streak after a successful feasibility pass.
+    pub fn note_class_admit(&self, class: u64) {
+        self.class_service.note_admit(class)
+    }
+
     /// Snapshots everything into a serializable report.
     pub fn snapshot(&self) -> ServeStats {
         let hits = self.cache_hits.load(Ordering::Relaxed);
@@ -298,6 +377,9 @@ impl Metrics {
         let lookups = hits + misses;
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
+        let fused_groups = self.fused_groups.load(Ordering::Relaxed);
+        let fused_rows = self.fused_rows.load(Ordering::Relaxed);
+        let fused_target = self.fused_target_rows.load(Ordering::Relaxed);
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -322,6 +404,16 @@ impl Metrics {
                 batched as f64 / batches as f64
             },
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            fused_groups,
+            fused_requests: self.fused_requests.load(Ordering::Relaxed),
+            fused_rows,
+            fused_fill_ratio: if fused_groups == 0 || fused_target == 0 {
+                0.0
+            } else {
+                fused_rows as f64 / (fused_groups * fused_target) as f64
+            },
+            single_flight_hits: self.single_flight_hits.load(Ordering::Relaxed),
+            probe_admits: self.probe_admits.load(Ordering::Relaxed),
             queue_wait_p50_us: self.queue_wait.quantile_us(0.50),
             queue_wait_p99_us: self.queue_wait.quantile_us(0.99),
             service_p50_us: self.service.quantile_us(0.50),
@@ -367,6 +459,20 @@ pub struct ServeStats {
     pub mean_batch_size: f64,
     /// Largest batch observed.
     pub max_batch: u64,
+    /// Fused evaluation blocks executed.
+    pub fused_groups: u64,
+    /// Requests explained inside fused blocks.
+    pub fused_requests: u64,
+    /// Composite rows evaluated inside fused blocks.
+    pub fused_rows: u64,
+    /// Mean rows per fused group ÷ the configured row target — how well
+    /// fused blocks fill toward the SoA pack breakeven (0 when fusion is
+    /// off or no group has run).
+    pub fused_fill_ratio: f64,
+    /// Requests answered by another request's in-flight computation.
+    pub single_flight_hits: u64,
+    /// Probe admissions past a possibly-stale class estimate.
+    pub probe_admits: u64,
     /// Queue-wait median, microseconds.
     pub queue_wait_p50_us: f64,
     /// Queue-wait 99th percentile, microseconds.
@@ -507,5 +613,49 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ServeStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn reject_streaks_age_the_estimate_and_reset_on_admit() {
+        let m = Metrics::new();
+        m.observe_service_class_ns(9, 1_000_000);
+        assert_eq!(m.class_service.get(9), Some(1_000_000));
+        // Each reject bumps the streak and decays the estimate × 7/8.
+        assert_eq!(m.note_class_reject(9), 1);
+        assert_eq!(m.note_class_reject(9), 2);
+        let aged = m.class_service.get(9).unwrap();
+        let expect = 1_000_000u64 * 7 / 8 * 7 / 8;
+        assert!(
+            aged.abs_diff(expect) <= 2,
+            "aged={aged}, expected ≈{expect}"
+        );
+        // An admit clears the streak; the next reject starts from 1.
+        m.note_class_admit(9);
+        assert_eq!(m.note_class_reject(9), 1);
+        // Enough consecutive rejects drive any finite estimate toward 0,
+        // so a poisoned class always becomes feasible again.
+        for _ in 0..400 {
+            m.note_class_reject(9);
+        }
+        assert_eq!(m.class_service.get(9), None, "estimate decayed to zero");
+        // Rejects for a class the table never saw are harmless.
+        m.note_class_admit(424_242);
+    }
+
+    #[test]
+    fn fused_counters_roll_up_into_the_fill_ratio() {
+        let m = Metrics::new();
+        m.fused_target_rows.store(1024, Ordering::Relaxed);
+        m.record_fused_group(4, 768);
+        m.record_fused_group(8, 1280);
+        let snap = m.snapshot();
+        assert_eq!(snap.fused_groups, 2);
+        assert_eq!(snap.fused_requests, 12);
+        assert_eq!(snap.fused_rows, 2048);
+        assert!((snap.fused_fill_ratio - 1.0).abs() < 1e-12);
+        // Zero target (fusion off) never divides by zero.
+        let off = Metrics::new();
+        off.record_fused_group(2, 100);
+        assert_eq!(off.snapshot().fused_fill_ratio, 0.0);
     }
 }

@@ -26,6 +26,13 @@ pub struct Job {
     pub respond: Sender<Result<ExplainResponse, ServeError>>,
 }
 
+/// Consecutive deadline-unmeetable rejects of one service class before
+/// admission lets a probe request through to resample the class EWMA.
+/// Small enough that a poisoned estimate recovers within a handful of
+/// requests; large enough that a genuinely overloaded class still sheds
+/// ~87% of its doomed load.
+pub const PROBE_AFTER: u64 = 8;
+
 /// The bounded queue plus the admission logic in front of it.
 pub struct JobQueue {
     tx: Sender<Job>,
@@ -83,6 +90,15 @@ impl JobQueue {
     /// time (the budget runs from `Job.admitted`, which the caller stamps
     /// before any admission work). If even this optimistic estimate misses,
     /// reject now instead of making the caller discover it the slow way.
+    ///
+    /// Estimate recovery: a class EWMA poisoned by one slow outlier can
+    /// reject every subsequent request of that class, and since rejected
+    /// requests produce no service samples the estimate would stay wrong
+    /// forever. Two mechanisms break the loop: every reject multiplicatively
+    /// ages the class estimate (× 7/8), and after [`PROBE_AFTER`]
+    /// consecutive rejects one probe request is admitted anyway so the
+    /// class gets a fresh measurement.
+    ///
     /// The rejected `Job` rides back boxed so the `Err` variant stays
     /// small on the (hot) `Ok` path; rejection is the cold path and can
     /// afford the allocation.
@@ -96,13 +112,24 @@ impl JobQueue {
             let spent_ns = job.admitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             let remaining_ns = budget_ns.saturating_sub(spent_ns);
             if est_ns > remaining_ns {
-                return Err((
-                    RejectReason::DeadlineUnmeetable {
-                        estimated_us: est_ns / 1_000,
-                        budget_us: remaining_ns / 1_000,
-                    },
-                    Box::new(job),
-                ));
+                let streak = metrics.note_class_reject(class);
+                if streak > 0 && streak.is_multiple_of(PROBE_AFTER) {
+                    // Probe: admit past the estimate so the worker can
+                    // resample the class. The streak keeps counting, so
+                    // a class that is genuinely too slow probes only once
+                    // per PROBE_AFTER rejects, not on every request.
+                    metrics.probe_admits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    return Err((
+                        RejectReason::DeadlineUnmeetable {
+                            estimated_us: est_ns / 1_000,
+                            budget_us: remaining_ns / 1_000,
+                        },
+                        Box::new(job),
+                    ));
+                }
+            } else {
+                metrics.note_class_admit(class);
             }
         }
         match self.tx.try_send(job) {
@@ -163,6 +190,7 @@ mod tests {
             feature_names: vec!["a".into()],
             background: bg,
             packed: None,
+            expected_output: 0.0,
         });
         let request = ExplainRequest {
             model_id: "m".into(),
@@ -266,6 +294,49 @@ mod tests {
             m.service_estimate_ns(service_class_key(1, lime)),
             m.ewma_service_ns()
         );
+    }
+
+    #[test]
+    fn poisoned_class_estimate_recovers_without_warm_up() {
+        let q = JobQueue::new(64, 1);
+        let m = Metrics::new();
+        let kernel = ExplainMethod::KernelShap { n_coalitions: 8 };
+        let class = service_class_key(1, kernel);
+        // Poison the class estimate with one pathological 10s sample. The
+        // true cost is ~1ms, so every 100ms-budget request is feasible —
+        // but the estimate says none are, and pre-probe admission would
+        // reject this class forever (rejects produce no fresh samples).
+        m.observe_service_class_ns(class, 10_000_000_000);
+        let budget = Duration::from_millis(100);
+        let mut rejected = 0u64;
+        let mut admitted = 0u64;
+        for _ in 0..64 {
+            match q.admit(test_job_with(kernel, budget), &m) {
+                Ok(()) => admitted += 1,
+                Err((reason, _)) => {
+                    assert!(
+                        matches!(reason, RejectReason::DeadlineUnmeetable { .. }),
+                        "{reason:?}"
+                    );
+                    rejected += 1;
+                    // The worker the probe would reach: report the true cost.
+                    if m.snapshot().probe_admits > 0 {
+                        m.observe_service_class_ns(class, 1_000_000);
+                    }
+                }
+            }
+        }
+        assert!(rejected > 0, "the poisoned estimate must bite first");
+        assert!(
+            admitted > 0,
+            "probing + ageing must re-open the class without external help"
+        );
+        // Once recovered, the class stays open: feasibility passes reset
+        // the streak and the estimate reflects reality again.
+        assert!(q.admit(test_job_with(kernel, budget), &m).is_ok());
+        assert!(m.class_service.get(class).unwrap() < 100_000_000);
+        let stats = m.snapshot();
+        assert!(stats.probe_admits >= 1, "at least one probe fired");
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub struct ModelEntry {
     /// to the source model's, so cached attributions and seeded results
     /// are unaffected by which path served them — only the latency is.
     pub packed: Option<SoaForest>,
+    /// `E[f(X)]` over the background against [`ModelEntry::explain_regressor`],
+    /// computed once at registration. KernelSHAP needs this base value per
+    /// request; caching it here removes a full background sweep from every
+    /// uncached request without changing any result bit (the per-request
+    /// computation is the same deterministic reduction).
+    pub expected_output: f64,
 }
 
 impl ModelEntry {
@@ -150,12 +156,17 @@ impl ModelRegistry {
             ServeModel::Forest(m) => SoaForest::from_forest(m).ok(),
             ServeModel::Linear(_) | ServeModel::Mlp(_) => None,
         };
+        let expected_output = match &packed {
+            Some(p) => background.expected_output(p),
+            None => background.expected_output(model.as_regressor()),
+        };
         let entry = Arc::new(ModelEntry {
             model,
             version,
             feature_names,
             background,
             packed,
+            expected_output,
         });
         self.models.write().insert(id.to_string(), entry);
         Ok(version)
@@ -270,6 +281,19 @@ mod tests {
                 "packed engine must be bit-identical to the source model"
             );
         }
+    }
+
+    #[test]
+    fn expected_output_is_cached_bit_identically() {
+        let reg = ModelRegistry::new();
+        let (m, names, bg) = linear_entry();
+        reg.register("lin", m, names, bg.clone()).unwrap();
+        let entry = reg.get("lin").unwrap();
+        assert_eq!(
+            entry.expected_output.to_bits(),
+            bg.expected_output(entry.explain_regressor()).to_bits(),
+            "cached base value must match a per-request recompute exactly"
+        );
     }
 
     #[test]

@@ -15,19 +15,20 @@
 //! goes through [`crate::registry::ModelEntry::explain_regressor`], i.e.
 //! the packed SoA engine for tree ensembles.
 
-use crate::batcher::{gather, group_compatible, BatchPolicy};
+use crate::batcher::{gather, group_compatible, group_same_model, BatchPolicy};
 use crate::cache::ShardedCache;
 use crate::error::{RejectReason, ServeError};
 use crate::metrics::Metrics;
 use crate::queue::Job;
 use crate::registry::{ModelEntry, ServeModel};
 use crate::request::{fnv1a_words, service_class_key, ExplainMethod, ExplainResponse};
+use crate::FusionPolicy;
 use crossbeam::channel::Receiver;
 use nfv_xai::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Shared state a worker needs (a slice of the engine).
 pub struct WorkerContext {
@@ -39,6 +40,8 @@ pub struct WorkerContext {
     pub policy: BatchPolicy,
     /// Engine seed mixed into every per-request explainer seed.
     pub seed: u64,
+    /// Cross-request coalition fusion policy.
+    pub fusion: FusionPolicy,
     /// Dequeued-but-unanswered job count, shared with admission control
     /// (see [`crate::queue::JobQueue::in_flight_handle`]).
     pub in_flight: Arc<AtomicU64>,
@@ -60,11 +63,12 @@ pub fn spawn_workers(n: usize, rx: Receiver<Job>, ctx: Arc<WorkerContext>) -> Ve
 }
 
 fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
-    // The worker's arena: persists across every micro-batch this thread
+    // The worker's arenas: persist across every micro-batch this thread
     // ever serves (not per-group), which is what makes steady state
     // allocation-free. Seeding keeps results independent of which worker
     // got the job, so reuse is invisible to callers.
     let mut ws = CoalitionWorkspace::default();
+    let mut block = FusedBlock::default();
     while let Ok(first) = rx.recv() {
         let batch = gather(&rx, first, &ctx.policy);
         // Everything gathered is now invisible to the channel length;
@@ -72,10 +76,21 @@ fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
         // admission keeps seeing the work.
         ctx.in_flight
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        for group in group_compatible(batch) {
-            let n = group.len() as u64;
-            process_group(group, &ctx, &mut ws);
-            ctx.in_flight.fetch_sub(n, Ordering::Relaxed);
+        if ctx.fusion.enabled {
+            // Fusion groups by model identity only (methods mixed): every
+            // job in a group shares one regressor, so coalition plans can
+            // stack into one shared evaluation block.
+            for group in group_same_model(batch) {
+                let n = group.len() as u64;
+                process_model_group(group, &ctx, &mut ws, &mut block);
+                ctx.in_flight.fetch_sub(n, Ordering::Relaxed);
+            }
+        } else {
+            for group in group_compatible(batch) {
+                let n = group.len() as u64;
+                process_group(group, &ctx, &mut ws);
+                ctx.in_flight.fetch_sub(n, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -132,8 +147,11 @@ fn explain_one(
     }
 }
 
-fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspace) {
-    let now = Instant::now();
+/// Drops deadline-expired jobs and answers queue-time cache hits, returning
+/// the jobs that still need computing. Every job that exits here resolves
+/// its single-flight entry (expired → `None`, hit → the attribution), so
+/// followers are never left waiting on a job that will not run.
+fn prefilter(group: Vec<Job>, ctx: &WorkerContext, now: Instant) -> Vec<Job> {
     let mut live: Vec<Job> = Vec::with_capacity(group.len());
     for job in group {
         // Drop requests whose budget burned away in the queue: answering
@@ -142,7 +160,8 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspa
         if waited > job.request.budget {
             ctx.metrics
                 .rejected_deadline_expired
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed);
+            ctx.cache.complete_flight(&job.key, None);
             let _ = job
                 .respond
                 .send(Err(ServeError::Rejected(RejectReason::DeadlineExpired {
@@ -154,34 +173,74 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspa
         // Re-check the cache: an identical request may have been explained
         // while this one sat in the queue.
         if let Some(attr) = ctx.cache.get(&job.key) {
-            ctx.metrics
-                .cache_hits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            ctx.metrics
-                .completed
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
             ctx.metrics.queue_wait.record(waited);
             ctx.metrics.total.record(waited);
+            ctx.cache.complete_flight(&job.key, Some(Arc::clone(&attr)));
             let _ = job.respond.send(Ok(ExplainResponse {
                 attribution: attr,
                 model_version: job.key.model_version,
                 cache_hit: true,
                 batch_size: 1,
                 queue_wait: waited,
-                service_time: std::time::Duration::ZERO,
+                service_time: Duration::ZERO,
             }));
             continue;
         }
         live.push(job);
     }
+    live
+}
+
+/// Answers one job that produced `result`: fills the cache, resolves the
+/// job's single-flight entry, records latency metrics, and responds.
+fn deliver(
+    job: Job,
+    result: Result<Attribution, XaiError>,
+    batch_size: usize,
+    service: Duration,
+    now: Instant,
+    ctx: &WorkerContext,
+) {
+    match result {
+        Ok(attr) => {
+            let attr = Arc::new(attr);
+            ctx.cache.insert(job.key.clone(), Arc::clone(&attr));
+            ctx.cache.complete_flight(&job.key, Some(Arc::clone(&attr)));
+            let waited = now.duration_since(job.admitted);
+            ctx.metrics.queue_wait.record(waited);
+            ctx.metrics.service.record(service);
+            ctx.metrics.total.record(waited + service);
+            ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.respond.send(Ok(ExplainResponse {
+                attribution: attr,
+                model_version: job.key.model_version,
+                cache_hit: false,
+                batch_size,
+                queue_wait: waited,
+                service_time: service,
+            }));
+        }
+        Err(e) => {
+            ctx.metrics.explain_errors.fetch_add(1, Ordering::Relaxed);
+            ctx.cache.complete_flight(&job.key, None);
+            let _ = job.respond.send(Err(ServeError::Explain(e)));
+        }
+    }
+}
+
+/// The pre-fusion execution path for one *compatible* group (same model,
+/// version, and method): explain jobs one by one against the shared entry.
+fn execute_compatible(live: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspace) {
     if live.is_empty() {
         return;
     }
-
+    let now = Instant::now();
     ctx.metrics.record_batch(live.len());
     ctx.metrics
         .cache_misses
-        .fetch_add(live.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        .fetch_add(live.len() as u64, Ordering::Relaxed);
 
     // Compatibility groups share (model id, version, method), so entry,
     // method, and service class are group-wide constants.
@@ -207,34 +266,147 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspa
 
     let batch_size = live.len();
     for (job, result) in live.into_iter().zip(results) {
-        match result {
-            Ok(attr) => {
-                let attr = Arc::new(attr);
-                ctx.cache.insert(job.key.clone(), Arc::clone(&attr));
-                let waited = now.duration_since(job.admitted);
-                ctx.metrics.queue_wait.record(waited);
-                ctx.metrics.service.record(service);
-                ctx.metrics.total.record(waited + service);
-                ctx.metrics
-                    .completed
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let _ = job.respond.send(Ok(ExplainResponse {
-                    attribution: attr,
-                    model_version: job.key.model_version,
-                    cache_hit: false,
-                    batch_size,
-                    queue_wait: waited,
-                    service_time: service,
-                }));
-            }
+        deliver(job, result, batch_size, service, now, ctx);
+    }
+}
+
+fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspace) {
+    let live = prefilter(group, ctx, Instant::now());
+    execute_compatible(live, ctx, ws);
+}
+
+/// The fusion scheduler: one *model* group (same model id + version,
+/// methods mixed). KernelSHAP jobs — the ones whose cost is a large
+/// coalition matrix — are planned into the shared [`FusedBlock`] and
+/// evaluated by a single `predict_block` call spanning every request's
+/// rows; everything else runs through the per-method compatible path.
+///
+/// Determinism: a plan materializes exactly the composite rows the direct
+/// path would build, the block evaluates them with the same row-pure
+/// kernel, and each finish runs the same reduction + regression on its own
+/// slice — so fused results are bit-identical to unfused ones (enforced by
+/// core property tests and the serve integration tests).
+fn process_model_group(
+    group: Vec<Job>,
+    ctx: &WorkerContext,
+    ws: &mut CoalitionWorkspace,
+    block: &mut FusedBlock,
+) {
+    let live = prefilter(group, ctx, Instant::now());
+    if live.is_empty() {
+        return;
+    }
+    let (fusable, rest): (Vec<Job>, Vec<Job>) = live
+        .into_iter()
+        .partition(|j| matches!(j.key.method, ExplainMethod::KernelShap { .. }));
+    if fusable.len() >= ctx.fusion.min_jobs.max(1) {
+        execute_fused(fusable, ctx, ws, block);
+    } else {
+        // Too few to amortize anything: the direct path is cheaper. A
+        // model group's KernelSHAP jobs may still span budgets, so split
+        // into compatible (per-method) groups first.
+        for g in group_compatible(fusable) {
+            execute_compatible(g, ctx, ws);
+        }
+    }
+    for g in group_compatible(rest) {
+        execute_compatible(g, ctx, ws);
+    }
+}
+
+/// Plans every KernelSHAP job in `jobs` into the shared block, flushing
+/// (evaluate + finish) whenever the stacked rows cross the policy's
+/// `max_rows` cap. The cap bounds the arena's high-water mark at
+/// `max_rows` plus one plan's rows (a plan is appended before the check).
+fn execute_fused(
+    jobs: Vec<Job>,
+    ctx: &WorkerContext,
+    ws: &mut CoalitionWorkspace,
+    block: &mut FusedBlock,
+) {
+    let entry = Arc::clone(&jobs[0].entry);
+    let mut pending: Vec<(Job, KernelShapPlan)> = Vec::with_capacity(jobs.len());
+    block.clear();
+    for job in jobs {
+        let ExplainMethod::KernelShap { n_coalitions } = job.key.method else {
+            unreachable!("execute_fused is only handed KernelShap jobs");
+        };
+        let cfg = KernelShapConfig {
+            n_coalitions,
+            ridge: 0.0,
+            seed: request_seed(ctx.seed, job.key.stable_hash()),
+        };
+        match kernel_shap_plan(
+            entry.explain_regressor(),
+            &job.request.features,
+            &entry.background,
+            &cfg,
+            Some(entry.expected_output),
+            ws,
+            block,
+        ) {
+            Ok(plan) => pending.push((job, plan)),
+            // A plan failure (zero budget, malformed input) is scoped to
+            // its own request: the rest of the group still fuses.
             Err(e) => {
-                ctx.metrics
-                    .explain_errors
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                ctx.metrics.explain_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                ctx.cache.complete_flight(&job.key, None);
                 let _ = job.respond.send(Err(ServeError::Explain(e)));
             }
         }
+        if block.n_rows() >= ctx.fusion.max_rows {
+            flush_fused(&mut pending, block, &entry, ctx);
+        }
     }
+    flush_fused(&mut pending, block, &entry, ctx);
+}
+
+/// Evaluates the shared block once and finishes every pending plan against
+/// it, then delivers. Service time is attributed to each request in
+/// proportion to its share of the block's rows (its actual footprint in
+/// the fused evaluation), keeping per-class EWMAs honest when budgets mix.
+fn flush_fused(
+    pending: &mut Vec<(Job, KernelShapPlan)>,
+    block: &mut FusedBlock,
+    entry: &ModelEntry,
+    ctx: &WorkerContext,
+) {
+    if pending.is_empty() {
+        block.clear();
+        return;
+    }
+    let now = Instant::now();
+    let n = pending.len();
+    let total_rows = block.n_rows();
+    ctx.metrics.record_batch(n);
+    ctx.metrics
+        .cache_misses
+        .fetch_add(n as u64, Ordering::Relaxed);
+    if n >= 2 {
+        ctx.metrics.record_fused_group(n, total_rows);
+    }
+
+    let t0 = Instant::now();
+    block.evaluate(entry.explain_regressor());
+    let results: Vec<Result<Attribution, XaiError>> = pending
+        .iter()
+        .map(|(_, plan)| kernel_shap_finish(plan, block, &entry.feature_names))
+        .collect();
+    let service = t0.elapsed();
+    let service_ns = service.as_nanos().min(u64::MAX as u128) as u64;
+
+    for ((job, plan), result) in pending.drain(..).zip(results) {
+        let job_ns = if total_rows > 0 {
+            (service_ns as u128 * plan.n_rows() as u128 / total_rows as u128) as u64
+        } else {
+            service_ns / n as u64
+        };
+        let class = service_class_key(job.key.model_version, job.key.method);
+        ctx.metrics.observe_service_class_ns(class, job_ns);
+        deliver(job, result, n, Duration::from_nanos(job_ns), now, ctx);
+    }
+    block.clear();
 }
 
 #[cfg(test)]

@@ -76,6 +76,149 @@ fn stats_snapshot_round_trips_through_json() {
     engine.shutdown();
 }
 
+fn kernel_req(x: &[f64], n_coalitions: usize) -> ExplainRequest {
+    ExplainRequest {
+        model_id: "m".into(),
+        features: x.to_vec(),
+        method: ExplainMethod::KernelShap { n_coalitions },
+        budget: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn concurrent_identical_misses_evaluate_once() {
+    let (model, names, bg, synth) = fitted(21);
+    let engine = ServeEngine::start(ServeConfig::default());
+    engine
+        .registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    // 8 threads fire the *same* uncached request at once. Single-flight
+    // must elect one leader; everyone else rides its result (as a flight
+    // follower or, if they arrive late, a cache hit) — so the model is
+    // evaluated exactly once.
+    let responses: Vec<ExplainResponse> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.spawn(|| engine.explain(kernel_req(synth.data.row(0), 64)).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 8, "{stats:?}");
+    assert_eq!(
+        stats.cache_misses, 1,
+        "one evaluation for 8 identical concurrent misses: {stats:?}"
+    );
+    for r in &responses[1..] {
+        assert_eq!(
+            r.attribution, responses[0].attribution,
+            "every caller sees the leader's exact result"
+        );
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn fused_group_with_failing_job_completes_the_rest() {
+    let (model, names, bg, synth) = fitted(23);
+    // One worker with a long gather window, so concurrent submissions land
+    // in one micro-batch and hence one fusion group.
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        gather_window: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    engine
+        .registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    // Rows 0..4 are valid fusable requests; the zero-budget request must
+    // fail at plan time without poisoning the rest of its fusion group.
+    let engine_ref = &engine;
+    let outcomes: Vec<Result<ExplainResponse, ServeError>> = std::thread::scope(|s| {
+        let mut handles = vec![s.spawn(|| engine.explain(kernel_req(synth.data.row(0), 0)))];
+        handles.extend((1..5).map(|i| {
+            let row = synth.data.row(i);
+            s.spawn(move || engine_ref.explain(kernel_req(row, 64)))
+        }));
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        matches!(outcomes[0], Err(ServeError::Explain(_))),
+        "zero coalition budget errors: {:?}",
+        outcomes[0]
+    );
+    for (i, o) in outcomes.iter().enumerate().skip(1) {
+        let resp = o.as_ref().unwrap_or_else(|e| panic!("job {i}: {e}"));
+        assert!(resp.attribution.efficiency_gap().abs() < 1e-6);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 4, "{stats:?}");
+    assert_eq!(stats.explain_errors, 1, "{stats:?}");
+    engine.shutdown();
+}
+
+#[test]
+fn fused_and_unfused_engines_agree_bitwise() {
+    let (model, names, bg, synth) = fitted(27);
+    let fused = ServeEngine::start(ServeConfig {
+        workers: 1,
+        gather_window: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    let unfused = ServeEngine::start(ServeConfig {
+        fusion: FusionPolicy {
+            enabled: false,
+            ..FusionPolicy::default()
+        },
+        single_flight: false,
+        ..ServeConfig::default()
+    });
+    for engine in [&fused, &unfused] {
+        engine
+            .registry()
+            .register(
+                "m",
+                ServeModel::Gbdt(model.clone()),
+                names.clone(),
+                bg.clone(),
+            )
+            .unwrap();
+    }
+    // Concurrent submission to the fused engine so requests actually share
+    // a block; serial submission to the unfused engine. Seeds derive from
+    // request content, so the execution shape must not matter.
+    let fused_ref = &fused;
+    let fused_resp: Vec<ExplainResponse> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let row = synth.data.row(i);
+                s.spawn(move || engine_explain(fused_ref, row))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = fused.stats();
+    assert!(
+        stats.fused_groups >= 1 && stats.fused_requests >= 2,
+        "fusion must have actually run: {stats:?}"
+    );
+    assert!(stats.fused_fill_ratio > 0.0, "{stats:?}");
+    for (i, f) in fused_resp.iter().enumerate() {
+        let u = engine_explain(&unfused, synth.data.row(i));
+        assert_eq!(
+            f.attribution, u.attribution,
+            "row {i}: fused serving must be bit-identical to unfused"
+        );
+    }
+    fused.shutdown();
+    unfused.shutdown();
+}
+
+fn engine_explain(engine: &ServeEngine, x: &[f64]) -> ExplainResponse {
+    engine.explain(kernel_req(x, 64)).unwrap()
+}
+
 #[test]
 fn tiny_cache_evicts_but_stays_correct() {
     let (model, names, bg, synth) = fitted(13);

@@ -90,6 +90,7 @@ fn build_engine(seed: u64) -> ServeEngine {
         cache_shards: 8,
         quantization_grid: 1e-6,
         seed,
+        ..ServeConfig::default()
     });
     engine
         .registry()
@@ -253,6 +254,7 @@ fn backpressure_rejects_instead_of_blocking() {
         cache_shards: 2,
         quantization_grid: 1e-6,
         seed: 17,
+        ..ServeConfig::default()
     });
     engine
         .registry()
@@ -327,6 +329,7 @@ fn expired_deadlines_are_dropped_not_served_late() {
         cache_shards: 2,
         quantization_grid: 1e-6,
         seed: 23,
+        ..ServeConfig::default()
     });
     engine
         .registry()
