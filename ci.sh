@@ -13,6 +13,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "==> bench smoke (serve_throughput + explain_latency --test)"
 cargo bench -p nfv-bench --bench serve_throughput -- --test
 cargo bench -p nfv-bench --bench explain_latency -- --test
@@ -31,6 +34,10 @@ else
     baselines/BENCH_serve_throughput.json BENCH_serve_throughput.json
   cargo run -q --release -p nfv-bench --bin bench_gate -- \
     baselines/BENCH_explain_latency.json BENCH_explain_latency.json
+  # Timed integration check rides with the gate: the 4-shard cluster must
+  # out-serve a single engine ≥ 3× (self-skips on hosts with < 5 cores).
+  echo "==> cluster scaling test (release, ignored tier)"
+  cargo test -q --release -p nfv-serve --test cluster_scaling -- --ignored
 fi
 
 echo "==> CI OK"

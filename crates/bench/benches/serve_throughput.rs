@@ -189,6 +189,88 @@ fn bench_fused_replay(c: &mut Criterion) {
     fused.shutdown();
 }
 
+/// One epoch of the mixed-method cluster trace: 8 clients × 16 uncached
+/// requests cycling kernel / sampling / permutation / grouped Shapley
+/// (exact is omitted — it is rejected at d=14). Every request lands in a
+/// distinct grid cell, so this measures computation + routing, not caching.
+fn replay_mixed_trace<F>(explain: &F, task: &SizedTask, cell: u64)
+where
+    F: Fn(ExplainRequest) -> Result<ExplainResponse, ServeError> + Sync,
+{
+    std::thread::scope(|s| {
+        for c in 0..8usize {
+            let task = &*task;
+            s.spawn(move || {
+                for i in 0..16usize {
+                    let n = c * 16 + i;
+                    let mut r = req(task, n);
+                    r.method = match n % 4 {
+                        0 => ExplainMethod::KernelShap { n_coalitions: 64 },
+                        1 => ExplainMethod::SamplingShapley {
+                            n_permutations: 4,
+                            antithetic: true,
+                        },
+                        2 => ExplainMethod::Permutation,
+                        _ => ExplainMethod::GroupedShapley,
+                    };
+                    r.features[0] += (1 + n as u64 + cell * 1024) as f64 * 1e-3;
+                    explain(r).unwrap();
+                }
+            });
+        }
+    })
+}
+
+/// Sharded vs single-engine serving on the uncached mixed trace — the
+/// shared-nothing cluster's scaling figure (§S3). Same per-shard config
+/// either way; the 4-shard run adds only the consistent-hash router.
+fn bench_cluster_replay(c: &mut Criterion) {
+    let task = SizedTask::new(14, 1);
+    let shard = ServeConfig {
+        workers: 2,
+        queue_capacity: 512,
+        max_batch: 16,
+        gather_window: Duration::from_micros(500),
+        cache_capacity: 8192,
+        cache_shards: 8,
+        quantization_grid: 1e-6,
+        seed: 1,
+        ..ServeConfig::default()
+    };
+    let mut g = c.benchmark_group("cluster_replay_d14");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let mut cell = 0u64;
+    for shards in [1usize, 4] {
+        let cluster = ServeCluster::start(ClusterConfig {
+            shards,
+            shard,
+            ..ClusterConfig::default()
+        });
+        cluster
+            .register(
+                "forest",
+                ServeModel::Forest(task.forest.clone()),
+                task.names.clone(),
+                task.background.clone(),
+            )
+            .unwrap();
+        g.bench_function(format!("shards_{shards}_replay_8_clients"), |b| {
+            b.iter(|| {
+                cell += 1;
+                replay_mixed_trace(&|r| cluster.explain(r), &task, cell);
+            })
+        });
+        let stats = cluster.stats();
+        println!(
+            "cluster[{}] stats: {} served, {} spills, hit rate {:.3}",
+            shards, stats.cluster.completed, stats.spills, stats.cluster.cache_hit_rate
+        );
+        cluster.shutdown();
+    }
+    g.finish();
+}
+
 /// Coalition evaluation — the explainer hot path — scalar vs batched.
 ///
 /// Same work either way: 64 coalitions × 12 background rows = 768
@@ -266,5 +348,11 @@ fn bench_coalition_eval(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(serve, bench_serve, bench_fused_replay, bench_coalition_eval);
+criterion_group!(
+    serve,
+    bench_serve,
+    bench_fused_replay,
+    bench_cluster_replay,
+    bench_coalition_eval
+);
 criterion_main!(serve);

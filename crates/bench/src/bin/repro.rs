@@ -9,18 +9,32 @@
 //!
 //! Experiment ids: t1 t2 t3 t4 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 a1 serve
 //! (see DESIGN.md §3; `serve` is the workers × cache × arrival-rate
-//! serving frontier from EXPERIMENTS.md).
+//! serving frontier from EXPERIMENTS.md; `--shards N` sets the top of its
+//! §S3 cluster sweep, default 4).
 
 use nfv_bench::{ablations, extensions, figures, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    // `--shards` takes a value, so it must come out of the stream before
+    // the generic `--*` flag filter below would strand its argument.
+    let mut shards: usize = 4;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut skip_value = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_value {
+            skip_value = false;
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            shards = v.parse().unwrap_or_else(|_| bad_shards(v));
+        } else if a == "--shards" {
+            let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+            shards = v.parse().unwrap_or_else(|_| bad_shards(v));
+            skip_value = true;
+        } else if !a.starts_with("--") {
+            ids.push(a);
+        }
+    }
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
             "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
@@ -47,7 +61,7 @@ fn main() {
             "f9" => extensions::f9(quick),
             "f10" => extensions::f10(quick),
             "a1" => ablations::a1(quick),
-            "serve" => extensions::serve(quick),
+            "serve" => extensions::serve(quick, shards),
             other => {
                 eprintln!(
                     "unknown experiment id '{other}' (expected t1..t4, f1..f10, a1, serve, all)"
@@ -56,4 +70,9 @@ fn main() {
             }
         }
     }
+}
+
+fn bad_shards(v: &str) -> usize {
+    eprintln!("--shards expects a positive integer, got '{v}'");
+    std::process::exit(2);
 }

@@ -13,6 +13,11 @@ use crate::XaiError;
 use nfv_ml::model::Regressor;
 use serde::{Deserialize, Serialize};
 
+/// Largest group count accepted by [`grouped_shapley`] — the method
+/// enumerates `2^G` coalitions, so this bounds a single explanation at
+/// ~16.8M coalition evaluations.
+pub const MAX_GROUPS: usize = 24;
+
 /// A partition of the feature space into named groups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureGroups {
@@ -107,7 +112,7 @@ pub fn grouped_shapley(
         )));
     }
     let g = groups.len();
-    if g > 24 {
+    if g > MAX_GROUPS {
         return Err(XaiError::Budget(format!(
             "grouped Shapley enumerates 2^G coalitions; G = {g} is too large"
         )));
@@ -178,7 +183,7 @@ pub fn grouped_shapley_plan(
         )));
     }
     let g = groups.len();
-    if g > 24 {
+    if g > MAX_GROUPS {
         return Err(XaiError::Budget(format!(
             "grouped Shapley enumerates 2^G coalitions; G = {g} is too large"
         )));

@@ -22,6 +22,14 @@
 //! | Shapley interactions | [`interactions`] | local | `O(2^d · |B|)` calls |
 //! | SAGE | [`sage`] | global | `O(P · R · d · |B|)` calls |
 //!
+//! The local attribution methods are additionally unified behind the
+//! object-safe [`explainer::Explainer`] trait: fusable methods (the
+//! Shapley family and per-instance permutation) split into a *plan* half
+//! that stacks composite rows into a shared [`background::FusedBlock`]
+//! and a *finish* half that reduces the evaluated block bit-identically
+//! to the direct path, which is what lets a serving layer batch many
+//! requests — across methods — into single model evaluations.
+//!
 //! ## Evaluation
 //!
 //! [`eval::fidelity`] (deletion/insertion AUC), [`eval::rank`] (cross-method
@@ -52,6 +60,7 @@ pub mod background;
 pub mod batch;
 pub mod counterfactual;
 pub mod eval;
+pub mod explainer;
 pub mod explanation;
 pub mod grouped;
 pub mod interactions;
@@ -102,10 +111,14 @@ pub mod prelude {
         insertion_curve, mean_agreement, roar, stability, Agreement, AxiomReport, FidelityCurve,
         FidelitySummary, RoarCurve, Stability, StabilityConfig,
     };
+    pub use crate::explainer::{
+        ExactShapleyExplainer, ExplainContext, ExplainPlan, Explainer, GroupedShapleyExplainer,
+        KernelShapExplainer, LimeExplainer, PermutationExplainer, SamplingShapleyExplainer,
+    };
     pub use crate::explanation::{mean_absolute_attribution, Attribution};
     pub use crate::grouped::{
         grouped_shapley, grouped_shapley_finish, grouped_shapley_plan, FeatureGroups,
-        GroupedShapPlan,
+        GroupedShapPlan, MAX_GROUPS,
     };
     pub use crate::interactions::{
         interaction_values, InteractionMatrix, MAX_INTERACTION_FEATURES,
@@ -113,10 +126,12 @@ pub mod prelude {
     pub use crate::lime::{lime, LimeConfig, LimeExplanation};
     pub use crate::pdp::{partial_dependence, PartialDependence};
     pub use crate::permutation::{
-        permutation_importance, PermutationConfig, PermutationImportance,
+        instance_permutation, instance_permutation_finish, instance_permutation_plan,
+        instance_permutation_with, permutation_importance, PermutationConfig,
+        PermutationImportance, PermutationPlan,
     };
     pub use crate::report::{humanize_feature, render_report, OperatorReport, PredictionKind};
-    pub use crate::sage::{sage, SageConfig, SageImportance};
+    pub use crate::sage::{sage, sage_finish, sage_plan, SageConfig, SageImportance, SagePlan};
     pub use crate::shapley::{
         exact_shapley, exact_shapley_finish, exact_shapley_plan, forest_shap, gbdt_shap,
         kernel_shap, kernel_shap_finish, kernel_shap_plan, kernel_shap_with, sampling_shapley,

@@ -1,7 +1,11 @@
 //! Permutation feature importance (Breiman, 2001): the *global* baseline —
 //! how much does shuffling one column degrade the model's score on a
-//! dataset.
+//! dataset — plus its *per-instance* single-feature ablation counterpart
+//! ([`instance_permutation`]), which is plan-capable and fuses into shared
+//! [`FusedBlock`]s like the Shapley family.
 
+use crate::background::{Background, CoalitionPlan, CoalitionWorkspace, FusedBlock};
+use crate::explanation::Attribution;
 use crate::XaiError;
 use nfv_data::dataset::{Dataset, Task};
 use nfv_ml::metrics;
@@ -115,6 +119,142 @@ pub fn permutation_importance(
     })
 }
 
+fn check_instance_shapes(x: &[f64], background: &Background) -> Result<usize, XaiError> {
+    let d = x.len();
+    if d == 0 {
+        return Err(XaiError::Input("empty instance".into()));
+    }
+    if background.n_features() != d {
+        return Err(XaiError::Input(format!(
+            "shape mismatch: x has {d} features, background has {}",
+            background.n_features()
+        )));
+    }
+    Ok(d)
+}
+
+/// The `d + 1` ablation coalitions: coalition `0` is the full feature set
+/// (its value is the fused-path estimate of `f(x)`); coalition `k` drops
+/// feature `k - 1`, so `phi_j = v(N) - v(N \ {j})`.
+fn ablation_membership(k: usize, members: &mut [bool]) {
+    for m in members.iter_mut() {
+        *m = true;
+    }
+    if k > 0 {
+        members[k - 1] = false;
+    }
+}
+
+fn ablation_attribution(v: &[f64], base: f64, names: &[String]) -> Attribution {
+    let full = v[0];
+    Attribution {
+        names: names.to_vec(),
+        values: v[1..].iter().map(|&leave_out| full - leave_out).collect(),
+        base_value: base,
+        prediction: full,
+        method: "permutation".into(),
+    }
+}
+
+/// Per-instance permutation attribution (leave-one-covariate-out):
+/// `phi_j = v(N) - v(N \ {j})`, where `v` marginalizes absent features over
+/// `background`. Deterministic — no RNG. Unlike Shapley values the result
+/// does not satisfy efficiency (`sum(phi)` need not equal
+/// `prediction - base_value`), but it costs only `d + 1` coalitions.
+///
+/// `base_hint` short-circuits the background sweep for `base_value` when
+/// the caller already holds `background.expected_output(model)`; passing
+/// `None` recomputes it bit-identically.
+pub fn instance_permutation(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    names: &[String],
+    base_hint: Option<f64>,
+) -> Result<Attribution, XaiError> {
+    let mut ws = CoalitionWorkspace::default();
+    instance_permutation_with(model, x, background, names, base_hint, &mut ws)
+}
+
+/// [`instance_permutation`] against a caller-owned workspace (zero
+/// steady-state allocation on the serve path).
+pub fn instance_permutation_with(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    names: &[String],
+    base_hint: Option<f64>,
+    ws: &mut CoalitionWorkspace,
+) -> Result<Attribution, XaiError> {
+    let d = check_instance_shapes(x, background)?;
+    if names.len() != d {
+        return Err(XaiError::Input(format!(
+            "{} names for {d} features",
+            names.len()
+        )));
+    }
+    let base = base_hint.unwrap_or_else(|| background.expected_output(model));
+    let mut v = Vec::with_capacity(d + 1);
+    background.coalition_values_into(model, x, d + 1, ablation_membership, ws, &mut v);
+    Ok(ablation_attribution(&v, base, names))
+}
+
+/// The plan half of [`instance_permutation`] for cross-request fusion:
+/// the `d + 1` ablation composites are stacked into the shared block
+/// without evaluating; [`instance_permutation_finish`] reduces them with
+/// the exact arithmetic of the direct path.
+#[derive(Debug, Clone)]
+pub struct PermutationPlan {
+    plan: CoalitionPlan,
+    d: usize,
+    base: f64,
+}
+
+impl PermutationPlan {
+    /// Composite rows this plan occupies in its block.
+    pub fn n_rows(&self) -> usize {
+        self.plan.n_rows()
+    }
+}
+
+/// Builds a [`PermutationPlan`] for `x`, appending its composite rows to
+/// `block`. The model is only touched when `base_hint` is `None` (one
+/// background sweep for the base value); guards mirror
+/// [`instance_permutation_with`], except the names check which moves to
+/// finish time.
+pub fn instance_permutation_plan(
+    model: &dyn Regressor,
+    x: &[f64],
+    background: &Background,
+    base_hint: Option<f64>,
+    ws: &mut CoalitionWorkspace,
+    block: &mut FusedBlock,
+) -> Result<PermutationPlan, XaiError> {
+    let d = check_instance_shapes(x, background)?;
+    let base = base_hint.unwrap_or_else(|| background.expected_output(model));
+    let plan = background.plan_coalitions(x, d + 1, ablation_membership, ws, block);
+    Ok(PermutationPlan { plan, d, base })
+}
+
+/// Completes a [`PermutationPlan`] against its evaluated block — results
+/// are bit-identical to [`instance_permutation_with`].
+pub fn instance_permutation_finish(
+    plan: &PermutationPlan,
+    block: &FusedBlock,
+    names: &[String],
+) -> Result<Attribution, XaiError> {
+    if names.len() != plan.d {
+        return Err(XaiError::Input(format!(
+            "{} names for {} features",
+            names.len(),
+            plan.d
+        )));
+    }
+    let mut v = Vec::with_capacity(plan.d + 1);
+    plan.plan.values_into(block, &mut v);
+    Ok(ablation_attribution(&v, plan.base, names))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +305,76 @@ mod tests {
         let a = permutation_importance(&t, &s.data, &PermutationConfig::default()).unwrap();
         let b = permutation_importance(&t, &s.data, &PermutationConfig::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instance_permutation_on_linear_model_recovers_coefficients() {
+        // For f(x) = w·x with a mean-marginalizing background,
+        // v(N) − v(N∖{j}) = w_j (x_j − E[x_j]) exactly.
+        let s = linear_gaussian(400, 3, 0, 0.0, 75).unwrap();
+        let coefs = s.coefficients.clone();
+        let w = coefs.clone();
+        let model = FnModel::new(3, move |x: &[f64]| {
+            x.iter().zip(&coefs).map(|(a, b)| a * b).sum()
+        });
+        let bg = Background::from_dataset(&s.data, 32, 0).unwrap();
+        let x = s.data.row(7);
+        let attr = instance_permutation(&model, x, &bg, &s.data.names, None).unwrap();
+        assert_eq!(attr.method, "permutation");
+        // prediction is v(N): f(x) averaged over |B| identical composites,
+        // equal to f(x) up to summation rounding.
+        assert!((attr.prediction - model.predict(x)).abs() < 1e-9);
+        for j in 0..3 {
+            let mean_j: f64 = (0..bg.len()).map(|i| bg.row(i)[j]).sum::<f64>() / bg.len() as f64;
+            let expect = w[j] * (x[j] - mean_j);
+            assert!(
+                (attr.values[j] - expect).abs() < 1e-9,
+                "phi_{j} = {} want {expect}",
+                attr.values[j]
+            );
+        }
+    }
+
+    #[test]
+    fn planned_instance_permutation_is_bit_identical_to_direct() {
+        let s = friedman1(200, 6, 0.2, 76).unwrap();
+        let model = Gbdt::fit(&s.data, &GbdtParams::default(), 0).unwrap();
+        let bg = Background::from_dataset(&s.data, 16, 1).unwrap();
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        for row in [0usize, 5, 11] {
+            let x = s.data.row(row).to_vec();
+            let direct =
+                instance_permutation_with(&model, &x, &bg, &s.data.names, None, &mut ws).unwrap();
+            block.clear();
+            let plan =
+                instance_permutation_plan(&model, &x, &bg, None, &mut ws, &mut block).unwrap();
+            assert_eq!(plan.n_rows(), block.n_rows());
+            block.evaluate(&model);
+            let fused = instance_permutation_finish(&plan, &block, &s.data.names).unwrap();
+            assert_eq!(direct.base_value.to_bits(), fused.base_value.to_bits());
+            assert_eq!(direct.prediction.to_bits(), fused.prediction.to_bits());
+            for (a, b) in direct.values.iter().zip(&fused.values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn instance_permutation_guards() {
+        let s = friedman1(100, 5, 0.2, 77).unwrap();
+        let t = DecisionTree::fit(&s.data, &TreeParams::default(), 0).unwrap();
+        let bg = Background::from_dataset(&s.data, 8, 0).unwrap();
+        let names = s.data.names.clone();
+        assert!(instance_permutation(&t, &[], &bg, &names, None).is_err());
+        assert!(instance_permutation(&t, &[0.0; 4], &bg, &names, None).is_err());
+        assert!(instance_permutation(&t, s.data.row(0), &bg, &names[..3], None).is_err());
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        let plan =
+            instance_permutation_plan(&t, s.data.row(0), &bg, None, &mut ws, &mut block).unwrap();
+        block.evaluate(&t);
+        assert!(instance_permutation_finish(&plan, &block, &names[..2]).is_err());
     }
 
     #[test]

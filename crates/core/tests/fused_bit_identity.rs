@@ -70,6 +70,7 @@ enum Req {
     },
     Exact,
     Grouped,
+    Permutation,
 }
 
 /// Derives a mixed-method request list of `n` entries from one seed.
@@ -84,7 +85,7 @@ fn requests(n: usize, seed: u64) -> Vec<(usize, Req)> {
     (0..n)
         .map(|_| {
             let row = (next() as usize) % fixture().rows.len();
-            let req = match next() % 4 {
+            let req = match next() % 5 {
                 0 => Req::Kernel {
                     n_coalitions: 6 + (next() as usize) % 24,
                     seed: next(),
@@ -95,7 +96,8 @@ fn requests(n: usize, seed: u64) -> Vec<(usize, Req)> {
                     seed: next(),
                 },
                 2 => Req::Exact,
-                _ => Req::Grouped,
+                3 => Req::Grouped,
+                _ => Req::Permutation,
             };
             (row, req)
         })
@@ -137,6 +139,9 @@ fn explain_direct(row: usize, req: &Req) -> Attribution {
         .unwrap(),
         Req::Exact => exact_shapley(&f.model, x, &f.background, &f.names).unwrap(),
         Req::Grouped => grouped_shapley(&f.model, x, &f.background, &f.groups).unwrap(),
+        Req::Permutation => {
+            instance_permutation(&f.model, x, &f.background, &f.names, None).unwrap()
+        }
     }
 }
 
@@ -146,6 +151,7 @@ enum Planned {
     Sampling(SamplingPlan),
     Exact(ExactShapPlan),
     Grouped(GroupedShapPlan),
+    Permutation(PermutationPlan),
 }
 
 /// The fused path: plan every request into one shared block, evaluate the
@@ -201,6 +207,17 @@ fn explain_fused(reqs: &[(usize, Req)]) -> Vec<Attribution> {
                 Req::Grouped => Planned::Grouped(
                     grouped_shapley_plan(x, &f.background, &f.groups, &mut ws, &mut block).unwrap(),
                 ),
+                Req::Permutation => Planned::Permutation(
+                    instance_permutation_plan(
+                        &f.model,
+                        x,
+                        &f.background,
+                        Some(base),
+                        &mut ws,
+                        &mut block,
+                    )
+                    .unwrap(),
+                ),
             }
         })
         .collect();
@@ -212,6 +229,9 @@ fn explain_fused(reqs: &[(usize, Req)]) -> Vec<Attribution> {
             Planned::Sampling(plan) => sampling_shapley_finish(plan, &block, &f.names).unwrap(),
             Planned::Exact(plan) => exact_shapley_finish(plan, &block, &f.names).unwrap(),
             Planned::Grouped(plan) => grouped_shapley_finish(plan, &block).unwrap(),
+            Planned::Permutation(plan) => {
+                instance_permutation_finish(plan, &block, &f.names).unwrap()
+            }
         })
         .collect()
 }

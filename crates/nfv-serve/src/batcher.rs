@@ -117,6 +117,7 @@ mod tests {
             background: Background::from_rows(vec![vec![0.0]]).unwrap(),
             packed: None,
             expected_output: 0.0,
+            groups: FeatureGroups::new(vec!["all".into()], vec![0]).unwrap(),
         });
         let request = ExplainRequest {
             model_id: model_id.into(),

@@ -2,10 +2,14 @@
 //!
 //! The paper's explainers answer *one* question well; an NFV control plane
 //! asks thousands per second, with latency contracts. This crate is the
-//! serving layer between the two: a multi-threaded, deterministic-under-seed
-//! engine that fronts the `nfv-xai` explainers with
+//! serving layer between the two, split into a transport-agnostic
+//! [`Engine`] and a shared-nothing [`cluster`] of them:
 //!
-//! - a **model registry** (versioned, hot-swappable, `Arc`-shared),
+//! - a **model registry** (versioned, hot-swappable, `Arc`-shared) that
+//!   resolves every request method to a `Box<dyn Explainer>` — workers
+//!   contain zero per-method dispatch, so all of the `nfv-xai` trait
+//!   registry's methods (TreeSHAP, KernelSHAP, LIME, sampling / exact /
+//!   grouped Shapley, per-instance permutation) serve through one path,
 //! - a **sharded LRU cache** keyed by (model id, version, method+budget,
 //!   quantized input) — identical questions are answered once,
 //! - a **bounded MPMC queue** with admission control: when the queue is
@@ -16,19 +20,25 @@
 //!   serving does not allocate on the hot path) against the registry's
 //!   packed SoA tree engine,
 //! - a **coalition fusion scheduler**: the coalition matrices of several
-//!   queued same-model KernelSHAP requests are stacked into one shared
-//!   evaluation block and answered by a single `predict_block` call,
-//!   bit-identical to unfused serving (see [`FusionPolicy`]),
+//!   queued same-model *plan-capable* requests — methods and budgets mixed
+//!   — are stacked into one shared evaluation block and answered by a
+//!   single `predict_block` call, bit-identical to unfused serving (see
+//!   [`FusionPolicy`]),
 //! - **single-flight cache fills**: concurrent identical misses elect one
 //!   leader to compute; followers wait for its result instead of
 //!   duplicating the evaluation,
 //! - **metrics**: queue wait, batch size, cache hit rate, p50/p99, and
 //!   per-(model-version, method) service-time EWMAs feeding admission
-//!   control, all serializable for scraping.
+//!   control, all serializable for scraping — per shard and rolled up
+//!   cluster-wide,
+//! - a **[`cluster`] module**: N in-process engine shards behind a
+//!   consistent-hash router keyed on request content, with spill-to-next-
+//!   shard on queue-full. Shards share nothing at runtime; the router is
+//!   the only cross-shard component.
 //!
 //! Stochastic explainers are seeded from request *content* (never arrival
 //! order), so results are bit-for-bit reproducible across runs, thread
-//! counts, and batch compositions.
+//! counts, batch compositions — and cluster shards.
 //!
 //! ```
 //! use nfv_serve::prelude::*;
@@ -66,6 +76,8 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod cluster;
+pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod queue;
@@ -73,492 +85,17 @@ pub mod registry;
 pub mod request;
 pub mod worker;
 
-use crate::batcher::BatchPolicy;
-use crate::cache::{CacheKey, ShardedCache};
-use crate::error::{RejectReason, ServeError};
-use crate::metrics::{Metrics, ServeStats};
-use crate::queue::{Job, JobQueue};
-use crate::registry::ModelRegistry;
-use crate::request::{ExplainRequest, ExplainResponse};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+pub use engine::{Engine, FusionPolicy, ServeConfig};
 
-/// Engine configuration. The defaults serve a mid-size control plane on a
-/// few cores; everything is tunable per deployment.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ServeConfig {
-    /// Worker threads running explainers.
-    pub workers: usize,
-    /// Bounded queue capacity (admission rejects beyond this).
-    pub queue_capacity: usize,
-    /// Largest micro-batch a worker forms.
-    pub max_batch: usize,
-    /// How long a worker waits for batch companions.
-    pub gather_window: Duration,
-    /// Total cache entries across shards.
-    pub cache_capacity: usize,
-    /// Number of cache shards (lock-contention control).
-    pub cache_shards: usize,
-    /// Input quantization grid for cache keys (absolute units).
-    pub quantization_grid: f64,
-    /// Engine seed mixed into every stochastic explainer's seed.
-    pub seed: u64,
-    /// Cross-request coalition fusion policy (the mega-block scheduler).
-    pub fusion: FusionPolicy,
-    /// Deduplicate concurrent identical cache misses: followers wait for
-    /// the leader's result instead of enqueueing their own computation.
-    pub single_flight: bool,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            workers: 2,
-            queue_capacity: 256,
-            max_batch: 16,
-            gather_window: Duration::from_micros(500),
-            cache_capacity: 4096,
-            cache_shards: 8,
-            quantization_grid: 1e-6,
-            seed: 0,
-            fusion: FusionPolicy::default(),
-            single_flight: true,
-        }
-    }
-}
-
-/// Policy for the cross-request coalition fusion scheduler: workers stack
-/// the coalition matrices of several queued same-model KernelSHAP requests
-/// into one shared evaluation block, so one `predict_block` call amortizes
-/// traversal setup — and clears the SoA row-major repack breakeven — across
-/// the whole group. Results are bit-identical to unfused serving: fusion
-/// changes *which call* evaluates a composite row, never its arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FusionPolicy {
-    /// Master switch. Off = every request evaluates its own coalitions
-    /// (the pre-fusion behaviour, kept for A/B benchmarking).
-    pub enabled: bool,
-    /// Smallest fusable group: below this, fusion is pure overhead and the
-    /// direct path runs instead.
-    pub min_jobs: usize,
-    /// Row budget a group *aims* for (the fill-ratio denominator). Sized
-    /// to the SoA engine's pack breakeven so fused blocks take the
-    /// row-major fast path that single requests rarely reach.
-    pub target_rows: usize,
-    /// Hard per-block row cap: the scheduler flushes (evaluates and
-    /// finishes the planned jobs so far) before exceeding it, bounding the
-    /// arena's high-water mark.
-    pub max_rows: usize,
-}
-
-impl Default for FusionPolicy {
-    fn default() -> Self {
-        FusionPolicy {
-            enabled: true,
-            min_jobs: 2,
-            target_rows: nfv_ml::soa::PACK_MIN_ROWS,
-            max_rows: 16_384,
-        }
-    }
-}
-
-/// The serving engine. Construct with [`ServeEngine::start`], register
-/// models, then call [`ServeEngine::explain`] from any number of threads.
-/// Dropping the engine (or calling [`ServeEngine::shutdown`]) drains and
-/// joins the workers.
-pub struct ServeEngine {
-    registry: Arc<ModelRegistry>,
-    cache: Arc<ShardedCache>,
-    metrics: Arc<Metrics>,
-    // `None` once shut down: dropping the queue drops the last sender,
-    // which is what tells workers to drain and exit.
-    queue: Option<JobQueue>,
-    workers: Vec<JoinHandle<()>>,
-    config: ServeConfig,
-}
-
-impl ServeEngine {
-    /// Starts the worker pool and returns a ready engine.
-    pub fn start(config: ServeConfig) -> ServeEngine {
-        let registry = Arc::new(ModelRegistry::new());
-        let cache = Arc::new(ShardedCache::new(
-            config.cache_capacity,
-            config.cache_shards,
-        ));
-        let metrics = Arc::new(Metrics::new());
-        if config.fusion.enabled {
-            metrics
-                .fused_target_rows
-                .store(config.fusion.target_rows as u64, Ordering::Relaxed);
-        }
-        let queue = JobQueue::new(config.queue_capacity, config.workers);
-        let ctx = Arc::new(worker::WorkerContext {
-            cache: Arc::clone(&cache),
-            metrics: Arc::clone(&metrics),
-            policy: BatchPolicy {
-                max_batch: config.max_batch,
-                gather_window: config.gather_window,
-            },
-            seed: config.seed,
-            fusion: config.fusion,
-            in_flight: queue.in_flight_handle(),
-        });
-        let workers = worker::spawn_workers(config.workers, queue.receiver(), ctx);
-        ServeEngine {
-            registry,
-            cache,
-            metrics,
-            queue: Some(queue),
-            workers,
-            config,
-        }
-    }
-
-    /// The model registry (register/deregister models here).
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
-    }
-
-    /// The engine's configuration.
-    pub fn config(&self) -> &ServeConfig {
-        &self.config
-    }
-
-    /// Synchronously explains one request.
-    ///
-    /// Fast path: a cache hit returns without touching the queue. Miss
-    /// path: admission control (bounded queue + deadline feasibility) may
-    /// reject with a [`RejectReason`]; admitted requests block until a
-    /// worker answers.
-    pub fn explain(&self, request: ExplainRequest) -> Result<ExplainResponse, ServeError> {
-        let t0 = Instant::now();
-        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-
-        // Resolve + validate.
-        let Some(entry) = self.registry.get(&request.model_id) else {
-            self.metrics
-                .rejected_unknown_model
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Rejected(RejectReason::UnknownModel {
-                model_id: request.model_id,
-            }));
-        };
-        let d = entry.model.n_features();
-        if request.features.len() != d {
-            self.metrics
-                .rejected_invalid
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Rejected(RejectReason::InvalidRequest {
-                reason: format!(
-                    "model `{}` expects {d} features, got {}",
-                    request.model_id,
-                    request.features.len()
-                ),
-            }));
-        }
-        if let Err(e) = entry.supports(request.method) {
-            self.metrics
-                .rejected_invalid
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(e);
-        }
-        let Some(key) = CacheKey::build(
-            &request.model_id,
-            entry.version,
-            request.method,
-            &request.features,
-            self.config.quantization_grid,
-        ) else {
-            self.metrics
-                .rejected_invalid
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Rejected(RejectReason::InvalidRequest {
-                reason: "features must be finite and within the quantization range".into(),
-            }));
-        };
-
-        // Cache fast path.
-        if let Some(attr) = self.cache.get(&key) {
-            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-            self.metrics.total.record(t0.elapsed());
-            return Ok(ExplainResponse {
-                attribution: attr,
-                model_version: key.model_version,
-                cache_hit: true,
-                batch_size: 1,
-                queue_wait: Duration::ZERO,
-                service_time: Duration::ZERO,
-            });
-        }
-
-        // Single-flight: collapse concurrent *identical* misses onto one
-        // computation. The first miss becomes the leader and proceeds to
-        // admission; followers park on a channel and receive the leader's
-        // attribution the moment it lands in the cache — one model
-        // evaluation instead of N. A follower whose leader fails or whose
-        // budget runs out falls through and computes normally.
-        let mut leads_flight = false;
-        if self.config.single_flight {
-            match self.cache.begin_flight(&key) {
-                cache::Flight::Leader => leads_flight = true,
-                cache::Flight::Follower(rx) => {
-                    let remaining = request.budget.saturating_sub(t0.elapsed());
-                    if let Ok(Some(attr)) = rx.recv_timeout(remaining) {
-                        self.metrics
-                            .single_flight_hits
-                            .fetch_add(1, Ordering::Relaxed);
-                        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                        self.metrics.total.record(t0.elapsed());
-                        return Ok(ExplainResponse {
-                            attribution: attr,
-                            model_version: key.model_version,
-                            cache_hit: true,
-                            batch_size: 1,
-                            queue_wait: Duration::ZERO,
-                            service_time: Duration::ZERO,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Admission + enqueue.
-        let Some(queue) = self.queue.as_ref() else {
-            if leads_flight {
-                self.cache.complete_flight(&key, None);
-            }
-            return Err(ServeError::Rejected(RejectReason::ShuttingDown));
-        };
-        let (respond_tx, respond_rx) = crossbeam::channel::bounded(1);
-        let job = Job {
-            request,
-            entry,
-            key,
-            admitted: t0,
-            respond: respond_tx,
-        };
-        if let Err((reason, job)) = queue.admit(job, &self.metrics) {
-            // An admitted leader's flight is resolved by the worker; a
-            // rejected leader must release its followers itself (they fall
-            // through and try on their own).
-            if leads_flight {
-                self.cache.complete_flight(&job.key, None);
-            }
-            match &reason {
-                RejectReason::QueueFull { .. } => {
-                    self.metrics
-                        .rejected_queue_full
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                RejectReason::DeadlineUnmeetable { .. } => {
-                    self.metrics
-                        .rejected_deadline_unmeetable
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                _ => {}
-            }
-            return Err(ServeError::Rejected(reason));
-        }
-
-        // Block until a worker answers (the sync in-process client).
-        match respond_rx.recv() {
-            Ok(outcome) => outcome,
-            Err(_) => Err(ServeError::Internal(
-                "worker dropped the response channel".into(),
-            )),
-        }
-    }
-
-    /// Point-in-time metrics snapshot.
-    pub fn stats(&self) -> ServeStats {
-        self.metrics.snapshot()
-    }
-
-    /// Entries currently cached.
-    pub fn cache_len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Jobs currently queued (0 after shutdown).
-    pub fn queue_len(&self) -> usize {
-        self.queue.as_ref().map_or(0, |q| q.len())
-    }
-
-    /// Eagerly drops cached explanations of `model_id` (all versions).
-    pub fn invalidate_model(&self, model_id: &str) {
-        self.cache.invalidate_model(model_id);
-    }
-
-    /// Stops accepting work, drains the queue, and joins the workers.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
-        // Dropping the queue drops the last sender; workers finish the
-        // backlog and exit.
-        self.queue = None;
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for ServeEngine {
-    fn drop(&mut self) {
-        self.shutdown_inner();
-    }
-}
+/// Pre-split name of [`Engine`], kept as the primary public alias.
+pub use engine::Engine as ServeEngine;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::cluster::{ClusterConfig, ClusterStats, HashRing, ServeCluster};
     pub use crate::error::{RejectReason, ServeError};
     pub use crate::metrics::ServeStats;
     pub use crate::registry::{ModelEntry, ModelRegistry, ServeModel};
     pub use crate::request::{ExplainMethod, ExplainRequest, ExplainResponse};
-    pub use crate::{FusionPolicy, ServeConfig, ServeEngine};
-}
-
-#[cfg(test)]
-mod tests {
-    use super::prelude::*;
-    use nfv_data::prelude::*;
-    use nfv_ml::prelude::*;
-    use nfv_xai::prelude::*;
-    use std::time::Duration;
-
-    fn engine_with_gbdt(cfg: ServeConfig) -> (ServeEngine, Vec<Vec<f64>>) {
-        let synth = friedman1(300, 5, 0.1, 11).unwrap();
-        let model = Gbdt::fit(
-            &synth.data,
-            &GbdtParams {
-                n_rounds: 15,
-                ..Default::default()
-            },
-            0,
-        )
-        .unwrap();
-        let bg = Background::from_dataset(&synth.data, 16, 1).unwrap();
-        let engine = ServeEngine::start(cfg);
-        engine
-            .registry()
-            .register("m", ServeModel::Gbdt(model), synth.data.names.clone(), bg)
-            .unwrap();
-        let rows: Vec<Vec<f64>> = (0..20).map(|i| synth.data.row(i).to_vec()).collect();
-        (engine, rows)
-    }
-
-    #[test]
-    fn serves_and_caches() {
-        let (engine, rows) = engine_with_gbdt(ServeConfig::default());
-        let req = |x: &Vec<f64>| ExplainRequest {
-            model_id: "m".into(),
-            features: x.clone(),
-            method: ExplainMethod::TreeShap,
-            budget: Duration::from_secs(1),
-        };
-        let first = engine.explain(req(&rows[0])).unwrap();
-        assert!(!first.cache_hit);
-        assert!(first.attribution.efficiency_gap().abs() < 1e-8);
-        let second = engine.explain(req(&rows[0])).unwrap();
-        assert!(second.cache_hit);
-        assert_eq!(second.attribution, first.attribution);
-        let stats = engine.stats();
-        assert_eq!(stats.completed, 2);
-        assert_eq!(stats.cache_hits, 1);
-        assert!(stats.cache_hit_rate > 0.0);
-        engine.shutdown();
-    }
-
-    #[test]
-    fn unknown_model_and_bad_shape_reject() {
-        let (engine, rows) = engine_with_gbdt(ServeConfig::default());
-        let err = engine
-            .explain(ExplainRequest {
-                model_id: "nope".into(),
-                features: rows[0].clone(),
-                method: ExplainMethod::TreeShap,
-                budget: Duration::from_secs(1),
-            })
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            ServeError::Rejected(RejectReason::UnknownModel { .. })
-        ));
-        let err = engine
-            .explain(ExplainRequest {
-                model_id: "m".into(),
-                features: vec![1.0],
-                method: ExplainMethod::TreeShap,
-                budget: Duration::from_secs(1),
-            })
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            ServeError::Rejected(RejectReason::InvalidRequest { .. })
-        ));
-        let err = engine
-            .explain(ExplainRequest {
-                model_id: "m".into(),
-                features: vec![f64::NAN; 5],
-                method: ExplainMethod::TreeShap,
-                budget: Duration::from_secs(1),
-            })
-            .unwrap_err();
-        assert!(err.is_reject());
-    }
-
-    #[test]
-    fn re_registration_invalidates_old_answers() {
-        let (engine, rows) = engine_with_gbdt(ServeConfig::default());
-        let req = ExplainRequest {
-            model_id: "m".into(),
-            features: rows[1].clone(),
-            method: ExplainMethod::TreeShap,
-            budget: Duration::from_secs(1),
-        };
-        let v1 = engine.explain(req.clone()).unwrap();
-        // Replace the model: a *different* fit under the same id.
-        let synth = friedman1(300, 5, 0.1, 99).unwrap();
-        let model2 = Gbdt::fit(
-            &synth.data,
-            &GbdtParams {
-                n_rounds: 5,
-                ..Default::default()
-            },
-            1,
-        )
-        .unwrap();
-        let bg = Background::from_dataset(&synth.data, 16, 1).unwrap();
-        engine
-            .registry()
-            .register("m", ServeModel::Gbdt(model2), synth.data.names.clone(), bg)
-            .unwrap();
-        let v2 = engine.explain(req).unwrap();
-        assert!(v2.model_version > v1.model_version);
-        assert!(!v2.cache_hit, "new version must not hit v1's cache entry");
-        assert_ne!(v2.attribution, v1.attribution);
-    }
-
-    #[test]
-    fn drop_joins_workers_cleanly() {
-        let (engine, rows) = engine_with_gbdt(ServeConfig {
-            workers: 4,
-            ..ServeConfig::default()
-        });
-        for r in &rows {
-            engine
-                .explain(ExplainRequest {
-                    model_id: "m".into(),
-                    features: r.clone(),
-                    method: ExplainMethod::TreeShap,
-                    budget: Duration::from_secs(1),
-                })
-                .unwrap();
-        }
-        drop(engine); // must not hang or panic
-    }
+    pub use crate::{Engine, FusionPolicy, ServeConfig, ServeEngine};
 }

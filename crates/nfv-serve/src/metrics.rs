@@ -427,7 +427,7 @@ impl Metrics {
 
 /// A serializable point-in-time view of the engine's counters and latency
 /// distributions — what an operator dashboard would scrape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Requests entering `explain`.
     pub submitted: u64,
@@ -487,6 +487,76 @@ pub struct ServeStats {
     pub total_p99_us: f64,
     /// End-to-end mean, microseconds.
     pub total_mean_us: f64,
+}
+
+impl ServeStats {
+    /// Rolls per-shard snapshots up into one cluster-wide view.
+    ///
+    /// Counters sum; derived rates (`cache_hit_rate`, `mean_batch_size`)
+    /// are recomputed from the summed raw counters; `fused_fill_ratio` is
+    /// the group-weighted mean of per-shard ratios (every shard shares the
+    /// same configured row target). Latency rollups are approximations —
+    /// the raw histograms are not in the snapshot — chosen to stay honest
+    /// for alerting: medians and means are completed-weighted averages of
+    /// shard medians/means, and the cluster p99 is the *worst* shard p99
+    /// (an upper bound; the true pooled p99 can only be lower).
+    pub fn aggregate(shards: &[ServeStats]) -> ServeStats {
+        let mut agg = ServeStats::default();
+        let mut fill_weight = 0.0;
+        for s in shards {
+            agg.submitted += s.submitted;
+            agg.completed += s.completed;
+            agg.rejected_queue_full += s.rejected_queue_full;
+            agg.rejected_deadline_unmeetable += s.rejected_deadline_unmeetable;
+            agg.rejected_deadline_expired += s.rejected_deadline_expired;
+            agg.rejected_unknown_model += s.rejected_unknown_model;
+            agg.rejected_invalid += s.rejected_invalid;
+            agg.explain_errors += s.explain_errors;
+            agg.cache_hits += s.cache_hits;
+            agg.cache_misses += s.cache_misses;
+            agg.batches += s.batches;
+            agg.batched_requests += s.batched_requests;
+            agg.max_batch = agg.max_batch.max(s.max_batch);
+            agg.fused_groups += s.fused_groups;
+            agg.fused_requests += s.fused_requests;
+            agg.fused_rows += s.fused_rows;
+            fill_weight += s.fused_fill_ratio * s.fused_groups as f64;
+            agg.single_flight_hits += s.single_flight_hits;
+            agg.probe_admits += s.probe_admits;
+            let w = s.completed as f64;
+            agg.queue_wait_p50_us += s.queue_wait_p50_us * w;
+            agg.service_p50_us += s.service_p50_us * w;
+            agg.total_p50_us += s.total_p50_us * w;
+            agg.total_mean_us += s.total_mean_us * w;
+            agg.queue_wait_p99_us = agg.queue_wait_p99_us.max(s.queue_wait_p99_us);
+            agg.service_p99_us = agg.service_p99_us.max(s.service_p99_us);
+            agg.total_p99_us = agg.total_p99_us.max(s.total_p99_us);
+        }
+        let lookups = agg.cache_hits + agg.cache_misses;
+        agg.cache_hit_rate = if lookups > 0 {
+            agg.cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        agg.mean_batch_size = if agg.batches > 0 {
+            agg.batched_requests as f64 / agg.batches as f64
+        } else {
+            0.0
+        };
+        agg.fused_fill_ratio = if agg.fused_groups > 0 {
+            fill_weight / agg.fused_groups as f64
+        } else {
+            0.0
+        };
+        if agg.completed > 0 {
+            let w = agg.completed as f64;
+            agg.queue_wait_p50_us /= w;
+            agg.service_p50_us /= w;
+            agg.total_p50_us /= w;
+            agg.total_mean_us /= w;
+        }
+        agg
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,7 @@ mod tests {
             background: bg,
             packed: None,
             expected_output: 0.0,
+            groups: FeatureGroups::new(vec!["all".into()], vec![0]).unwrap(),
         });
         let request = ExplainRequest {
             model_id: "m".into(),

@@ -82,6 +82,11 @@ pub struct ModelEntry {
     /// uncached request without changing any result bit (the per-request
     /// computation is the same deterministic reduction).
     pub expected_output: f64,
+    /// Feature grouping for [`ExplainMethod::GroupedShapley`], derived
+    /// from the feature names at registration: the standard per-stage NFV
+    /// grouping when the names follow the telemetry schema, else a single
+    /// group holding every feature.
+    pub groups: FeatureGroups,
 }
 
 impl ModelEntry {
@@ -98,15 +103,105 @@ impl ModelEntry {
 
     /// Checks a request's method against this model's capabilities.
     pub fn supports(&self, method: ExplainMethod) -> Result<(), ServeError> {
-        if matches!(method, ExplainMethod::TreeShap) && !self.model.supports_tree_shap() {
-            return Err(ServeError::Rejected(RejectReason::InvalidRequest {
-                reason: format!(
-                    "tree-shap requires a tree model, got `{}`",
-                    self.model.kind()
-                ),
-            }));
+        match method {
+            ExplainMethod::TreeShap if !self.model.supports_tree_shap() => {
+                Err(ServeError::Rejected(RejectReason::InvalidRequest {
+                    reason: format!(
+                        "tree-shap requires a tree model, got `{}`",
+                        self.model.kind()
+                    ),
+                }))
+            }
+            ExplainMethod::ExactShapley
+                if self.model.n_features() > MAX_EXACT_FEATURES =>
+            {
+                Err(ServeError::Rejected(RejectReason::InvalidRequest {
+                    reason: format!(
+                        "exact Shapley enumerates 2^d coalitions; d = {} exceeds the limit of {MAX_EXACT_FEATURES}",
+                        self.model.n_features()
+                    ),
+                }))
+            }
+            ExplainMethod::GroupedShapley if self.groups.len() > MAX_GROUPS => {
+                Err(ServeError::Rejected(RejectReason::InvalidRequest {
+                    reason: format!(
+                        "grouped Shapley enumerates 2^G coalitions; G = {} exceeds the limit of {MAX_GROUPS}",
+                        self.groups.len()
+                    ),
+                }))
+            }
+            _ => Ok(()),
         }
-        Ok(())
+    }
+
+    /// Resolves a request method to its [`Explainer`] — the single point
+    /// where `ExplainMethod` variants meet concrete method implementations.
+    /// Everything downstream (batching, fusion, finishing) is generic
+    /// trait dispatch.
+    pub fn explainer(self: &Arc<Self>, method: ExplainMethod) -> Box<dyn Explainer> {
+        match method {
+            ExplainMethod::TreeShap => Box::new(TreeShapExplainer {
+                entry: Arc::clone(self),
+            }),
+            ExplainMethod::KernelShap { n_coalitions } => Box::new(KernelShapExplainer {
+                n_coalitions,
+                ridge: 0.0,
+            }),
+            ExplainMethod::Lime { n_samples } => Box::new(LimeExplainer { n_samples }),
+            ExplainMethod::SamplingShapley {
+                n_permutations,
+                antithetic,
+            } => Box::new(SamplingShapleyExplainer {
+                n_permutations,
+                antithetic,
+            }),
+            ExplainMethod::ExactShapley => Box::new(ExactShapleyExplainer),
+            ExplainMethod::GroupedShapley => Box::new(GroupedShapleyExplainer {
+                groups: self.groups.clone(),
+            }),
+            ExplainMethod::Permutation => Box::new(PermutationExplainer),
+        }
+    }
+}
+
+/// Structure-aware TreeSHAP behind the [`Explainer`] trait. Walks tree
+/// structure rather than evaluating coalition composites, so it is not
+/// fusable; it holds its entry because it needs the concrete tree model,
+/// not the `dyn Regressor` in the context.
+struct TreeShapExplainer {
+    entry: Arc<ModelEntry>,
+}
+
+impl Explainer for TreeShapExplainer {
+    fn tag(&self) -> &'static str {
+        "tree-shap"
+    }
+    fn fusable(&self) -> bool {
+        false
+    }
+    fn plan(
+        &self,
+        _ctx: &ExplainContext<'_>,
+        _ws: &mut CoalitionWorkspace,
+        _block: &mut FusedBlock,
+    ) -> Result<Box<dyn ExplainPlan>, XaiError> {
+        Err(XaiError::Input(
+            "tree-shap walks tree structure; use direct()".into(),
+        ))
+    }
+    fn direct(
+        &self,
+        ctx: &ExplainContext<'_>,
+        _ws: &mut CoalitionWorkspace,
+    ) -> Result<Attribution, XaiError> {
+        match &self.entry.model {
+            ServeModel::Gbdt(m) => gbdt_shap(m, ctx.x, ctx.names),
+            ServeModel::Forest(m) => forest_shap(m, ctx.x, ctx.names),
+            other => Err(XaiError::Input(format!(
+                "tree-shap requires a tree model, got `{}`",
+                other.kind()
+            ))),
+        }
     }
 }
 
@@ -136,6 +231,11 @@ impl ModelRegistry {
         background: Background,
     ) -> Result<u64, ServeError> {
         let d = model.n_features();
+        if d == 0 {
+            return Err(ServeError::Rejected(RejectReason::InvalidRequest {
+                reason: format!("model `{id}` has no features"),
+            }));
+        }
         if feature_names.len() != d || background.n_features() != d {
             return Err(ServeError::Rejected(RejectReason::InvalidRequest {
                 reason: format!(
@@ -160,6 +260,14 @@ impl ModelRegistry {
             Some(p) => background.expected_output(p),
             None => background.expected_output(model.as_regressor()),
         };
+        // Per-stage grouping when the names follow the NFV telemetry
+        // schema; otherwise every feature lands in group 0 ("traffic" from
+        // `per_stage`, or the explicit single-group fallback). `d >= 1` is
+        // guaranteed above, so the fallback cannot fail.
+        let groups = FeatureGroups::per_stage(&feature_names).unwrap_or_else(|_| {
+            FeatureGroups::new(vec!["all".into()], vec![0; d])
+                .expect("single-group fallback is valid for d >= 1")
+        });
         let entry = Arc::new(ModelEntry {
             model,
             version,
@@ -167,6 +275,7 @@ impl ModelRegistry {
             background,
             packed,
             expected_output,
+            groups,
         });
         self.models.write().insert(id.to_string(), entry);
         Ok(version)
@@ -306,5 +415,62 @@ mod tests {
         assert!(entry
             .supports(ExplainMethod::KernelShap { n_coalitions: 64 })
             .is_ok());
+        // All widened variants pass on a 2-feature model.
+        for m in [
+            ExplainMethod::SamplingShapley {
+                n_permutations: 8,
+                antithetic: true,
+            },
+            ExplainMethod::ExactShapley,
+            ExplainMethod::GroupedShapley,
+            ExplainMethod::Permutation,
+        ] {
+            assert!(entry.supports(m).is_ok(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn registration_derives_a_valid_grouping() {
+        let reg = ModelRegistry::new();
+        let (m, _, bg) = linear_entry();
+        // Non-schema names collapse into one group.
+        reg.register("lin", m, vec!["a".into(), "b".into()], bg)
+            .unwrap();
+        let entry = reg.get("lin").unwrap();
+        assert_eq!(entry.groups.assignment, vec![0, 0]);
+        assert!(entry.supports(ExplainMethod::GroupedShapley).is_ok());
+    }
+
+    #[test]
+    fn every_method_resolves_to_an_explainer_with_its_tag() {
+        let reg = ModelRegistry::new();
+        let (m, names, bg) = linear_entry();
+        reg.register("lin", m, names, bg).unwrap();
+        let entry = reg.get("lin").unwrap();
+        for (method, tag, fusable) in [
+            (ExplainMethod::TreeShap, "tree-shap", false),
+            (
+                ExplainMethod::KernelShap { n_coalitions: 16 },
+                "kernel-shap",
+                true,
+            ),
+            (ExplainMethod::Lime { n_samples: 64 }, "lime", false),
+            (
+                ExplainMethod::SamplingShapley {
+                    n_permutations: 4,
+                    antithetic: false,
+                },
+                "sampling-shapley",
+                true,
+            ),
+            (ExplainMethod::ExactShapley, "exact-shapley", true),
+            (ExplainMethod::GroupedShapley, "grouped-shapley", true),
+            (ExplainMethod::Permutation, "permutation", true),
+        ] {
+            let e = entry.explainer(method);
+            assert_eq!(e.tag(), tag);
+            assert_eq!(e.fusable(), fusable, "{tag}");
+            assert_eq!(e.tag(), method.tag(), "registry and request tags agree");
+        }
     }
 }

@@ -22,6 +22,22 @@ pub enum ExplainMethod {
         /// Number of perturbed samples.
         n_samples: usize,
     },
+    /// Permutation-sampling Shapley with an explicit permutation budget.
+    SamplingShapley {
+        /// Permutations to draw.
+        n_permutations: usize,
+        /// Pair each permutation with its reverse (variance reduction).
+        antithetic: bool,
+    },
+    /// Exact full-enumeration Shapley (deterministic; rejected above
+    /// `nfv_xai::prelude::MAX_EXACT_FEATURES` features).
+    ExactShapley,
+    /// Exact Shapley over the model's per-stage feature groups
+    /// (deterministic; groups derive from the registered feature names).
+    GroupedShapley,
+    /// Per-instance permutation attribution — leave-one-covariate-out
+    /// (deterministic).
+    Permutation,
 }
 
 impl ExplainMethod {
@@ -31,6 +47,10 @@ impl ExplainMethod {
             ExplainMethod::TreeShap => "tree-shap",
             ExplainMethod::KernelShap { .. } => "kernel-shap",
             ExplainMethod::Lime { .. } => "lime",
+            ExplainMethod::SamplingShapley { .. } => "sampling-shapley",
+            ExplainMethod::ExactShapley => "exact-shapley",
+            ExplainMethod::GroupedShapley => "grouped-shapley",
+            ExplainMethod::Permutation => "permutation",
         }
     }
 
@@ -40,6 +60,13 @@ impl ExplainMethod {
             ExplainMethod::TreeShap => (1, 0),
             ExplainMethod::KernelShap { n_coalitions } => (2, *n_coalitions as u64),
             ExplainMethod::Lime { n_samples } => (3, *n_samples as u64),
+            ExplainMethod::SamplingShapley {
+                n_permutations,
+                antithetic,
+            } => (4, (*n_permutations as u64) * 2 + *antithetic as u64),
+            ExplainMethod::ExactShapley => (5, 0),
+            ExplainMethod::GroupedShapley => (6, 0),
+            ExplainMethod::Permutation => (7, 0),
         }
     }
 }
@@ -103,6 +130,14 @@ pub(crate) fn service_class_key(model_version: u64, method: ExplainMethod) -> u6
     fnv1a_words([model_version, discriminant, sample_budget]).max(1)
 }
 
+/// The seed a worker hands a stochastic explainer for one request:
+/// derived from the engine seed and the request's stable content hash, so
+/// results depend only on *what* is asked — never on arrival order,
+/// batch composition, worker thread, or cluster shard.
+pub fn request_seed(engine_seed: u64, key_hash: u64) -> u64 {
+    fnv1a_words([engine_seed, key_hash])
+}
+
 /// FNV-1a over raw bytes (for model ids).
 pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -132,5 +167,55 @@ mod tests {
         let b = ExplainMethod::KernelShap { n_coalitions: 512 };
         assert_ne!(a.hash_parts(), b.hash_parts());
         assert_eq!(a.tag(), b.tag());
+        let s = ExplainMethod::SamplingShapley {
+            n_permutations: 32,
+            antithetic: false,
+        };
+        let s_anti = ExplainMethod::SamplingShapley {
+            n_permutations: 32,
+            antithetic: true,
+        };
+        assert_ne!(
+            s.hash_parts(),
+            s_anti.hash_parts(),
+            "antithetic is identity"
+        );
+    }
+
+    #[test]
+    fn service_class_keys_separate_every_method_variant() {
+        let methods = [
+            ExplainMethod::TreeShap,
+            ExplainMethod::KernelShap { n_coalitions: 64 },
+            ExplainMethod::Lime { n_samples: 256 },
+            ExplainMethod::SamplingShapley {
+                n_permutations: 32,
+                antithetic: true,
+            },
+            ExplainMethod::ExactShapley,
+            ExplainMethod::GroupedShapley,
+            ExplainMethod::Permutation,
+        ];
+        let mut keys: Vec<u64> = methods.iter().map(|&m| service_class_key(3, m)).collect();
+        assert!(keys.iter().all(|&k| k != 0), "zero marks an empty slot");
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            methods.len(),
+            "every variant gets its own EWMA class"
+        );
+        assert_ne!(
+            service_class_key(3, ExplainMethod::Permutation),
+            service_class_key(4, ExplainMethod::Permutation),
+            "model version is part of the class"
+        );
+    }
+
+    #[test]
+    fn seeds_depend_on_content_not_order() {
+        assert_eq!(request_seed(7, 100), request_seed(7, 100));
+        assert_ne!(request_seed(7, 100), request_seed(7, 101));
+        assert_ne!(request_seed(7, 100), request_seed(8, 100));
     }
 }

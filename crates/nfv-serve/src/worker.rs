@@ -1,6 +1,13 @@
 //! Worker threads: pull jobs, micro-batch them, run the explainers, fill
 //! the cache, and answer the waiting clients.
 //!
+//! Dispatch is generic: a job's method resolves to a `Box<dyn Explainer>`
+//! once (via [`crate::registry::ModelEntry::explainer`]) and everything
+//! after that — direct execution, coalition planning, fused finishing — is
+//! trait dispatch. No per-method `match` exists in this module, so a new
+//! method added to the registry is served, batched, *and fused* with no
+//! scheduler change.
+//!
 //! Determinism: stochastic explainers get a seed derived from the request's
 //! *content* (cache key hash mixed with the engine seed), never from
 //! arrival order, thread id, or batch composition. The same request on the
@@ -8,20 +15,20 @@
 //! how it was batched.
 //!
 //! Allocation: each worker owns one [`CoalitionWorkspace`] for its whole
-//! lifetime. KernelSHAP's composite-row block — the largest transient
-//! buffer in serving — grows to its high-water mark during the first few
-//! requests and is then reused verbatim, so steady-state serving does not
-//! allocate on the coalition hot path. Model evaluation inside that path
-//! goes through [`crate::registry::ModelEntry::explain_regressor`], i.e.
-//! the packed SoA engine for tree ensembles.
+//! lifetime. The fused composite-row block — the largest transient buffer
+//! in serving — grows to its high-water mark during the first few requests
+//! and is then reused verbatim, so steady-state serving does not allocate
+//! on the coalition hot path. Model evaluation inside that path goes
+//! through [`crate::registry::ModelEntry::explain_regressor`], i.e. the
+//! packed SoA engine for tree ensembles.
 
 use crate::batcher::{gather, group_compatible, group_same_model, BatchPolicy};
 use crate::cache::ShardedCache;
 use crate::error::{RejectReason, ServeError};
 use crate::metrics::Metrics;
 use crate::queue::Job;
-use crate::registry::{ModelEntry, ServeModel};
-use crate::request::{fnv1a_words, service_class_key, ExplainMethod, ExplainResponse};
+use crate::registry::ModelEntry;
+use crate::request::{request_seed, service_class_key, ExplainResponse};
 use crate::FusionPolicy;
 use crossbeam::channel::Receiver;
 use nfv_xai::prelude::*;
@@ -95,56 +102,29 @@ fn worker_loop(rx: Receiver<Job>, ctx: Arc<WorkerContext>) {
     }
 }
 
-/// The per-request explainer seed: engine seed mixed with the request's
-/// stable content hash.
-fn request_seed(engine_seed: u64, key_hash: u64) -> u64 {
-    fnv1a_words([engine_seed, key_hash])
+/// Builds the [`ExplainContext`] for one job against its resolved entry:
+/// the packed SoA engine where one exists, the registration-time base
+/// value (bit-identical to a recompute), and the content-derived seed.
+fn explain_context<'a>(entry: &'a ModelEntry, x: &'a [f64], seed: u64) -> ExplainContext<'a> {
+    ExplainContext {
+        model: entry.explain_regressor(),
+        x,
+        background: &entry.background,
+        names: &entry.feature_names,
+        base_hint: Some(entry.expected_output),
+        seed,
+    }
 }
 
-/// Runs one explanation against a resolved entry. The model-agnostic
-/// methods (KernelSHAP, LIME) evaluate through
-/// [`ModelEntry::explain_regressor`], so tree ensembles are served by the
-/// packed SoA engine; TreeSHAP walks the source trees directly.
+/// Runs one explanation end to end through the trait's direct path.
 fn explain_one(
     entry: &ModelEntry,
-    method: ExplainMethod,
+    explainer: &dyn Explainer,
     x: &[f64],
     seed: u64,
     ws: &mut CoalitionWorkspace,
 ) -> Result<Attribution, XaiError> {
-    let names = &entry.feature_names;
-    match (&entry.model, method) {
-        (ServeModel::Gbdt(m), ExplainMethod::TreeShap) => gbdt_shap(m, x, names),
-        (ServeModel::Forest(m), ExplainMethod::TreeShap) => forest_shap(m, x, names),
-        (_, ExplainMethod::TreeShap) => Err(XaiError::Input(format!(
-            "tree-shap unsupported for `{}`",
-            entry.model.kind()
-        ))),
-        (_, ExplainMethod::KernelShap { n_coalitions }) => {
-            let cfg = KernelShapConfig {
-                n_coalitions,
-                ridge: 0.0,
-                seed,
-            };
-            kernel_shap_with(
-                entry.explain_regressor(),
-                x,
-                &entry.background,
-                names,
-                &cfg,
-                ws,
-            )
-        }
-        (_, ExplainMethod::Lime { n_samples }) => {
-            let cfg = LimeConfig {
-                n_samples,
-                seed,
-                ..LimeConfig::default()
-            };
-            lime(entry.explain_regressor(), x, &entry.background, names, &cfg)
-                .map(|e| e.attribution)
-        }
-    }
+    explainer.direct(&explain_context(entry, x, seed), ws)
 }
 
 /// Drops deadline-expired jobs and answers queue-time cache hits, returning
@@ -230,8 +210,9 @@ fn deliver(
     }
 }
 
-/// The pre-fusion execution path for one *compatible* group (same model,
-/// version, and method): explain jobs one by one against the shared entry.
+/// The unfused execution path for one *compatible* group (same model,
+/// version, and method): resolve the group's explainer once, then explain
+/// jobs one by one against the shared entry.
 fn execute_compatible(live: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspace) {
     if live.is_empty() {
         return;
@@ -243,10 +224,10 @@ fn execute_compatible(live: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWor
         .fetch_add(live.len() as u64, Ordering::Relaxed);
 
     // Compatibility groups share (model id, version, method), so entry,
-    // method, and service class are group-wide constants.
+    // explainer, and service class are group-wide constants.
     let entry = Arc::clone(&live[0].entry);
-    let method = live[0].key.method;
-    let class = service_class_key(live[0].key.model_version, method);
+    let explainer = entry.explainer(live[0].key.method);
+    let class = service_class_key(live[0].key.model_version, live[0].key.method);
 
     // Explain in admission order, straight off each job's own feature
     // buffer — no instance/name/seed staging vectors. The worker arena is
@@ -257,7 +238,7 @@ fn execute_compatible(live: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWor
         .iter()
         .map(|job| {
             let seed = request_seed(ctx.seed, job.key.stable_hash());
-            explain_one(&entry, method, &job.request.features, seed, &mut *ws)
+            explain_one(&entry, &*explainer, &job.request.features, seed, &mut *ws)
         })
         .collect();
     let service = t0.elapsed();
@@ -276,16 +257,17 @@ fn process_group(group: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWorkspa
 }
 
 /// The fusion scheduler: one *model* group (same model id + version,
-/// methods mixed). KernelSHAP jobs — the ones whose cost is a large
-/// coalition matrix — are planned into the shared [`FusedBlock`] and
-/// evaluated by a single `predict_block` call spanning every request's
-/// rows; everything else runs through the per-method compatible path.
+/// methods mixed). Every job whose explainer is plan-capable — the whole
+/// Shapley family plus per-instance permutation — is planned into the
+/// shared [`FusedBlock`] and evaluated by a single `predict_block` call
+/// spanning every request's rows; non-fusable methods (TreeSHAP, LIME)
+/// run through the per-method compatible path.
 ///
 /// Determinism: a plan materializes exactly the composite rows the direct
 /// path would build, the block evaluates them with the same row-pure
-/// kernel, and each finish runs the same reduction + regression on its own
-/// slice — so fused results are bit-identical to unfused ones (enforced by
-/// core property tests and the serve integration tests).
+/// kernel, and each finish runs the same reduction on its own slice — so
+/// fused results are bit-identical to unfused ones (enforced by core
+/// property tests and the serve integration tests).
 fn process_model_group(
     group: Vec<Job>,
     ctx: &WorkerContext,
@@ -296,16 +278,23 @@ fn process_model_group(
     if live.is_empty() {
         return;
     }
-    let (fusable, rest): (Vec<Job>, Vec<Job>) = live
-        .into_iter()
-        .partition(|j| matches!(j.key.method, ExplainMethod::KernelShap { .. }));
+    let mut fusable: Vec<(Job, Box<dyn Explainer>)> = Vec::with_capacity(live.len());
+    let mut rest: Vec<Job> = Vec::new();
+    for job in live {
+        let explainer = job.entry.explainer(job.key.method);
+        if explainer.fusable() {
+            fusable.push((job, explainer));
+        } else {
+            rest.push(job);
+        }
+    }
     if fusable.len() >= ctx.fusion.min_jobs.max(1) {
         execute_fused(fusable, ctx, ws, block);
     } else {
         // Too few to amortize anything: the direct path is cheaper. A
-        // model group's KernelSHAP jobs may still span budgets, so split
-        // into compatible (per-method) groups first.
-        for g in group_compatible(fusable) {
+        // model group's fusable jobs may still span methods and budgets,
+        // so split into compatible (per-method) groups first.
+        for g in group_compatible(fusable.into_iter().map(|(job, _)| job).collect()) {
             execute_compatible(g, ctx, ws);
         }
     }
@@ -314,37 +303,26 @@ fn process_model_group(
     }
 }
 
-/// Plans every KernelSHAP job in `jobs` into the shared block, flushing
-/// (evaluate + finish) whenever the stacked rows cross the policy's
-/// `max_rows` cap. The cap bounds the arena's high-water mark at
+/// Plans every job in `jobs` into the shared block via its own explainer,
+/// flushing (evaluate + finish) whenever the stacked rows cross the
+/// policy's `max_rows` cap. The cap bounds the arena's high-water mark at
 /// `max_rows` plus one plan's rows (a plan is appended before the check).
 fn execute_fused(
-    jobs: Vec<Job>,
+    jobs: Vec<(Job, Box<dyn Explainer>)>,
     ctx: &WorkerContext,
     ws: &mut CoalitionWorkspace,
     block: &mut FusedBlock,
 ) {
-    let entry = Arc::clone(&jobs[0].entry);
-    let mut pending: Vec<(Job, KernelShapPlan)> = Vec::with_capacity(jobs.len());
+    let entry = Arc::clone(&jobs[0].0.entry);
+    let mut pending: Vec<(Job, Box<dyn ExplainPlan>)> = Vec::with_capacity(jobs.len());
     block.clear();
-    for job in jobs {
-        let ExplainMethod::KernelShap { n_coalitions } = job.key.method else {
-            unreachable!("execute_fused is only handed KernelShap jobs");
+    for (job, explainer) in jobs {
+        let planned = {
+            let seed = request_seed(ctx.seed, job.key.stable_hash());
+            let ectx = explain_context(&entry, &job.request.features, seed);
+            explainer.plan(&ectx, &mut *ws, &mut *block)
         };
-        let cfg = KernelShapConfig {
-            n_coalitions,
-            ridge: 0.0,
-            seed: request_seed(ctx.seed, job.key.stable_hash()),
-        };
-        match kernel_shap_plan(
-            entry.explain_regressor(),
-            &job.request.features,
-            &entry.background,
-            &cfg,
-            Some(entry.expected_output),
-            ws,
-            block,
-        ) {
+        match planned {
             Ok(plan) => pending.push((job, plan)),
             // A plan failure (zero budget, malformed input) is scoped to
             // its own request: the rest of the group still fuses.
@@ -367,7 +345,7 @@ fn execute_fused(
 /// proportion to its share of the block's rows (its actual footprint in
 /// the fused evaluation), keeping per-class EWMAs honest when budgets mix.
 fn flush_fused(
-    pending: &mut Vec<(Job, KernelShapPlan)>,
+    pending: &mut Vec<(Job, Box<dyn ExplainPlan>)>,
     block: &mut FusedBlock,
     entry: &ModelEntry,
     ctx: &WorkerContext,
@@ -391,7 +369,7 @@ fn flush_fused(
     block.evaluate(entry.explain_regressor());
     let results: Vec<Result<Attribution, XaiError>> = pending
         .iter()
-        .map(|(_, plan)| kernel_shap_finish(plan, block, &entry.feature_names))
+        .map(|(_, plan)| plan.finish(block, &entry.feature_names))
         .collect();
     let service = t0.elapsed();
     let service_ns = service.as_nanos().min(u64::MAX as u128) as u64;
@@ -407,18 +385,4 @@ fn flush_fused(
         deliver(job, result, n, Duration::from_nanos(job_ns), now, ctx);
     }
     block.clear();
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn seeds_depend_on_content_not_order() {
-        let a = request_seed(7, 100);
-        let b = request_seed(7, 101);
-        assert_ne!(a, b);
-        assert_eq!(a, request_seed(7, 100), "pure function of (seed, key)");
-        assert_ne!(a, request_seed(8, 100), "engine seed matters");
-    }
 }

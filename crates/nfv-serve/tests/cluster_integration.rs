@@ -1,0 +1,232 @@
+//! End-to-end tests for the sharded serving cluster: every registry
+//! method served through the router, registration/invalidation fan-out,
+//! stats rollup, and spill-on-queue-full.
+
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_serve::prelude::*;
+use nfv_xai::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cluster_with_gbdt(cfg: ClusterConfig) -> (ServeCluster, Vec<Vec<f64>>) {
+    let synth = friedman1(300, 5, 0.1, 11).unwrap();
+    let model = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 15,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let bg = Background::from_dataset(&synth.data, 16, 1).unwrap();
+    let cluster = ServeCluster::start(cfg);
+    cluster
+        .register("m", ServeModel::Gbdt(model), synth.data.names.clone(), bg)
+        .unwrap();
+    let rows: Vec<Vec<f64>> = (0..20).map(|i| synth.data.row(i).to_vec()).collect();
+    (cluster, rows)
+}
+
+fn req(x: &[f64], method: ExplainMethod) -> ExplainRequest {
+    ExplainRequest {
+        model_id: "m".into(),
+        features: x.to_vec(),
+        method,
+        budget: Duration::from_secs(5),
+    }
+}
+
+/// Every method the registry resolves — deterministic, stochastic,
+/// fusable, and direct-only alike.
+fn all_methods() -> Vec<ExplainMethod> {
+    vec![
+        ExplainMethod::TreeShap,
+        ExplainMethod::KernelShap { n_coalitions: 32 },
+        ExplainMethod::Lime { n_samples: 64 },
+        ExplainMethod::SamplingShapley {
+            n_permutations: 6,
+            antithetic: true,
+        },
+        ExplainMethod::ExactShapley,
+        ExplainMethod::GroupedShapley,
+        ExplainMethod::Permutation,
+    ]
+}
+
+#[test]
+fn every_method_serves_through_the_cluster_with_sticky_caching() {
+    let (cluster, rows) = cluster_with_gbdt(ClusterConfig {
+        shards: 3,
+        ..ClusterConfig::default()
+    });
+    for (i, method) in all_methods().into_iter().enumerate() {
+        let first = cluster.explain(req(&rows[i], method)).unwrap();
+        assert!(!first.cache_hit, "{method:?}");
+        // The efficiency axiom binds the exact Shapley family tightly;
+        // sampling only in expectation; LIME and LOCO not at all.
+        match method {
+            ExplainMethod::TreeShap
+            | ExplainMethod::KernelShap { .. }
+            | ExplainMethod::ExactShapley
+            | ExplainMethod::GroupedShapley => {
+                assert!(
+                    first.attribution.efficiency_gap().abs() < 1e-6,
+                    "{method:?}"
+                )
+            }
+            _ => assert!(
+                first.attribution.values.iter().all(|v| v.is_finite()),
+                "{method:?}"
+            ),
+        }
+        // The identical question must route to the same shard and hit its
+        // cache — stickiness is what makes per-shard caches sufficient.
+        let again = cluster.explain(req(&rows[i], method)).unwrap();
+        assert!(
+            again.cache_hit,
+            "{method:?} missed on repeat: routing moved"
+        );
+        assert_eq!(again.attribution, first.attribution);
+    }
+    // Stats roll up across shards: the cluster view sums what each shard
+    // actually did (14 completions), and no spill was ever needed.
+    let stats = cluster.stats();
+    assert_eq!(stats.per_shard.len(), 3);
+    assert_eq!(stats.cluster.completed, 14);
+    assert_eq!(
+        stats.cluster.completed,
+        stats.per_shard.iter().map(|s| s.completed).sum::<u64>()
+    );
+    assert_eq!(
+        stats.cluster.cache_hits,
+        stats.per_shard.iter().map(|s| s.cache_hits).sum::<u64>()
+    );
+    assert_eq!(stats.spills, 0);
+    assert_eq!(cluster.queue_len(), 0);
+    assert!(cluster.cache_len() >= 7);
+    cluster.shutdown();
+}
+
+#[test]
+fn registration_and_invalidation_fan_out_to_every_shard() {
+    let (cluster, rows) = cluster_with_gbdt(ClusterConfig {
+        shards: 4,
+        ..ClusterConfig::default()
+    });
+    // Every shard holds the model at the same version.
+    let versions: Vec<u64> = (0..cluster.shard_count())
+        .map(|i| cluster.shard(i).registry().get("m").unwrap().version)
+        .collect();
+    assert!(versions.windows(2).all(|w| w[0] == w[1]), "{versions:?}");
+
+    // Warm caches on several shards, then invalidate cluster-wide.
+    for r in rows.iter().take(8) {
+        cluster.explain(req(r, ExplainMethod::TreeShap)).unwrap();
+    }
+    assert!(cluster.cache_len() > 0);
+    cluster.invalidate_model("m");
+    assert_eq!(cluster.cache_len(), 0, "invalidation must reach all shards");
+
+    // Re-registration bumps the version everywhere at once.
+    let synth = friedman1(300, 5, 0.1, 99).unwrap();
+    let model2 = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 5,
+            ..Default::default()
+        },
+        1,
+    )
+    .unwrap();
+    let bg = Background::from_dataset(&synth.data, 16, 1).unwrap();
+    let v2 = cluster
+        .register("m", ServeModel::Gbdt(model2), synth.data.names.clone(), bg)
+        .unwrap();
+    for i in 0..cluster.shard_count() {
+        assert_eq!(cluster.shard(i).registry().get("m").unwrap().version, v2);
+    }
+    assert!(v2 > versions[0]);
+
+    // Deregistration empties every shard's registry.
+    assert!(cluster.deregister("m"));
+    let err = cluster
+        .explain(req(&rows[0], ExplainMethod::TreeShap))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::Rejected(RejectReason::UnknownModel { .. })
+    ));
+    cluster.shutdown();
+}
+
+#[test]
+fn unroutable_requests_are_rejected_not_lost() {
+    let (cluster, _rows) = cluster_with_gbdt(ClusterConfig::default());
+    let err = cluster
+        .explain(req(&[f64::NAN; 5], ExplainMethod::TreeShap))
+        .unwrap_err();
+    assert!(err.is_reject(), "non-finite features reject with a reason");
+    cluster.shutdown();
+}
+
+/// Saturate tiny home queues from many threads: overflow must retry on
+/// the next ring shard (counted as a spill) instead of failing outright,
+/// and every request must end as either an answer or an explicit
+/// queue-full rejection — never a hang or a silent drop.
+#[test]
+fn queue_full_spills_to_the_next_shard() {
+    let (cluster, rows) = cluster_with_gbdt(ClusterConfig {
+        shards: 2,
+        shard: ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    });
+    let cluster = Arc::new(cluster);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            let rows = rows.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut full = 0u64;
+                for i in 0..16 {
+                    // Distinct budgets keep every request a cache miss.
+                    let r = ExplainRequest {
+                        model_id: "m".into(),
+                        features: rows[(t * 16 + i) % rows.len()].clone(),
+                        method: ExplainMethod::KernelShap {
+                            n_coalitions: 64 + t * 16 + i,
+                        },
+                        budget: Duration::from_secs(30),
+                    };
+                    match cluster.explain(r) {
+                        Ok(resp) => {
+                            assert!(resp.attribution.efficiency_gap().abs() < 1e-6);
+                            ok += 1;
+                        }
+                        Err(ServeError::Rejected(RejectReason::QueueFull { .. })) => full += 1,
+                        Err(e) => panic!("unexpected outcome under saturation: {e}"),
+                    }
+                }
+                (ok, full)
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    for h in handles {
+        ok += h.join().unwrap().0;
+    }
+    assert!(ok > 0, "saturation must not starve everyone");
+    let stats = cluster.stats();
+    assert!(
+        stats.spills > 0,
+        "128 concurrent requests against capacity-1 queues never overflowed"
+    );
+    Arc::try_unwrap(cluster).ok().unwrap().shutdown();
+}

@@ -1,0 +1,86 @@
+//! Property tests for the cluster's consistent-hash router.
+//!
+//! Two properties make [`HashRing`] fit for routing:
+//!
+//! 1. **Determinism** — the ring is a pure function of (shard count,
+//!    vnodes): two independently built rings agree on every key, so any
+//!    process (or test) can recompute a request's home shard offline.
+//! 2. **Minimal disruption** — changing the shard count by one remaps
+//!    only the arcs the changed shard owns (≈ `1/N` of the key space),
+//!    and every moved key involves *that* shard — the defining property
+//!    of consistent hashing versus `hash % N`.
+
+use nfv_serve::prelude::*;
+use proptest::prelude::*;
+
+/// splitmix64 — a key stream independent of the FNV family the ring and
+/// cache keys hash with, so these tests don't accidentally probe the ring
+/// with its own point-placement function.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..n).map(|_| splitmix(&mut state)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same key → same shard, on two rings built independently with the
+    /// same parameters, for every cluster size we ship.
+    #[test]
+    fn routing_is_a_pure_function_of_ring_parameters(seed in 1u64..u64::MAX) {
+        let ks = keys(seed, 10_000);
+        for n in [2usize, 3, 4, 8] {
+            let a = HashRing::new(n, 128);
+            let b = HashRing::new(n, 128);
+            for &k in &ks {
+                let shard = a.shard_of(k);
+                prop_assert!(shard < n);
+                prop_assert_eq!(shard, b.shard_of(k));
+            }
+        }
+    }
+
+    /// Growing an N-shard ring to N+1 remaps at most `2/N + 0.02` of 10k
+    /// keys, and every moved key moves *to* the added shard. Read
+    /// backwards, the same comparison is shard removal: keys not owned by
+    /// the removed shard stay put.
+    #[test]
+    fn resizing_by_one_shard_remaps_a_bounded_arc(seed in 1u64..u64::MAX) {
+        let ks = keys(seed, 10_000);
+        for n in [2usize, 3, 4, 8] {
+            let small = HashRing::new(n, 128);
+            let big = HashRing::new(n + 1, 128);
+            let mut moved = 0usize;
+            for &k in &ks {
+                let before = small.shard_of(k);
+                let after = big.shard_of(k);
+                if before != after {
+                    moved += 1;
+                    // Add direction: a moved key may only land on the
+                    // new shard, never shuffle between surviving shards.
+                    prop_assert_eq!(after, n, "key moved between surviving shards");
+                } else {
+                    // Remove direction: a key whose (N+1)-ring owner is
+                    // not the removed shard keeps its owner in the N-ring.
+                    prop_assert!(after < n);
+                }
+            }
+            let frac = moved as f64 / ks.len() as f64;
+            let bound = 2.0 / n as f64 + 0.02;
+            prop_assert!(
+                frac <= bound,
+                "resize {}→{} remapped {:.3} of keys (bound {:.3})",
+                n, n + 1, frac, bound
+            );
+            prop_assert!(moved > 0, "the added shard must own some keys");
+        }
+    }
+}
