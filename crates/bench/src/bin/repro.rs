@@ -10,13 +10,15 @@
 //! Experiment ids: t1 t2 t3 t4 f1 f2 f3 f4 f5 f6 f7 f8 f9 f10 a1 serve
 //! (see DESIGN.md §3; `serve` is the workers × cache × arrival-rate
 //! serving frontier from EXPERIMENTS.md; `--shards N` sets the top of its
-//! §S3 cluster sweep, default 4).
+//! §S3 cluster sweep, default 4; `--net` adds the §S4 wire sweep — the
+//! same trace through `nfv-net` shard servers over loopback TCP).
 
 use nfv_bench::{ablations, extensions, figures, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let net = args.iter().any(|a| a == "--net");
     // `--shards` takes a value, so it must come out of the stream before
     // the generic `--*` flag filter below would strand its argument.
     let mut shards: usize = 4;
@@ -61,7 +63,7 @@ fn main() {
             "f9" => extensions::f9(quick),
             "f10" => extensions::f10(quick),
             "a1" => ablations::a1(quick),
-            "serve" => extensions::serve(quick, shards),
+            "serve" => extensions::serve(quick, shards, net),
             other => {
                 eprintln!(
                     "unknown experiment id '{other}' (expected t1..t4, f1..f10, a1, serve, all)"

@@ -335,7 +335,11 @@ pub fn f10(quick: bool) {
 /// queueing unboundedly (blocking `explain`), so the overloaded points
 /// show admission-control rejections instead of infinite queues — which
 /// is exactly the engine's contract (backpressure, not buffer bloat).
-pub fn serve(quick: bool, max_shards: usize) {
+///
+/// With `net` set (`repro -- serve --net`), §S4 repeats the cluster sweep
+/// over real loopback TCP through `nfv-net` shard servers, pricing the
+/// wire protocol against the in-process router on the identical trace.
+pub fn serve(quick: bool, max_shards: usize, net: bool) {
     use nfv_serve::prelude::*;
     use std::time::{Duration, Instant};
 
@@ -662,6 +666,159 @@ pub fn serve(quick: bool, max_shards: usize) {
          single-core host the sweep flattens — the router adds only a hash and an\n\
          index). Spills count queue-full retries absorbed by a neighbour shard."
     );
+
+    if !net {
+        println!("\nS4 — wire serving sweep skipped (pass --net to run it)");
+        return;
+    }
+
+    // S4 — the identical mixed trace through `nfv-net`: shard servers on
+    // loopback TCP behind the consistent-hash router, next to an
+    // in-process cluster at the same shard count. The delta prices the
+    // wire protocol — framing, FNV checksum, rid demux, one socket hop —
+    // per request. 32 client threads keep the shards saturated so the
+    // replay client is never the bottleneck. Attributions stay
+    // bit-identical to the in-process rows (content-derived seeds; f64s
+    // cross the wire as IEEE-754 bit patterns).
+    use nfv_net::prelude::*;
+    println!("\nS4 — wire serving: nfv-net loopback TCP vs in-process cluster\n");
+    let net_clients: usize = 32;
+    let total: usize = 128;
+    let shard_cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 512,
+        max_batch: 16,
+        gather_window: Duration::from_micros(500),
+        cache_capacity: 8192,
+        cache_shards: 8,
+        quantization_grid: 1e-6,
+        seed: 7,
+        ..ServeConfig::default()
+    };
+    let drive_mixed =
+        |explain: &(dyn Fn(ExplainRequest) -> Result<ExplainResponse, ServeError> + Sync)| -> f64 {
+            let per_client = total / net_clients;
+            let start = Instant::now();
+            for epoch in 0..epochs {
+                std::thread::scope(|s| {
+                    for c in 0..net_clients {
+                        let task = &task;
+                        s.spawn(move || {
+                            for i in 0..per_client {
+                                let n = c * per_client + i;
+                                let mut features = task.data.row(n % 32).to_vec();
+                                features[0] += (1 + n + epoch * 1024) as f64 * 1e-3;
+                                let _ = explain(ExplainRequest {
+                                    model_id: "forest".into(),
+                                    features,
+                                    method: match n % 4 {
+                                        0 => ExplainMethod::KernelShap { n_coalitions: 64 },
+                                        1 => ExplainMethod::SamplingShapley {
+                                            n_permutations: 4,
+                                            antithetic: true,
+                                        },
+                                        2 => ExplainMethod::Permutation,
+                                        _ => ExplainMethod::GroupedShapley,
+                                    },
+                                    budget: Duration::from_secs(5),
+                                });
+                            }
+                        });
+                    }
+                });
+            }
+            start.elapsed().as_secs_f64()
+        };
+
+    let mut rows = Vec::new();
+    for &shards in &sweep {
+        // In-process reference at the same shard count.
+        let cluster = ServeCluster::start(ClusterConfig {
+            shards,
+            shard: shard_cfg,
+            ..ClusterConfig::default()
+        });
+        cluster
+            .register(
+                "forest",
+                ServeModel::Forest(task.forest.clone()),
+                task.names.clone(),
+                task.background.clone(),
+            )
+            .expect("register");
+        let local_elapsed = drive_mixed(&|r| cluster.explain(r));
+        let local_rate = (epochs * total) as f64 / local_elapsed;
+        cluster.shutdown();
+
+        // Wire arm: real shard servers on loopback, one per shard.
+        let servers: Vec<ShardServer> = (0..shards)
+            .map(|_| {
+                ShardServer::start(ShardConfig {
+                    serve: shard_cfg,
+                    ..ShardConfig::default()
+                })
+                .expect("start shard server")
+            })
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        // Generous rpc timeout: on an oversubscribed single-core host the
+        // shard's polling threads can be starved behind the 32-thread
+        // client pool for seconds at a time.
+        let wire = NetCluster::connect(
+            &addrs,
+            NetClusterConfig {
+                rpc_timeout: Duration::from_secs(120),
+                ..Default::default()
+            },
+        )
+        .expect("connect");
+        wire.register(
+            "forest",
+            ServeModel::Forest(task.forest.clone()),
+            task.names.clone(),
+            task.background.clone(),
+        )
+        .expect("wire register");
+        let wire_elapsed = drive_mixed(&|r| {
+            wire.explain(&r).map_err(|e| match e {
+                NetError::Serve(s) => s,
+                other => ServeError::Internal(other.to_string()),
+            })
+        });
+        let wire_rate = (epochs * total) as f64 / wire_elapsed;
+        let stats = wire.stats();
+        wire.drain_all().expect("drain");
+        for s in servers {
+            s.join();
+        }
+
+        rows.push(vec![
+            shards.to_string(),
+            format!("{local_rate:.0}"),
+            format!("{wire_rate:.0}"),
+            format!("{:.1}", 100.0 * (1.0 - wire_rate / local_rate)),
+            stats.spills.to_string(),
+            stats.net_errors.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "shards",
+            "in-proc req/s",
+            "wire req/s",
+            "wire cost %",
+            "spills",
+            "net errs",
+        ],
+        &rows,
+    );
+    println!(
+        "\nWire reading: the binary protocol costs a fixed per-request overhead\n\
+         (encode + checksum + loopback hop + rid demux), so its share shrinks as\n\
+         explainer work grows and as shards absorb requests in parallel. Zero\n\
+         net errors means no frame was ever rejected; spills would mark\n\
+         queue-full retries routed to a ring successor."
+    );
 }
 
 #[cfg(test)]
@@ -677,6 +834,6 @@ mod tests {
 
     #[test]
     fn serve_frontier_smoke_quick() {
-        serve(true, 2);
+        serve(true, 2, true);
     }
 }

@@ -1,0 +1,259 @@
+//! Client side of one shard connection: request-id correlation over a
+//! single TCP stream.
+//!
+//! A [`ShardConn`] owns one socket. Callers from any thread frame a
+//! message, park a channel under its rid, and wait; a dedicated reader
+//! thread decodes incoming frames and completes the matching channel —
+//! out-of-order responses are the normal case, not an error. When the
+//! stream dies (shard killed, network partition) the reader fails *every*
+//! pending call immediately with [`WireError::ConnectionLost`] — callers
+//! never stall out a timeout waiting on a corpse — and the connection is
+//! marked dead so the router can reroute.
+
+use crate::frame::{read_frame, write_frame, WireError};
+use crate::msg::{Message, WireHealth, WireRegister, WireRequest, WireResponse};
+use nfv_serve::prelude::*;
+use nfv_xai::prelude::Background;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// One client connection to one shard process.
+pub struct ShardConn {
+    addr: String,
+    writer: Mutex<TcpStream>,
+    pending: Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>>,
+    alive: Arc<AtomicBool>,
+    next_rid: AtomicU64,
+    rpc_timeout: Duration,
+}
+
+impl ShardConn {
+    /// Connects and starts the reader thread.
+    pub fn connect(
+        addr: &str,
+        max_payload: usize,
+        rpc_timeout: Duration,
+    ) -> Result<ShardConn, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        let pending: Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let alive = Arc::new(AtomicBool::new(true));
+        {
+            let pending = Arc::clone(&pending);
+            let alive = Arc::clone(&alive);
+            thread::Builder::new()
+                .name("nfv-net-reader".into())
+                .spawn(move || reader_loop(reader, max_payload, pending, alive))
+                .map_err(|e| WireError::Io(e.to_string()))?;
+        }
+        Ok(ShardConn {
+            addr: addr.to_string(),
+            writer: Mutex::new(stream),
+            pending,
+            alive,
+            next_rid: AtomicU64::new(1),
+            rpc_timeout,
+        })
+    }
+
+    /// The address this connection dialed.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// False once the stream has died; calls will fail fast.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    fn next_rid(&self) -> u64 {
+        self.next_rid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends one message and waits for the response bearing the same rid.
+    fn rpc(&self, msg: Message) -> Result<Message, WireError> {
+        if !self.is_alive() {
+            return Err(WireError::ConnectionLost(format!(
+                "{} is marked dead",
+                self.addr
+            )));
+        }
+        let rid = msg.rid();
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(rid, tx);
+        let payload = msg.encode_payload();
+        let write_result = {
+            let mut w = self.writer.lock();
+            write_frame(&mut *w, msg.msg_type(), &payload)
+        };
+        if let Err(e) = write_result {
+            self.pending.lock().remove(&rid);
+            self.alive.store(false, Ordering::SeqCst);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.rpc_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.pending.lock().remove(&rid);
+                Err(WireError::Io(format!(
+                    "rpc to {} timed out after {:?}",
+                    self.addr, self.rpc_timeout
+                )))
+            }
+        }
+    }
+
+    /// Remote `Engine::explain`.
+    pub fn explain(&self, request: &ExplainRequest) -> Result<ExplainResponse, ShardCallError> {
+        let msg = Message::Explain(WireRequest {
+            rid: self.next_rid(),
+            model_id: request.model_id.clone(),
+            features: request.features.clone(),
+            method: request.method,
+            budget_ns: request.budget.as_nanos() as u64,
+        });
+        match self.rpc(msg).map_err(ShardCallError::Wire)? {
+            Message::ExplainReply(WireResponse { outcome, .. }) => match outcome {
+                Ok(a) => Ok(ExplainResponse {
+                    attribution: Arc::new(a.attribution),
+                    model_version: a.model_version,
+                    cache_hit: a.cache_hit,
+                    batch_size: a.batch_size as usize,
+                    queue_wait: Duration::from_nanos(a.queue_wait_ns),
+                    service_time: Duration::from_nanos(a.service_ns),
+                }),
+                Err(e) => Err(ShardCallError::Serve(e)),
+            },
+            other => Err(ShardCallError::Wire(WireError::Decode(format!(
+                "expected ExplainReply, got {:?}",
+                other.msg_type()
+            )))),
+        }
+    }
+
+    /// Remote `ModelRegistry::register`: ships the model as JSON and the
+    /// background as raw rows. Returns the registry version the shard
+    /// assigned.
+    pub fn register(
+        &self,
+        model_id: &str,
+        model: &ServeModel,
+        feature_names: &[String],
+        background: &Background,
+    ) -> Result<u64, ShardCallError> {
+        let model_json = serde_json::to_string(model)
+            .map_err(|e| ShardCallError::Wire(WireError::Decode(format!("model json: {e}"))))?;
+        let msg = Message::Register(WireRegister {
+            rid: self.next_rid(),
+            model_id: model_id.to_string(),
+            model_json,
+            feature_names: feature_names.to_vec(),
+            background_rows: background.rows().to_vec(),
+        });
+        match self.rpc(msg).map_err(ShardCallError::Wire)? {
+            Message::RegisterOk { version, .. } => Ok(version),
+            Message::ExplainReply(WireResponse {
+                outcome: Err(e), ..
+            }) => Err(ShardCallError::Serve(e)),
+            other => Err(ShardCallError::Wire(WireError::Decode(format!(
+                "expected RegisterOk, got {:?}",
+                other.msg_type()
+            )))),
+        }
+    }
+
+    /// Health probe.
+    pub fn health(&self) -> Result<WireHealth, ShardCallError> {
+        let msg = Message::Health {
+            rid: self.next_rid(),
+        };
+        match self.rpc(msg).map_err(ShardCallError::Wire)? {
+            Message::HealthOk(h) => Ok(h),
+            other => Err(ShardCallError::Wire(WireError::Decode(format!(
+                "expected HealthOk, got {:?}",
+                other.msg_type()
+            )))),
+        }
+    }
+
+    /// Graceful drain handshake; returns the shard's completed-request
+    /// count. The shard stops accepting and exits after replying.
+    pub fn drain(&self) -> Result<u64, ShardCallError> {
+        let msg = Message::Drain {
+            rid: self.next_rid(),
+        };
+        match self.rpc(msg).map_err(ShardCallError::Wire)? {
+            Message::DrainOk { completed, .. } => Ok(completed),
+            other => Err(ShardCallError::Wire(WireError::Decode(format!(
+                "expected DrainOk, got {:?}",
+                other.msg_type()
+            )))),
+        }
+    }
+}
+
+/// What one shard call can return: a transport fault (reroutable) or the
+/// engine's own verdict (authoritative).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardCallError {
+    /// Framing/transport failure — the router may retry elsewhere.
+    Wire(WireError),
+    /// The shard's engine answered with an error — not a transport issue.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ShardCallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardCallError::Wire(e) => write!(f, "wire: {e}"),
+            ShardCallError::Serve(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardCallError {}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    max_payload: usize,
+    pending: Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>>,
+    alive: Arc<AtomicBool>,
+) {
+    let fail_all = |err: WireError| {
+        alive.store(false, Ordering::SeqCst);
+        let mut map = pending.lock();
+        for (_, tx) in map.drain() {
+            let _ = tx.send(Err(err.clone()));
+        }
+    };
+    loop {
+        let (t, payload) = match read_frame(&mut stream, max_payload) {
+            Ok(f) => f,
+            Err(e) => {
+                fail_all(e);
+                return;
+            }
+        };
+        let msg = match Message::decode_payload(t, payload) {
+            Ok(m) => m,
+            Err(e) => {
+                // A frame we cannot decode means the stream state is
+                // unknowable; fail loud and kill the connection.
+                fail_all(e);
+                return;
+            }
+        };
+        let rid = msg.rid();
+        if let Some(tx) = pending.lock().remove(&rid) {
+            let _ = tx.send(Ok(msg));
+        }
+        // An unmatched rid (caller timed out and gave up) is dropped.
+    }
+}

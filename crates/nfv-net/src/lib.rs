@@ -1,0 +1,54 @@
+//! # nfv-net — multi-process shard serving over a binary wire protocol
+//!
+//! PR 5's `ServeCluster` sharded the serving [`Engine`] across threads of
+//! one process; this crate puts each shard in its **own OS process** and
+//! connects them with a versioned, length-prefixed binary protocol over
+//! TCP — the deployment shape an NFV operator actually runs (shards pinned
+//! to NUMA nodes, restarted independently, scaled across hosts).
+//!
+//! The layering, bottom-up:
+//!
+//! - [`frame`] — the frame codec: `MAGIC | version | type | len | payload |
+//!   fnv1a`. Fail-loud on truncation, corruption, and hostile length
+//!   prefixes (cap checked before any allocation).
+//! - [`msg`] — message bodies with request-id correlation on every
+//!   message; responses may arrive out of order. Floats cross as IEEE-754
+//!   bit patterns, so wire answers are **bit-identical** to in-process
+//!   answers.
+//! - [`server`] — the shard: accept loop + engine + drain state machine,
+//!   shipped as the `nfv-shard` binary.
+//! - [`client`] — one connection, one reader thread, rid demultiplexing,
+//!   fail-fast on connection loss.
+//! - [`router`] — [`NetCluster`]: the same content-hash ring placement as
+//!   the in-process cluster ([`nfv_serve::cluster::route_hash`] +
+//!   `HashRing::from_ids`), ordered model-registration fan-out with a
+//!   replay log for joiners, read fan-out over ring successors for hot
+//!   models, graceful join/leave with bounded remap, and spill-on-failure
+//!   load shedding with cluster counters.
+//!
+//! Determinism contract: a request's answer depends only on its content
+//! (model, method, features, budget) and the shard seed — never on which
+//! transport carried it. `direct == Engine == ServeCluster == NetCluster`
+//! to the last bit; the `wire_bit_identity` integration test enforces all
+//! four, under forced-scalar and forced-SIMD evaluation.
+//!
+//! [`Engine`]: nfv_serve::Engine
+//! [`NetCluster`]: router::NetCluster
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod msg;
+pub mod router;
+pub mod server;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::client::{ShardCallError, ShardConn};
+    pub use crate::frame::{MsgType, WireError, MAX_PAYLOAD, VERSION};
+    pub use crate::msg::{Message, WireHealth, WireRegister, WireRequest, WireResponse};
+    pub use crate::router::{NetCluster, NetClusterConfig, NetClusterStats, NetError};
+    pub use crate::server::{ShardConfig, ShardServer};
+}

@@ -1,0 +1,366 @@
+//! The shard server: one OS process, one [`Engine`], one TCP listener.
+//!
+//! Concurrency model: the accept loop runs on its own thread; each
+//! connection gets a reader thread; each explain request gets a short-lived
+//! worker thread that blocks in `Engine::explain` and writes its response
+//! through the connection's shared writer. Responses therefore leave in
+//! *completion* order, not arrival order — the rid correlates them.
+//!
+//! Draining: on [`MsgType::Drain`] the shard flips its `draining` flag
+//! (new explains are rejected with `ShuttingDown`), waits for in-flight
+//! requests to hit zero, answers `DrainOk { completed }`, and stops the
+//! accept loop. The process's `main` then returns cleanly.
+//!
+//! Fail-loud: any frame that does not parse — bad magic, bad checksum,
+//! oversized length, trailing bytes — increments `protocol_errors` and
+//! closes that connection. The protocol never guesses at resync.
+
+use crate::frame::{write_frame, MsgType, WireError, MAX_PAYLOAD};
+use crate::msg::{Message, WireAnswer, WireHealth, WireRegister, WireResponse};
+use nfv_serve::prelude::*;
+use nfv_xai::prelude::Background;
+use parking_lot::Mutex;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Shard server configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Listen address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Engine configuration for this shard.
+    pub serve: ServeConfig,
+    /// Frame payload cap (both directions).
+    pub max_payload: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            addr: "127.0.0.1:0".into(),
+            serve: ServeConfig::default(),
+            max_payload: MAX_PAYLOAD,
+        }
+    }
+}
+
+struct ShardInner {
+    engine: Engine,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    in_flight: AtomicU64,
+    completed: AtomicU64,
+    protocol_errors: AtomicU64,
+    max_payload: usize,
+}
+
+/// A running shard server. Dropping it does *not* stop the accept loop;
+/// call [`ShardServer::join`] (waits for a drain) or [`ShardServer::stop`].
+pub struct ShardServer {
+    inner: Arc<ShardInner>,
+    local_addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ShardServer {
+    /// Binds the listener and starts the accept loop and engine.
+    pub fn start(cfg: ShardConfig) -> Result<ShardServer, WireError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(ShardInner {
+            engine: Engine::start(cfg.serve),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            max_payload: cfg.max_payload,
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = thread::Builder::new()
+            .name("nfv-shard-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(ShardServer {
+            inner,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Frames this shard failed to decode.
+    pub fn protocol_errors(&self) -> u64 {
+        self.inner.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed (successes and engine errors both count: each
+    /// got its response frame).
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the accept loop exits (a Drain arrived, or
+    /// [`ShardServer::stop`] was called). Returns the final
+    /// `(completed, protocol_errors)` counters.
+    pub fn join(mut self) -> (u64, u64) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        (
+            self.inner.completed.load(Ordering::SeqCst),
+            self.inner.protocol_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Force-stops the accept loop without waiting for a drain.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<ShardInner>) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_inner = Arc::clone(&inner);
+                let _ = thread::Builder::new()
+                    .name("nfv-shard-conn".into())
+                    .spawn(move || connection_loop(stream, conn_inner));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating the read timeout used to
+/// poll the stop flag. A timeout *between* frames is routine; the borrowed
+/// progress counter keeps partial frames intact across timeouts.
+fn read_full(stream: &TcpStream, buf: &mut [u8], inner: &ShardInner) -> Result<(), WireError> {
+    use std::io::Read;
+    let mut done = 0;
+    while done < buf.len() {
+        if inner.stop.load(Ordering::SeqCst) {
+            return Err(WireError::ConnectionLost("shard stopping".into()));
+        }
+        match (&mut (&*stream)).read(&mut buf[done..]) {
+            Ok(0) => return Err(WireError::ConnectionLost("peer closed".into())),
+            Ok(n) => done += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Like [`read_frame`] but polls the stop flag between reads.
+fn read_frame_polled(
+    stream: &TcpStream,
+    inner: &ShardInner,
+) -> Result<(MsgType, bytes::Bytes), WireError> {
+    use crate::frame::HEADER_LEN;
+    let mut header = [0u8; HEADER_LEN];
+    read_full(stream, &mut header, inner)?;
+    // Re-parse via the shared reader so header validation cannot drift:
+    // splice the header in front of the (already arrived) body bytes.
+    let magic = [header[0], header[1], header[2], header[3]];
+    if magic != crate::frame::MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != crate::frame::VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let t = MsgType::from_u8(header[6])?;
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
+    if len > inner.max_payload {
+        return Err(WireError::Oversized {
+            len,
+            cap: inner.max_payload,
+        });
+    }
+    let mut body = vec![0u8; len + 8];
+    read_full(stream, &mut body, inner)?;
+    let expected = u64::from_le_bytes(body[len..len + 8].try_into().expect("8-byte tail"));
+    body.truncate(len);
+    let got = nfv_sim::wire::fnv1a(&body);
+    if expected != got {
+        return Err(WireError::Checksum { expected, got });
+    }
+    Ok((t, bytes::Bytes::from_vec(body)))
+}
+
+fn send(writer: &Mutex<TcpStream>, msg: &Message) -> Result<(), WireError> {
+    let payload = msg.encode_payload();
+    let mut w = writer.lock();
+    write_frame(&mut *w, msg.msg_type(), &payload)
+}
+
+fn connection_loop(stream: TcpStream, inner: Arc<ShardInner>) {
+    // Short read timeout so reader threads notice the stop flag; writes
+    // stay blocking.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    loop {
+        let (t, payload) = match read_frame_polled(&stream, &inner) {
+            Ok(f) => f,
+            Err(WireError::ConnectionLost(_)) => return,
+            Err(_) => {
+                // Fail-loud: count it and drop the connection; resync is
+                // never attempted on a framed protocol.
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let msg = match Message::decode_payload(t, payload) {
+            Ok(m) => m,
+            Err(_) => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        match msg {
+            Message::Explain(req) => {
+                let rid = req.rid;
+                if inner.draining.load(Ordering::SeqCst) {
+                    let reply = Message::ExplainReply(WireResponse {
+                        rid,
+                        outcome: Err(ServeError::Rejected(RejectReason::ShuttingDown)),
+                    });
+                    if send(&writer, &reply).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                inner.in_flight.fetch_add(1, Ordering::SeqCst);
+                let w = Arc::clone(&writer);
+                let worker_inner = Arc::clone(&inner);
+                let spawned = thread::Builder::new()
+                    .name("nfv-shard-explain".into())
+                    .spawn(move || {
+                        let outcome = worker_inner
+                            .engine
+                            .explain(ExplainRequest {
+                                model_id: req.model_id,
+                                features: req.features,
+                                method: req.method,
+                                budget: Duration::from_nanos(req.budget_ns),
+                            })
+                            .map(|resp| WireAnswer {
+                                attribution: (*resp.attribution).clone(),
+                                model_version: resp.model_version,
+                                cache_hit: resp.cache_hit,
+                                batch_size: resp.batch_size as u64,
+                                queue_wait_ns: resp.queue_wait.as_nanos() as u64,
+                                service_ns: resp.service_time.as_nanos() as u64,
+                            });
+                        let _ = send(&w, &Message::ExplainReply(WireResponse { rid, outcome }));
+                        worker_inner.completed.fetch_add(1, Ordering::SeqCst);
+                        worker_inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let reply = Message::ExplainReply(WireResponse {
+                        rid,
+                        outcome: Err(ServeError::Internal("spawn failed".into())),
+                    });
+                    if send(&writer, &reply).is_err() {
+                        return;
+                    }
+                }
+            }
+            Message::Register(reg) => {
+                let reply = handle_register(&inner, reg);
+                if send(&writer, &reply).is_err() {
+                    return;
+                }
+            }
+            Message::Health { rid } => {
+                let stats_json =
+                    serde_json::to_string(&inner.engine.stats()).unwrap_or_else(|_| "{}".into());
+                let reply = Message::HealthOk(WireHealth {
+                    rid,
+                    draining: inner.draining.load(Ordering::SeqCst),
+                    queue_len: inner.engine.queue_len() as u64,
+                    cache_len: inner.engine.cache_len() as u64,
+                    protocol_errors: inner.protocol_errors.load(Ordering::Relaxed),
+                    stats_json,
+                });
+                if send(&writer, &reply).is_err() {
+                    return;
+                }
+            }
+            Message::Drain { rid } => {
+                inner.draining.store(true, Ordering::SeqCst);
+                while inner.in_flight.load(Ordering::SeqCst) > 0 {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                let reply = Message::DrainOk {
+                    rid,
+                    completed: inner.completed.load(Ordering::SeqCst),
+                };
+                let _ = send(&writer, &reply);
+                inner.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            // Server-bound traffic only; a response type here is a
+            // protocol error.
+            Message::ExplainReply(_)
+            | Message::RegisterOk { .. }
+            | Message::HealthOk(_)
+            | Message::DrainOk { .. } => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn handle_register(inner: &ShardInner, reg: WireRegister) -> Message {
+    let rid = reg.rid;
+    let fail = |m: String| {
+        Message::ExplainReply(WireResponse {
+            rid,
+            outcome: Err(ServeError::Internal(m)),
+        })
+    };
+    let model: ServeModel = match serde_json::from_str(&reg.model_json) {
+        Ok(m) => m,
+        Err(e) => return fail(format!("model json: {e}")),
+    };
+    let background = match Background::from_rows(reg.background_rows) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("background: {e}")),
+    };
+    match inner
+        .engine
+        .registry()
+        .register(&reg.model_id, model, reg.feature_names, background)
+    {
+        Ok(version) => Message::RegisterOk { rid, version },
+        Err(e) => fail(format!("register: {e}")),
+    }
+}

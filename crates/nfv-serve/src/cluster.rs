@@ -55,13 +55,25 @@ pub struct HashRing {
 }
 
 impl HashRing {
-    /// Builds a ring of `shards × vnodes` points.
+    /// Builds a ring of `shards × vnodes` points over shard indices
+    /// `0..shards` (the in-process cluster's identity space).
     pub fn new(shards: usize, vnodes: usize) -> HashRing {
         let shards = shards.max(1);
+        let ids: Vec<u32> = (0..shards as u32).collect();
+        HashRing::from_ids(&ids, vnodes)
+    }
+
+    /// Builds a ring over explicit *stable* shard ids. A shard's points
+    /// depend only on its own id, so adding or removing one id leaves
+    /// every other shard's points untouched — the bounded-remap property
+    /// graceful join/leave rides on (the `nfv-net` router keys its ring on
+    /// connection ids that survive other shards joining and leaving).
+    pub fn from_ids(ids: &[u32], vnodes: usize) -> HashRing {
         let vnodes = vnodes.max(1);
-        let mut points: Vec<(u64, u32)> = (0..shards)
-            .flat_map(|s| {
-                (0..vnodes).map(move |v| (fnv1a_words([RING_SALT, s as u64, v as u64]), s as u32))
+        let mut points: Vec<(u64, u32)> = ids
+            .iter()
+            .flat_map(|&s| {
+                (0..vnodes).map(move |v| (fnv1a_words([RING_SALT, s as u64, v as u64]), s))
             })
             .collect();
         points.sort_unstable();
@@ -89,6 +101,26 @@ impl HashRing {
         None
     }
 
+    /// The first `r` *distinct* shards clockwise from `hash` — the read
+    /// fan-out candidates when a hot model is replicated. The first entry
+    /// is always [`HashRing::shard_of`]; answers are bit-identical on
+    /// every shard, so serving a read from any candidate is safe.
+    pub fn shards_for(&self, hash: u64, r: usize) -> Vec<usize> {
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let n = self.points.len();
+        let mut out = Vec::with_capacity(r.min(4));
+        for i in 0..n {
+            let (_, s) = self.points[(start + i) % n];
+            if !out.contains(&(s as usize)) {
+                out.push(s as usize);
+                if out.len() >= r.max(1) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Number of points on the ring.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -98,6 +130,24 @@ impl HashRing {
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
+}
+
+/// The placement hash of a request: its cache key with the model version
+/// zeroed out, so the same question routes to the same shard across model
+/// hot-swaps. `None` when the features are unroutable (non-finite or
+/// outside the quantization range) — callers send those to any shard,
+/// whose engine rejects them with the proper reason.
+///
+/// This is the **single** placement function: the in-process
+/// [`ServeCluster`] and the `nfv-net` wire router both call it, so a key's
+/// home shard is the same on either transport.
+pub fn route_hash(
+    model_id: &str,
+    method: crate::request::ExplainMethod,
+    features: &[f64],
+    grid: f64,
+) -> Option<u64> {
+    CacheKey::build(model_id, 0, method, features, grid).map(|k| k.stable_hash())
 }
 
 /// Cluster configuration: N identical shards plus routing policy.
@@ -209,21 +259,20 @@ impl ServeCluster {
     /// spilling to the next ring shard once if the home queue is full and
     /// spill is enabled.
     pub fn explain(&self, request: ExplainRequest) -> Result<ExplainResponse, ServeError> {
-        // Route on the cache key with the version zeroed out: same
-        // question → same shard, across model hot-swaps. Unroutable
-        // requests (non-finite features) go to shard 0, whose engine
-        // rejects them with the proper reason.
-        let home = CacheKey::build(
+        // Route on the versionless cache key: same question → same shard,
+        // across model hot-swaps. Unroutable requests (non-finite
+        // features) go to shard 0, whose engine rejects them with the
+        // proper reason.
+        let hash = route_hash(
             &request.model_id,
-            0,
             request.method,
             &request.features,
             self.grid,
-        )
-        .map(|k| self.ring.shard_of(k.stable_hash()));
-        let Some(home) = home else {
+        );
+        let Some(hash) = hash else {
             return self.shards[0].explain(request);
         };
+        let home = self.ring.shard_of(hash);
         let retry = if self.spill && self.shards.len() > 1 {
             Some(request.clone())
         } else {
@@ -232,17 +281,9 @@ impl ServeCluster {
         match self.shards[home].explain(request) {
             Err(ServeError::Rejected(RejectReason::QueueFull { .. })) if retry.is_some() => {
                 let request = retry.expect("checked is_some above");
-                let key = CacheKey::build(
-                    &request.model_id,
-                    0,
-                    request.method,
-                    &request.features,
-                    self.grid,
-                )
-                .expect("routed once already; features are finite");
                 let next = self
                     .ring
-                    .next_shard(key.stable_hash(), home)
+                    .next_shard(hash, home)
                     .expect("spill requires > 1 shard");
                 self.spills.fetch_add(1, Ordering::Relaxed);
                 self.shards[next].explain(request)
@@ -306,6 +347,48 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "every shard owns some keys");
         assert_eq!(a.len(), 4 * 128);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn stable_id_ring_keeps_surviving_points_fixed() {
+        // Removing id 2 from {0,1,2,3} must only move keys that 2 owned.
+        let full = HashRing::from_ids(&[0, 1, 2, 3], 64);
+        let without = HashRing::from_ids(&[0, 1, 3], 64);
+        for k in 0..20_000u64 {
+            let h = fnv1a_words([k, 3]);
+            let before = full.shard_of(h);
+            let after = without.shard_of(h);
+            if before != 2 {
+                assert_eq!(before, after, "keys of surviving shards must not move");
+            } else {
+                assert_ne!(after, 2, "orphaned keys land on a survivor");
+            }
+        }
+        // An index ring is the same thing over 0..n.
+        let a = HashRing::new(4, 64);
+        let b = HashRing::from_ids(&[0, 1, 2, 3], 64);
+        for k in 0..1_000u64 {
+            let h = fnv1a_words([k]);
+            assert_eq!(a.shard_of(h), b.shard_of(h));
+        }
+    }
+
+    #[test]
+    fn shards_for_lists_distinct_candidates_starting_at_home() {
+        let ring = HashRing::new(4, 64);
+        for k in 0..1_000u64 {
+            let h = fnv1a_words([k, 11]);
+            let cands = ring.shards_for(h, 3);
+            assert_eq!(cands.len(), 3);
+            assert_eq!(cands[0], ring.shard_of(h), "home is first");
+            let mut sorted = cands.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "candidates are distinct");
+            assert_eq!(cands[1], ring.next_shard(h, cands[0]).unwrap());
+        }
+        // Asking for more replicas than shards returns them all.
+        assert_eq!(ring.shards_for(42, 9).len(), 4);
     }
 
     #[test]

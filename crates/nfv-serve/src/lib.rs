@@ -92,7 +92,7 @@ pub use engine::Engine as ServeEngine;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::cluster::{ClusterConfig, ClusterStats, HashRing, ServeCluster};
+    pub use crate::cluster::{route_hash, ClusterConfig, ClusterStats, HashRing, ServeCluster};
     pub use crate::error::{RejectReason, ServeError};
     pub use crate::metrics::ServeStats;
     pub use crate::registry::{ModelEntry, ModelRegistry, ServeModel};

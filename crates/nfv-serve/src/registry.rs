@@ -16,7 +16,11 @@ use std::sync::Arc;
 
 /// A servable model: the closed set of architectures the NFV-management
 /// stack deploys (SLA forecasting, latency regression, baselines).
-#[derive(Debug, Clone)]
+///
+/// Serializable so the `nfv-net` wire layer can ship a registration to
+/// remote shard processes; all weights are finite, so the JSON round-trip
+/// is bit-exact (Rust's shortest-float formatting guarantees it).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum ServeModel {
     /// Gradient-boosted trees (explained in margin space).
     Gbdt(Gbdt),

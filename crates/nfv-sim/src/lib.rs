@@ -54,6 +54,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod vnf;
+pub mod wire;
 pub mod workload;
 
 use std::fmt;

@@ -7,6 +7,7 @@
 //! zeros), so a trace is typically ~10× smaller than its JSON form.
 
 use crate::telemetry::{LatencyHistogram, VnfWindowStats, WindowSnapshot};
+use crate::wire;
 use crate::SimError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -42,14 +43,14 @@ fn put_histogram(buf: &mut BytesMut, h: &LatencyHistogram) {
     buf.put_u16_le(u16::MAX);
 }
 
+/// Shared truncation check: the [`wire::ensure`] helper with the error
+/// mapped into this codec's [`SimError::Config`].
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), SimError> {
+    wire::ensure(buf, n, what).map_err(SimError::Config)
+}
+
 fn get_histogram(buf: &mut Bytes) -> Result<LatencyHistogram, SimError> {
-    let need = |buf: &Bytes, n: usize| {
-        if buf.remaining() < n {
-            Err(SimError::Config("truncated trace: histogram".into()))
-        } else {
-            Ok(())
-        }
-    };
+    let need = |buf: &Bytes, n: usize| need(buf, n, "trace histogram");
     need(buf, 8 + 8 + 8 + 8)?;
     let count = buf.get_u64_le();
     let sum_secs = buf.get_f64_le();
@@ -102,13 +103,7 @@ fn put_snapshot(buf: &mut BytesMut, s: &WindowSnapshot) {
 }
 
 fn get_snapshot(buf: &mut Bytes) -> Result<WindowSnapshot, SimError> {
-    let need = |buf: &Bytes, n: usize| {
-        if buf.remaining() < n {
-            Err(SimError::Config("truncated trace: snapshot".into()))
-        } else {
-            Ok(())
-        }
-    };
+    let need = |buf: &Bytes, n: usize| need(buf, n, "trace snapshot");
     need(buf, 8 * 4 + 16)?;
     let start_s = buf.get_f64_le();
     let window_s = buf.get_f64_le();
