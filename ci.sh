@@ -22,8 +22,10 @@ cargo bench -p nfv-bench --bench explain_latency -- --test
 
 # Multi-process wire smoke: three real nfv-shard processes on loopback, a
 # short mixed replay checked bit-for-bit against an in-process engine,
-# zero protocol errors, clean drain. Exits non-zero on any violation.
-echo "==> nfv-net multi-process smoke (3 shard processes)"
+# then a pipelined storm (64 concurrent connections, depth 8 per socket)
+# against the event-driven server — zero protocol errors, clean drain.
+# Exits non-zero on any violation.
+echo "==> nfv-net multi-process smoke (3 shard processes, 64-conn pipelined storm)"
 cargo run -q --release -p nfv-net --bin nfv-net-smoke
 
 # Perf-regression gate: rerun the timed benches and diff the fresh medians

@@ -205,6 +205,18 @@ const MIXED_TRACE_TOTAL: usize = 128;
 /// request, so at most 8 requests exist cluster-wide and a 4-shard pool
 /// idles, flattening the scaling figure. 32 clients × 4 requests keeps the
 /// shards saturated while replaying the exact same 128 keys.
+fn mixed_method(n: usize) -> ExplainMethod {
+    match n % 4 {
+        0 => ExplainMethod::KernelShap { n_coalitions: 64 },
+        1 => ExplainMethod::SamplingShapley {
+            n_permutations: 4,
+            antithetic: true,
+        },
+        2 => ExplainMethod::Permutation,
+        _ => ExplainMethod::GroupedShapley,
+    }
+}
+
 fn replay_mixed_trace<F>(explain: &F, task: &SizedTask, cell: u64, clients: usize)
 where
     F: Fn(ExplainRequest) -> Result<ExplainResponse, ServeError> + Sync,
@@ -217,15 +229,7 @@ where
                 for i in 0..per_client {
                     let n = c * per_client + i;
                     let mut r = req(task, n);
-                    r.method = match n % 4 {
-                        0 => ExplainMethod::KernelShap { n_coalitions: 64 },
-                        1 => ExplainMethod::SamplingShapley {
-                            n_permutations: 4,
-                            antithetic: true,
-                        },
-                        2 => ExplainMethod::Permutation,
-                        _ => ExplainMethod::GroupedShapley,
-                    };
+                    r.method = mixed_method(n);
                     r.features[0] += (1 + n as u64 + cell * 1024) as f64 * 1e-3;
                     explain(r).unwrap();
                 }
@@ -337,6 +341,46 @@ fn bench_wire_replay(c: &mut Criterion) {
                 replay_mixed_trace(&explain, &task, cell, 32);
             })
         });
+        // Pipelined arm: the same trace volume over direct shard
+        // connections, a whole batch written per socket before the first
+        // response is read — prices the server's dispatch pool and write
+        // batching without the router in the way.
+        let conns: Vec<ShardConn> = (0..8)
+            .map(|i| {
+                ShardConn::connect(
+                    &addrs[i % addrs.len()],
+                    MAX_PAYLOAD,
+                    Duration::from_secs(30),
+                )
+                .unwrap()
+            })
+            .collect();
+        g.bench_function(format!("shards_{shards}_wire_pipelined_8_conns"), |b| {
+            b.iter(|| {
+                cell += 1;
+                let per = MIXED_TRACE_TOTAL / conns.len();
+                std::thread::scope(|s| {
+                    for (c, conn) in conns.iter().enumerate() {
+                        let task = &task;
+                        s.spawn(move || {
+                            let requests: Vec<ExplainRequest> = (0..per)
+                                .map(|i| {
+                                    let n = c * per + i;
+                                    let mut r = req(task, n);
+                                    r.method = mixed_method(n);
+                                    r.features[0] += (1 + n as u64 + cell * 1024) as f64 * 1e-3;
+                                    r
+                                })
+                                .collect();
+                            for result in conn.explain_many(&requests) {
+                                result.unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        drop(conns);
         let stats = net.stats();
         println!(
             "wire[{}] stats: {} spills, {} net errors",

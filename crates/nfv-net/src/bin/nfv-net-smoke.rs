@@ -2,10 +2,14 @@
 //!
 //! Spawns three real `nfv-shard` processes on loopback, registers a model
 //! through the router, replays a short mixed-method workload from several
-//! client threads, and asserts:
+//! client threads, then storms the shards with 64 concurrent connections
+//! each pipelining several requests (depth > 1) over one socket, and
+//! asserts:
 //!
-//! - every wire answer is **bit-identical** to an in-process reference
-//!   engine with the same seed,
+//! - every routed wire answer is **bit-identical** to an in-process
+//!   reference engine with the same seed,
+//! - every pipelined request completes (no drops, no protocol faults
+//!   under concurrent pipelined load),
 //! - zero protocol errors on every shard,
 //! - the drain handshake completes and every child exits 0.
 //!
@@ -184,6 +188,42 @@ fn main() {
         }
     }
 
+    // Phase 2: pipelined storm. 64 concurrent connections, each writing a
+    // whole batch to its socket before reading the first response; the
+    // event-driven server must interleave them all without a fault.
+    const PIPE_CONNS: usize = 64;
+    const PIPE_DEPTH: usize = 8;
+    let mut stormers = Vec::new();
+    for c in 0..PIPE_CONNS {
+        let addr = addrs[c % addrs.len()].clone();
+        let synth = Arc::clone(&synth);
+        stormers.push(std::thread::spawn(move || {
+            let conn = ShardConn::connect(&addr, MAX_PAYLOAD, Duration::from_secs(60))
+                .unwrap_or_else(|e| die(&format!("pipelined connect {c}: {e}")));
+            let requests: Vec<ExplainRequest> = (0..PIPE_DEPTH)
+                .map(|i| {
+                    let n = c * PIPE_DEPTH + i;
+                    ExplainRequest {
+                        model_id: "sla".into(),
+                        features: synth.data.row(n % synth.data.n_rows()).to_vec(),
+                        method: mixed_method(n),
+                        budget: Duration::from_secs(30),
+                    }
+                })
+                .collect();
+            for (i, result) in conn.explain_many(&requests).iter().enumerate() {
+                if let Err(e) = result {
+                    die(&format!("pipelined conn {c} request {i}: {e}"));
+                }
+            }
+        }));
+    }
+    for h in stormers {
+        if h.join().is_err() {
+            die("pipelined client thread panicked");
+        }
+    }
+
     // Zero protocol errors on every shard, then a clean drain.
     let stats = cluster.stats();
     for (id, addr, health) in &stats.shards {
@@ -201,10 +241,10 @@ fn main() {
     let completed = cluster
         .drain_all()
         .unwrap_or_else(|e| die(&format!("drain: {e}")));
-    if (completed as usize) < N_CLIENTS * PER_CLIENT {
+    let expected = N_CLIENTS * PER_CLIENT + PIPE_CONNS * PIPE_DEPTH;
+    if (completed as usize) < expected {
         die(&format!(
-            "shards completed {completed} requests, expected at least {}",
-            N_CLIENTS * PER_CLIENT
+            "shards completed {completed} requests, expected at least {expected}"
         ));
     }
     for (i, mut child) in children.into_iter().enumerate() {
@@ -217,8 +257,10 @@ fn main() {
     }
     drop(readers);
     println!(
-        "nfv-net-smoke OK: {} requests over {N_SHARDS} shard processes, \
-         bit-identical to in-process, 0 protocol errors, clean drain",
-        N_CLIENTS * PER_CLIENT
+        "nfv-net-smoke OK: {} routed + {} pipelined requests ({PIPE_CONNS} connections, \
+         depth {PIPE_DEPTH}) over {N_SHARDS} shard processes, bit-identical to in-process, \
+         0 protocol errors, clean drain",
+        N_CLIENTS * PER_CLIENT,
+        PIPE_CONNS * PIPE_DEPTH
     );
 }

@@ -4,7 +4,13 @@
 //!
 //! ```text
 //! nfv-shard [--addr 127.0.0.1:0] [--workers N] [--queue N] [--seed N]
+//!           [--dispatch N] [--pipeline N]
 //! ```
+//!
+//! `--workers`/`--queue` size the engine; `--dispatch` sizes the wire
+//! tier's explain-dispatch pool (`0` = auto: `max(4, cores)`) and
+//! `--pipeline` caps explains in flight per connection (excess gets a
+//! typed `PipelineTooDeep` reject).
 //!
 //! Prints `nfv-shard listening on <addr>` (with the resolved port) on
 //! stdout once ready — supervisors parse this line — then serves until a
@@ -16,7 +22,10 @@ use nfv_net::prelude::*;
 use std::io::Write;
 
 fn usage() -> ! {
-    eprintln!("usage: nfv-shard [--addr HOST:PORT] [--workers N] [--queue N] [--seed N]");
+    eprintln!(
+        "usage: nfv-shard [--addr HOST:PORT] [--workers N] [--queue N] [--seed N] \
+         [--dispatch N] [--pipeline N]"
+    );
     std::process::exit(2);
 }
 
@@ -37,6 +46,14 @@ fn main() {
             },
             "--seed" => match value.parse() {
                 Ok(n) => cfg.serve.seed = n,
+                _ => usage(),
+            },
+            "--dispatch" => match value.parse() {
+                Ok(n) => cfg.dispatch_threads = n,
+                _ => usage(),
+            },
+            "--pipeline" => match value.parse() {
+                Ok(n) if n > 0 => cfg.max_pipeline = n,
                 _ => usage(),
             },
             _ => usage(),

@@ -30,6 +30,11 @@ pub struct ShardConn {
     alive: Arc<AtomicBool>,
     next_rid: AtomicU64,
     rpc_timeout: Duration,
+    /// Test seam: runs between the liveness check and the pending-map
+    /// insert in [`ShardConn::begin`], where the insert can race the
+    /// reader's `fail_all`. Lets the regression test kill the stream in
+    /// exactly that window.
+    rpc_race_hook: Mutex<Option<Box<dyn Fn() + Send>>>,
 }
 
 impl ShardConn {
@@ -60,7 +65,15 @@ impl ShardConn {
             alive,
             next_rid: AtomicU64::new(1),
             rpc_timeout,
+            rpc_race_hook: Mutex::new(None),
         })
+    }
+
+    /// Installs the [`ShardConn::begin`] race hook. Test-only seam; not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn set_rpc_race_hook(&self, hook: Box<dyn Fn() + Send>) {
+        *self.rpc_race_hook.lock() = Some(hook);
     }
 
     /// The address this connection dialed.
@@ -77,17 +90,32 @@ impl ShardConn {
         self.next_rid.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Sends one message and waits for the response bearing the same rid.
-    fn rpc(&self, msg: Message) -> Result<Message, WireError> {
+    /// Parks a response channel under the message's rid and sends the
+    /// frame; [`ShardConn::finish`] waits the reply out. Split so
+    /// pipelined callers can issue many sends before their first wait.
+    fn begin(
+        &self,
+        msg: Message,
+    ) -> Result<(u64, mpsc::Receiver<Result<Message, WireError>>), WireError> {
+        let dead = || WireError::ConnectionLost(format!("{} is marked dead", self.addr));
         if !self.is_alive() {
-            return Err(WireError::ConnectionLost(format!(
-                "{} is marked dead",
-                self.addr
-            )));
+            return Err(dead());
+        }
+        if let Some(hook) = &*self.rpc_race_hook.lock() {
+            hook();
         }
         let rid = msg.rid();
         let (tx, rx) = mpsc::channel();
         self.pending.lock().insert(rid, tx);
+        // The reader's `fail_all` marks the connection dead *before*
+        // draining the pending map, so an insert that lost the race (the
+        // map was already drained; nothing will ever complete this entry)
+        // is always visible here: re-check and fail fast instead of
+        // stalling out the full rpc timeout.
+        if !self.is_alive() {
+            self.pending.lock().remove(&rid);
+            return Err(dead());
+        }
         let payload = msg.encode_payload();
         let write_result = {
             let mut w = self.writer.lock();
@@ -98,6 +126,15 @@ impl ShardConn {
             self.alive.store(false, Ordering::SeqCst);
             return Err(e);
         }
+        Ok((rid, rx))
+    }
+
+    /// Waits out one response parked by [`ShardConn::begin`].
+    fn finish(
+        &self,
+        rid: u64,
+        rx: mpsc::Receiver<Result<Message, WireError>>,
+    ) -> Result<Message, WireError> {
         match rx.recv_timeout(self.rpc_timeout) {
             Ok(result) => result,
             Err(_) => {
@@ -110,16 +147,24 @@ impl ShardConn {
         }
     }
 
-    /// Remote `Engine::explain`.
-    pub fn explain(&self, request: &ExplainRequest) -> Result<ExplainResponse, ShardCallError> {
-        let msg = Message::Explain(WireRequest {
+    /// Sends one message and waits for the response bearing the same rid.
+    fn rpc(&self, msg: Message) -> Result<Message, WireError> {
+        let (rid, rx) = self.begin(msg)?;
+        self.finish(rid, rx)
+    }
+
+    fn explain_message(&self, request: &ExplainRequest) -> Message {
+        Message::Explain(WireRequest {
             rid: self.next_rid(),
             model_id: request.model_id.clone(),
             features: request.features.clone(),
             method: request.method,
             budget_ns: request.budget.as_nanos() as u64,
-        });
-        match self.rpc(msg).map_err(ShardCallError::Wire)? {
+        })
+    }
+
+    fn decode_explain(msg: Message) -> Result<ExplainResponse, ShardCallError> {
+        match msg {
             Message::ExplainReply(WireResponse { outcome, .. }) => match outcome {
                 Ok(a) => Ok(ExplainResponse {
                     attribution: Arc::new(a.attribution),
@@ -136,6 +181,36 @@ impl ShardConn {
                 other.msg_type()
             )))),
         }
+    }
+
+    /// Remote `Engine::explain`.
+    pub fn explain(&self, request: &ExplainRequest) -> Result<ExplainResponse, ShardCallError> {
+        let msg = self.explain_message(request);
+        Self::decode_explain(self.rpc(msg).map_err(ShardCallError::Wire)?)
+    }
+
+    /// Pipelined remote explains: every request is written to the socket
+    /// before the first response is awaited, so one connection keeps up
+    /// to `requests.len()` explains in flight. Results come back in input
+    /// order (the wire order may differ; rids correlate). Each slot fails
+    /// independently — a reject on one request does not poison the rest.
+    pub fn explain_many(
+        &self,
+        requests: &[ExplainRequest],
+    ) -> Vec<Result<ExplainResponse, ShardCallError>> {
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|request| self.begin(self.explain_message(request)))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|ticket| match ticket {
+                Ok((rid, rx)) => {
+                    Self::decode_explain(self.finish(rid, rx).map_err(ShardCallError::Wire)?)
+                }
+                Err(e) => Err(ShardCallError::Wire(e)),
+            })
+            .collect()
     }
 
     /// Remote `ModelRegistry::register`: ships the model as JSON and the
@@ -159,6 +234,11 @@ impl ShardConn {
         });
         match self.rpc(msg).map_err(ShardCallError::Wire)? {
             Message::RegisterOk { version, .. } => Ok(version),
+            Message::RegisterErr { error, .. } => Err(ShardCallError::Serve(error)),
+            // Legacy arm: shards older than the `RegisterErr` message
+            // reported registration failures as an `ExplainReply` error.
+            // Kept for one protocol version so a new client can talk to
+            // an old shard; remove when VERSION bumps.
             Message::ExplainReply(WireResponse {
                 outcome: Err(e), ..
             }) => Err(ShardCallError::Serve(e)),

@@ -54,6 +54,10 @@ pub enum MsgType {
     Drain = 7,
     /// Shard → client: drain complete, carries requests served.
     DrainOk = 8,
+    /// Shard → client: registration failed, carries the typed error.
+    /// (Added after v1 shipped; a register failure used to masquerade as
+    /// an `ExplainResponse`, which clients still accept for one version.)
+    RegisterErr = 9,
 }
 
 impl MsgType {
@@ -68,6 +72,7 @@ impl MsgType {
             6 => MsgType::HealthOk,
             7 => MsgType::Drain,
             8 => MsgType::DrainOk,
+            9 => MsgType::RegisterErr,
             other => return Err(WireError::BadType(other)),
         })
     }
@@ -152,6 +157,42 @@ pub(crate) fn truncated(e: String) -> WireError {
     WireError::Truncated(e)
 }
 
+/// Validates a frame header in wire order — magic, version, type, then
+/// the length against `cap` — and returns the message type and payload
+/// length. The one place header validation lives: [`read_frame`],
+/// [`decode_frame`], and the server's incremental stream parser all call
+/// it, so the checks cannot drift apart.
+pub fn parse_header(header: &[u8; HEADER_LEN], cap: usize) -> Result<(MsgType, usize), WireError> {
+    let magic = [header[0], header[1], header[2], header[3]];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let t = MsgType::from_u8(header[6])?;
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
+    if len > cap {
+        return Err(WireError::Oversized { len, cap });
+    }
+    Ok((t, len))
+}
+
+/// Verifies the trailing checksum of a payload slice against its 8-byte
+/// little-endian FNV-1a tail. Shared by every frame reader.
+pub fn verify_checksum(payload: &[u8], tail: &[u8]) -> Result<(), WireError> {
+    let expected =
+        u64::from_le_bytes(tail.try_into().map_err(|_| {
+            WireError::Truncated("frame checksum tail shorter than 8 bytes".into())
+        })?);
+    let got = wire::fnv1a(payload);
+    if expected != got {
+        return Err(WireError::Checksum { expected, got });
+    }
+    Ok(())
+}
+
 /// Assembles one frame into a byte vector (header, payload, checksum).
 pub fn encode_frame(t: MsgType, payload: &[u8]) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len() + 8);
@@ -168,28 +209,15 @@ pub fn encode_frame(t: MsgType, payload: &[u8]) -> Vec<u8> {
 /// in-memory twin of [`read_frame`], shared with the codec proptests.
 pub fn decode_frame(data: &mut Bytes, cap: usize) -> Result<(MsgType, Bytes), WireError> {
     wire::ensure(data, HEADER_LEN, "frame header").map_err(truncated)?;
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if magic != MAGIC {
-        return Err(WireError::BadMagic(magic));
-    }
-    let version = data.get_u16_le();
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let t = MsgType::from_u8(Buf::get_u8(data))?;
-    let len = data.get_u32_le() as usize;
-    if len > cap {
-        return Err(WireError::Oversized { len, cap });
-    }
+    let mut header = [0u8; HEADER_LEN];
+    data.copy_to_slice(&mut header);
+    let (t, len) = parse_header(&header, cap)?;
     wire::ensure(data, len + 8, "frame payload + checksum").map_err(truncated)?;
     let payload = data.slice(0..len);
     data.advance(len);
-    let expected = data.get_u64_le();
-    let got = wire::fnv1a(payload.as_ref());
-    if expected != got {
-        return Err(WireError::Checksum { expected, got });
-    }
+    let mut tail = [0u8; 8];
+    data.copy_to_slice(&mut tail);
+    verify_checksum(payload.as_ref(), &tail)?;
     Ok((t, payload))
 }
 
@@ -207,27 +235,12 @@ pub fn write_frame(w: &mut impl Write, t: MsgType, payload: &[u8]) -> Result<(),
 pub fn read_frame(r: &mut impl Read, cap: usize) -> Result<(MsgType, Bytes), WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
-    let magic = [header[0], header[1], header[2], header[3]];
-    if magic != MAGIC {
-        return Err(WireError::BadMagic(magic));
-    }
-    let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let t = MsgType::from_u8(header[6])?;
-    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
-    if len > cap {
-        return Err(WireError::Oversized { len, cap });
-    }
+    let (t, len) = parse_header(&header, cap)?;
     let mut body = vec![0u8; len + 8];
     r.read_exact(&mut body)?;
-    let expected = u64::from_le_bytes(body[len..len + 8].try_into().expect("8-byte tail"));
+    let tail: [u8; 8] = body[len..len + 8].try_into().expect("8-byte tail");
     body.truncate(len);
-    let got = wire::fnv1a(&body);
-    if expected != got {
-        return Err(WireError::Checksum { expected, got });
-    }
+    verify_checksum(&body, &tail)?;
     Ok((t, Bytes::from_vec(body)))
 }
 

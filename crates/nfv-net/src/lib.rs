@@ -15,10 +15,13 @@
 //!   message; responses may arrive out of order. Floats cross as IEEE-754
 //!   bit patterns, so wire answers are **bit-identical** to in-process
 //!   answers.
-//! - [`server`] — the shard: accept loop + engine + drain state machine,
-//!   shipped as the `nfv-shard` binary.
+//! - [`server`] — the shard: one event-driven readiness loop owning
+//!   accept and all connection I/O, a bounded dispatch pool for explains
+//!   (overflow and over-deep pipelines shed as typed rejects),
+//!   per-connection write batching, and an event-driven drain state
+//!   machine; shipped as the `nfv-shard` binary.
 //! - [`client`] — one connection, one reader thread, rid demultiplexing,
-//!   fail-fast on connection loss.
+//!   pipelined sends (`explain_many`), fail-fast on connection loss.
 //! - [`router`] — [`NetCluster`]: the same content-hash ring placement as
 //!   the in-process cluster ([`nfv_serve::cluster::route_hash`] +
 //!   `HashRing::from_ids`), ordered model-registration fan-out with a

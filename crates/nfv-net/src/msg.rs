@@ -138,6 +138,16 @@ pub enum Message {
         /// Requests this shard completed over its lifetime.
         completed: u64,
     },
+    /// Shard → client: a [`Message::Register`] failed. Carries the typed
+    /// engine error instead of dressing it up as an explain response
+    /// (which is what protocol v1 servers did — clients keep a legacy
+    /// decode arm for that shape for one version).
+    RegisterErr {
+        /// Correlation id.
+        rid: u64,
+        /// Why the registration failed.
+        error: ServeError,
+    },
 }
 
 fn put_method(buf: &mut BytesMut, m: ExplainMethod) {
@@ -244,6 +254,11 @@ fn put_serve_error(buf: &mut BytesMut, e: &ServeError) {
                     put_string(buf, reason);
                 }
                 RejectReason::ShuttingDown => buf.put_u8(6),
+                RejectReason::PipelineTooDeep { depth, limit } => {
+                    buf.put_u8(7);
+                    buf.put_u64_le(*depth);
+                    buf.put_u64_le(*limit);
+                }
             }
         }
         ServeError::Explain(x) => {
@@ -287,6 +302,10 @@ fn get_serve_error(buf: &mut Bytes) -> Result<ServeError, WireError> {
                     reason: get_string(buf, MAX_STR, "reason")?,
                 },
                 6 => RejectReason::ShuttingDown,
+                7 => RejectReason::PipelineTooDeep {
+                    depth: wire::get_u64(buf, "depth").map_err(truncated)?,
+                    limit: wire::get_u64(buf, "limit").map_err(truncated)?,
+                },
                 other => return Err(WireError::Decode(format!("unknown reject tag {other}"))),
             };
             ServeError::Rejected(reason)
@@ -353,6 +372,7 @@ impl Message {
             Message::HealthOk(_) => MsgType::HealthOk,
             Message::Drain { .. } => MsgType::Drain,
             Message::DrainOk { .. } => MsgType::DrainOk,
+            Message::RegisterErr { .. } => MsgType::RegisterErr,
         }
     }
 
@@ -367,6 +387,7 @@ impl Message {
             Message::HealthOk(h) => h.rid,
             Message::Drain { rid } => *rid,
             Message::DrainOk { rid, .. } => *rid,
+            Message::RegisterErr { rid, .. } => *rid,
         }
     }
 
@@ -430,6 +451,10 @@ impl Message {
             Message::DrainOk { rid, completed } => {
                 buf.put_u64_le(*rid);
                 buf.put_u64_le(*completed);
+            }
+            Message::RegisterErr { rid, error } => {
+                buf.put_u64_le(*rid);
+                put_serve_error(&mut buf, error);
             }
         }
         buf.freeze().as_ref().to_vec()
@@ -516,6 +541,10 @@ impl Message {
                 rid,
                 completed: wire::get_u64(&mut buf, "completed").map_err(truncated)?,
             },
+            MsgType::RegisterErr => Message::RegisterErr {
+                rid,
+                error: get_serve_error(&mut buf)?,
+            },
         };
         if !buf.is_empty() {
             return Err(WireError::Decode(format!(
@@ -596,6 +625,16 @@ mod tests {
                 rid: 3,
                 completed: 42,
             },
+            Message::RegisterErr {
+                rid: 4,
+                error: ServeError::Internal("model json: EOF".into()),
+            },
+            Message::RegisterErr {
+                rid: 5,
+                error: ServeError::Rejected(RejectReason::InvalidRequest {
+                    reason: "zero-dimensional background".into(),
+                }),
+            },
         ];
         for m in &messages {
             assert_eq!(&roundtrip(m), m);
@@ -622,6 +661,10 @@ mod tests {
                 reason: "wrong feature count".into(),
             }),
             ServeError::Rejected(RejectReason::ShuttingDown),
+            ServeError::Rejected(RejectReason::PipelineTooDeep {
+                depth: 65,
+                limit: 64,
+            }),
             ServeError::Explain(XaiError::Input("bad".into())),
             ServeError::Explain(XaiError::Budget("zero".into())),
             ServeError::Explain(XaiError::Numeric("singular".into())),

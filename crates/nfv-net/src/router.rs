@@ -210,11 +210,19 @@ impl NetCluster {
 
     /// Routes one request: content hash → ring → shard RPC, with optional
     /// read fan-out and one spill retry.
+    ///
+    /// The members lock is only held long enough to clone the target's
+    /// connection handle — never across the RPC itself — so a shard that
+    /// is slow (or timing out) cannot block [`NetCluster::join`] and
+    /// [`NetCluster::leave`] for the duration of the call.
     pub fn explain(&self, request: &ExplainRequest) -> Result<ExplainResponse, NetError> {
-        let members = self.members.read();
-        if members.is_empty() {
-            return Err(NetError::Config("cluster has no shards".into()));
-        }
+        let first_conn = {
+            let members = self.members.read();
+            match members.first() {
+                Some(m) => Arc::clone(&m.conn),
+                None => return Err(NetError::Config("cluster has no shards".into())),
+            }
+        };
         let hash = route_hash(
             &request.model_id,
             request.method,
@@ -224,10 +232,7 @@ impl NetCluster {
         // Unhashable input (non-finite features): let the home-most shard
         // reject it with a proper InvalidRequest.
         let Some(hash) = hash else {
-            return members[0]
-                .conn
-                .explain(request)
-                .map_err(|e| self.note(e.into()));
+            return first_conn.explain(request).map_err(|e| self.note(e.into()));
         };
         let ring = self.ring.read();
         // The ring yields *stable shard ids* (they survive joins/leaves),
@@ -245,7 +250,7 @@ impl NetCluster {
             0
         };
         let primary = candidates[first];
-        match self.call_shard(&members, primary, request) {
+        match self.call_shard(primary, request) {
             Ok(resp) => Ok(resp),
             Err(e) if self.cfg.spill && spillable(&e) => {
                 // Count the fault now — a successful spill must not hide it.
@@ -259,9 +264,7 @@ impl NetCluster {
                     .find(|&s| s != primary)
                     .or_else(|| self.ring.read().next_shard(hash, primary));
                 match fallback {
-                    Some(id) => self
-                        .call_shard(&members, id, request)
-                        .map_err(|e2| self.note(e2)),
+                    Some(id) => self.call_shard(id, request).map_err(|e2| self.note(e2)),
                     None => Err(e),
                 }
             }
@@ -269,17 +272,18 @@ impl NetCluster {
         }
     }
 
-    fn call_shard(
-        &self,
-        members: &[Member],
-        id: usize,
-        request: &ExplainRequest,
-    ) -> Result<ExplainResponse, NetError> {
-        let member = members
-            .iter()
-            .find(|m| m.id as usize == id)
-            .ok_or_else(|| NetError::Config(format!("ring points at unknown shard id {id}")))?;
-        member.conn.explain(request).map_err(NetError::from)
+    /// Clones the connection for a stable shard id under a short-lived
+    /// read lock, then runs the RPC lock-free.
+    fn call_shard(&self, id: usize, request: &ExplainRequest) -> Result<ExplainResponse, NetError> {
+        let conn = {
+            let members = self.members.read();
+            members
+                .iter()
+                .find(|m| m.id as usize == id)
+                .map(|m| Arc::clone(&m.conn))
+                .ok_or_else(|| NetError::Config(format!("ring points at unknown shard id {id}")))?
+        };
+        conn.explain(request).map_err(NetError::from)
     }
 
     /// Counts transport faults as they surface.

@@ -1,27 +1,53 @@
 //! The shard server: one OS process, one [`Engine`], one TCP listener.
 //!
-//! Concurrency model: the accept loop runs on its own thread; each
-//! connection gets a reader thread; each explain request gets a short-lived
-//! worker thread that blocks in `Engine::explain` and writes its response
-//! through the connection's shared writer. Responses therefore leave in
-//! *completion* order, not arrival order — the rid correlates them.
+//! Concurrency model: a single event-loop thread owns the listener and
+//! every connection through a level-triggered readiness poller
+//! ([`mio::Poll`] over `poll(2)`). Sockets are nonblocking; the loop
+//! accepts, reads, parses frames incrementally out of per-connection
+//! buffers, and flushes batched responses. Explain requests are the only
+//! work that leaves the loop: they are handed to a fixed pool of
+//! dispatch workers through a *bounded* queue, so a burst of pipelined
+//! requests degrades into typed [`RejectReason::QueueFull`] responses
+//! instead of a thread explosion. Workers block in `Engine::explain` and
+//! return completions over a channel; the event loop routes each
+//! completion back to its connection's write buffer and coalesces
+//! everything queued for a socket into one flush. Responses therefore
+//! leave in *completion* order, not arrival order — the rid correlates
+//! them.
 //!
-//! Draining: on [`MsgType::Drain`] the shard flips its `draining` flag
-//! (new explains are rejected with `ShuttingDown`), waits for in-flight
-//! requests to hit zero, answers `DrainOk { completed }`, and stops the
-//! accept loop. The process's `main` then returns cleanly.
+//! Pipelining is admission-controlled per connection: more than
+//! [`ShardConfig::max_pipeline`] explains in flight on one socket gets a
+//! typed [`RejectReason::PipelineTooDeep`] reject (the connection stays
+//! healthy — the client's pipeline is the thing being told off).
+//!
+//! Register/health/drain are handled inline on the event loop: they are
+//! rare control traffic and ordering relative to explains is already
+//! only rid-correlated.
+//!
+//! Draining: on [`crate::frame::MsgType::Drain`] the shard flips its `draining` flag
+//! (new explains are rejected with `ShuttingDown`), and the loop waits —
+//! event-driven, no busy-wait — for in-flight completions to reach zero.
+//! It then queues `DrainOk { completed }` to every drain requester,
+//! flushes all write buffers, and exits. Worker threads exit when the
+//! job queue disconnects.
 //!
 //! Fail-loud: any frame that does not parse — bad magic, bad checksum,
-//! oversized length, trailing bytes — increments `protocol_errors` and
-//! closes that connection. The protocol never guesses at resync.
+//! oversized length — increments `protocol_errors` and closes that
+//! connection. The protocol never guesses at resync. A panic inside an
+//! explain worker is caught and answered as `ServeError::Internal`; a
+//! reply guard ensures the completion is delivered even on an unwind, so
+//! a drain can never wedge on a lost decrement.
 
-use crate::frame::{write_frame, MsgType, WireError, MAX_PAYLOAD};
+use crate::frame::{parse_header, verify_checksum, WireError, HEADER_LEN, MAX_PAYLOAD};
 use crate::msg::{Message, WireAnswer, WireHealth, WireRegister, WireResponse};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use mio::{Events, Interest, Poll, Token, Waker};
 use nfv_serve::prelude::*;
 use nfv_xai::prelude::Background;
-use parking_lot::Mutex;
-use std::io::ErrorKind;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -36,6 +62,18 @@ pub struct ShardConfig {
     pub serve: ServeConfig,
     /// Frame payload cap (both directions).
     pub max_payload: usize,
+    /// Explain dispatch workers (threads blocking in `Engine::explain`).
+    /// `0` auto-sizes to `max(4, available_parallelism)`: measured on a
+    /// single core, a small pool wins (fewer context switches per
+    /// request); on multi-core hosts a wider pool keeps the engine's
+    /// micro-batcher fed by concurrent callers.
+    pub dispatch_threads: usize,
+    /// Bounded dispatch queue depth; overflow is a typed `QueueFull`
+    /// reject, never an unbounded backlog.
+    pub dispatch_queue: usize,
+    /// Max explains in flight per connection before the server answers
+    /// `PipelineTooDeep` instead of dispatching.
+    pub max_pipeline: usize,
 }
 
 impl Default for ShardConfig {
@@ -44,6 +82,9 @@ impl Default for ShardConfig {
             addr: "127.0.0.1:0".into(),
             serve: ServeConfig::default(),
             max_payload: MAX_PAYLOAD,
+            dispatch_threads: 0,
+            dispatch_queue: 256,
+            max_pipeline: 64,
         }
     }
 }
@@ -56,22 +97,105 @@ struct ShardInner {
     completed: AtomicU64,
     protocol_errors: AtomicU64,
     max_payload: usize,
+    waker: Waker,
+    /// Test seam: a model id the explain worker panics on instead of
+    /// serving, read once from `NFV_NET_TEST_PANIC_MODEL` at start. Lets
+    /// the drain-after-panic regression test inject an unwind without a
+    /// poisonable public API.
+    panic_model: Option<String>,
 }
 
-/// A running shard server. Dropping it does *not* stop the accept loop;
+/// One explain handed to the dispatch pool. Carries only what the worker
+/// needs; the connection is referenced by id so a vanished peer cannot
+/// keep a socket alive.
+struct Job {
+    conn_id: usize,
+    rid: u64,
+    model_id: String,
+    features: Vec<f64>,
+    method: ExplainMethod,
+    budget_ns: u64,
+}
+
+/// A finished explain (or an inline control reply) headed back to the
+/// event loop for batching onto its connection.
+struct Completion {
+    conn_id: usize,
+    msg: Message,
+}
+
+/// Delivers the `Internal` completion if the worker unwinds between
+/// taking a job and sending its real completion. Without this, a panic
+/// leaks the in-flight count and `Drain` waits forever.
+struct ReplyGuard<'a> {
+    conn_id: usize,
+    rid: u64,
+    completions: &'a Sender<Completion>,
+    inner: &'a ShardInner,
+    done: bool,
+}
+
+impl Drop for ReplyGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.completions.send(Completion {
+                conn_id: self.conn_id,
+                msg: Message::ExplainReply(WireResponse {
+                    rid: self.rid,
+                    outcome: Err(ServeError::Internal("explain worker panicked".into())),
+                }),
+            });
+            let _ = self.inner.waker.wake();
+        }
+    }
+}
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+/// Connection tokens start here; ids are monotonic and never reused, so
+/// a stale completion can never route to a different peer.
+const CONN_BASE: usize = 2;
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into frames.
+    read_buf: Vec<u8>,
+    /// Batched outgoing frames; `write_pos` is the flush cursor so a
+    /// partial write never memmoves the remainder.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Explains dispatched on this connection and not yet answered.
+    in_flight: u64,
+    /// Whether WRITABLE interest is currently registered.
+    wants_write: bool,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// A running shard server. Dropping it does *not* stop the event loop;
 /// call [`ShardServer::join`] (waits for a drain) or [`ShardServer::stop`].
 pub struct ShardServer {
     inner: Arc<ShardInner>,
     local_addr: SocketAddr,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    event_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl ShardServer {
-    /// Binds the listener and starts the accept loop and engine.
+    /// Binds the listener and starts the event loop, dispatch pool, and
+    /// engine.
     pub fn start(cfg: ShardConfig) -> Result<ShardServer, WireError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let poll = Poll::new()?;
+        poll.registry()
+            .register(&listener, LISTENER, Interest::READABLE)?;
+        let waker = Waker::new(poll.registry(), WAKER)?;
         let inner = Arc::new(ShardInner {
             engine: Engine::start(cfg.serve),
             draining: AtomicBool::new(false),
@@ -80,16 +204,49 @@ impl ShardServer {
             completed: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             max_payload: cfg.max_payload,
+            waker,
+            panic_model: std::env::var("NFV_NET_TEST_PANIC_MODEL").ok(),
         });
-        let accept_inner = Arc::clone(&inner);
-        let accept_thread = thread::Builder::new()
-            .name("nfv-shard-accept".into())
-            .spawn(move || accept_loop(listener, accept_inner))
+
+        let dispatch_threads = if cfg.dispatch_threads == 0 {
+            thread::available_parallelism().map_or(4, |p| p.get().max(4))
+        } else {
+            cfg.dispatch_threads
+        };
+        let (job_tx, job_rx) = bounded::<Job>(cfg.dispatch_queue.max(1));
+        let (done_tx, done_rx) = unbounded::<Completion>();
+        for i in 0..dispatch_threads {
+            let rx = job_rx.clone();
+            let tx = done_tx.clone();
+            let worker_inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name(format!("nfv-shard-explain-{i}"))
+                .spawn(move || worker_loop(rx, tx, worker_inner))
+                .map_err(|e| WireError::Io(e.to_string()))?;
+        }
+        drop(done_tx); // the loop detects worker death via channel close
+
+        let loop_inner = Arc::clone(&inner);
+        let queue_capacity = cfg.dispatch_queue.max(1);
+        let max_pipeline = cfg.max_pipeline.max(1) as u64;
+        let event_thread = thread::Builder::new()
+            .name("nfv-shard-events".into())
+            .spawn(move || {
+                event_loop(
+                    poll,
+                    listener,
+                    loop_inner,
+                    job_tx,
+                    done_rx,
+                    queue_capacity,
+                    max_pipeline,
+                )
+            })
             .map_err(|e| WireError::Io(e.to_string()))?;
         Ok(ShardServer {
             inner,
             local_addr,
-            accept_thread: Some(accept_thread),
+            event_thread: Some(event_thread),
         })
     }
 
@@ -106,14 +263,14 @@ impl ShardServer {
     /// Requests completed (successes and engine errors both count: each
     /// got its response frame).
     pub fn completed(&self) -> u64 {
-        self.inner.completed.load(Ordering::Relaxed)
+        self.inner.completed.load(Ordering::SeqCst)
     }
 
-    /// Blocks until the accept loop exits (a Drain arrived, or
+    /// Blocks until the event loop exits (a Drain finished, or
     /// [`ShardServer::stop`] was called). Returns the final
     /// `(completed, protocol_errors)` counters.
     pub fn join(mut self) -> (u64, u64) {
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.event_thread.take() {
             let _ = h.join();
         }
         (
@@ -122,230 +279,451 @@ impl ShardServer {
         )
     }
 
-    /// Force-stops the accept loop without waiting for a drain.
+    /// Force-stops the event loop without waiting for a drain.
     pub fn stop(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
+        let _ = self.inner.waker.wake();
     }
 }
 
-fn accept_loop(listener: TcpListener, inner: Arc<ShardInner>) {
-    while !inner.stop.load(Ordering::SeqCst) {
+fn worker_loop(jobs: Receiver<Job>, completions: Sender<Completion>, inner: Arc<ShardInner>) {
+    while let Ok(job) = jobs.recv() {
+        let mut guard = ReplyGuard {
+            conn_id: job.conn_id,
+            rid: job.rid,
+            completions: &completions,
+            inner: &inner,
+            done: false,
+        };
+        // `Engine` is panic-tolerant by contract, but an unwind out of
+        // the explainer stack must not kill the worker or lose the
+        // in-flight decrement: catch it and answer `Internal`.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inner.panic_model.as_deref() == Some(job.model_id.as_str()) {
+                panic!("injected test panic for model {}", job.model_id);
+            }
+            inner
+                .engine
+                .explain(ExplainRequest {
+                    model_id: job.model_id,
+                    features: job.features,
+                    method: job.method,
+                    budget: Duration::from_nanos(job.budget_ns),
+                })
+                .map(|resp| WireAnswer {
+                    attribution: (*resp.attribution).clone(),
+                    model_version: resp.model_version,
+                    cache_hit: resp.cache_hit,
+                    batch_size: resp.batch_size as u64,
+                    queue_wait_ns: resp.queue_wait.as_nanos() as u64,
+                    service_ns: resp.service_time.as_nanos() as u64,
+                })
+        }))
+        .unwrap_or_else(|_| Err(ServeError::Internal("explain worker panicked".into())));
+        guard.done = true;
+        let _ = completions.send(Completion {
+            conn_id: job.conn_id,
+            msg: Message::ExplainReply(WireResponse {
+                rid: job.rid,
+                outcome,
+            }),
+        });
+        let _ = inner.waker.wake();
+    }
+}
+
+/// What message handling decided about the connection's fate.
+enum ConnFate {
+    Keep,
+    /// Peer misbehaved at the protocol layer: count and close.
+    Protocol,
+    /// Orderly close (peer EOF, write failure).
+    Close,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn event_loop(
+    mut poll: Poll,
+    listener: TcpListener,
+    inner: Arc<ShardInner>,
+    job_tx: Sender<Job>,
+    done_rx: Receiver<Completion>,
+    queue_capacity: usize,
+    max_pipeline: u64,
+) {
+    let mut events = Events::with_capacity(256);
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_id = CONN_BASE;
+    // Connections that asked for a drain and the rid to answer under.
+    let mut drain_waiters: Vec<(usize, u64)> = Vec::new();
+    // Set once DrainOk frames are queued; the loop then exits as soon as
+    // every write buffer is flushed.
+    let mut finishing = false;
+
+    'run: loop {
+        if poll.poll(&mut events, None).is_err() {
+            break;
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        for event in &events {
+            match event.token() {
+                LISTENER => accept_all(&listener, &mut poll, &mut conns, &mut next_id),
+                WAKER => inner.waker.drain(),
+                Token(id) => {
+                    let fate = if event.is_readable() {
+                        handle_readable(
+                            id,
+                            &mut conns,
+                            &inner,
+                            &job_tx,
+                            queue_capacity,
+                            max_pipeline,
+                            &mut drain_waiters,
+                        )
+                    } else {
+                        ConnFate::Keep
+                    };
+                    match fate {
+                        ConnFate::Keep => touched.push(id),
+                        ConnFate::Protocol => {
+                            inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            close_conn(id, &mut poll, &mut conns);
+                        }
+                        ConnFate::Close => close_conn(id, &mut poll, &mut conns),
+                    }
+                }
+            }
+        }
+        // Route finished explains back onto their connections. A
+        // completion for a closed connection still settles the global
+        // accounting — the work happened, the peer just left.
+        while let Ok(done) = done_rx.try_recv() {
+            inner.completed.fetch_add(1, Ordering::SeqCst);
+            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if let Some(conn) = conns.get_mut(&done.conn_id) {
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+                queue_message(conn, &done.msg);
+                touched.push(done.conn_id);
+            }
+        }
+        // Event-driven drain: everything dispatched has completed, so
+        // answer every waiter and flip to the flush-and-exit state.
+        if !drain_waiters.is_empty() && inner.in_flight.load(Ordering::SeqCst) == 0 {
+            let completed = inner.completed.load(Ordering::SeqCst);
+            for (id, rid) in drain_waiters.drain(..) {
+                if let Some(conn) = conns.get_mut(&id) {
+                    queue_message(conn, &Message::DrainOk { rid, completed });
+                    touched.push(id);
+                }
+            }
+            finishing = true;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for id in touched {
+            if matches!(flush_conn(id, &mut poll, &mut conns), ConnFate::Close) {
+                close_conn(id, &mut poll, &mut conns);
+            }
+        }
+        if finishing && conns.values().all(|c| c.pending_write() == 0) {
+            inner.stop.store(true, Ordering::SeqCst);
+            break 'run;
+        }
+    }
+    // Dropping `job_tx` disconnects the queue; workers exit after the
+    // jobs already in hand.
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    poll: &mut Poll,
+    conns: &mut HashMap<usize, Conn>,
+    next_id: &mut usize,
+) {
+    loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let conn_inner = Arc::clone(&inner);
-                let _ = thread::Builder::new()
-                    .name("nfv-shard-conn".into())
-                    .spawn(move || connection_loop(stream, conn_inner));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Reads exactly `buf.len()` bytes, tolerating the read timeout used to
-/// poll the stop flag. A timeout *between* frames is routine; the borrowed
-/// progress counter keeps partial frames intact across timeouts.
-fn read_full(stream: &TcpStream, buf: &mut [u8], inner: &ShardInner) -> Result<(), WireError> {
-    use std::io::Read;
-    let mut done = 0;
-    while done < buf.len() {
-        if inner.stop.load(Ordering::SeqCst) {
-            return Err(WireError::ConnectionLost("shard stopping".into()));
-        }
-        match (&mut (&*stream)).read(&mut buf[done..]) {
-            Ok(0) => return Err(WireError::ConnectionLost("peer closed".into())),
-            Ok(n) => done += n,
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(())
-}
-
-/// Like [`read_frame`] but polls the stop flag between reads.
-fn read_frame_polled(
-    stream: &TcpStream,
-    inner: &ShardInner,
-) -> Result<(MsgType, bytes::Bytes), WireError> {
-    use crate::frame::HEADER_LEN;
-    let mut header = [0u8; HEADER_LEN];
-    read_full(stream, &mut header, inner)?;
-    // Re-parse via the shared reader so header validation cannot drift:
-    // splice the header in front of the (already arrived) body bytes.
-    let magic = [header[0], header[1], header[2], header[3]];
-    if magic != crate::frame::MAGIC {
-        return Err(WireError::BadMagic(magic));
-    }
-    let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != crate::frame::VERSION {
-        return Err(WireError::BadVersion(version));
-    }
-    let t = MsgType::from_u8(header[6])?;
-    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]) as usize;
-    if len > inner.max_payload {
-        return Err(WireError::Oversized {
-            len,
-            cap: inner.max_payload,
-        });
-    }
-    let mut body = vec![0u8; len + 8];
-    read_full(stream, &mut body, inner)?;
-    let expected = u64::from_le_bytes(body[len..len + 8].try_into().expect("8-byte tail"));
-    body.truncate(len);
-    let got = nfv_sim::wire::fnv1a(&body);
-    if expected != got {
-        return Err(WireError::Checksum { expected, got });
-    }
-    Ok((t, bytes::Bytes::from_vec(body)))
-}
-
-fn send(writer: &Mutex<TcpStream>, msg: &Message) -> Result<(), WireError> {
-    let payload = msg.encode_payload();
-    let mut w = writer.lock();
-    write_frame(&mut *w, msg.msg_type(), &payload)
-}
-
-fn connection_loop(stream: TcpStream, inner: Arc<ShardInner>) {
-    // Short read timeout so reader threads notice the stop flag; writes
-    // stay blocking.
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(50)))
-        .is_err()
-    {
-        return;
-    }
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    loop {
-        let (t, payload) = match read_frame_polled(&stream, &inner) {
-            Ok(f) => f,
-            Err(WireError::ConnectionLost(_)) => return,
-            Err(_) => {
-                // Fail-loud: count it and drop the connection; resync is
-                // never attempted on a framed protocol.
-                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        };
-        let msg = match Message::decode_payload(t, payload) {
-            Ok(m) => m,
-            Err(_) => {
-                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        };
-        match msg {
-            Message::Explain(req) => {
-                let rid = req.rid;
-                if inner.draining.load(Ordering::SeqCst) {
-                    let reply = Message::ExplainReply(WireResponse {
-                        rid,
-                        outcome: Err(ServeError::Rejected(RejectReason::ShuttingDown)),
-                    });
-                    if send(&writer, &reply).is_err() {
-                        return;
-                    }
+                if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
-                inner.in_flight.fetch_add(1, Ordering::SeqCst);
-                let w = Arc::clone(&writer);
-                let worker_inner = Arc::clone(&inner);
-                let spawned = thread::Builder::new()
-                    .name("nfv-shard-explain".into())
-                    .spawn(move || {
-                        let outcome = worker_inner
-                            .engine
-                            .explain(ExplainRequest {
-                                model_id: req.model_id,
-                                features: req.features,
-                                method: req.method,
-                                budget: Duration::from_nanos(req.budget_ns),
-                            })
-                            .map(|resp| WireAnswer {
-                                attribution: (*resp.attribution).clone(),
-                                model_version: resp.model_version,
-                                cache_hit: resp.cache_hit,
-                                batch_size: resp.batch_size as u64,
-                                queue_wait_ns: resp.queue_wait.as_nanos() as u64,
-                                service_ns: resp.service_time.as_nanos() as u64,
-                            });
-                        let _ = send(&w, &Message::ExplainReply(WireResponse { rid, outcome }));
-                        worker_inner.completed.fetch_add(1, Ordering::SeqCst);
-                        worker_inner.in_flight.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    inner.in_flight.fetch_sub(1, Ordering::SeqCst);
-                    let reply = Message::ExplainReply(WireResponse {
-                        rid,
-                        outcome: Err(ServeError::Internal("spawn failed".into())),
-                    });
-                    if send(&writer, &reply).is_err() {
-                        return;
-                    }
+                let id = *next_id;
+                *next_id += 1;
+                if poll
+                    .registry()
+                    .register(&stream, Token(id), Interest::READABLE)
+                    .is_err()
+                {
+                    continue;
                 }
+                conns.insert(
+                    id,
+                    Conn {
+                        stream,
+                        read_buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        write_pos: 0,
+                        in_flight: 0,
+                        wants_write: false,
+                    },
+                );
             }
-            Message::Register(reg) => {
-                let reply = handle_register(&inner, reg);
-                if send(&writer, &reply).is_err() {
-                    return;
-                }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn close_conn(id: usize, poll: &mut Poll, conns: &mut HashMap<usize, Conn>) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = poll.registry().deregister(&conn.stream);
+    }
+}
+
+/// Appends one encoded frame to the connection's write batch. Actual
+/// socket writes happen in [`flush_conn`], so several replies queued in
+/// one loop iteration leave in a single `write`.
+fn queue_message(conn: &mut Conn, msg: &Message) {
+    let payload = msg.encode_payload();
+    // Writing into a Vec cannot fail.
+    let _ = crate::frame::write_frame(&mut conn.write_buf, msg.msg_type(), &payload);
+}
+
+/// Writes as much of the batched output as the socket accepts; registers
+/// WRITABLE interest only while a remainder exists.
+fn flush_conn(id: usize, poll: &mut Poll, conns: &mut HashMap<usize, Conn>) -> ConnFate {
+    let Some(conn) = conns.get_mut(&id) else {
+        return ConnFate::Keep;
+    };
+    while conn.pending_write() > 0 {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return ConnFate::Close,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ConnFate::Close,
+        }
+    }
+    if conn.pending_write() == 0 {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        if conn.wants_write {
+            conn.wants_write = false;
+            let _ = poll
+                .registry()
+                .reregister(&conn.stream, Token(id), Interest::READABLE);
+        }
+    } else if !conn.wants_write {
+        conn.wants_write = true;
+        let _ = poll.registry().reregister(
+            &conn.stream,
+            Token(id),
+            Interest::READABLE | Interest::WRITABLE,
+        );
+    }
+    ConnFate::Keep
+}
+
+/// Drains the socket into the connection's read buffer, then parses and
+/// handles every complete frame in it.
+fn handle_readable(
+    id: usize,
+    conns: &mut HashMap<usize, Conn>,
+    inner: &Arc<ShardInner>,
+    job_tx: &Sender<Job>,
+    queue_capacity: usize,
+    max_pipeline: u64,
+    drain_waiters: &mut Vec<(usize, u64)>,
+) -> ConnFate {
+    let Some(conn) = conns.get_mut(&id) else {
+        return ConnFate::Keep;
+    };
+    let mut chunk = [0u8; 64 * 1024];
+    let mut saw_eof = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
             }
-            Message::Health { rid } => {
-                let stats_json =
-                    serde_json::to_string(&inner.engine.stats()).unwrap_or_else(|_| "{}".into());
-                let reply = Message::HealthOk(WireHealth {
-                    rid,
-                    draining: inner.draining.load(Ordering::SeqCst),
-                    queue_len: inner.engine.queue_len() as u64,
-                    cache_len: inner.engine.cache_len() as u64,
-                    protocol_errors: inner.protocol_errors.load(Ordering::Relaxed),
-                    stats_json,
-                });
-                if send(&writer, &reply).is_err() {
-                    return;
-                }
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ConnFate::Close,
+        }
+    }
+    // Parse every complete frame out of the buffer before deciding the
+    // connection's fate: pipelined requests arrive back to back.
+    let mut consumed = 0usize;
+    let mut fate = if saw_eof {
+        ConnFate::Close
+    } else {
+        ConnFate::Keep
+    };
+    loop {
+        let buf = &conn.read_buf[consumed..];
+        if buf.len() < HEADER_LEN {
+            break;
+        }
+        let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("checked length");
+        let (t, len) = match parse_header(&header, inner.max_payload) {
+            Ok(hl) => hl,
+            Err(_) => {
+                fate = ConnFate::Protocol;
+                break;
             }
-            Message::Drain { rid } => {
+        };
+        let total = HEADER_LEN + len + 8;
+        if buf.len() < total {
+            break;
+        }
+        let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+        if verify_checksum(payload, &buf[HEADER_LEN + len..total]).is_err() {
+            fate = ConnFate::Protocol;
+            break;
+        }
+        let msg = match Message::decode_payload(t, bytes::Bytes::from_vec(payload.to_vec())) {
+            Ok(m) => m,
+            Err(_) => {
+                fate = ConnFate::Protocol;
+                break;
+            }
+        };
+        consumed += total;
+        match handle_message(id, conn, inner, job_tx, queue_capacity, max_pipeline, msg) {
+            HandleResult::Continue => {}
+            HandleResult::Drain { rid } => {
+                drain_waiters.push((id, rid));
                 inner.draining.store(true, Ordering::SeqCst);
-                while inner.in_flight.load(Ordering::SeqCst) > 0 {
-                    thread::sleep(Duration::from_millis(1));
-                }
-                let reply = Message::DrainOk {
-                    rid,
-                    completed: inner.completed.load(Ordering::SeqCst),
-                };
-                let _ = send(&writer, &reply);
-                inner.stop.store(true, Ordering::SeqCst);
-                return;
             }
-            // Server-bound traffic only; a response type here is a
-            // protocol error.
-            Message::ExplainReply(_)
-            | Message::RegisterOk { .. }
-            | Message::HealthOk(_)
-            | Message::DrainOk { .. } => {
-                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return;
+            HandleResult::Protocol => {
+                fate = ConnFate::Protocol;
+                break;
             }
         }
+    }
+    if consumed > 0 {
+        conn.read_buf.drain(..consumed);
+    }
+    // EOF with dangling bytes means the peer died mid-frame; that is a
+    // connection loss, not a protocol error (matches the old reader).
+    fate
+}
+
+enum HandleResult {
+    Continue,
+    Drain { rid: u64 },
+    Protocol,
+}
+
+fn handle_message(
+    conn_id: usize,
+    conn: &mut Conn,
+    inner: &Arc<ShardInner>,
+    job_tx: &Sender<Job>,
+    queue_capacity: usize,
+    max_pipeline: u64,
+    msg: Message,
+) -> HandleResult {
+    match msg {
+        Message::Explain(req) => {
+            let rid = req.rid;
+            let reject = |reason: RejectReason| {
+                Message::ExplainReply(WireResponse {
+                    rid,
+                    outcome: Err(ServeError::Rejected(reason)),
+                })
+            };
+            if inner.draining.load(Ordering::SeqCst) {
+                queue_message(conn, &reject(RejectReason::ShuttingDown));
+                return HandleResult::Continue;
+            }
+            if conn.in_flight >= max_pipeline {
+                queue_message(
+                    conn,
+                    &reject(RejectReason::PipelineTooDeep {
+                        depth: conn.in_flight,
+                        limit: max_pipeline,
+                    }),
+                );
+                return HandleResult::Continue;
+            }
+            let job = Job {
+                conn_id,
+                rid,
+                model_id: req.model_id,
+                features: req.features,
+                method: req.method,
+                budget_ns: req.budget_ns,
+            };
+            inner.in_flight.fetch_add(1, Ordering::SeqCst);
+            conn.in_flight += 1;
+            match job_tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    conn.in_flight -= 1;
+                    queue_message(
+                        conn,
+                        &reject(RejectReason::QueueFull {
+                            capacity: queue_capacity,
+                        }),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    conn.in_flight -= 1;
+                    queue_message(
+                        conn,
+                        &Message::ExplainReply(WireResponse {
+                            rid,
+                            outcome: Err(ServeError::Internal("dispatch pool gone".into())),
+                        }),
+                    );
+                }
+            }
+            HandleResult::Continue
+        }
+        Message::Register(reg) => {
+            let reply = handle_register(inner, reg);
+            queue_message(conn, &reply);
+            HandleResult::Continue
+        }
+        Message::Health { rid } => {
+            let stats_json =
+                serde_json::to_string(&inner.engine.stats()).unwrap_or_else(|_| "{}".into());
+            let reply = Message::HealthOk(WireHealth {
+                rid,
+                draining: inner.draining.load(Ordering::SeqCst),
+                queue_len: inner.engine.queue_len() as u64,
+                cache_len: inner.engine.cache_len() as u64,
+                protocol_errors: inner.protocol_errors.load(Ordering::Relaxed),
+                stats_json,
+            });
+            queue_message(conn, &reply);
+            HandleResult::Continue
+        }
+        Message::Drain { rid } => HandleResult::Drain { rid },
+        // Server-bound traffic only; a response type here is a
+        // protocol error.
+        Message::ExplainReply(_)
+        | Message::RegisterOk { .. }
+        | Message::RegisterErr { .. }
+        | Message::HealthOk(_)
+        | Message::DrainOk { .. } => HandleResult::Protocol,
     }
 }
 
 fn handle_register(inner: &ShardInner, reg: WireRegister) -> Message {
     let rid = reg.rid;
-    let fail = |m: String| {
-        Message::ExplainReply(WireResponse {
-            rid,
-            outcome: Err(ServeError::Internal(m)),
-        })
+    // Failures answer with the typed `RegisterErr`, not a mislabelled
+    // `ExplainReply` — a registration has no explain outcome to carry.
+    let fail = |m: String| Message::RegisterErr {
+        rid,
+        error: ServeError::Internal(m),
     };
     let model: ServeModel = match serde_json::from_str(&reg.model_json) {
         Ok(m) => m,

@@ -1,0 +1,364 @@
+//! Regression tests for the wire-tier correctness fixes and the
+//! event-driven shard server's admission behaviour:
+//!
+//! - registration failures answer with the typed `RegisterErr`, not a
+//!   mislabelled `ExplainReply`;
+//! - a panicking explain worker cannot wedge the drain handshake (the
+//!   in-flight count is settled by a reply guard on unwind);
+//! - a `ShardConn` rpc that races the reader's `fail_all` (pending entry
+//!   inserted after the map was drained) fails fast instead of stalling
+//!   out the full rpc timeout;
+//! - `NetCluster::join` is not blocked by a slow in-flight explain (the
+//!   members lock is not held across RPCs);
+//! - pipelining deeper than the server's per-connection limit gets the
+//!   typed `PipelineTooDeep` reject while shallower pipelines complete.
+
+use nfv_data::prelude::*;
+use nfv_ml::prelude::*;
+use nfv_net::frame::{read_frame, write_frame};
+use nfv_net::prelude::*;
+use nfv_serve::prelude::*;
+use nfv_xai::prelude::Background;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn start_server(cfg: ShardConfig) -> (ShardServer, String) {
+    let server = ShardServer::start(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn explain_request(model_id: &str) -> ExplainRequest {
+    ExplainRequest {
+        model_id: model_id.into(),
+        features: vec![0.25, 0.5, 0.75, 0.1, 0.9],
+        method: ExplainMethod::Permutation,
+        budget: Duration::from_secs(30),
+    }
+}
+
+/// A registration the server cannot deserialize must come back as the
+/// typed `RegisterErr` — not as an `ExplainReply` wearing an error. Sent
+/// raw so the assertion is on the wire message itself, not on the
+/// client's (intentionally lenient) decoding.
+#[test]
+fn register_failure_replies_with_typed_register_err() {
+    let (server, addr) = start_server(ShardConfig::default());
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let msg = Message::Register(WireRegister {
+        rid: 9,
+        model_id: "broken".into(),
+        model_json: "this is not a model".into(),
+        feature_names: vec!["a".into()],
+        background_rows: vec![vec![0.0]],
+    });
+    write_frame(&mut stream, msg.msg_type(), &msg.encode_payload()).unwrap();
+    let (t, payload) = read_frame(&mut stream, MAX_PAYLOAD).unwrap();
+    let reply = Message::decode_payload(t, payload).unwrap();
+    match reply {
+        Message::RegisterErr { rid, error } => {
+            assert_eq!(rid, 9);
+            assert!(
+                matches!(error, ServeError::Internal(ref m) if m.contains("model json")),
+                "unexpected error: {error:?}"
+            );
+        }
+        other => panic!("expected RegisterErr, got {:?}", other.msg_type()),
+    }
+    server.stop();
+    server.join();
+}
+
+/// The client still understands a registration failure from an old-style
+/// shard (pre-`RegisterErr` protocol) *and* from the typed message; both
+/// surface as `ShardCallError::Serve`.
+#[test]
+fn client_register_surfaces_typed_failure() {
+    let (server, addr) = start_server(ShardConfig::default());
+    let conn = ShardConn::connect(&addr, MAX_PAYLOAD, Duration::from_secs(10)).unwrap();
+    // A background whose row width disagrees with the model is rejected
+    // server-side during registration.
+    let synth = friedman1(80, 5, 0.1, 3).unwrap();
+    let model = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 3,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let err = conn
+        .register(
+            "m",
+            &ServeModel::Gbdt(model),
+            &["only-one-name".to_string()],
+            &Background::from_dataset(&synth.data, 8, 1).unwrap(),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ShardCallError::Serve(_)),
+        "expected a serve-side registration failure, got {err:?}"
+    );
+    server.stop();
+    server.join();
+}
+
+/// A worker panic mid-explain must still settle the in-flight count and
+/// answer the request as `Internal`; a subsequent drain completes instead
+/// of busy-waiting forever on the leaked counter.
+#[test]
+fn drain_completes_after_worker_panic() {
+    const PANIC_MODEL: &str = "wire-server-injected-panic";
+    std::env::set_var("NFV_NET_TEST_PANIC_MODEL", PANIC_MODEL);
+    let (server, addr) = start_server(ShardConfig::default());
+    std::env::remove_var("NFV_NET_TEST_PANIC_MODEL");
+
+    let conn = ShardConn::connect(&addr, MAX_PAYLOAD, Duration::from_secs(10)).unwrap();
+    let err = conn.explain(&explain_request(PANIC_MODEL)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ShardCallError::Serve(ServeError::Internal(ref m)) if m.contains("panicked")
+        ),
+        "expected the panic to answer as Internal, got {err:?}"
+    );
+
+    // Pre-fix the leaked in-flight count makes this wait forever; bound
+    // the handshake well under the rpc timeout.
+    let t0 = Instant::now();
+    let completed = conn.drain().unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drain took {:?}",
+        t0.elapsed()
+    );
+    // The panicked request got its (error) response frame, so it counts.
+    assert_eq!(completed, 1);
+    server.join();
+}
+
+/// Kill the connection inside the window between the rpc's liveness check
+/// and its pending-map insert: the reader's `fail_all` has already
+/// drained the map, so nothing will ever complete the entry. The call
+/// must fail fast, not sit out the full rpc timeout.
+#[test]
+fn rpc_inserted_after_fail_all_fails_fast() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server_side: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
+    {
+        let server_side = Arc::clone(&server_side);
+        thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            *server_side.lock().unwrap() = Some(stream);
+        });
+    }
+    let rpc_timeout = Duration::from_secs(10);
+    let conn = Arc::new(ShardConn::connect(&addr, MAX_PAYLOAD, rpc_timeout).unwrap());
+    // Wait for the accept side to hold the socket.
+    while server_side.lock().unwrap().is_none() {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let hook_conn = Arc::clone(&conn);
+    conn.set_rpc_race_hook(Box::new(move || {
+        // Drop the server side: the reader sees EOF and runs `fail_all`
+        // (alive := false, pending map drained) while this rpc is parked
+        // between its liveness check and its insert.
+        drop(server_side.lock().unwrap().take());
+        let t0 = Instant::now();
+        while hook_conn.is_alive() && t0.elapsed() < Duration::from_secs(5) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!hook_conn.is_alive(), "reader never noticed the close");
+        // `fail_all` stores the flag before draining; give the drain
+        // itself a beat to finish so the insert truly lands afterwards.
+        thread::sleep(Duration::from_millis(20));
+    }));
+
+    let t0 = Instant::now();
+    let err = conn.explain(&explain_request("m")).unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(err, ShardCallError::Wire(WireError::ConnectionLost(_))),
+        "expected a fail-fast ConnectionLost, got {err:?}"
+    );
+    assert!(
+        elapsed < rpc_timeout / 2,
+        "rpc stalled {elapsed:?} against a dead connection (timeout {rpc_timeout:?})"
+    );
+}
+
+/// A shard that sits on an explain for the full rpc timeout must not
+/// block membership changes: `join` only needs the members lock briefly,
+/// never across a member's RPC.
+#[test]
+fn join_is_not_blocked_by_a_slow_explain() {
+    // A fake shard that accepts and reads but never answers.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let stall_addr = listener.local_addr().unwrap().to_string();
+    thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((mut stream, _)) = listener.accept() {
+            let sink = thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                while matches!(stream.read(&mut buf), Ok(n) if n > 0) {}
+            });
+            held.push(sink);
+        }
+    });
+
+    let cluster = Arc::new(
+        NetCluster::connect(
+            std::slice::from_ref(&stall_addr),
+            NetClusterConfig {
+                rpc_timeout: Duration::from_secs(3),
+                ..NetClusterConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let slow = {
+        let cluster = Arc::clone(&cluster);
+        thread::spawn(move || cluster.explain(&explain_request("m")))
+    };
+    // Let the explain get in flight against the stalling shard.
+    thread::sleep(Duration::from_millis(300));
+
+    let (server, shard_addr) = start_server(ShardConfig::default());
+    let t0 = Instant::now();
+    let id = cluster.join(&shard_addr).unwrap();
+    let join_elapsed = t0.elapsed();
+    assert!(
+        join_elapsed < Duration::from_millis(1500),
+        "join waited {join_elapsed:?} behind a slow explain"
+    );
+    assert!(cluster.shard_ids().contains(&id));
+
+    // The stalled explain eventually times out on its own terms.
+    let res = slow.join().unwrap();
+    assert!(res.is_err(), "the stalling shard cannot have answered");
+    server.stop();
+    server.join();
+}
+
+/// Two explains written back-to-back in one TCP segment against a server
+/// with `max_pipeline = 1`: the first is dispatched, the second must be
+/// rejected with the typed `PipelineTooDeep` carrying both numbers.
+#[test]
+fn pipelining_past_the_depth_limit_gets_a_typed_reject() {
+    let (server, addr) = start_server(ShardConfig {
+        max_pipeline: 1,
+        dispatch_threads: 1,
+        ..ShardConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut batch = Vec::new();
+    for rid in [1u64, 2] {
+        let msg = Message::Explain(WireRequest {
+            rid,
+            model_id: "nope".into(),
+            features: vec![0.1, 0.2],
+            method: ExplainMethod::Permutation,
+            budget_ns: 1_000_000_000,
+        });
+        write_frame(&mut batch, msg.msg_type(), &msg.encode_payload()).unwrap();
+    }
+    use std::io::Write;
+    stream.write_all(&batch).unwrap();
+
+    let mut outcomes = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let (t, payload) = read_frame(&mut stream, MAX_PAYLOAD).unwrap();
+        match Message::decode_payload(t, payload).unwrap() {
+            Message::ExplainReply(WireResponse { rid, outcome }) => {
+                outcomes.insert(rid, outcome);
+            }
+            other => panic!("expected ExplainReply, got {:?}", other.msg_type()),
+        }
+    }
+    // rid 1 reached the engine (which rejects the unknown model); rid 2
+    // never got that far.
+    assert!(
+        matches!(
+            outcomes.get(&1),
+            Some(Err(ServeError::Rejected(RejectReason::UnknownModel { .. })))
+        ),
+        "rid 1: {:?}",
+        outcomes.get(&1)
+    );
+    assert!(
+        matches!(
+            outcomes.get(&2),
+            Some(Err(ServeError::Rejected(RejectReason::PipelineTooDeep {
+                depth: 1,
+                limit: 1
+            })))
+        ),
+        "rid 2: {:?}",
+        outcomes.get(&2)
+    );
+    assert_eq!(server.protocol_errors(), 0);
+    server.stop();
+    server.join();
+}
+
+/// Pipelined explains within the depth limit all complete, match the
+/// one-at-a-time answers bit for bit, and leave a clean drain.
+#[test]
+fn pipelined_explains_within_depth_complete_and_drain_clean() {
+    let synth = friedman1(160, 5, 0.1, 11).unwrap();
+    let model = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 8,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let background = Background::from_dataset(&synth.data, 16, 1).unwrap();
+
+    let (server, addr) = start_server(ShardConfig::default());
+    let conn = ShardConn::connect(&addr, MAX_PAYLOAD, Duration::from_secs(30)).unwrap();
+    conn.register(
+        "m",
+        &ServeModel::Gbdt(model),
+        &synth.data.names,
+        &background,
+    )
+    .unwrap();
+
+    let requests: Vec<ExplainRequest> = (0..16)
+        .map(|i| ExplainRequest {
+            model_id: "m".into(),
+            features: synth.data.row(i * 9).to_vec(),
+            method: match i % 3 {
+                0 => ExplainMethod::TreeShap,
+                1 => ExplainMethod::KernelShap { n_coalitions: 16 },
+                _ => ExplainMethod::Permutation,
+            },
+            budget: Duration::from_secs(30),
+        })
+        .collect();
+    let piped = conn.explain_many(&requests);
+    assert_eq!(piped.len(), requests.len());
+    for (i, (req, got)) in requests.iter().zip(&piped).enumerate() {
+        let got = got.as_ref().unwrap_or_else(|e| panic!("request {i}: {e}"));
+        let solo = conn.explain(req).unwrap();
+        assert_eq!(
+            got.attribution.values, solo.attribution.values,
+            "request {i}: pipelined answer diverged"
+        );
+    }
+    assert_eq!(server.protocol_errors(), 0);
+    let completed = conn.drain().unwrap();
+    // 16 pipelined + 16 verification singles, all answered.
+    assert_eq!(completed, 32);
+    let (final_completed, protocol_errors) = server.join();
+    assert_eq!(final_completed, 32);
+    assert_eq!(protocol_errors, 0);
+}

@@ -45,6 +45,16 @@ pub enum RejectReason {
     },
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The caller pipelined more concurrent requests over one connection
+    /// than the server's per-connection depth limit allows. Raised by
+    /// the wire tier, not by in-process admission: the fix is on the
+    /// client (cap its pipeline), so the reject names both numbers.
+    PipelineTooDeep {
+        /// Requests already in flight on the connection.
+        depth: u64,
+        /// The server's configured per-connection limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -74,6 +84,10 @@ impl fmt::Display for RejectReason {
                 write!(f, "invalid request: {reason}")
             }
             RejectReason::ShuttingDown => write!(f, "engine shutting down"),
+            RejectReason::PipelineTooDeep { depth, limit } => write!(
+                f,
+                "pipeline too deep: {depth} requests in flight on this connection, limit {limit}"
+            ),
         }
     }
 }
