@@ -13,12 +13,26 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Kernel matrix: the nfv-ml SoA suite once per forced traversal kernel, so
+# a bit-identity bug in any kernel fails CI even on hosts where calibration
+# would never pick it. Kernels needing an ISA the host lacks are skipped
+# (the force-env resolution degrades them to scalar, which arm 1 covers).
+echo "==> nfv-ml kernel matrix (NFV_ML_KERNEL=scalar|avx2|lane[|avx512])"
+kernels="scalar"
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then kernels="$kernels avx2 lane"; fi
+if grep -qw avx512f /proc/cpuinfo 2>/dev/null; then kernels="$kernels avx512"; fi
+for k in $kernels; do
+  echo "    --- NFV_ML_KERNEL=$k"
+  NFV_ML_KERNEL="$k" cargo test -q -p nfv-ml soa
+done
+
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "==> bench smoke (serve_throughput + explain_latency --test)"
+echo "==> bench smoke (serve_throughput + explain_latency + soa_kernels --test)"
 cargo bench -p nfv-bench --bench serve_throughput -- --test
 cargo bench -p nfv-bench --bench explain_latency -- --test
+cargo bench -p nfv-bench --bench soa_kernels -- --test
 
 # Multi-process wire smoke: three real nfv-shard processes on loopback, a
 # short mixed replay checked bit-for-bit against an in-process engine,
@@ -38,10 +52,19 @@ else
   echo "==> bench gate (timed run vs baselines/, tolerance 25%)"
   cargo bench -p nfv-bench --bench serve_throughput
   cargo bench -p nfv-bench --bench explain_latency
+  cargo bench -p nfv-bench --bench soa_kernels
   cargo run -q --release -p nfv-bench --bin bench_gate -- \
     baselines/BENCH_serve_throughput.json BENCH_serve_throughput.json
   cargo run -q --release -p nfv-bench --bin bench_gate -- \
     baselines/BENCH_explain_latency.json BENCH_explain_latency.json
+  cargo run -q --release -p nfv-bench --bin bench_gate -- \
+    baselines/BENCH_soa_kernels.json BENCH_soa_kernels.json
+  # To re-bless after an intentional perf change:
+  #   cargo run --release -p nfv-bench --bin bench_gate -- --bless \
+  #     --exclude wire_replay
+  # (wire_replay stays unblessed: see EXPERIMENTS.md §S4.1 — this
+  # container's single core cannot measure the multi-process wire tier
+  # honestly.)
   # The ≥3× 4-shard scaling gate now lives inside the serve_throughput
   # bench binary (cluster scaling gate; self-skips on hosts with < 5
   # cores and in --test smoke mode), so the timed run above covers it.

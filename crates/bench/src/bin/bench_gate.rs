@@ -2,44 +2,122 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]
+//! bench_gate --bless [--exclude <group-prefix>]... [<fresh.json>...]
 //! ```
 //!
-//! Compares a fresh `BENCH_*.json` (written at the workspace root by a
-//! timed Criterion run) against the blessed copy under `baselines/` and
-//! exits non-zero if any benchmark's median regressed by more than the
-//! tolerance, or vanished from the fresh run. `NFV_BENCH_GATE=off` skips
-//! the comparison entirely (escape hatch for machines whose perf envelope
-//! differs from the one the baseline was blessed on).
+//! Gate mode compares a fresh `BENCH_*.json` (written at the workspace
+//! root by a timed Criterion run) against the blessed copy under
+//! `baselines/` and exits non-zero if any benchmark's median regressed by
+//! more than the tolerance, or vanished from the fresh run.
+//! `NFV_BENCH_GATE=off` skips the comparison entirely (escape hatch for
+//! machines whose perf envelope differs from the one the baseline was
+//! blessed on).
+//!
+//! Bless mode regenerates `baselines/` from fresh runs: every fresh file
+//! named (default: all `BENCH_*.json` in the current directory) is merged
+//! over its blessed counterpart — fresh ids overwrite, blessed-only ids
+//! survive, and `--exclude` drops whole bench groups by prefix (how a
+//! group a noisy host cannot measure honestly, e.g. `wire_replay`, is
+//! kept unblessed). Run it from the workspace root after a timed
+//! `cargo bench`.
 
-use nfv_bench::gate::{gate_files, DEFAULT_TOLERANCE};
+use nfv_bench::gate::{bless_files, gate_files, DEFAULT_TOLERANCE};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]");
+    eprintln!(
+        "usage: bench_gate <baseline.json> <fresh.json> [--tolerance 0.25]\n\
+         \x20      bench_gate --bless [--exclude <group-prefix>]... [<fresh.json>...]"
+    );
     ExitCode::from(2)
 }
 
+/// Every `BENCH_*.json` in the current directory — the files a timed
+/// bench run leaves at the workspace root.
+fn fresh_files_in_cwd() -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(".")
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    found.sort();
+    found
+}
+
+fn run_bless(fresh: Vec<PathBuf>, exclude: Vec<String>) -> ExitCode {
+    let fresh = if fresh.is_empty() {
+        fresh_files_in_cwd()
+    } else {
+        fresh
+    };
+    if fresh.is_empty() {
+        eprintln!("bench bless: no BENCH_*.json found (run the timed benches first)");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for f in fresh {
+        let Some(name) = f.file_name().map(PathBuf::from) else {
+            eprintln!("bench bless: {} has no file name", f.display());
+            ok = false;
+            continue;
+        };
+        let baseline = PathBuf::from("baselines").join(name);
+        match bless_files(&baseline, &f, &exclude) {
+            Ok(msg) => println!("bench bless: {msg}"),
+            Err(e) => {
+                eprintln!("bench bless: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut exclude: Vec<String> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "--tolerance" => {
+                let Some(t) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if !(t.is_finite() && t >= 0.0) {
+                    return usage();
+                }
+                tolerance = t;
+            }
+            "--exclude" => {
+                let Some(e) = args.next() else {
+                    return usage();
+                };
+                exclude.push(e);
+            }
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+    if bless {
+        return run_bless(paths, exclude);
+    }
     if std::env::var("NFV_BENCH_GATE").map(|v| v == "off") == Ok(true) {
         println!("bench gate: SKIPPED (NFV_BENCH_GATE=off)");
         return ExitCode::SUCCESS;
-    }
-    let mut paths: Vec<PathBuf> = Vec::new();
-    let mut tolerance = DEFAULT_TOLERANCE;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--tolerance" {
-            let Some(t) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
-                return usage();
-            };
-            if !(t.is_finite() && t >= 0.0) {
-                return usage();
-            }
-            tolerance = t;
-        } else {
-            paths.push(PathBuf::from(a));
-        }
     }
     let [baseline, fresh] = paths.as_slice() else {
         return usage();

@@ -182,6 +182,88 @@ pub fn compare(baseline: &Medians, fresh: &Medians, tolerance: f64) -> GateRepor
     report
 }
 
+/// Serializes a median map in the exact shape the vendored Criterion
+/// harness writes (`{"median_ns": {...}}`, sorted ids, one decimal) — so a
+/// blessed baseline is byte-comparable with a fresh root file.
+pub fn render_medians(m: &Medians) -> String {
+    let mut json = String::from("{\n  \"median_ns\": {\n");
+    for (i, (id, ns)) in m.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    \"{escaped}\": {ns:.1}{}",
+            if i + 1 < m.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+    json
+}
+
+/// Merges a fresh run into an existing blessed baseline.
+///
+/// - fresh ids overwrite their blessed medians;
+/// - blessed-only ids survive (a partial rerun must not silently unbless
+///   other groups — the gate's missing-bench check still covers them);
+/// - fresh ids whose `group/` prefix starts with an entry of `exclude`
+///   are dropped, staying informational "new" ids in future gate runs
+///   (how a group the host cannot measure honestly is kept unblessed).
+pub fn bless(blessed: Option<&Medians>, fresh: &Medians, exclude: &[String]) -> Medians {
+    let mut out = blessed.cloned().unwrap_or_default();
+    for (id, &ns) in fresh {
+        let group = id.split('/').next().unwrap_or(id);
+        if exclude.iter().any(|e| group.starts_with(e.as_str())) {
+            continue;
+        }
+        out.insert(id.clone(), ns);
+    }
+    out
+}
+
+/// Blesses `fresh_path` into `baseline_path`: parses the fresh run, merges
+/// it over the existing baseline (if any), and rewrites the baseline file.
+/// Returns a one-line summary of what changed.
+pub fn bless_files(
+    baseline_path: &std::path::Path,
+    fresh_path: &std::path::Path,
+    exclude: &[String],
+) -> Result<String, String> {
+    let fresh_body = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read {}: {e}", fresh_path.display()))?;
+    let fresh = parse_medians(&fresh_body).map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+    let blessed = match std::fs::read_to_string(baseline_path) {
+        Ok(body) => {
+            Some(parse_medians(&body).map_err(|e| format!("{}: {e}", baseline_path.display()))?)
+        }
+        Err(_) => None,
+    };
+    let merged = bless(blessed.as_ref(), &fresh, exclude);
+    if merged.is_empty() {
+        return Err(format!(
+            "{}: nothing to bless (every fresh id excluded)",
+            fresh_path.display()
+        ));
+    }
+    let updated = fresh.keys().filter(|id| merged.contains_key(*id)).count();
+    let skipped = fresh.len() - updated;
+    if let Some(dir) = baseline_path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(baseline_path, render_medians(&merged))
+        .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+    Ok(format!(
+        "blessed {} ({updated} ids updated, {skipped} excluded, {} total)",
+        baseline_path.display(),
+        merged.len()
+    ))
+}
+
 /// Runs the gate over a (baseline path, fresh path) pair: parse both,
 /// compare, render. `Err` carries the rendered report or the parse error.
 pub fn gate_files(
@@ -304,6 +386,56 @@ mod tests {
 
         let only_new = compare(&medians(&[("g/a", 100.0)]), &fresh, DEFAULT_TOLERANCE);
         assert!(only_new.ok(), "new benches alone never fail the gate");
+    }
+
+    #[test]
+    fn bless_merges_fresh_over_blessed_and_respects_excludes() {
+        let blessed = medians(&[("g/a", 100.0), ("g/old_only", 50.0)]);
+        let fresh = medians(&[("g/a", 90.0), ("g/new", 10.0), ("wire_replay_d14/x", 1.0)]);
+        let out = bless(Some(&blessed), &fresh, &["wire_replay".to_string()]);
+        assert_eq!(out["g/a"], 90.0, "fresh overwrites");
+        assert_eq!(out["g/old_only"], 50.0, "partial rerun keeps old groups");
+        assert_eq!(out["g/new"], 10.0, "new ids get blessed");
+        assert!(
+            !out.contains_key("wire_replay_d14/x"),
+            "excluded group stays unblessed"
+        );
+        // First-time bless with no existing baseline.
+        let first = bless(None, &fresh, &[]);
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    fn render_medians_round_trips_through_the_parser() {
+        let m = medians(&[("g/a", 123.45), ("h/b \"q\"", 2.0)]);
+        let json = render_medians(&m);
+        let back = parse_medians(&json).unwrap();
+        // One-decimal rendering: values are rounded, ids exact.
+        assert_eq!(back.len(), 2);
+        assert!((back["g/a"] - 123.5).abs() < 1e-9);
+        assert_eq!(back["h/b \"q\""], 2.0);
+    }
+
+    #[test]
+    fn bless_files_writes_a_gateable_baseline() {
+        let dir = std::env::temp_dir().join(format!("nfv_bless_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fresh_p = dir.join("BENCH_x.json");
+        let base_p = dir.join("baselines").join("BENCH_x.json");
+        std::fs::write(&fresh_p, r#"{"median_ns": {"g/a": 100.0}}"#).unwrap();
+        let msg = bless_files(&base_p, &fresh_p, &[]).unwrap();
+        assert!(msg.contains("1 ids updated"), "{msg}");
+        // The blessed file immediately passes the gate against its source.
+        assert!(gate_files(&base_p, &fresh_p, DEFAULT_TOLERANCE).is_ok());
+        // Excluding everything on a first-time bless is an error, not an
+        // empty baseline file; against an existing baseline it is a no-op
+        // (the blessed ids survive the merge).
+        let never = dir.join("baselines").join("BENCH_never.json");
+        assert!(bless_files(&never, &fresh_p, &["g".to_string()]).is_err());
+        assert!(!never.exists());
+        assert!(bless_files(&base_p, &fresh_p, &["g".to_string()]).is_ok());
+        assert!(gate_files(&base_p, &fresh_p, DEFAULT_TOLERANCE).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub struct CoalitionWorkspace {
     /// Materialized membership matrix (`n_coalitions × d`) for the
     /// parallel path.
     all_members: Vec<bool>,
+    /// Adjacent-dedup buffers for the serial evaluation arm.
+    dedup: DedupScratch,
     /// Parallel fan-out tuning.
     par: ParCoalitionConfig,
 }
@@ -141,7 +143,18 @@ fn append_composite_rows(
 /// appends (all with the same feature count) → `evaluate` → per-plan
 /// `values_into`. The buffers persist across cycles, so a steady-state
 /// fusion loop allocates nothing.
-#[derive(Debug, Default, Clone)]
+///
+/// `evaluate` collapses runs of **adjacent bit-identical rows** before
+/// prediction and scatters the results back (on by default; see
+/// [`FusedBlock::set_dedup`]). Composite-row streams repeat rows far more
+/// often than arbitrary data would: a full coalition materializes `x`
+/// once per background row, a permutation walk re-pushes an unchanged
+/// composite whenever the revealed feature already matches the
+/// background (`x[j] == b[j]`, common for quantized / categorical
+/// telemetry), and degenerate backgrounds repeat whole walks. Because
+/// `predict_block` is row-pure, evaluating one representative per run is
+/// bit-identical to evaluating every copy.
+#[derive(Debug, Clone)]
 pub struct FusedBlock {
     /// Flat `n_rows × d` composite rows from every plan appended so far.
     rows: Vec<f64>,
@@ -149,6 +162,124 @@ pub struct FusedBlock {
     preds: Vec<f64>,
     /// Feature count shared by all stacked rows (0 while empty).
     d: usize,
+    /// Collapse adjacent duplicate rows in `evaluate` (default true).
+    dedup: bool,
+    /// Reusable dedup buffers (representatives, their preds, row map).
+    scratch: DedupScratch,
+    /// Rows the last `evaluate` skipped as adjacent duplicates.
+    last_dedup_saved: usize,
+    /// Total rows skipped across the block's lifetime (survives `clear`,
+    /// so long-lived worker blocks report cumulative savings).
+    dedup_saved_total: u64,
+}
+
+impl Default for FusedBlock {
+    fn default() -> Self {
+        FusedBlock {
+            rows: Vec::new(),
+            preds: Vec::new(),
+            d: 0,
+            dedup: true,
+            scratch: DedupScratch::default(),
+            last_dedup_saved: 0,
+            dedup_saved_total: 0,
+        }
+    }
+}
+
+/// Process-wide count of composite rows skipped by adjacent-row dedup
+/// (all paths: fused blocks and direct coalition evaluation).
+static DEDUP_ROWS_SAVED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total composite rows every dedup pass in this process has skipped.
+/// Monotonic; useful for observability and for asserting that dedup
+/// actually engaged on a workload.
+pub fn dedup_rows_saved() -> u64 {
+    DEDUP_ROWS_SAVED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Reusable buffers for one adjacent-dedup evaluation (see
+/// [`dedup_predict_block`]).
+#[derive(Debug, Default, Clone)]
+struct DedupScratch {
+    /// One representative row per adjacent run (flat, `× d`).
+    uniq_rows: Vec<f64>,
+    /// Predictions parallel to `uniq_rows`.
+    uniq_preds: Vec<f64>,
+    /// For every input row, the index of its run in `uniq_rows`.
+    row_map: Vec<u32>,
+}
+
+/// Evaluates `rows` (flat, `preds.len() × d`) with one `predict_block`
+/// call after collapsing runs of **adjacent bit-identical rows**,
+/// scattering each run's prediction back to every copy. Returns the
+/// number of rows skipped.
+///
+/// Bit-identical to a plain `predict_block` over all rows: models are
+/// row-pure (each output depends only on its own row), and rows compare
+/// by raw f64 bits — `-0.0 != 0.0`, NaN payloads respected — so a run is
+/// collapsed only when its rows are indistinguishable to any model. The
+/// detection pass is a straight-line bitwise compare over contiguous
+/// memory (no unsafe in this crate; the compiler auto-vectorizes it),
+/// costing `O(n × d)` against the `O(n × trees × depth)` evaluation it
+/// can elide. When nothing repeats, the rows are evaluated in place and
+/// no copy is made.
+fn dedup_predict_block(
+    model: &dyn Regressor,
+    rows: &[f64],
+    d: usize,
+    preds: &mut [f64],
+    scratch: &mut DedupScratch,
+) -> usize {
+    let n = preds.len();
+    debug_assert_eq!(rows.len(), n * d);
+    if n < 2 {
+        if n == 1 {
+            model.predict_block(rows, d, preds);
+        }
+        return 0;
+    }
+    // Pass 1: map every row to its run representative.
+    scratch.row_map.clear();
+    scratch.row_map.reserve(n);
+    scratch.row_map.push(0);
+    let mut uniq = 1u32;
+    for r in 1..n {
+        let (prev, cur) = (&rows[(r - 1) * d..r * d], &rows[r * d..(r + 1) * d]);
+        let same = prev
+            .iter()
+            .zip(cur)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            uniq += 1;
+        }
+        scratch.row_map.push(uniq - 1);
+    }
+    let saved = n - uniq as usize;
+    if saved == 0 {
+        model.predict_block(rows, d, preds);
+        return 0;
+    }
+    // Pass 2: compact one representative per run, evaluate, scatter.
+    scratch.uniq_rows.clear();
+    scratch.uniq_rows.reserve(uniq as usize * d);
+    let mut next = 0u32;
+    for (r, &m) in scratch.row_map.iter().enumerate() {
+        if m == next {
+            scratch
+                .uniq_rows
+                .extend_from_slice(&rows[r * d..(r + 1) * d]);
+            next += 1;
+        }
+    }
+    scratch.uniq_preds.clear();
+    scratch.uniq_preds.resize(uniq as usize, 0.0);
+    model.predict_block(&scratch.uniq_rows, d, &mut scratch.uniq_preds);
+    for (p, &m) in preds.iter_mut().zip(&scratch.row_map) {
+        *p = scratch.uniq_preds[m as usize];
+    }
+    DEDUP_ROWS_SAVED.fetch_add(saved as u64, std::sync::atomic::Ordering::Relaxed);
+    saved
 }
 
 impl FusedBlock {
@@ -201,19 +332,58 @@ impl FusedBlock {
         idx
     }
 
-    /// Evaluates every stacked row with **one** `predict_block` call.
+    /// Enables or disables the adjacent-duplicate collapse in
+    /// [`FusedBlock::evaluate`] (on by default). The off switch exists
+    /// for A/B measurement and for proving bit-identity in tests; both
+    /// settings produce the same bits.
+    pub fn set_dedup(&mut self, on: bool) {
+        self.dedup = on;
+    }
+
+    /// Rows the most recent `evaluate` skipped as adjacent duplicates.
+    pub fn last_dedup_saved(&self) -> usize {
+        self.last_dedup_saved
+    }
+
+    /// Total rows skipped across this block's lifetime (survives
+    /// `clear`).
+    pub fn dedup_saved_total(&self) -> u64 {
+        self.dedup_saved_total
+    }
+
+    /// Evaluates every stacked row with **one** `predict_block` call,
+    /// first collapsing runs of adjacent bit-identical rows (see the
+    /// type docs; disable with [`FusedBlock::set_dedup`]).
     ///
     /// Determinism: `predict_block` is row-pure for every model (each
     /// output depends only on its own row, with the same arithmetic as
     /// scalar `predict`), so fusing rows from many requests into one call
-    /// changes *which call* evaluates a row, never its bits.
+    /// — or evaluating one representative per duplicate run and copying
+    /// its bits to the others — changes *which call* evaluates a row,
+    /// never its bits. Duplicate detection compares raw f64 bits, so
+    /// `-0.0 != 0.0` and NaN payloads are respected; a run is collapsed
+    /// only when the rows are indistinguishable to any row-pure model.
     pub fn evaluate(&mut self, model: &dyn Regressor) {
         let n = self.n_rows();
+        self.last_dedup_saved = 0;
         self.preds.clear();
         self.preds.resize(n, 0.0);
-        if n > 0 {
-            model.predict_block(&self.rows, self.d, &mut self.preds);
+        if n == 0 {
+            return;
         }
+        if !self.dedup {
+            model.predict_block(&self.rows, self.d, &mut self.preds);
+            return;
+        }
+        let saved = dedup_predict_block(
+            model,
+            &self.rows,
+            self.d,
+            &mut self.preds,
+            &mut self.scratch,
+        );
+        self.last_dedup_saved = saved;
+        self.dedup_saved_total += saved as u64;
     }
 
     /// Model outputs for the stacked rows (valid after `evaluate`).
@@ -459,7 +629,13 @@ impl Background {
                 append_composite_rows(&self.rows, x, &ws.member_idx, &mut ws.composites);
             }
             ws.preds.resize(take * n_bg, 0.0);
-            model.predict_block(&ws.composites, d, &mut ws.preds[..take * n_bg]);
+            dedup_predict_block(
+                model,
+                &ws.composites,
+                d,
+                &mut ws.preds[..take * n_bg],
+                &mut ws.dedup,
+            );
             for per_coalition in ws.preds[..take * n_bg].chunks(n_bg) {
                 let mut sum = 0.0;
                 for &p in per_coalition {
@@ -511,6 +687,7 @@ impl Background {
                     let mut composites: Vec<f64> = Vec::new();
                     let mut preds: Vec<f64> = Vec::new();
                     let mut member_idx: Vec<usize> = Vec::new();
+                    let mut dedup = DedupScratch::default();
                     for (k, chunk) in slot {
                         let first = k * block;
                         let take = chunk.len();
@@ -522,7 +699,13 @@ impl Background {
                             append_composite_rows(rows, x, &member_idx, &mut composites);
                         }
                         preds.resize(take * n_bg, 0.0);
-                        model.predict_block(&composites, d, &mut preds[..take * n_bg]);
+                        dedup_predict_block(
+                            model,
+                            &composites,
+                            d,
+                            &mut preds[..take * n_bg],
+                            &mut dedup,
+                        );
                         for (o, per_coalition) in
                             chunk.iter_mut().zip(preds[..take * n_bg].chunks(n_bg))
                         {
@@ -864,6 +1047,102 @@ mod tests {
         let mut again = Vec::new();
         p1b.values_into(&block, &mut again);
         assert_eq!(fused1, again);
+    }
+
+    #[test]
+    fn adjacent_dedup_is_bit_identical_and_counts_savings() {
+        // Hand-built block with known duplicate runs: a a a | b | a | c c.
+        // (The lone `a` after `b` is NOT adjacent to the first run and
+        // must be evaluated — or mapped — on its own.)
+        let model = FnModel::new(3, |x: &[f64]| x[0] * 1.7 - (x[1] * x[2]).sin());
+        let a = [1.5, -2.0, 0.25];
+        let bb = [0.0, 4.0, -1.0];
+        let c = [f64::NAN, 0.5, 9.0]; // NaN rows compare equal bitwise
+        let mut on = FusedBlock::default();
+        for r in [&a, &a, &a, &bb, &a, &c, &c] {
+            on.push_row(&r[..]);
+        }
+        let mut off = on.clone();
+        off.set_dedup(false);
+        let before_global = dedup_rows_saved();
+        on.evaluate(&model);
+        off.evaluate(&model);
+        assert_eq!(on.preds().len(), 7);
+        for (i, (x, y)) in on.preds().iter().zip(off.preds()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "row {i} drifted under dedup");
+        }
+        // Runs: aaa saves 2, cc saves 1 → 3 rows skipped.
+        assert_eq!(on.last_dedup_saved(), 3);
+        assert_eq!(off.last_dedup_saved(), 0);
+        assert!(dedup_rows_saved() >= before_global + 3);
+        // The cumulative counter survives clear(); the per-call one resets.
+        on.clear();
+        on.push_row(&a[..]);
+        on.push_row(&bb[..]);
+        on.evaluate(&model);
+        assert_eq!(on.last_dedup_saved(), 0, "no adjacent duplicates left");
+        assert_eq!(on.dedup_saved_total(), 3);
+        // Bitwise comparison keeps -0.0 and 0.0 distinct: no collapse.
+        let mut zeros = FusedBlock::default();
+        zeros.push_row(&[0.0, 1.0]);
+        zeros.push_row(&[-0.0, 1.0]);
+        zeros.evaluate(&FnModel::new(2, |x: &[f64]| 1.0 / x[0]));
+        assert_eq!(zeros.last_dedup_saved(), 0);
+        assert_eq!(zeros.preds()[0], f64::INFINITY);
+        assert_eq!(zeros.preds()[1], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn full_coalition_plans_dedup_their_repeated_x_rows() {
+        // A full coalition materializes x once per background row: n_bg
+        // adjacent bit-identical composites. Dedup must collapse them to
+        // one evaluation while reproducing the direct path bit-for-bit.
+        let b = bg(); // 3 background rows (see bg())
+        let n_bg = b.len();
+        let model = FnModel::new(2, |x: &[f64]| (x[0] - x[1]).exp());
+        let x = [0.75, -1.25];
+        let mut ws = CoalitionWorkspace::default();
+        let mut block = FusedBlock::default();
+        let full = |_: usize, members: &mut [bool]| members.fill(true);
+        let plan = b.plan_coalitions(&x, 1, full, &mut ws, &mut block);
+        block.evaluate(&model);
+        assert_eq!(block.last_dedup_saved(), n_bg - 1);
+        let mut fused = Vec::new();
+        plan.values_into(&block, &mut fused);
+        let mut direct = Vec::new();
+        b.coalition_values_into(&model, &x, 1, full, &mut ws, &mut direct);
+        assert_eq!(fused[0].to_bits(), direct[0].to_bits());
+        // (Note: fused[0] is the *mean* of n_bg identical predictions,
+        // which is within 1 ulp of — but not necessarily bit-equal to —
+        // model.predict(&x); only fused-vs-direct identity is guaranteed.)
+        assert!((fused[0] - model.predict(&x)).abs() <= 1e-12 * fused[0].abs());
+    }
+
+    #[test]
+    fn direct_coalition_path_dedups_too() {
+        // The unfused Background::coalition_values_into arm shares the
+        // dedup helper; full coalitions must bump the process counter and
+        // stay bit-identical to the scalar reference.
+        let b = bg();
+        let model = FnModel::new(2, |x: &[f64]| x[0] * x[0] - 3.0 * x[1]);
+        let x = [2.0, -0.5];
+        let mut ws = CoalitionWorkspace::default();
+        let mut out = Vec::new();
+        let before = dedup_rows_saved();
+        b.coalition_values_into(
+            &model,
+            &x,
+            1,
+            |_, members| members.fill(true),
+            &mut ws,
+            &mut out,
+        );
+        assert!(dedup_rows_saved() > before, "full coalition must dedup");
+        let members = vec![true; 2];
+        assert_eq!(
+            out[0].to_bits(),
+            b.coalition_value(&model, &x, &members).to_bits()
+        );
     }
 
     #[test]

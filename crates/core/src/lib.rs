@@ -100,7 +100,8 @@ impl std::error::Error for XaiError {}
 /// One-stop imports.
 pub mod prelude {
     pub use crate::background::{
-        Background, CoalitionPlan, CoalitionWorkspace, FusedBlock, ParCoalitionConfig,
+        dedup_rows_saved, Background, CoalitionPlan, CoalitionWorkspace, FusedBlock,
+        ParCoalitionConfig,
     };
     pub use crate::batch::{explain_batch, explain_batch_seeded, explain_batch_seeded_ws};
     pub use crate::counterfactual::{

@@ -2,8 +2,9 @@
 //! the plan/execute split — many requests stacked into one shared
 //! [`FusedBlock`] and evaluated by a single `predict_block` call — are
 //! **bit-identical** to the direct per-request path, for every method,
-//! every fusion group size, and both SoA kernels (forced AVX2 and forced
-//! scalar).
+//! every fusion group size, every SoA kernel the host supports (forced
+//! scalar / AVX2 / lane-major / AVX-512), and with the fused block's
+//! adjacent-row dedup both on and off.
 //!
 //! This is the determinism contract the serving layer's fusion scheduler
 //! relies on: fusing changes *which call* evaluates a composite row, never
@@ -155,12 +156,14 @@ enum Planned {
 }
 
 /// The fused path: plan every request into one shared block, evaluate the
-/// block once, then finish each plan against it.
-fn explain_fused(reqs: &[(usize, Req)]) -> Vec<Attribution> {
+/// block once, then finish each plan against it. `dedup` toggles the
+/// block's adjacent-duplicate collapse — results must not depend on it.
+fn explain_fused(reqs: &[(usize, Req)], dedup: bool) -> Vec<Attribution> {
     let f = fixture();
     let base = f.background.expected_output(&f.model);
     let mut ws = CoalitionWorkspace::default();
     let mut block = FusedBlock::default();
+    block.set_dedup(dedup);
     let plans: Vec<Planned> = reqs
         .iter()
         .map(|(row, req)| {
@@ -248,7 +251,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Fused == unfused, bit for bit, across group sizes, mixed methods in
-    /// one block, and both SoA kernels.
+    /// one block, every SoA kernel the host supports, and with the block's
+    /// dedup pass both on and off.
     #[test]
     fn fused_is_bit_identical_to_direct(
         size_idx in 0usize..4,
@@ -256,33 +260,33 @@ proptest! {
     ) {
         let group_size = [1usize, 2, 4, 8][size_idx];
         let reqs = requests(group_size, seed);
-        // Scalar and (when the host supports it) AVX2: the invariant must
-        // hold under whichever kernel evaluates the block — the two paths
-        // run the *same* kernel per arm, so fusion is the only variable.
+        // The invariant must hold under whichever kernel evaluates the
+        // block — the two paths run the *same* forced kernel per arm, so
+        // fusion (and dedup) are the only variables. ISAs the host lacks
+        // refuse the force and are skipped; scalar always runs.
         let mut arms = 0;
-        for force_simd in [false, true] {
-            if force_simd {
-                if !set_force_simd(true) {
-                    continue; // no AVX2 on this host: scalar arm covered it
-                }
-            } else {
-                set_force_scalar(true);
+        for kernel in [Kernel::Scalar, Kernel::Avx2, Kernel::Lane, Kernel::Avx512] {
+            if !set_force_kernel(Some(kernel)) {
+                continue;
             }
             arms += 1;
             let direct: Vec<_> = reqs.iter().map(|(r, q)| explain_direct(*r, q)).collect();
-            let fused = explain_fused(&reqs);
-            set_force_simd(false); // back to runtime detection
-            prop_assert_eq!(direct.len(), fused.len());
-            for (i, (d, f)) in direct.iter().zip(&fused).enumerate() {
-                prop_assert_eq!(
-                    bits(d),
-                    bits(f),
-                    "request {} of {:?} diverged (simd={})",
-                    i,
-                    reqs[i],
-                    force_simd
-                );
+            for dedup in [true, false] {
+                let fused = explain_fused(&reqs, dedup);
+                prop_assert_eq!(direct.len(), fused.len());
+                for (i, (d, f)) in direct.iter().zip(&fused).enumerate() {
+                    prop_assert_eq!(
+                        bits(d),
+                        bits(f),
+                        "request {} of {:?} diverged (kernel={}, dedup={})",
+                        i,
+                        reqs[i],
+                        kernel.name(),
+                        dedup
+                    );
+                }
             }
+            set_force_kernel(None); // back to runtime detection
         }
         prop_assert!(arms >= 1);
     }

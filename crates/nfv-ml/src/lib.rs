@@ -69,7 +69,8 @@ pub mod prelude {
     pub use crate::mlp::{Mlp, MlpParams};
     pub use crate::model::{Classifier, FnModel, ProbaSurface, Regressor};
     pub use crate::soa::{
-        set_force_scalar, set_force_simd, simd_active, EnsemblePost, SoaForest, PACK_MIN_ROWS,
+        active_kernel_name, set_force_kernel, set_force_scalar, set_force_simd, simd_active,
+        EnsemblePost, Kernel, SoaForest, PACK_MIN_ROWS,
     };
     pub use crate::tree::{DecisionTree, TreeNode, TreeParams};
     pub use crate::MlError;

@@ -142,6 +142,10 @@ pub struct Metrics {
     /// The fusion row target configured at engine start (denominator of
     /// the fill ratio; 0 when fusion is disabled).
     pub fused_target_rows: AtomicU64,
+    /// Composite rows the fused-block adjacent-dedup pass skipped (rows
+    /// that were bit-identical to their predecessor and reused its
+    /// prediction instead of being evaluated).
+    pub dedup_rows_saved: AtomicU64,
     /// Requests answered by another request's in-flight computation
     /// (single-flight dedup followers).
     pub single_flight_hits: AtomicU64,
@@ -412,6 +416,8 @@ impl Metrics {
             } else {
                 fused_rows as f64 / (fused_groups * fused_target) as f64
             },
+            dedup_rows_saved: self.dedup_rows_saved.load(Ordering::Relaxed),
+            kernel: nfv_ml::soa::active_kernel_name().to_string(),
             single_flight_hits: self.single_flight_hits.load(Ordering::Relaxed),
             probe_admits: self.probe_admits.load(Ordering::Relaxed),
             queue_wait_p50_us: self.queue_wait.quantile_us(0.50),
@@ -469,6 +475,15 @@ pub struct ServeStats {
     /// fused blocks fill toward the SoA pack breakeven (0 when fusion is
     /// off or no group has run).
     pub fused_fill_ratio: f64,
+    /// Composite rows skipped by the fused-block adjacent-dedup pass
+    /// (bit-identical to their predecessor; prediction reused).
+    #[serde(default)]
+    pub dedup_rows_saved: u64,
+    /// The SoA traversal kernel this process has settled on
+    /// (`"scalar"`/`"avx2"`/`"lane"`/`"avx512"`; `"auto"` before the first
+    /// calibration; `"mixed"` in aggregates whose shards disagree).
+    #[serde(default)]
+    pub kernel: String,
     /// Requests answered by another request's in-flight computation.
     pub single_flight_hits: u64,
     /// Probe admissions past a possibly-stale class estimate.
@@ -521,6 +536,12 @@ impl ServeStats {
             agg.fused_requests += s.fused_requests;
             agg.fused_rows += s.fused_rows;
             fill_weight += s.fused_fill_ratio * s.fused_groups as f64;
+            agg.dedup_rows_saved += s.dedup_rows_saved;
+            if agg.kernel.is_empty() {
+                agg.kernel = s.kernel.clone();
+            } else if agg.kernel != s.kernel {
+                agg.kernel = "mixed".to_string();
+            }
             agg.single_flight_hits += s.single_flight_hits;
             agg.probe_admits += s.probe_admits;
             let w = s.completed as f64;

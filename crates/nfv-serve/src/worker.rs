@@ -367,6 +367,9 @@ fn flush_fused(
 
     let t0 = Instant::now();
     block.evaluate(entry.explain_regressor());
+    ctx.metrics
+        .dedup_rows_saved
+        .fetch_add(block.last_dedup_saved() as u64, Ordering::Relaxed);
     let results: Vec<Result<Attribution, XaiError>> = pending
         .iter()
         .map(|(_, plan)| plan.finish(block, &entry.feature_names))

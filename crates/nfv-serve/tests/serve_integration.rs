@@ -245,3 +245,60 @@ fn tiny_cache_evicts_but_stays_correct() {
     }
     engine.shutdown();
 }
+
+#[test]
+fn fused_dedup_savings_surface_in_stats() {
+    // Exact Shapley enumerates every coalition, including the *full* one
+    // whose composite block is x repeated once per background row — a
+    // guaranteed run of bit-identical adjacent rows. Two concurrent exact
+    // requests fuse into one block; the dedup pass must skip those rows
+    // and the engine must surface the savings (and the SoA kernel the
+    // process settled on) in its stats snapshot.
+    let (model, names, bg, synth) = fitted(31);
+    let n_bg = bg.rows().len();
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        gather_window: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+    engine
+        .registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    let exact = |x: &[f64]| ExplainRequest {
+        model_id: "m".into(),
+        features: x.to_vec(),
+        method: ExplainMethod::ExactShapley,
+        budget: Duration::from_secs(5),
+    };
+    let engine_ref = &engine;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let row = synth.data.row(i);
+                s.spawn(move || engine_ref.explain(exact(row)).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert!(resp.attribution.efficiency_gap().abs() < 1e-6);
+        }
+    });
+    let stats = engine.stats();
+    assert!(stats.fused_groups >= 1, "requests must fuse: {stats:?}");
+    // Each request's full coalition contributes n_bg - 1 skipped rows at
+    // minimum (other coalition rows may coincide too).
+    assert!(
+        stats.dedup_rows_saved >= (n_bg as u64 - 1),
+        "dedup savings must be observable: {stats:?}"
+    );
+    assert!(
+        ["scalar", "avx2", "lane", "avx512", "auto"].contains(&stats.kernel.as_str()),
+        "kernel name must be surfaced: {:?}",
+        stats.kernel
+    );
+    // The savings survive the cluster rollup.
+    let agg = ServeStats::aggregate(&[stats.clone(), ServeStats::default()]);
+    assert_eq!(agg.dedup_rows_saved, stats.dedup_rows_saved);
+    engine.shutdown();
+}
