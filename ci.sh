@@ -60,11 +60,11 @@ else
   cargo run -q --release -p nfv-bench --bin bench_gate -- \
     baselines/BENCH_soa_kernels.json BENCH_soa_kernels.json
   # To re-bless after an intentional perf change:
-  #   cargo run --release -p nfv-bench --bin bench_gate -- --bless \
-  #     --exclude wire_replay
-  # (wire_replay stays unblessed: see EXPERIMENTS.md §S4.1 — this
-  # container's single core cannot measure the multi-process wire tier
-  # honestly.)
+  #   cargo run --release -p nfv-bench --bin bench_gate -- --bless
+  # (wire_replay stays unblessed by contract: it is in the gate's built-in
+  # GATE_EXEMPT_GROUPS list — reported informationally, never gated, never
+  # blessed — because this container's single core cannot measure the
+  # multi-process wire tier honestly; see EXPERIMENTS.md §S4.1.)
   # The ≥3× 4-shard scaling gate now lives inside the serve_throughput
   # bench binary (cluster scaling gate; self-skips on hosts with < 5
   # cores and in --test smoke mode), so the timed run above covers it.

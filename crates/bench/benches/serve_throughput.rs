@@ -64,6 +64,55 @@ fn bench_serve(c: &mut Criterion) {
         b.iter(|| engine.explain(req(&task, 7)).unwrap())
     });
 
+    // Quantized cached: the same entry served from the cold tier. A
+    // one-slot hot tier demotes the warmed entry the moment a second key
+    // arrives; cold hits never re-promote, so every iteration pays the
+    // full dequantize + Arc-build path.
+    let cold_engine = engine_with(
+        &task,
+        ServeConfig {
+            workers: 2,
+            cache_capacity: 1,
+            cold_capacity: 1024,
+            cache_shards: 1,
+            quantization_grid: 1e-6,
+            seed: 1,
+            ..ServeConfig::default()
+        },
+    );
+    cold_engine.explain(req(&task, 7)).unwrap();
+    cold_engine.explain(req(&task, 8)).unwrap(); // evicts row 7 into cold
+    let probe = cold_engine.explain(req(&task, 7)).unwrap();
+    assert!(
+        matches!(probe.fidelity, Fidelity::Quantized { .. }),
+        "setup must produce a cold hit, got {:?}",
+        probe.fidelity
+    );
+    g.bench_function("cached_hit_quantized", |b| {
+        b.iter(|| cold_engine.explain(req(&task, 7)).unwrap())
+    });
+    // The dequantize path must stay in cache-hit territory: ≤ 2 µs median
+    // (an order of magnitude under the cheapest recompute). Self-measured
+    // so the claim holds even when the gate baseline is stale; skipped in
+    // --test smoke mode where timing is meaningless.
+    if !std::env::args().any(|a| a == "--test") {
+        let mut samples: Vec<Duration> = (0..512)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(cold_engine.explain(req(&task, 7)).unwrap());
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!("cached_hit_quantized self-check: median {median:?}");
+        assert!(
+            median <= Duration::from_micros(2),
+            "quantized cache hit median {median:?} exceeds the 2 µs budget"
+        );
+    }
+    cold_engine.shutdown();
+
     // Uncached: every request hits a distinct grid cell, so each one runs
     // TreeSHAP through the queue and worker pool.
     let mut cell = 0u64;
@@ -103,6 +152,163 @@ fn bench_serve(c: &mut Criterion) {
     );
     g.finish();
     engine.shutdown();
+}
+
+/// Deterministic zipf-ish rank stream: an LCG draws u ∈ [0,1), and
+/// `K^u - 1` maps it log-uniformly over `0..K` — a heavy head with a long
+/// tail, the shape of NFV telemetry keys (a few flows dominate, most
+/// appear once). Content-stable: the trace is identical for every engine
+/// under test.
+fn zipf_trace(len: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (((k as f64).powf(u) - 1.0) as usize).min(k - 1)
+        })
+        .collect()
+}
+
+/// Distinct-cell TreeSHAP request for working-set key `n`: same model,
+/// one grid cell per key.
+fn keyed_req(task: &SizedTask, n: usize) -> ExplainRequest {
+    let mut r = req(task, 3);
+    r.features[0] += (n + 1) as f64 * 1e-3;
+    r
+}
+
+/// Replays `trace` through `engine`, returning the window's hit rate.
+fn replay_hit_rate(engine: &ServeEngine, task: &SizedTask, trace: &[usize]) -> f64 {
+    let before = engine.stats();
+    for &n in trace {
+        engine.explain(keyed_req(task, n)).unwrap();
+    }
+    let after = engine.stats();
+    let hits = after.cache_hits - before.cache_hits;
+    let total = trace.len() as f64;
+    hits as f64 / total
+}
+
+/// The tentpole's capacity claim, measured at a **fixed byte budget**:
+/// an exact-only cache (all-hot, cold tier disabled) vs a two-tier split
+/// spending the same bytes — a small hot tier plus a large i16-quantized
+/// cold tier (~¼ the bytes per entry). The two-tier engine must hold
+/// ≥ 3× the entries and convert them into a higher hit rate on a zipf
+/// replay whose working set overflows the exact-only capacity.
+fn bench_cache_capacity(c: &mut Criterion) {
+    let task = SizedTask::new(14, 1);
+    const EXACT_CAP: usize = 128;
+    const WORKING_SET: usize = 1024;
+    let base = ServeConfig {
+        workers: 2,
+        queue_capacity: 512,
+        cache_shards: 1,
+        quantization_grid: 1e-6,
+        seed: 1,
+        ..ServeConfig::default()
+    };
+
+    // Probe per-entry byte costs on this task's actual shapes (names,
+    // feature count, method string) rather than hard-coding estimates.
+    let probe = engine_with(
+        &task,
+        ServeConfig {
+            cache_capacity: 2,
+            cold_capacity: 64,
+            ..base
+        },
+    );
+    for n in 0..6 {
+        probe.explain(keyed_req(&task, n)).unwrap();
+    }
+    let u = probe.cache_usage();
+    let hot_per = u.hot_bytes / u.hot_entries.max(1);
+    let cold_per = u.cold_bytes / u.cold_entries.max(1);
+    probe.shutdown();
+
+    // The budget both contestants get: what EXACT_CAP hot entries cost.
+    let budget = EXACT_CAP * hot_per;
+    let hot_small = EXACT_CAP / 8;
+    let cold_cap = (budget - hot_small * hot_per) / cold_per;
+    println!(
+        "cache budget {budget} B: exact-only {EXACT_CAP}x{hot_per} B | two-tier \
+         {hot_small}x{hot_per} B + {cold_cap}x{cold_per} B"
+    );
+
+    let exact_only = engine_with(
+        &task,
+        ServeConfig {
+            cache_capacity: EXACT_CAP,
+            cold_capacity: 0,
+            ..base
+        },
+    );
+    let two_tier = engine_with(
+        &task,
+        ServeConfig {
+            cache_capacity: hot_small,
+            cold_capacity: cold_cap,
+            ..base
+        },
+    );
+
+    // Warm both over the full working set, then verify the capacity and
+    // hit-rate claims on a measured (untimed) zipf window.
+    for n in 0..WORKING_SET {
+        exact_only.explain(keyed_req(&task, n)).unwrap();
+        two_tier.explain(keyed_req(&task, n)).unwrap();
+    }
+    let (ue, ut) = (exact_only.cache_usage(), two_tier.cache_usage());
+    assert!(
+        ut.bytes() <= budget + hot_per,
+        "two-tier must respect the byte budget: {} > {budget}",
+        ut.bytes()
+    );
+    assert!(
+        ut.entries() >= 3 * ue.entries(),
+        "two-tier holds {} entries vs exact-only {} — need ≥ 3x at equal bytes",
+        ut.entries(),
+        ue.entries()
+    );
+    let measure = zipf_trace(4096, WORKING_SET, 99);
+    let hr_exact = replay_hit_rate(&exact_only, &task, &measure);
+    let hr_two = replay_hit_rate(&two_tier, &task, &measure);
+    println!(
+        "zipf window: exact-only {} entries, hit rate {hr_exact:.3} | two-tier {} \
+         entries, hit rate {hr_two:.3}",
+        ue.entries(),
+        ut.entries()
+    );
+    assert!(
+        hr_two > hr_exact,
+        "equal bytes must buy a better zipf hit rate: {hr_two:.3} vs {hr_exact:.3}"
+    );
+
+    // The timed figure: one zipf window per iteration. Misses recompute,
+    // so the hit-rate edge shows up as wall-clock.
+    let mut g = c.benchmark_group("cache_capacity_d14");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let trace = zipf_trace(512, WORKING_SET, 7);
+    g.bench_function("zipf_replay_exact_only", |b| {
+        b.iter(|| {
+            for &n in &trace {
+                exact_only.explain(keyed_req(&task, n)).unwrap();
+            }
+        })
+    });
+    g.bench_function("zipf_replay_two_tier", |b| {
+        b.iter(|| {
+            for &n in &trace {
+                two_tier.explain(keyed_req(&task, n)).unwrap();
+            }
+        })
+    });
+    g.finish();
+    exact_only.shutdown();
+    two_tier.shutdown();
 }
 
 /// A shared uncached KernelSHAP trace: 8 clients concurrently replay the
@@ -542,6 +748,7 @@ fn bench_coalition_eval(c: &mut Criterion) {
 criterion_group!(
     serve,
     bench_serve,
+    bench_cache_capacity,
     bench_fused_replay,
     bench_cluster_replay,
     bench_wire_replay,

@@ -16,10 +16,13 @@
 //! Bless mode regenerates `baselines/` from fresh runs: every fresh file
 //! named (default: all `BENCH_*.json` in the current directory) is merged
 //! over its blessed counterpart — fresh ids overwrite, blessed-only ids
-//! survive, and `--exclude` drops whole bench groups by prefix (how a
-//! group a noisy host cannot measure honestly, e.g. `wire_replay`, is
-//! kept unblessed). Run it from the workspace root after a timed
-//! `cargo bench`.
+//! survive, and `--exclude` drops whole bench groups by prefix. Run it
+//! from the workspace root after a timed `cargo bench`.
+//!
+//! Groups in [`nfv_bench::gate::GATE_EXEMPT_GROUPS`] (currently
+//! `wire_replay`) are exempt *by contract*: both modes report their
+//! numbers informationally, but they never regress, never count as
+//! missing, and are never blessed — no `--exclude` flag needed.
 
 use nfv_bench::gate::{bless_files, gate_files, DEFAULT_TOLERANCE};
 use std::path::PathBuf;

@@ -34,6 +34,28 @@ use std::fmt::Write as _;
 /// hot-path regression (the fusion wins this gate protects are ≥ 2×).
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
 
+/// Bench-group prefixes permanently exempt from the pass/fail verdict.
+///
+/// An exempt group is measured and *reported* (so the numbers stay
+/// visible in CI logs) but never regresses, never counts as missing, and
+/// is never blessed into `baselines/` — the policy for benches whose
+/// numbers are honest on real hardware but meaningless on the CI host.
+///
+/// Current entries:
+/// - `wire_replay` — the multi-process loopback-TCP tier
+///   (`wire_replay_d14`). A single-core container time-slices the shard
+///   server processes against their clients, so the median measures the
+///   scheduler, not the wire (EXPERIMENTS.md §S4.1). Keeping it here —
+///   rather than as an ad-hoc `--exclude` flag every bless has to
+///   remember — makes the exemption part of the gate's contract.
+pub const GATE_EXEMPT_GROUPS: &[&str] = &["wire_replay"];
+
+/// Whether `id` (`group/bench`) falls in an exempt group.
+fn is_exempt(id: &str) -> bool {
+    let group = id.split('/').next().unwrap_or(id);
+    GATE_EXEMPT_GROUPS.iter().any(|e| group.starts_with(e))
+}
+
 /// Median per-iteration times in nanoseconds, keyed by `group/bench` id.
 pub type Medians = BTreeMap<String, f64>;
 
@@ -95,6 +117,9 @@ pub struct GateReport {
     pub missing: Vec<String>,
     /// Ids measured fresh but absent from the baseline — informational.
     pub new_ids: Vec<String>,
+    /// Ids in [`GATE_EXEMPT_GROUPS`] seen on either side — informational,
+    /// never part of the verdict.
+    pub exempt: Vec<String>,
     /// The tolerance the verdict was computed under.
     pub tolerance: f64,
 }
@@ -135,14 +160,21 @@ impl GateReport {
         for id in &self.new_ids {
             let _ = writeln!(s, "new        {id:<55} not in baseline (bless to track)");
         }
+        for id in &self.exempt {
+            let _ = writeln!(
+                s,
+                "exempt     {id:<55} group exempt from the verdict (GATE_EXEMPT_GROUPS)"
+            );
+        }
         let verdict = if self.ok() { "PASS" } else { "FAIL" };
         let _ = writeln!(
             s,
-            "bench gate: {verdict} ({} regressed, {} missing, {} ok, {} new)",
+            "bench gate: {verdict} ({} regressed, {} missing, {} ok, {} new, {} exempt)",
             self.regressions.len(),
             self.missing.len(),
             self.passed.len(),
-            self.new_ids.len()
+            self.new_ids.len(),
+            self.exempt.len()
         );
         s
     }
@@ -155,6 +187,10 @@ pub fn compare(baseline: &Medians, fresh: &Medians, tolerance: f64) -> GateRepor
         ..GateReport::default()
     };
     for (id, &base_ns) in baseline {
+        if is_exempt(id) {
+            report.exempt.push(id.clone());
+            continue;
+        }
         match fresh.get(id) {
             None => report.missing.push(id.clone()),
             Some(&fresh_ns) => {
@@ -176,9 +212,17 @@ pub fn compare(baseline: &Medians, fresh: &Medians, tolerance: f64) -> GateRepor
         .sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).unwrap());
     report.new_ids = fresh
         .keys()
-        .filter(|id| !baseline.contains_key(*id))
+        .filter(|id| !baseline.contains_key(*id) && !is_exempt(id))
         .cloned()
         .collect();
+    report.exempt.extend(
+        fresh
+            .keys()
+            .filter(|id| !baseline.contains_key(*id) && is_exempt(id))
+            .cloned(),
+    );
+    report.exempt.sort();
+    report.exempt.dedup();
     report
 }
 
@@ -210,14 +254,14 @@ pub fn render_medians(m: &Medians) -> String {
 /// - fresh ids overwrite their blessed medians;
 /// - blessed-only ids survive (a partial rerun must not silently unbless
 ///   other groups — the gate's missing-bench check still covers them);
-/// - fresh ids whose `group/` prefix starts with an entry of `exclude`
-///   are dropped, staying informational "new" ids in future gate runs
-///   (how a group the host cannot measure honestly is kept unblessed).
+/// - fresh ids whose `group/` prefix starts with an entry of `exclude` or
+///   of the built-in [`GATE_EXEMPT_GROUPS`] are dropped — an exempt group
+///   must never gain a blessed baseline the verdict would then enforce.
 pub fn bless(blessed: Option<&Medians>, fresh: &Medians, exclude: &[String]) -> Medians {
     let mut out = blessed.cloned().unwrap_or_default();
     for (id, &ns) in fresh {
         let group = id.split('/').next().unwrap_or(id);
-        if exclude.iter().any(|e| group.starts_with(e.as_str())) {
+        if is_exempt(id) || exclude.iter().any(|e| group.starts_with(e.as_str())) {
             continue;
         }
         out.insert(id.clone(), ns);
@@ -392,17 +436,49 @@ mod tests {
     fn bless_merges_fresh_over_blessed_and_respects_excludes() {
         let blessed = medians(&[("g/a", 100.0), ("g/old_only", 50.0)]);
         let fresh = medians(&[("g/a", 90.0), ("g/new", 10.0), ("wire_replay_d14/x", 1.0)]);
-        let out = bless(Some(&blessed), &fresh, &["wire_replay".to_string()]);
+        let out = bless(Some(&blessed), &fresh, &["h".to_string()]);
         assert_eq!(out["g/a"], 90.0, "fresh overwrites");
         assert_eq!(out["g/old_only"], 50.0, "partial rerun keeps old groups");
         assert_eq!(out["g/new"], 10.0, "new ids get blessed");
         assert!(
             !out.contains_key("wire_replay_d14/x"),
-            "excluded group stays unblessed"
+            "built-in exempt group stays unblessed without any --exclude flag"
         );
-        // First-time bless with no existing baseline.
+        // First-time bless with no existing baseline: the exempt id is
+        // still dropped.
         let first = bless(None, &fresh, &[]);
-        assert_eq!(first.len(), 3);
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn exempt_groups_never_fail_the_gate_and_never_bless() {
+        // An exempt bench may regress 10×, vanish from the fresh run, or
+        // appear out of nowhere — the verdict is untouched; it is only
+        // reported.
+        let base = medians(&[("g/a", 100.0), ("wire_replay_d14/slow", 1_000.0)]);
+        let regressed = medians(&[("g/a", 100.0), ("wire_replay_d14/slow", 10_000.0)]);
+        let r = compare(&base, &regressed, DEFAULT_TOLERANCE);
+        assert!(r.ok(), "exempt regression must not fail: {}", r.render());
+        assert_eq!(r.exempt, vec!["wire_replay_d14/slow".to_string()]);
+
+        let vanished = medians(&[("g/a", 100.0)]);
+        assert!(compare(&base, &vanished, DEFAULT_TOLERANCE).ok());
+
+        let appeared = medians(&[("g/a", 100.0), ("wire_replay_d14/fresh_only", 5.0)]);
+        let r = compare(&medians(&[("g/a", 100.0)]), &appeared, DEFAULT_TOLERANCE);
+        assert!(r.ok());
+        assert!(r.new_ids.is_empty(), "exempt ids are not 'new': {r:?}");
+        assert_eq!(r.exempt, vec!["wire_replay_d14/fresh_only".to_string()]);
+        let text = r.render();
+        assert!(text.contains("exempt"), "{text}");
+
+        // Non-exempt behaviour is unchanged: the same shapes fail.
+        let r = compare(
+            &medians(&[("g/a", 100.0)]),
+            &medians(&[("g/a", 1_000.0)]),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(!r.ok());
     }
 
     #[test]

@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn table_formatting_is_aligned() {
-        let rows = vec![vec!["a".into(), "bbbb".into()]];
+        let rows = [vec!["a".into(), "bbbb".into()]];
         let s = row(&rows[0], &[3, 4]);
         assert_eq!(s, "a   | bbbb");
         let t = time_ms(3, || 1 + 1);

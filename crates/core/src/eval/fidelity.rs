@@ -202,7 +202,7 @@ mod tests {
         let orderings = vec![vec![0, 1, 2], vec![0, 1, 2]];
         let s = fidelity_summary(&model, &instances, &orderings, &bg()).unwrap();
         assert!(s.deletion_auc.is_finite() && s.insertion_auc.is_finite());
-        assert!(fidelity_summary(&model, &instances, &orderings[..1].to_vec(), &bg()).is_err());
+        assert!(fidelity_summary(&model, &instances, &orderings[..1], &bg()).is_err());
     }
 
     #[test]

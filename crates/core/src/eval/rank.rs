@@ -125,7 +125,7 @@ mod tests {
         let b = vec![attr(vec![1.0, 0.0]), attr(vec![1.0, 0.0])];
         let g = mean_agreement(&a, &b).unwrap();
         assert!((g.spearman_signed - 0.0).abs() < 1e-12, "(1 + −1)/2");
-        assert!(mean_agreement(&a, &b[..1].to_vec()).is_err());
+        assert!(mean_agreement(&a, &b[..1]).is_err());
         assert!(mean_agreement(&[], &[]).is_err());
     }
 

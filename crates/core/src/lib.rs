@@ -33,7 +33,7 @@
 //! ## Evaluation
 //!
 //! [`eval::fidelity`] (deletion/insertion AUC), [`eval::rank`] (cross-method
-//! agreement), [`eval::stability`] (local Lipschitz), and [`eval::axioms`]
+//! agreement), [`mod@eval::stability`] (local Lipschitz), and [`eval::axioms`]
 //! (efficiency / symmetry / dummy / linearity batteries).
 //!
 //! ## Quick example

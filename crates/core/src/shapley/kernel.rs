@@ -541,8 +541,8 @@ mod tests {
             },
         )
         .unwrap();
-        for i in 0..4 {
-            let expect = s.coefficients[i] * (x[i] - bg.means[i]);
+        for (i, &xi) in x.iter().enumerate().take(4) {
+            let expect = s.coefficients[i] * (xi - bg.means[i]);
             assert!(
                 (a.values[i] - expect).abs() < 1e-6,
                 "phi[{i}]={} expect {expect} (linear models are exact at any budget)",

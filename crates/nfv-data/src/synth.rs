@@ -26,7 +26,7 @@ pub struct SynthData {
 
 impl SynthData {
     /// Exact Shapley values of the *generating linear function* at `x`,
-    /// valid when features are independent: φ_i = w_i (x_i − E[x_i]).
+    /// valid when features are independent: `φ_i = w_i (x_i − E[x_i])`.
     /// Returns `None` for non-linear generators.
     pub fn linear_shapley(&self, x: &[f64]) -> Option<Vec<f64>> {
         if self.coefficients.is_empty() || x.len() != self.coefficients.len() {
@@ -98,7 +98,7 @@ pub fn linear_gaussian(
 }
 
 /// Friedman #1: `y = 10 sin(π x0 x1) + 20 (x2 − 0.5)² + 10 x3 + 5 x4 + ε`,
-/// features uniform on [0,1]; columns 5.. are irrelevant noise.
+/// features uniform on `[0,1]`; columns 5.. are irrelevant noise.
 pub fn friedman1(
     n_rows: usize,
     n_features: usize,
@@ -259,10 +259,7 @@ mod tests {
         let x = [1.0, -1.0, 5.0];
         let phi = s.linear_shapley(&x).unwrap();
         assert!((phi[0] - s.coefficients[0]).abs() < 1e-12);
-        assert!(
-            (phi[1] + s.coefficients[1] * -1.0 * -1.0).abs() < 1e-12
-                || phi[1] == s.coefficients[1] * -1.0
-        );
+        assert!((phi[1] + s.coefficients[1]).abs() < 1e-12 || phi[1] == -s.coefficients[1]);
         assert_eq!(phi[2], 0.0);
         assert!(s.linear_shapley(&[1.0]).is_none());
         let f = friedman1(10, 5, 0.0, 1).unwrap();

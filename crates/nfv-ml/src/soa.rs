@@ -30,7 +30,7 @@
 //!
 //! Four kernels implement the same descent schedule over this layout:
 //!
-//! - **scalar** — interleaved register-resident chains, [`SCALAR_CHUNK`]
+//! - **scalar** — interleaved register-resident chains, `SCALAR_CHUNK`
 //!   rows per fully-unrolled chunk;
 //! - **avx2** — row-major gather kernel: [`LANES`] rows per step as 4-lane
 //!   `vgatherdpd` groups, every group's gathers in flight at once;
@@ -716,7 +716,7 @@ impl SoaForest {
 
     /// Portable kernel: interleaved scalar lanes over the SoA arrays,
     /// tree-major so each (small) tree's arrays stay cache-hot across the
-    /// whole block. Rows advance in fixed chunks of [`SCALAR_CHUNK`] whose
+    /// whole block. Rows advance in fixed chunks of `SCALAR_CHUNK` whose
     /// descent indices live entirely in registers: the chunk loop has
     /// constant bounds, so it fully unrolls and scalar-replaces the index
     /// array — no per-step spill/reload. Three unchecked loads per
@@ -1155,7 +1155,7 @@ mod tests {
         }
         fn build(nodes: &mut Vec<TreeNode>, dd: usize, cap: usize, d: usize, s: &mut u64) -> u32 {
             let i = nodes.len() as u32;
-            if dd >= cap || (dd > 0 && xs(s) % 3 == 0) {
+            if dd >= cap || (dd > 0 && xs(s).is_multiple_of(3)) {
                 nodes.push(leaf(unit(s) * 10.0 - 5.0));
                 return i;
             }
@@ -1227,7 +1227,7 @@ mod tests {
         // layout would silently alias it to feature 44.
         let d = 400;
         let t = tree(vec![split(300, 0.0, 1, 2), leaf(-5.0), leaf(5.0)], d);
-        let soa = SoaForest::from_trees(&[t.clone()], EnsemblePost::Mean).unwrap();
+        let soa = SoaForest::from_trees(std::slice::from_ref(&t), EnsemblePost::Mean).unwrap();
         let mut x = vec![0.0; d];
         x[300] = 1.0; // feature 300 high → right leaf
         x[44] = -1.0; // the u8-aliased index low → would pick left

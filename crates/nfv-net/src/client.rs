@@ -22,11 +22,15 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+/// In-flight requests by rid: the reader thread routes each decoded
+/// frame (or a terminal wire error) to the waiting caller's channel.
+type PendingMap = Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>>;
+
 /// One client connection to one shard process.
 pub struct ShardConn {
     addr: String,
     writer: Mutex<TcpStream>,
-    pending: Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>>,
+    pending: PendingMap,
     alive: Arc<AtomicBool>,
     next_rid: AtomicU64,
     rpc_timeout: Duration,
@@ -47,8 +51,7 @@ impl ShardConn {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = stream.try_clone()?;
-        let pending: Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
         let alive = Arc::new(AtomicBool::new(true));
         {
             let pending = Arc::clone(&pending);
@@ -173,6 +176,7 @@ impl ShardConn {
                     batch_size: a.batch_size as usize,
                     queue_wait: Duration::from_nanos(a.queue_wait_ns),
                     service_time: Duration::from_nanos(a.service_ns),
+                    fidelity: Fidelity::from_parts(a.coarse_budget, a.max_abs_err),
                 }),
                 Err(e) => Err(ShardCallError::Serve(e)),
             },
@@ -303,7 +307,7 @@ impl std::error::Error for ShardCallError {}
 fn reader_loop(
     mut stream: TcpStream,
     max_payload: usize,
-    pending: Arc<Mutex<HashMap<u64, mpsc::Sender<Result<Message, WireError>>>>>,
+    pending: PendingMap,
     alive: Arc<AtomicBool>,
 ) {
     let fail_all = |err: WireError| {

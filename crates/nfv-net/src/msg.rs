@@ -7,7 +7,8 @@
 //!
 //! Numbers cross the wire as fixed-width little-endian; every `f64` is its
 //! IEEE-754 bit pattern, so feature vectors and attributions round-trip
-//! bit-exactly. Models travel as `serde_json` of [`ServeModel`] — all
+//! bit-exactly. Models travel as `serde_json` of
+//! [`ServeModel`](nfv_serve::prelude::ServeModel) — all
 //! weights are finite, and Rust's shortest-round-trip float formatting
 //! makes that encoding bit-exact too. Background data travels as raw rows;
 //! the shard rebuilds summary statistics with `Background::from_rows`, the
@@ -60,6 +61,13 @@ pub struct WireAnswer {
     pub queue_wait_ns: u64,
     /// Explainer compute time, nanoseconds.
     pub service_ns: u64,
+    /// Sampling budget of a coarse (anytime) answer; `0` means the
+    /// attribution was computed at the request's full budget. Wire-optional:
+    /// frames from older peers omit it and decode as `0`.
+    pub coarse_budget: u64,
+    /// Max-abs dequantization error of a cold-tier hit; `0.0` means the
+    /// attribution is bit-exact. Wire-optional like `coarse_budget`.
+    pub max_abs_err: f64,
 }
 
 /// A response: the answer or the engine's error, tagged with the rid.
@@ -414,6 +422,13 @@ impl Message {
                         buf.put_u64_le(a.batch_size);
                         buf.put_u64_le(a.queue_wait_ns);
                         buf.put_u64_le(a.service_ns);
+                        // Fidelity tail (added after the v1 wire freeze).
+                        // Omitted entirely when the answer is exact, so
+                        // exact-only deployments emit v1-identical frames.
+                        if a.coarse_budget != 0 || a.max_abs_err != 0.0 {
+                            buf.put_u64_le(a.coarse_budget);
+                            buf.put_u64_le(a.max_abs_err.to_bits());
+                        }
                     }
                     Err(e) => {
                         buf.put_u8(0);
@@ -476,16 +491,43 @@ impl Message {
             MsgType::ExplainResponse => {
                 let ok = wire::get_u8(&mut buf, "outcome tag").map_err(truncated)?;
                 let outcome = match ok {
-                    1 => Ok(WireAnswer {
-                        attribution: get_attribution(&mut buf)?,
-                        model_version: wire::get_u64(&mut buf, "model_version")
-                            .map_err(truncated)?,
-                        cache_hit: wire::get_u8(&mut buf, "cache_hit").map_err(truncated)? != 0,
-                        batch_size: wire::get_u64(&mut buf, "batch_size").map_err(truncated)?,
-                        queue_wait_ns: wire::get_u64(&mut buf, "queue_wait_ns")
-                            .map_err(truncated)?,
-                        service_ns: wire::get_u64(&mut buf, "service_ns").map_err(truncated)?,
-                    }),
+                    1 => {
+                        let attribution = get_attribution(&mut buf)?;
+                        let model_version =
+                            wire::get_u64(&mut buf, "model_version").map_err(truncated)?;
+                        let cache_hit =
+                            wire::get_u8(&mut buf, "cache_hit").map_err(truncated)? != 0;
+                        let batch_size =
+                            wire::get_u64(&mut buf, "batch_size").map_err(truncated)?;
+                        let queue_wait_ns =
+                            wire::get_u64(&mut buf, "queue_wait_ns").map_err(truncated)?;
+                        let service_ns =
+                            wire::get_u64(&mut buf, "service_ns").map_err(truncated)?;
+                        // The fidelity tail is optional: a v1 frame ends at
+                        // `service_ns`, and the frame layer forbids trailing
+                        // garbage, so "bytes remain" is an unambiguous signal
+                        // that the peer wrote the tail.
+                        let (coarse_budget, max_abs_err) = if !buf.is_empty() {
+                            (
+                                wire::get_u64(&mut buf, "coarse_budget").map_err(truncated)?,
+                                f64::from_bits(
+                                    wire::get_u64(&mut buf, "max_abs_err").map_err(truncated)?,
+                                ),
+                            )
+                        } else {
+                            (0, 0.0)
+                        };
+                        Ok(WireAnswer {
+                            attribution,
+                            model_version,
+                            cache_hit,
+                            batch_size,
+                            queue_wait_ns,
+                            service_ns,
+                            coarse_budget,
+                            max_abs_err,
+                        })
+                    }
                     0 => Err(get_serve_error(&mut buf)?),
                     other => return Err(WireError::Decode(format!("unknown outcome tag {other}"))),
                 };
@@ -595,6 +637,8 @@ mod tests {
                     batch_size: 4,
                     queue_wait_ns: 120,
                     service_ns: 4_500,
+                    coarse_budget: 16,
+                    max_abs_err: 1.25e-4,
                 }),
             }),
             Message::ExplainReply(WireResponse {
@@ -692,6 +736,57 @@ mod tests {
             Message::decode_payload(MsgType::Health, Bytes::from_vec(payload)),
             Err(WireError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn exact_answers_encode_v1_frames_and_legacy_frames_decode() {
+        let answer = WireAnswer {
+            attribution: Attribution {
+                names: vec!["pps".into()],
+                values: vec![0.5],
+                base_value: 1.0,
+                prediction: 1.5,
+                method: "tree-shap".into(),
+            },
+            model_version: 2,
+            cache_hit: false,
+            batch_size: 1,
+            queue_wait_ns: 10,
+            service_ns: 20,
+            coarse_budget: 0,
+            max_abs_err: 0.0,
+        };
+        let exact = Message::ExplainReply(WireResponse {
+            rid: 9,
+            outcome: Ok(answer.clone()),
+        });
+        // An exact answer omits the fidelity tail entirely — its payload is
+        // byte-identical to what a v1 encoder produced, i.e. any v1 frame a
+        // legacy peer sends is exactly this payload. Decoding it must
+        // default the fidelity fields rather than error on truncation.
+        let payload = exact.encode_payload();
+        let degraded = Message::ExplainReply(WireResponse {
+            rid: 9,
+            outcome: Ok(WireAnswer {
+                coarse_budget: 8,
+                max_abs_err: 3.0e-5,
+                ..answer
+            }),
+        });
+        assert_eq!(
+            degraded.encode_payload().len(),
+            payload.len() + 16,
+            "fidelity tail is exactly two trailing u64 words"
+        );
+        match Message::decode_payload(MsgType::ExplainResponse, Bytes::from_vec(payload)) {
+            Ok(Message::ExplainReply(r)) => {
+                let a = r.outcome.unwrap();
+                assert_eq!(a.coarse_budget, 0);
+                assert_eq!(a.max_abs_err.to_bits(), 0.0f64.to_bits());
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+        assert_eq!(roundtrip(&degraded), degraded);
     }
 
     #[test]

@@ -317,6 +317,8 @@ fn worker_loop(jobs: Receiver<Job>, completions: Sender<Completion>, inner: Arc<
                     batch_size: resp.batch_size as u64,
                     queue_wait_ns: resp.queue_wait.as_nanos() as u64,
                     service_ns: resp.service_time.as_nanos() as u64,
+                    coarse_budget: resp.fidelity.sample_budget(),
+                    max_abs_err: resp.fidelity.max_abs_err(),
                 })
         }))
         .unwrap_or_else(|_| Err(ServeError::Internal("explain worker panicked".into())));

@@ -60,6 +60,8 @@ fn arbitrary_message(
                 batch_size: n as u64,
                 queue_wait_ns: rid,
                 service_ns: rid / 2,
+                coarse_budget: if flag { n as u64 } else { 0 },
+                max_abs_err: if flag { x.abs() } else { 0.0 },
             }),
         }),
         2 => Message::ExplainReply(WireResponse {
@@ -185,7 +187,7 @@ proptest! {
     ) {
         let m = arbitrary_message(kind, 7, 3, 2.0, true, 5);
         let mut payload = m.encode_payload();
-        payload.extend(std::iter::repeat(0xAA).take(extra));
+        payload.extend(std::iter::repeat_n(0xAA, extra));
         prop_assert!(matches!(
             Message::decode_payload(m.msg_type(), Bytes::from_vec(payload)),
             Err(WireError::Decode(_))

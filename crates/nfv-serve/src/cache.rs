@@ -1,4 +1,4 @@
-//! Sharded LRU cache over finished explanations.
+//! Two-tier sharded cache over finished explanations.
 //!
 //! Keys carry the model *version*, so a re-registered model can never serve
 //! a stale entry — the old version's keys simply stop being asked for and
@@ -8,16 +8,45 @@
 //! vectors within the same grid cell share an explanation. The grid is part
 //! of the engine config, so all keys in one engine agree.
 //!
+//! # Tiers
+//!
+//! The capacity frontier for this cache is **bytes, not latency** (the
+//! exact hit path is already sub-µs), so each shard holds two LRUs:
+//!
+//! * a **hot tier** of exact `Arc<Attribution>` entries (f64, bit-identical
+//!   to a direct explainer run), and
+//! * a **cold tier** of the same attributions **quantized to i16 with a
+//!   per-entry f32 scale** — roughly 4× more entries per byte. The measured
+//!   max-abs dequantization error (≤ scale/2 by construction) is stored per
+//!   entry and surfaced on every cold hit as
+//!   [`Fidelity::Quantized`], never silently.
+//!
+//! Hot entries **demote** to the cold tier on LRU eviction instead of
+//! dying; cold hits dequantize into a fresh attribution (they do *not*
+//! repopulate the hot tier — only a full recompute restores exactness).
+//! Attributions with non-finite values refuse quantization and die on
+//! eviction instead of demoting. Cold entries are keyed by a 128-bit
+//! fingerprint of the cache key (two independently-seeded FNV-1a folds),
+//! not the key itself, so a cold slot costs tens of bytes even when the
+//! key's quantized feature vector is large; feature names and the method
+//! string are interned per (model, method) and shared across entries.
+//!
+//! Entries carry a fidelity **grade** (coarse anytime answers vs
+//! full-budget answers). Inserts are monotone in the grade: a full-budget
+//! result upgrades a coarse entry in place, a coarse result never
+//! overwrites a full one.
+//!
 //! The cache also hosts **single-flight fill** ([`ShardedCache::begin_flight`]):
 //! concurrent identical misses elect one leader to compute while followers
 //! wait on the leader's result, so N simultaneous copies of a question cost
 //! one model evaluation instead of N.
 
-use crate::request::{fnv1a_bytes, fnv1a_words, ExplainMethod};
+use crate::request::{fnv1a_bytes, fnv1a_words, fnv1a_words_alt, ExplainMethod, Fidelity};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use nfv_xai::prelude::Attribution;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
 
 /// Cache identity of one explanation: model, version, method (with
@@ -77,32 +106,50 @@ impl CacheKey {
                 .chain(self.qfeatures.iter().map(|&v| v as u64)),
         )
     }
+
+    /// The 128-bit cold-tier key: [`CacheKey::stable_hash`] in the low
+    /// half, an independently-seeded second FNV-1a fold in the high half.
+    /// A cold-tier false hit requires both 64-bit hashes to collide at
+    /// once.
+    pub fn fingerprint(&self) -> u128 {
+        let (mtag, mbudget) = self.method.hash_parts();
+        let id_hash = fnv1a_bytes(self.model_id.as_bytes());
+        let hi = fnv1a_words_alt(
+            [id_hash, self.model_version, mtag, mbudget]
+                .into_iter()
+                .chain(self.qfeatures.iter().map(|&v| v as u64)),
+        );
+        ((hi as u128) << 64) | self.stable_hash() as u128
+    }
 }
 
 /// Slab index sentinel.
 const NIL: usize = usize::MAX;
 
 #[derive(Debug)]
-struct Slot {
-    key: CacheKey,
-    value: Arc<Attribution>,
+struct Slot<K, V> {
+    key: K,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
 
-/// One LRU shard: a hash map into a slab whose slots form an intrusive
-/// doubly-linked recency list. All operations are O(1).
+/// One LRU: a hash map into a slab whose slots form an intrusive
+/// doubly-linked recency list. All operations are O(1). Generic over key
+/// and value so the hot tier (`CacheKey` → exact entry) and the cold tier
+/// (`u128` fingerprint → quantized entry) share one implementation.
 #[derive(Debug)]
-struct LruShard {
-    map: HashMap<CacheKey, usize>,
-    slots: Vec<Slot>,
+struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
     head: usize,
     tail: usize,
     capacity: usize,
 }
 
-impl LruShard {
+impl<K: Eq + Hash + Clone, V> LruShard<K, V> {
     fn new(capacity: usize) -> Self {
         LruShard {
             map: HashMap::with_capacity(capacity),
@@ -110,7 +157,7 @@ impl LruShard {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
-            capacity: capacity.max(1),
+            capacity,
         }
     }
 
@@ -140,32 +187,50 @@ impl LruShard {
         }
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<Arc<Attribution>> {
+    /// Hit lookup: refreshes recency.
+    fn get(&mut self, key: &K) -> Option<&V> {
         let i = *self.map.get(key)?;
         self.unlink(i);
         self.push_front(i);
-        Some(Arc::clone(&self.slots[i].value))
+        self.slots[i].value.as_ref()
     }
 
-    fn insert(&mut self, key: CacheKey, value: Arc<Attribution>) {
+    /// Recency-neutral lookup (grade checks, stats).
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&i| self.slots[i].value.as_ref())
+    }
+
+    /// Inserts (or refreshes) `key`. Returns the evicted LRU victim when
+    /// the insert pushed one out — the caller decides its afterlife
+    /// (demotion to a colder tier, or death). A zero-capacity shard
+    /// "evicts" the incoming pair immediately.
+    fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
         if let Some(&i) = self.map.get(&key) {
-            self.slots[i].value = value;
+            self.slots[i].value = Some(value);
             self.unlink(i);
             self.push_front(i);
-            return;
+            return None;
         }
-        if self.map.len() >= self.capacity {
+        let evicted = if self.map.len() >= self.capacity {
             let victim = self.tail;
             self.unlink(victim);
-            let old = &self.slots[victim];
-            self.map.remove(&old.key);
+            let old_key = self.slots[victim].key.clone();
+            self.map.remove(&old_key);
             self.free.push(victim);
-        }
+            self.slots[victim].value.take().map(|v| (old_key, v))
+        } else {
+            None
+        };
         let i = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Slot {
                     key: key.clone(),
-                    value,
+                    value: Some(value),
                     prev: NIL,
                     next: NIL,
                 };
@@ -174,7 +239,7 @@ impl LruShard {
             None => {
                 self.slots.push(Slot {
                     key: key.clone(),
-                    value,
+                    value: Some(value),
                     prev: NIL,
                     next: NIL,
                 });
@@ -183,24 +248,336 @@ impl LruShard {
         };
         self.map.insert(key, i);
         self.push_front(i);
+        evicted
     }
 
-    fn retain<F: Fn(&CacheKey) -> bool>(&mut self, keep: F) {
+    /// Removes `key`, returning its value.
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.map.remove(key)?;
+        self.unlink(i);
+        self.free.push(i);
+        self.slots[i].value.take()
+    }
+
+    /// Drops every entry failing `keep`.
+    fn retain<F: Fn(&K, &V) -> bool>(&mut self, keep: F) {
         let victims: Vec<usize> = self
             .map
             .iter()
-            .filter(|(k, _)| !keep(k))
+            .filter(|(k, &i)| match self.slots[i].value.as_ref() {
+                Some(v) => !keep(k, v),
+                None => true,
+            })
             .map(|(_, &i)| i)
             .collect();
         for i in victims {
             self.unlink(i);
-            self.map.remove(&self.slots[i].key.clone());
+            let k = self.slots[i].key.clone();
+            self.map.remove(&k);
+            self.slots[i].value = None;
             self.free.push(i);
+        }
+    }
+
+    /// Visits every live entry (stats; order unspecified).
+    fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for (k, &i) in &self.map {
+            if let Some(v) = self.slots[i].value.as_ref() {
+                f(k, v);
+            }
         }
     }
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+}
+
+/// One exact-tier entry: the attribution plus its sampling-budget grade.
+#[derive(Debug)]
+struct HotEntry {
+    attr: Arc<Attribution>,
+    /// 0 = full budget; otherwise the coarse anytime budget it was
+    /// computed at (surfaced as [`Fidelity::Coarse`] on hits).
+    coarse_budget: u64,
+}
+
+/// Feature names + method string shared by every cold entry of one
+/// (model, method) pair — interned so a cold slot doesn't pay for them.
+#[derive(Debug, PartialEq, Eq)]
+struct ColdMeta {
+    names: Vec<String>,
+    method: String,
+}
+
+impl ColdMeta {
+    fn intern_hash(&self) -> u64 {
+        let mut h = fnv1a_bytes(self.method.as_bytes());
+        for n in &self.names {
+            h = fnv1a_words([h, fnv1a_bytes(n.as_bytes())]);
+        }
+        h
+    }
+}
+
+/// One quantized cold-tier entry: i16 values with a per-entry f32 scale.
+/// `base_value` and `prediction` stay exact f64 (they're two words; the
+/// savings live in the values vector).
+#[derive(Debug)]
+struct ColdEntry {
+    meta: Arc<ColdMeta>,
+    values: Box<[i16]>,
+    scale: f32,
+    /// Measured max-abs dequantization error for this entry (≤ scale/2).
+    max_abs_err: f64,
+    base_value: f64,
+    prediction: f64,
+    /// 0 = full budget (see [`HotEntry::coarse_budget`]).
+    coarse_budget: u64,
+    /// `fnv1a_bytes(model_id)` — lets [`ShardedCache::invalidate_model`]
+    /// sweep cold entries without storing the id string per entry.
+    id_hash: u64,
+}
+
+impl ColdEntry {
+    fn dequantize(&self) -> Attribution {
+        let s = self.scale as f64;
+        Attribution {
+            names: self.meta.names.clone(),
+            values: self.values.iter().map(|&q| q as f64 * s).collect(),
+            base_value: self.base_value,
+            prediction: self.prediction,
+            method: self.meta.method.clone(),
+        }
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        if self.coarse_budget == 0 {
+            Fidelity::Quantized {
+                max_abs_err: self.max_abs_err,
+            }
+        } else {
+            Fidelity::CoarseQuantized {
+                sample_budget: self.coarse_budget,
+                max_abs_err: self.max_abs_err,
+            }
+        }
+    }
+}
+
+/// Quantizes `values` to i16 with one shared f32 scale. Returns the cells,
+/// the scale, and the **measured** max-abs reconstruction error (≤ scale/2
+/// by construction). `None` when any value is non-finite or so large the
+/// f32 scale would overflow — such attributions must stay in the exact
+/// tier or die.
+fn quantize(values: &[f64]) -> Option<(Box<[i16]>, f32, f64)> {
+    let mut max_abs = 0.0f64;
+    for &v in values {
+        if !v.is_finite() {
+            return None;
+        }
+        max_abs = max_abs.max(v.abs());
+    }
+    // Scale so the largest magnitude maps to ±i16::MAX. Computed in f32
+    // (that's all we store), then nudged up a ULP at a time until
+    // max_abs/scale is in range — cast rounding may otherwise land the
+    // extreme cell on 32768. The nudge loop runs at most a few steps.
+    let mut scale = (max_abs / i16::MAX as f64) as f32;
+    if scale == 0.0 {
+        // Underflow: all values are (sub)denormally tiny. The smallest
+        // positive f32 still represents them to within half a cell.
+        scale = f32::from_bits(1);
+    }
+    if !scale.is_finite() {
+        // max_abs/32767 overflows f32 (|v| ≳ 1.1e43): unquantizable.
+        return None;
+    }
+    while max_abs / scale as f64 > i16::MAX as f64 {
+        scale = f32::from_bits(scale.to_bits() + 1);
+    }
+    let s = scale as f64;
+    let mut cells = Vec::with_capacity(values.len());
+    let mut err = 0.0f64;
+    for &v in values {
+        let cell = (v / s).round();
+        debug_assert!(cell.abs() <= i16::MAX as f64);
+        let q = cell as i16;
+        cells.push(q);
+        err = err.max((q as f64 * s - v).abs());
+    }
+    debug_assert!(err <= s * 0.5 * (1.0 + 1e-9), "err {err} > scale/2 {s}");
+    Some((cells.into_boxed_slice(), scale, err))
+}
+
+/// Approximate heap footprint of one hot entry (key + exact attribution).
+fn hot_entry_bytes(key: &CacheKey, attr: &Attribution) -> usize {
+    let key_bytes = key.model_id.len() + key.qfeatures.len() * 8 + 64;
+    let name_bytes: usize = attr.names.iter().map(|n| n.len() + 24).sum();
+    key_bytes + name_bytes + attr.method.len() + attr.values.len() * 8 + 96
+}
+
+/// Approximate heap footprint of one cold entry (fingerprint key +
+/// quantized values; the interned meta is shared and counted once per
+/// model/method pair, not per entry).
+fn cold_entry_bytes(e: &ColdEntry) -> usize {
+    16 + e.values.len() * 2 + 64
+}
+
+/// Entry/byte usage of the cache, per tier. Byte counts are the same
+/// deterministic estimates the capacity experiments use (allocator
+/// overhead is not modeled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheUsage {
+    /// Live exact-tier entries.
+    pub hot_entries: usize,
+    /// Live quantized-tier entries.
+    pub cold_entries: usize,
+    /// Estimated exact-tier heap bytes.
+    pub hot_bytes: usize,
+    /// Estimated quantized-tier heap bytes.
+    pub cold_bytes: usize,
+}
+
+impl CacheUsage {
+    /// Total entries across both tiers.
+    pub fn entries(&self) -> usize {
+        self.hot_entries + self.cold_entries
+    }
+
+    /// Total estimated bytes across both tiers.
+    pub fn bytes(&self) -> usize {
+        self.hot_bytes + self.cold_bytes
+    }
+}
+
+/// One shard: a hot exact LRU and a cold quantized LRU behind one mutex.
+#[derive(Debug)]
+struct TierShard {
+    hot: LruShard<CacheKey, HotEntry>,
+    cold: LruShard<u128, ColdEntry>,
+}
+
+impl TierShard {
+    /// Grade (0 = coarse, 1 = full) of whatever the shard currently holds
+    /// for `key`, in either tier.
+    fn grade_of(&self, key: &CacheKey, fp: u128) -> Option<u8> {
+        if let Some(e) = self.hot.peek(key) {
+            return Some((e.coarse_budget == 0) as u8);
+        }
+        self.cold.peek(&fp).map(|e| (e.coarse_budget == 0) as u8)
+    }
+
+    /// Demotes an evicted hot entry into the cold tier (monotone: never
+    /// clobbers a higher-grade cold entry; non-finite values die here).
+    fn demote(&mut self, key: CacheKey, entry: HotEntry, intern: &MetaIntern) {
+        let fp = key.fingerprint();
+        let victim_grade = (entry.coarse_budget == 0) as u8;
+        if let Some(existing) = self.cold.peek(&fp) {
+            if (existing.coarse_budget == 0) as u8 > victim_grade {
+                return;
+            }
+        }
+        let Some((values, scale, max_abs_err)) = quantize(&entry.attr.values) else {
+            return;
+        };
+        let meta = intern.intern(&entry.attr);
+        self.cold.insert(
+            fp,
+            ColdEntry {
+                meta,
+                values,
+                scale,
+                max_abs_err,
+                base_value: entry.attr.base_value,
+                prediction: entry.attr.prediction,
+                coarse_budget: entry.coarse_budget,
+                id_hash: fnv1a_bytes(key.model_id.as_bytes()),
+            },
+        );
+    }
+
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        attr: Arc<Attribution>,
+        coarse_budget: u64,
+        intern: &MetaIntern,
+    ) {
+        let fp = key.fingerprint();
+        let new_grade = (coarse_budget == 0) as u8;
+        if let Some(existing) = self.grade_of(&key, fp) {
+            if existing > new_grade {
+                return; // never downgrade an entry in place
+            }
+        }
+        // The hot copy (inserted below) supersedes any cold copy.
+        self.cold.remove(&fp);
+        if let Some((vk, vv)) = self.hot.insert(
+            key,
+            HotEntry {
+                attr,
+                coarse_budget,
+            },
+        ) {
+            self.demote(vk, vv, intern);
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<(Arc<Attribution>, Fidelity)> {
+        if let Some(e) = self.hot.get(key) {
+            let fid = if e.coarse_budget == 0 {
+                Fidelity::Exact
+            } else {
+                Fidelity::Coarse {
+                    sample_budget: e.coarse_budget,
+                }
+            };
+            return Some((Arc::clone(&e.attr), fid));
+        }
+        let e = self.cold.get(&key.fingerprint())?;
+        Some((Arc::new(e.dequantize()), e.fidelity()))
+    }
+
+    fn usage(&self) -> CacheUsage {
+        let mut u = CacheUsage {
+            hot_entries: self.hot.len(),
+            cold_entries: self.cold.len(),
+            ..CacheUsage::default()
+        };
+        self.hot
+            .for_each(|k, e| u.hot_bytes += hot_entry_bytes(k, &e.attr));
+        self.cold
+            .for_each(|_, e| u.cold_bytes += cold_entry_bytes(e));
+        u
+    }
+}
+
+/// Intern table for cold-entry metadata (names + method string), shared
+/// across shards. Lock order: shard mutex → intern mutex, never reversed.
+#[derive(Debug, Default)]
+struct MetaIntern {
+    table: Mutex<HashMap<u64, Arc<ColdMeta>>>,
+}
+
+impl MetaIntern {
+    fn intern(&self, attr: &Attribution) -> Arc<ColdMeta> {
+        let fresh = ColdMeta {
+            names: attr.names.clone(),
+            method: attr.method.clone(),
+        };
+        let h = fresh.intern_hash();
+        let mut table = self.table.lock();
+        if let Some(m) = table.get(&h) {
+            if **m == fresh {
+                return Arc::clone(m);
+            }
+            // Hash collision between distinct metas: serve the fresh one
+            // un-interned rather than corrupt either.
+            return Arc::new(fresh);
+        }
+        let m = Arc::new(fresh);
+        table.insert(h, Arc::clone(&m));
+        m
     }
 }
 
@@ -213,8 +590,10 @@ pub enum Flight {
     Leader,
     /// An identical computation is already running; wait on the receiver
     /// for the leader's result (`None` = the leader failed or aborted —
-    /// fall back to computing normally).
-    Follower(Receiver<Option<Arc<Attribution>>>),
+    /// fall back to computing normally). The fidelity rides along so a
+    /// coarse anytime leader never releases followers with an unmarked
+    /// answer.
+    Follower(Receiver<Option<(Arc<Attribution>, Fidelity)>>),
 }
 
 // Manual impl: the vendored channel handles don't implement `Debug`.
@@ -227,28 +606,43 @@ impl std::fmt::Debug for Flight {
     }
 }
 
-/// The concurrent cache: `n_shards` independent LRUs, each behind its own
-/// mutex, selected by the key's stable hash. Lock hold times are a map
-/// probe plus two list splices. A side table tracks in-flight fills for
+/// The concurrent cache: `n_shards` independent two-tier shards, each
+/// behind its own mutex, selected by the key's stable hash. Lock hold
+/// times are a map probe plus two list splices (plus one dequantization
+/// pass on cold hits). A side table tracks in-flight fills for
 /// single-flight deduplication of concurrent identical misses.
 pub struct ShardedCache {
-    shards: Vec<Mutex<LruShard>>,
+    shards: Vec<Mutex<TierShard>>,
+    intern: MetaIntern,
     /// Keys being computed right now → waiting followers. Small (bounded
     /// by in-flight requests), so one mutex suffices.
     #[allow(clippy::type_complexity)]
-    in_flight: Mutex<HashMap<CacheKey, Vec<Sender<Option<Arc<Attribution>>>>>>,
+    in_flight: Mutex<HashMap<CacheKey, Vec<Sender<Option<(Arc<Attribution>, Fidelity)>>>>>,
 }
 
 impl ShardedCache {
-    /// Builds a cache of roughly `capacity` entries spread over
-    /// `n_shards` shards (each shard gets an equal slice, minimum 1).
-    pub fn new(capacity: usize, n_shards: usize) -> Self {
-        let n_shards = n_shards.clamp(1, 1024);
-        let per = capacity.div_ceil(n_shards).max(1);
+    /// Builds a cache of exactly `capacity` hot (exact) entries and
+    /// `cold_capacity` cold (quantized) entries, spread over `n_shards`
+    /// shards. The per-shard slices sum to the requested totals exactly:
+    /// each shard gets `capacity / n` with the remainder distributed one
+    /// entry apiece to the first `capacity % n` shards. `n_shards` is
+    /// clamped so every shard holds at least one hot entry.
+    /// `cold_capacity == 0` disables the quantized tier (evicted hot
+    /// entries die, as before the tier existed).
+    pub fn new(capacity: usize, cold_capacity: usize, n_shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n_shards = n_shards.clamp(1, 1024).min(capacity);
+        let slice = |total: usize, i: usize| total / n_shards + usize::from(i < total % n_shards);
         ShardedCache {
             shards: (0..n_shards)
-                .map(|_| Mutex::new(LruShard::new(per)))
+                .map(|i| {
+                    Mutex::new(TierShard {
+                        hot: LruShard::new(slice(capacity, i)),
+                        cold: LruShard::new(slice(cold_capacity, i)),
+                    })
+                })
                 .collect(),
+            intern: MetaIntern::default(),
             in_flight: Mutex::new(HashMap::new()),
         }
     }
@@ -280,7 +674,7 @@ impl ShardedCache {
     /// sends `result` to every waiting follower (`None` = compute failed;
     /// followers fall back to their own computation). A no-op when no
     /// flight is registered, so workers may call it unconditionally.
-    pub fn complete_flight(&self, key: &CacheKey, result: Option<Arc<Attribution>>) {
+    pub fn complete_flight(&self, key: &CacheKey, result: Option<(Arc<Attribution>, Fidelity)>) {
         let waiters = self.in_flight.lock().remove(key);
         if let Some(waiters) = waiters {
             for tx in waiters {
@@ -307,7 +701,7 @@ impl std::fmt::Debug for ShardedCache {
 }
 
 impl ShardedCache {
-    fn shard(&self, key: &CacheKey) -> &Mutex<LruShard> {
+    fn shard(&self, key: &CacheKey) -> &Mutex<TierShard> {
         // High bits: FNV's low bits are the most mixed, but keep it simple
         // and uniform by folding.
         let h = key.stable_hash();
@@ -315,39 +709,99 @@ impl ShardedCache {
         &self.shards[idx]
     }
 
-    /// Looks `key` up, refreshing its recency on hit.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Attribution>> {
+    /// Looks `key` up, refreshing its recency on hit. Hot hits return the
+    /// shared exact attribution; cold hits dequantize into a fresh one and
+    /// carry the entry's measured error bound in the fidelity.
+    pub fn get(&self, key: &CacheKey) -> Option<(Arc<Attribution>, Fidelity)> {
         self.shard(key).lock().get(key)
     }
 
-    /// Inserts (or refreshes) `key`.
+    /// Inserts (or refreshes) `key` with a full-budget result.
     pub fn insert(&self, key: CacheKey, value: Arc<Attribution>) {
-        self.shard(&key).lock().insert(key, value);
+        self.insert_graded(key, value, 0);
     }
 
-    /// Eagerly drops every entry belonging to `model_id` (all versions).
-    /// Version-carrying keys already make stale hits impossible; this just
-    /// reclaims their space immediately on deregistration.
+    /// Inserts `key` with an explicit sampling-budget grade
+    /// (`coarse_budget == 0` = full budget). Monotone: a coarse result
+    /// never overwrites a full-budget entry, in either tier; a full-budget
+    /// result upgrades a coarse entry in place (same key).
+    pub fn insert_graded(&self, key: CacheKey, value: Arc<Attribution>, coarse_budget: u64) {
+        self.shard(&key)
+            .lock()
+            .insert(key, value, coarse_budget, &self.intern);
+    }
+
+    /// Grade of the entry currently cached for `key` (0 = coarse, 1 =
+    /// full), without refreshing recency. `None` on miss. The refiner uses
+    /// this to skip work another path already upgraded.
+    pub fn entry_grade(&self, key: &CacheKey) -> Option<u8> {
+        let fp = key.fingerprint();
+        self.shard(key).lock().grade_of(key, fp)
+    }
+
+    /// Eagerly drops every entry belonging to `model_id` (all versions,
+    /// both tiers). Version-carrying keys already make stale hits
+    /// impossible; this just reclaims their space immediately on
+    /// deregistration.
     pub fn invalidate_model(&self, model_id: &str) {
+        let id_hash = fnv1a_bytes(model_id.as_bytes());
         for s in &self.shards {
-            s.lock().retain(|k| k.model_id != model_id);
+            let mut s = s.lock();
+            s.hot.retain(|k, _| k.model_id != model_id);
+            s.cold.retain(|_, e| e.id_hash != id_hash);
         }
     }
 
-    /// Total entries across shards.
+    /// Total entries across shards and tiers.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                s.hot.len() + s.cold.len()
+            })
+            .sum()
     }
 
     /// True when no entries are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Per-tier entry and byte usage, aggregated across shards.
+    pub fn usage(&self) -> CacheUsage {
+        let mut total = CacheUsage::default();
+        for s in &self.shards {
+            let u = s.lock().usage();
+            total.hot_entries += u.hot_entries;
+            total.cold_entries += u.cold_entries;
+            total.hot_bytes += u.hot_bytes;
+            total.cold_bytes += u.cold_bytes;
+        }
+        total
+    }
+
+    /// Estimated heap bytes across both tiers (see [`CacheUsage`]).
+    pub fn bytes_used(&self) -> usize {
+        self.usage().bytes()
+    }
+
+    /// Exact-tier capacity: the per-shard slices sum to the value passed
+    /// to [`ShardedCache::new`].
+    pub fn hot_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().hot.capacity).sum()
+    }
+
+    /// Quantized-tier capacity (0 = tier disabled).
+    pub fn cold_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().cold.capacity).sum()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn attr(v: f64) -> Arc<Attribution> {
         Arc::new(Attribution {
@@ -365,13 +819,14 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut s = LruShard::new(2);
+        let mut s: LruShard<CacheKey, Arc<Attribution>> = LruShard::new(2);
         s.insert(key(1, 1.0), attr(1.0));
         s.insert(key(1, 2.0), attr(2.0));
         // Touch 1.0 so 2.0 becomes the LRU victim.
         assert!(s.get(&key(1, 1.0)).is_some());
-        s.insert(key(1, 3.0), attr(3.0));
-        assert!(s.get(&key(1, 2.0)).is_none(), "2.0 evicted");
+        let evicted = s.insert(key(1, 3.0), attr(3.0));
+        assert_eq!(evicted.unwrap().0, key(1, 2.0), "2.0 evicted and returned");
+        assert!(s.get(&key(1, 2.0)).is_none());
         assert!(s.get(&key(1, 1.0)).is_some());
         assert!(s.get(&key(1, 3.0)).is_some());
         assert_eq!(s.len(), 2);
@@ -379,17 +834,31 @@ mod tests {
 
     #[test]
     fn slab_reuses_freed_slots() {
-        let mut s = LruShard::new(2);
+        let mut s: LruShard<CacheKey, Arc<Attribution>> = LruShard::new(2);
         for i in 0..100 {
             s.insert(key(1, i as f64), attr(i as f64));
         }
         assert_eq!(s.len(), 2);
         assert!(s.slots.len() <= 3, "slab bounded: {}", s.slots.len());
+        // remove() frees the slot for reuse too.
+        assert!(s.remove(&key(1, 99.0)).is_some());
+        assert!(s.remove(&key(1, 99.0)).is_none());
+        s.insert(key(1, 200.0), attr(200.0));
+        assert_eq!(s.len(), 2);
+        assert!(s.slots.len() <= 3);
+    }
+
+    #[test]
+    fn zero_capacity_shard_rejects_inserts() {
+        let mut s: LruShard<u64, u64> = LruShard::new(0);
+        assert_eq!(s.insert(1, 10), Some((1, 10)), "bounced straight back");
+        assert_eq!(s.len(), 0);
+        assert!(s.get(&1).is_none());
     }
 
     #[test]
     fn version_is_part_of_identity() {
-        let c = ShardedCache::new(16, 4);
+        let c = ShardedCache::new(16, 0, 4);
         c.insert(key(1, 5.0), attr(10.0));
         assert!(c.get(&key(1, 5.0)).is_some());
         assert!(
@@ -413,8 +882,212 @@ mod tests {
     }
 
     #[test]
+    fn signed_zero_features_share_a_key() {
+        // ±0.0 quantize to the same grid cell: the sign of zero must never
+        // split an input into two cache identities.
+        let pos = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[0.0], 1e-3).unwrap();
+        let neg = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[-0.0], 1e-3).unwrap();
+        assert_eq!(pos, neg);
+        assert_eq!(pos.stable_hash(), neg.stable_hash());
+        assert_eq!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn capacity_split_sums_exactly() {
+        // Satellite fix: div_ceil-per-shard used to let the total exceed
+        // the requested capacity by up to n_shards-1.
+        for (cap, cold, shards) in [
+            (10, 40, 4),
+            (7, 13, 8),
+            (1, 0, 8),
+            (4096, 16384, 8),
+            (3, 5, 1024),
+            (0, 0, 4),
+        ] {
+            let c = ShardedCache::new(cap, cold, shards);
+            assert_eq!(
+                c.hot_capacity(),
+                cap.max(1),
+                "hot cap={cap} shards={shards}"
+            );
+            assert_eq!(c.cold_capacity(), cold, "cold cap={cold} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_halves_are_independent() {
+        let k = key(1, 5.0);
+        let fp = k.fingerprint();
+        assert_eq!(fp as u64, k.stable_hash(), "low half is the stable hash");
+        assert_ne!((fp >> 64) as u64, fp as u64);
+        assert_ne!(key(1, 5.0).fingerprint(), key(1, 6.0).fingerprint());
+        assert_ne!(key(1, 5.0).fingerprint(), key(2, 5.0).fingerprint());
+    }
+
+    #[test]
+    fn evicted_hot_entries_demote_to_cold_with_bounded_error() {
+        // One shard, one hot slot, room in cold: every eviction demotes.
+        let c = ShardedCache::new(1, 8, 1);
+        let make = |x: f64| {
+            Arc::new(Attribution {
+                names: vec!["a".into(), "b".into()],
+                values: vec![x, -x / 3.0],
+                base_value: 1.5,
+                prediction: x,
+                method: "test".into(),
+            })
+        };
+        c.insert(key(1, 1.0), make(0.25));
+        c.insert(key(1, 2.0), make(0.5)); // evicts 1.0 → cold
+        let (got, fid) = c.get(&key(1, 1.0)).expect("demoted, not dead");
+        match fid {
+            Fidelity::Quantized { max_abs_err } => {
+                assert!(max_abs_err >= 0.0);
+                for (g, want) in got.values.iter().zip([0.25, -0.25 / 3.0]) {
+                    assert!(
+                        (g - want).abs() <= max_abs_err,
+                        "dequant {g} vs {want} exceeds reported bound {max_abs_err}"
+                    );
+                }
+            }
+            other => panic!("cold hit must be marked Quantized, got {other:?}"),
+        }
+        assert_eq!(got.base_value, 1.5, "base value stays exact");
+        assert_eq!(got.prediction, 0.25, "prediction stays exact");
+        assert_eq!(got.names, vec!["a".to_string(), "b".to_string()]);
+        // The hot entry is exact.
+        let (_, fid) = c.get(&key(1, 2.0)).unwrap();
+        assert!(fid.is_exact());
+        let u = c.usage();
+        assert_eq!((u.hot_entries, u.cold_entries), (1, 1));
+        assert!(u.hot_bytes > 0 && u.cold_bytes > 0);
+        assert!(
+            u.cold_bytes < u.hot_bytes,
+            "a cold entry must be smaller than a hot one"
+        );
+    }
+
+    #[test]
+    fn cold_hits_do_not_repromote() {
+        let c = ShardedCache::new(1, 8, 1);
+        c.insert(key(1, 1.0), attr(0.25));
+        c.insert(key(1, 2.0), attr(0.5)); // demotes 1.0
+        for _ in 0..3 {
+            let (_, fid) = c.get(&key(1, 1.0)).unwrap();
+            assert!(
+                matches!(fid, Fidelity::Quantized { .. }),
+                "cold hits stay cold (exactness only returns via recompute)"
+            );
+        }
+        let u = c.usage();
+        assert_eq!((u.hot_entries, u.cold_entries), (1, 1));
+    }
+
+    #[test]
+    fn full_insert_restores_exactness_and_drops_cold_copy() {
+        let c = ShardedCache::new(1, 8, 1);
+        c.insert(key(1, 1.0), attr(0.25));
+        c.insert(key(1, 2.0), attr(0.5)); // 1.0 → cold
+        c.insert(key(1, 1.0), attr(0.25)); // recompute → hot again, cold copy dropped
+        let (_, fid) = c.get(&key(1, 1.0)).unwrap();
+        assert!(fid.is_exact());
+        let u = c.usage();
+        assert_eq!(u.cold_entries, 1, "2.0 demoted; 1.0's cold copy removed");
+    }
+
+    #[test]
+    fn nonfinite_attributions_refuse_quantization() {
+        let c = ShardedCache::new(1, 8, 1);
+        c.insert(key(1, 1.0), attr(f64::NAN));
+        // NaN entry lives in the hot (exact) tier…
+        let (got, fid) = c.get(&key(1, 1.0)).unwrap();
+        assert!(got.values[0].is_nan() && fid.is_exact());
+        // …but dies on eviction instead of demoting.
+        c.insert(key(1, 2.0), attr(0.5));
+        assert!(
+            c.get(&key(1, 1.0)).is_none(),
+            "NaN must not enter cold tier"
+        );
+        assert_eq!(c.usage().cold_entries, 0);
+        // Same for infinities.
+        c.insert(key(1, 3.0), attr(f64::INFINITY));
+        c.insert(key(1, 4.0), attr(1.0));
+        assert!(c.get(&key(1, 3.0)).is_none());
+    }
+
+    #[test]
+    fn coarse_entries_upgrade_monotonically() {
+        let c = ShardedCache::new(4, 8, 1);
+        let k = key(1, 1.0);
+        c.insert_graded(k.clone(), attr(0.9), 64); // coarse anytime answer
+        let (_, fid) = c.get(&k).unwrap();
+        assert_eq!(fid, Fidelity::Coarse { sample_budget: 64 });
+        assert_eq!(c.entry_grade(&k), Some(0));
+        // Full-budget refinement upgrades in place…
+        c.insert(k.clone(), attr(1.0));
+        let (got, fid) = c.get(&k).unwrap();
+        assert!(fid.is_exact());
+        assert_eq!(got.prediction, 1.0);
+        assert_eq!(c.entry_grade(&k), Some(1));
+        // …and a late coarse result can never downgrade it back.
+        c.insert_graded(k.clone(), attr(0.9), 64);
+        let (got, fid) = c.get(&k).unwrap();
+        assert!(fid.is_exact(), "coarse must not overwrite full");
+        assert_eq!(got.prediction, 1.0);
+    }
+
+    #[test]
+    fn coarse_grade_survives_demotion_and_blocks_stale_writes() {
+        let c = ShardedCache::new(1, 8, 1);
+        let k = key(1, 1.0);
+        c.insert_graded(k.clone(), attr(0.9), 64);
+        c.insert(key(1, 2.0), attr(0.5)); // demote the coarse entry
+        let (_, fid) = c.get(&k).unwrap();
+        assert_eq!(
+            fid,
+            Fidelity::CoarseQuantized {
+                sample_budget: 64,
+                max_abs_err: fid.max_abs_err()
+            },
+            "demoted coarse entry carries both markers"
+        );
+        // Full insert upgrades the (now cold) entry back to exact hot.
+        c.insert(k.clone(), attr(1.0));
+        let (_, fid) = c.get(&k).unwrap();
+        assert!(fid.is_exact());
+        // A cold full entry also blocks coarse overwrites.
+        c.insert(key(1, 3.0), attr(0.7)); // demote k's full entry to cold
+        c.insert_graded(k.clone(), attr(0.9), 64);
+        let (_, fid) = c.get(&k).unwrap();
+        assert_eq!(fid.grade(), 1, "cold full entry blocks coarse overwrite");
+    }
+
+    #[test]
+    fn cold_tier_disabled_means_evictions_die() {
+        let c = ShardedCache::new(1, 0, 1);
+        c.insert(key(1, 1.0), attr(1.0));
+        c.insert(key(1, 2.0), attr(2.0));
+        assert!(c.get(&key(1, 1.0)).is_none(), "no cold tier to land in");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn meta_interning_shares_names_across_entries() {
+        let c = ShardedCache::new(1, 16, 1);
+        for i in 0..8 {
+            c.insert(key(1, i as f64), attr(i as f64));
+        }
+        assert_eq!(c.usage().cold_entries, 7);
+        assert_eq!(
+            c.intern.table.lock().len(),
+            1,
+            "one (names, method) pair interned once"
+        );
+    }
+
+    #[test]
     fn single_flight_elects_one_leader_and_releases_followers() {
-        let c = ShardedCache::new(16, 2);
+        let c = ShardedCache::new(16, 0, 2);
         let k = key(1, 4.0);
         assert!(matches!(c.begin_flight(&k), Flight::Leader));
         let followers: Vec<_> = (0..3)
@@ -424,10 +1097,11 @@ mod tests {
             })
             .collect();
         assert_eq!(c.flights_in_progress(), 1);
-        c.complete_flight(&k, Some(attr(42.0)));
+        c.complete_flight(&k, Some((attr(42.0), Fidelity::Exact)));
         for rx in followers {
-            let got = rx.recv().unwrap().expect("leader succeeded");
+            let (got, fid) = rx.recv().unwrap().expect("leader succeeded");
             assert_eq!(got.prediction, 42.0);
+            assert!(fid.is_exact());
         }
         assert_eq!(c.flights_in_progress(), 0);
         // The key is free again: a new leader can be elected.
@@ -444,17 +1118,102 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_model_sweeps_all_versions() {
-        let c = ShardedCache::new(64, 4);
+    fn invalidate_model_sweeps_all_versions_and_both_tiers() {
+        let c = ShardedCache::new(4, 64, 4);
         for v in 1..=3 {
             for i in 0..5 {
                 c.insert(key(v, i as f64), attr(i as f64));
             }
         }
+        assert!(
+            c.usage().cold_entries > 0,
+            "small hot tier forced demotions"
+        );
         let other = CacheKey::build("other", 9, ExplainMethod::TreeShap, &[1.0], 1e-6).unwrap();
         c.insert(other.clone(), attr(7.0));
         c.invalidate_model("m");
         assert_eq!(c.len(), 1);
         assert!(c.get(&other).is_some());
+        assert_eq!(c.usage().cold_entries, 0, "cold tier swept by id hash");
+    }
+
+    #[test]
+    fn quantize_error_is_within_half_scale() {
+        let (cells, scale, err) = quantize(&[1.0, -0.3333333, 1e-9, 0.0]).unwrap();
+        assert_eq!(cells.len(), 4);
+        assert!(err <= scale as f64 * 0.5 * (1.0 + 1e-9), "{err} vs {scale}");
+        // All-zero vectors quantize losslessly.
+        let (cells, _, err) = quantize(&[0.0, -0.0]).unwrap();
+        assert!(cells.iter().all(|&q| q == 0) && err == 0.0);
+        // Non-finite refuses.
+        assert!(quantize(&[1.0, f64::NAN]).is_none());
+        assert!(quantize(&[f64::INFINITY]).is_none());
+        assert!(quantize(&[f64::NEG_INFINITY, 0.0]).is_none());
+    }
+
+    proptest! {
+        /// Satellite: the quantize/dequantize round trip respects the
+        /// reported bound for arbitrary finite inputs across magnitudes
+        /// (subnormals through 1e300), and the bound itself is ≤ scale/2.
+        #[test]
+        fn prop_quantize_round_trip(
+            raw in proptest::collection::vec(-1e300f64..1e300, 1..64),
+            exponent in -300i32..300,
+        ) {
+            let scale_in = 10f64.powi(exponent);
+            let values: Vec<f64> = raw.iter().map(|v| v * scale_in)
+                .filter(|v| v.is_finite())
+                .collect();
+            prop_assume!(!values.is_empty());
+            match quantize(&values) {
+                Some((cells, scale, err)) => {
+                    prop_assert!(err <= scale as f64 * 0.5 * (1.0 + 1e-9));
+                    for (&q, &v) in cells.iter().zip(&values) {
+                        let back = q as f64 * scale as f64;
+                        prop_assert!(
+                            (back - v).abs() <= err,
+                            "reconstruction {} vs {} exceeds measured bound {}", back, v, err
+                        );
+                    }
+                }
+                None => {
+                    // Refusal is only legal for f32-scale overflow.
+                    let max_abs = values.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                    prop_assert!(max_abs > 1e42, "finite {max_abs} refused quantization");
+                }
+            }
+        }
+
+        /// Non-finite values refuse quantization no matter where they sit.
+        #[test]
+        fn prop_nonfinite_always_refused(
+            values in proptest::collection::vec(-1e12f64..1e12, 1..16),
+            idx in 0usize..16,
+            kind in 0u8..3,
+        ) {
+            let mut values = values;
+            let poison = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            let idx = idx % values.len();
+            values[idx] = poison;
+            prop_assert!(quantize(&values).is_none());
+        }
+
+        /// ±0.0 features build identical keys (hit-key concern: the sign
+        /// of zero must never split cache identity), and zero values
+        /// round-trip losslessly through the cold tier.
+        #[test]
+        fn prop_signed_zero_is_one_identity(grid in 1e-9f64..1.0) {
+            let a = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[0.0, -0.0], grid).unwrap();
+            let b = CacheKey::build("m", 1, ExplainMethod::TreeShap, &[-0.0, 0.0], grid).unwrap();
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+            prop_assert_eq!(a, b);
+            let (cells, _, err) = quantize(&[0.0, -0.0]).unwrap();
+            prop_assert!(cells.iter().all(|&q| q == 0));
+            prop_assert_eq!(err, 0.0);
+        }
     }
 }

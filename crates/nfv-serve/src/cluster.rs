@@ -204,9 +204,17 @@ pub struct ServeCluster {
 
 impl ServeCluster {
     /// Starts every shard's worker pool and returns a ready cluster.
+    ///
+    /// Shard engines run with anytime degradation **disabled** regardless
+    /// of the shard config: the cluster's own overload policy is
+    /// spill-to-neighbor, which requires a full shard to surface
+    /// `QueueFull` honestly. Degrading is the single-engine fallback for
+    /// when there is no neighbor to spill to.
     pub fn start(config: ClusterConfig) -> ServeCluster {
         let n = config.shards.max(1);
-        let shards = (0..n).map(|_| Engine::start(config.shard)).collect();
+        let mut shard_cfg = config.shard;
+        shard_cfg.anytime.enabled = false;
+        let shards = (0..n).map(|_| Engine::start(shard_cfg)).collect();
         ServeCluster {
             shards,
             ring: HashRing::new(n, config.vnodes),

@@ -3,13 +3,14 @@
 //! shared-nothing sharded cluster; a network frontend would wrap either.
 
 use crate::batcher::BatchPolicy;
-use crate::cache::{self, CacheKey, ShardedCache};
+use crate::cache::{self, CacheKey, CacheUsage, ShardedCache};
 use crate::error::{RejectReason, ServeError};
 use crate::metrics::{Metrics, ServeStats};
 use crate::queue::{Job, JobQueue};
-use crate::registry::ModelRegistry;
-use crate::request::{ExplainRequest, ExplainResponse};
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::request::{request_seed, ExplainRequest, ExplainResponse, Fidelity};
 use crate::worker;
+use nfv_xai::prelude::CoalitionWorkspace;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,8 +28,13 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// How long a worker waits for batch companions.
     pub gather_window: Duration,
-    /// Total cache entries across shards.
+    /// Exact-tier (hot) cache entries across shards.
     pub cache_capacity: usize,
+    /// Quantized-tier (cold) cache entries across shards. Hot entries
+    /// demote here on eviction; a cold entry costs ~¼ the bytes of a hot
+    /// one and serves with a typed `Fidelity::Quantized` error bound.
+    /// 0 disables the tier (pre-tier behaviour: evictions die).
+    pub cold_capacity: usize,
     /// Number of cache shards (lock-contention control).
     pub cache_shards: usize,
     /// Input quantization grid for cache keys (absolute units).
@@ -40,6 +46,8 @@ pub struct ServeConfig {
     /// Deduplicate concurrent identical cache misses: followers wait for
     /// the leader's result instead of enqueueing their own computation.
     pub single_flight: bool,
+    /// Anytime (degrade-before-reject) policy for queue-full pressure.
+    pub anytime: AnytimePolicy,
 }
 
 impl Default for ServeConfig {
@@ -50,11 +58,46 @@ impl Default for ServeConfig {
             max_batch: 16,
             gather_window: Duration::from_micros(500),
             cache_capacity: 4096,
+            cold_capacity: 16_384,
             cache_shards: 8,
             quantization_grid: 1e-6,
             seed: 0,
             fusion: FusionPolicy::default(),
             single_flight: true,
+            anytime: AnytimePolicy::default(),
+        }
+    }
+}
+
+/// Policy for **anytime explanations**: when admission would reject a
+/// sampling-method request with `QueueFull`, the engine instead computes a
+/// coarse attribution inline (budget cut via
+/// [`crate::request::ExplainMethod::coarsened`]) and returns it immediately,
+/// tagged [`Fidelity::Coarse`] — then hands the full-budget recompute to a
+/// background refiner that upgrades the cache entry in place (same key,
+/// monotone: coarse → full, never back). Repeat keys therefore converge to
+/// exact answers without ever rejecting.
+///
+/// Deterministic methods (no budget to cut) and `DeadlineUnmeetable`
+/// rejections still reject: the former can't degrade, the latter means even
+/// the queue-free path would blow the caller's deadline budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnytimePolicy {
+    /// Master switch. [`crate::cluster::ServeCluster`] turns this off on
+    /// its shard engines: the cluster's spill-to-neighbor policy handles
+    /// queue-full first, so a shard must surface `QueueFull` honestly.
+    pub enabled: bool,
+    /// Bounded refine-queue depth. A full queue drops the refinement (the
+    /// coarse answer stands; counted in `refine_dropped`) rather than
+    /// blocking the serving path.
+    pub refine_queue: usize,
+}
+
+impl Default for AnytimePolicy {
+    fn default() -> Self {
+        AnytimePolicy {
+            enabled: true,
+            refine_queue: 64,
         }
     }
 }
@@ -107,7 +150,52 @@ pub struct Engine {
     // which is what tells workers to drain and exit.
     queue: Option<JobQueue>,
     workers: Vec<JoinHandle<()>>,
+    // Anytime refinement: `None` when anytime is disabled or after
+    // shutdown. Dropping the sender is what tells the refiner to exit.
+    refine_tx: Option<crossbeam::channel::Sender<RefineJob>>,
+    refiner: Option<JoinHandle<()>>,
     config: ServeConfig,
+}
+
+/// One pending in-place upgrade: recompute `key` at its full budget and
+/// overwrite the coarse cache entry.
+struct RefineJob {
+    entry: Arc<ModelEntry>,
+    key: CacheKey,
+    features: Vec<f64>,
+}
+
+/// The background refiner: full-budget recomputes of keys the anytime path
+/// answered coarsely. Seeds derive from the *original* key's content hash —
+/// exactly what a worker would have used — so the upgraded entry is
+/// bit-identical to the answer a non-degraded request would have received.
+fn refiner_loop(
+    rx: crossbeam::channel::Receiver<RefineJob>,
+    cache: Arc<ShardedCache>,
+    metrics: Arc<Metrics>,
+    engine_seed: u64,
+) {
+    let mut ws = CoalitionWorkspace::default();
+    while let Ok(job) = rx.recv() {
+        // Another path (a worker fill, or an earlier refinement) may have
+        // already upgraded this key.
+        if cache.entry_grade(&job.key) == Some(1) {
+            continue;
+        }
+        let explainer = job.entry.explainer(job.key.method);
+        let seed = request_seed(engine_seed, job.key.stable_hash());
+        match worker::explain_one(&job.entry, &*explainer, &job.features, seed, &mut ws) {
+            Ok(attr) => {
+                cache.insert(job.key, Arc::new(attr));
+                metrics.refined_entries.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // The coarse answer stands; the next full-path request for
+                // this key will surface the error through normal serving.
+                metrics.explain_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 impl Engine {
@@ -116,6 +204,7 @@ impl Engine {
         let registry = Arc::new(ModelRegistry::new());
         let cache = Arc::new(ShardedCache::new(
             config.cache_capacity,
+            config.cold_capacity,
             config.cache_shards,
         ));
         let metrics = Arc::new(Metrics::new());
@@ -137,12 +226,27 @@ impl Engine {
             in_flight: queue.in_flight_handle(),
         });
         let workers = worker::spawn_workers(config.workers, queue.receiver(), ctx);
+        let (refine_tx, refiner) = if config.anytime.enabled {
+            let (tx, rx) = crossbeam::channel::bounded(config.anytime.refine_queue.max(1));
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&metrics);
+            let seed = config.seed;
+            let handle = std::thread::Builder::new()
+                .name("nfv-serve-refiner".into())
+                .spawn(move || refiner_loop(rx, cache, metrics, seed))
+                .expect("spawn refiner thread");
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
         Engine {
             registry,
             cache,
             metrics,
             queue: Some(queue),
             workers,
+            refine_tx,
+            refiner,
             config,
         }
     }
@@ -210,9 +314,20 @@ impl Engine {
             }));
         };
 
-        // Cache fast path.
-        if let Some(attr) = self.cache.get(&key) {
+        // Cache fast path. Cold-tier hits carry their dequantization error
+        // bound in the fidelity; coarse anytime entries re-arm their
+        // background refinement (it may have been dropped under pressure).
+        if let Some((attr, fidelity)) = self.cache.get(&key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if matches!(
+                fidelity,
+                Fidelity::Quantized { .. } | Fidelity::CoarseQuantized { .. }
+            ) {
+                self.metrics.quantized_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if fidelity.grade() == 0 {
+                self.request_refine(&entry, &key, &request.features);
+            }
             self.metrics.completed.fetch_add(1, Ordering::Relaxed);
             self.metrics.total.record(t0.elapsed());
             return Ok(ExplainResponse {
@@ -222,6 +337,7 @@ impl Engine {
                 batch_size: 1,
                 queue_wait: Duration::ZERO,
                 service_time: Duration::ZERO,
+                fidelity,
             });
         }
 
@@ -237,7 +353,7 @@ impl Engine {
                 cache::Flight::Leader => leads_flight = true,
                 cache::Flight::Follower(rx) => {
                     let remaining = request.budget.saturating_sub(t0.elapsed());
-                    if let Ok(Some(attr)) = rx.recv_timeout(remaining) {
+                    if let Ok(Some((attr, fidelity))) = rx.recv_timeout(remaining) {
                         self.metrics
                             .single_flight_hits
                             .fetch_add(1, Ordering::Relaxed);
@@ -250,6 +366,7 @@ impl Engine {
                             batch_size: 1,
                             queue_wait: Duration::ZERO,
                             service_time: Duration::ZERO,
+                            fidelity,
                         });
                     }
                 }
@@ -272,6 +389,16 @@ impl Engine {
             respond: respond_tx,
         };
         if let Err((reason, job)) = queue.admit(job, &self.metrics) {
+            // Queue-full pressure on a sampling method: degrade before
+            // rejecting. The coarse compute runs inline on this caller's
+            // thread (≈⅛ of the full budget), answers immediately with a
+            // typed coarse fidelity, and schedules the full-budget
+            // refinement in the background.
+            if matches!(reason, RejectReason::QueueFull { .. }) && self.config.anytime.enabled {
+                if let Some(response) = self.serve_anytime(&job, leads_flight, t0) {
+                    return Ok(response);
+                }
+            }
             // An admitted leader's flight is resolved by the worker; a
             // rejected leader must release its followers itself (they fall
             // through and try on their own).
@@ -303,9 +430,93 @@ impl Engine {
         }
     }
 
-    /// Point-in-time metrics snapshot.
+    /// The anytime path for a queue-full rejection: compute the coarsened
+    /// method inline, cache it **under the original key** with a coarse
+    /// grade, release any single-flight followers with the marked answer,
+    /// and schedule the full-budget refinement. `None` when the method has
+    /// no coarse variant or the coarse compute itself fails — the caller
+    /// falls back to the original rejection.
+    fn serve_anytime(&self, job: &Job, leads_flight: bool, t0: Instant) -> Option<ExplainResponse> {
+        let (coarse_method, sample_budget) = job.request.method.coarsened()?;
+        // Seed from the *coarse* key's content hash: the coarse answer is
+        // its own deterministic identity (bit-identical wherever the same
+        // coarse question is computed), distinct from the full answer's.
+        let coarse_key = CacheKey::build(
+            &job.request.model_id,
+            job.key.model_version,
+            coarse_method,
+            &job.request.features,
+            self.config.quantization_grid,
+        )?;
+        let seed = request_seed(self.config.seed, coarse_key.stable_hash());
+        let explainer = job.entry.explainer(coarse_method);
+        let t_run = Instant::now();
+        let mut ws = CoalitionWorkspace::default();
+        let attr = worker::explain_one(
+            &job.entry,
+            &*explainer,
+            &job.request.features,
+            seed,
+            &mut ws,
+        )
+        .ok()?;
+        let service = t_run.elapsed();
+        let attr = Arc::new(attr);
+        let fidelity = Fidelity::Coarse { sample_budget };
+        self.cache
+            .insert_graded(job.key.clone(), Arc::clone(&attr), sample_budget);
+        if leads_flight {
+            self.cache
+                .complete_flight(&job.key, Some((Arc::clone(&attr), fidelity)));
+        }
+        self.request_refine(&job.entry, &job.key, &job.request.features);
+        self.metrics.degraded_served.fetch_add(1, Ordering::Relaxed);
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.service.record(service);
+        self.metrics.total.record(t0.elapsed());
+        Some(ExplainResponse {
+            attribution: attr,
+            model_version: job.key.model_version,
+            cache_hit: false,
+            batch_size: 1,
+            queue_wait: Duration::ZERO,
+            service_time: service,
+            fidelity,
+        })
+    }
+
+    /// Queues a full-budget in-place upgrade for `key`. Dropped (counted)
+    /// when the refine queue is full — the coarse answer stands and the
+    /// next request for the key re-arms refinement.
+    fn request_refine(&self, entry: &Arc<ModelEntry>, key: &CacheKey, features: &[f64]) {
+        let Some(tx) = self.refine_tx.as_ref() else {
+            return;
+        };
+        let job = RefineJob {
+            entry: Arc::clone(entry),
+            key: key.clone(),
+            features: features.to_vec(),
+        };
+        if tx.try_send(job).is_err() {
+            self.metrics.refine_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time metrics snapshot, including cache tier occupancy.
     pub fn stats(&self) -> ServeStats {
-        self.metrics.snapshot()
+        let mut stats = self.metrics.snapshot();
+        let usage = self.cache.usage();
+        stats.cache_hot_entries = usage.hot_entries as u64;
+        stats.cache_cold_entries = usage.cold_entries as u64;
+        stats.cache_hot_bytes = usage.hot_bytes as u64;
+        stats.cache_cold_bytes = usage.cold_bytes as u64;
+        stats
+    }
+
+    /// Per-tier cache entry and byte usage.
+    pub fn cache_usage(&self) -> CacheUsage {
+        self.cache.usage()
     }
 
     /// Entries currently cached.
@@ -333,6 +544,12 @@ impl Engine {
         // backlog and exit.
         self.queue = None;
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Same deal for the refiner: dropping the sender ends its loop
+        // after it drains pending upgrades.
+        self.refine_tx = None;
+        if let Some(h) = self.refiner.take() {
             let _ = h.join();
         }
     }

@@ -10,8 +10,17 @@
 //!   contain zero per-method dispatch, so all of the `nfv-xai` trait
 //!   registry's methods (TreeSHAP, KernelSHAP, LIME, sampling / exact /
 //!   grouped Shapley, per-instance permutation) serve through one path,
-//! - a **sharded LRU cache** keyed by (model id, version, method+budget,
-//!   quantized input) — identical questions are answered once,
+//! - a **two-tier sharded LRU cache** keyed by (model id, version,
+//!   method+budget, quantized input) — identical questions are answered
+//!   once. A small hot tier serves exact f64 attributions; evictions
+//!   demote into a large cold tier of i16-quantized entries (~4× the
+//!   entries per byte) whose hits carry a typed
+//!   [`Fidelity::Quantized`](request::Fidelity) error bound,
+//! - **anytime explanations**: under queue-full pressure, sampling
+//!   methods answer immediately with a coarse (reduced-budget)
+//!   attribution tagged [`Fidelity::Coarse`](request::Fidelity) while a
+//!   background refiner upgrades the cache entry in place to the
+//!   full-budget result (see [`engine::AnytimePolicy`]),
 //! - a **bounded MPMC queue** with admission control: when the queue is
 //!   full or a deadline is infeasible the request is *rejected with a
 //!   reason*, never silently delayed (backpressure, not buffer bloat),
@@ -85,17 +94,18 @@ pub mod registry;
 pub mod request;
 pub mod worker;
 
-pub use engine::{Engine, FusionPolicy, ServeConfig};
+pub use engine::{AnytimePolicy, Engine, FusionPolicy, ServeConfig};
 
 /// Pre-split name of [`Engine`], kept as the primary public alias.
 pub use engine::Engine as ServeEngine;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::cache::CacheUsage;
     pub use crate::cluster::{route_hash, ClusterConfig, ClusterStats, HashRing, ServeCluster};
     pub use crate::error::{RejectReason, ServeError};
     pub use crate::metrics::ServeStats;
     pub use crate::registry::{ModelEntry, ModelRegistry, ServeModel};
-    pub use crate::request::{ExplainMethod, ExplainRequest, ExplainResponse};
-    pub use crate::{Engine, FusionPolicy, ServeConfig, ServeEngine};
+    pub use crate::request::{ExplainMethod, ExplainRequest, ExplainResponse, Fidelity};
+    pub use crate::{AnytimePolicy, Engine, FusionPolicy, ServeConfig, ServeEngine};
 }

@@ -152,6 +152,18 @@ pub struct Metrics {
     /// Probe admissions: requests the per-class estimate would have
     /// rejected, admitted to resample a possibly-stale EWMA.
     pub probe_admits: AtomicU64,
+    /// Cache hits served from the quantized cold tier (a subset of
+    /// `cache_hits`; each carried a typed max-abs error bound).
+    pub quantized_hits: AtomicU64,
+    /// Requests served a coarse (reduced-budget) anytime attribution
+    /// instead of a queue-full rejection.
+    pub degraded_served: AtomicU64,
+    /// Coarse cache entries upgraded in place to the full-budget result by
+    /// the background refiner.
+    pub refined_entries: AtomicU64,
+    /// Refinement jobs dropped because the refine queue was full (the
+    /// coarse answer stands until the key is requested again).
+    pub refine_dropped: AtomicU64,
     /// Queue wait of worker-served requests.
     pub queue_wait: LatencyHistogram,
     /// Explainer compute time per batch group, attributed per request.
@@ -318,7 +330,7 @@ impl Metrics {
     }
 
     /// Folds one observed per-request service time into the global EWMA.
-    /// The accumulator keeps [`EWMA_FP_SHIFT`] fractional bits so repeated
+    /// The accumulator keeps `EWMA_FP_SHIFT` fractional bits so repeated
     /// small samples keep moving the estimate instead of truncating to a
     /// no-op.
     pub fn observe_service_ns(&self, ns: u64) {
@@ -420,6 +432,16 @@ impl Metrics {
             kernel: nfv_ml::soa::active_kernel_name().to_string(),
             single_flight_hits: self.single_flight_hits.load(Ordering::Relaxed),
             probe_admits: self.probe_admits.load(Ordering::Relaxed),
+            quantized_hits: self.quantized_hits.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            refined_entries: self.refined_entries.load(Ordering::Relaxed),
+            refine_dropped: self.refine_dropped.load(Ordering::Relaxed),
+            // Cache occupancy lives in the cache, not the counters; the
+            // engine overwrites these right after snapshotting.
+            cache_hot_entries: 0,
+            cache_cold_entries: 0,
+            cache_hot_bytes: 0,
+            cache_cold_bytes: 0,
             queue_wait_p50_us: self.queue_wait.quantile_us(0.50),
             queue_wait_p99_us: self.queue_wait.quantile_us(0.99),
             service_p50_us: self.service.quantile_us(0.50),
@@ -488,6 +510,32 @@ pub struct ServeStats {
     pub single_flight_hits: u64,
     /// Probe admissions past a possibly-stale class estimate.
     pub probe_admits: u64,
+    /// Cache hits served from the quantized cold tier (subset of
+    /// `cache_hits`, each with a typed error bound).
+    #[serde(default)]
+    pub quantized_hits: u64,
+    /// Requests served a coarse anytime attribution instead of a
+    /// queue-full rejection.
+    #[serde(default)]
+    pub degraded_served: u64,
+    /// Coarse cache entries upgraded in place to full-budget results.
+    #[serde(default)]
+    pub refined_entries: u64,
+    /// Refinement jobs dropped on a full refine queue.
+    #[serde(default)]
+    pub refine_dropped: u64,
+    /// Live exact-tier cache entries.
+    #[serde(default)]
+    pub cache_hot_entries: u64,
+    /// Live quantized-tier cache entries.
+    #[serde(default)]
+    pub cache_cold_entries: u64,
+    /// Estimated exact-tier heap bytes.
+    #[serde(default)]
+    pub cache_hot_bytes: u64,
+    /// Estimated quantized-tier heap bytes.
+    #[serde(default)]
+    pub cache_cold_bytes: u64,
     /// Queue-wait median, microseconds.
     pub queue_wait_p50_us: f64,
     /// Queue-wait 99th percentile, microseconds.
@@ -544,6 +592,14 @@ impl ServeStats {
             }
             agg.single_flight_hits += s.single_flight_hits;
             agg.probe_admits += s.probe_admits;
+            agg.quantized_hits += s.quantized_hits;
+            agg.degraded_served += s.degraded_served;
+            agg.refined_entries += s.refined_entries;
+            agg.refine_dropped += s.refine_dropped;
+            agg.cache_hot_entries += s.cache_hot_entries;
+            agg.cache_cold_entries += s.cache_cold_entries;
+            agg.cache_hot_bytes += s.cache_hot_bytes;
+            agg.cache_cold_bytes += s.cache_cold_bytes;
             let w = s.completed as f64;
             agg.queue_wait_p50_us += s.queue_wait_p50_us * w;
             agg.service_p50_us += s.service_p50_us * w;
@@ -704,6 +760,41 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ServeStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn stats_json_from_older_writers_still_parses() {
+        // Fields added after the stats format first shipped are all
+        // `#[serde(default)]`: a document written by an older shard (no
+        // two-tier cache, no anytime counters) must deserialize with those
+        // fields zeroed, not error. Simulate the old writer by stripping
+        // the new keys from a fresh snapshot's JSON tree.
+        let m = Metrics::new();
+        m.submitted.fetch_add(2, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let mut snap = m.snapshot();
+        snap.quantized_hits = 7; // would survive a round trip; must not here
+        let new_keys = [
+            "quantized_hits",
+            "degraded_served",
+            "refined_entries",
+            "refine_dropped",
+            "cache_hot_entries",
+            "cache_cold_entries",
+            "cache_hot_bytes",
+            "cache_cold_bytes",
+        ];
+        let mut tree = serde::Serialize::to_value(&snap);
+        match &mut tree {
+            serde::Value::Object(fields) => fields.retain(|(k, _)| !new_keys.contains(&k.as_str())),
+            other => panic!("stats must serialize to an object, got {}", other.kind()),
+        }
+        let old_json = serde_json::to_string(&tree).unwrap();
+        let back: ServeStats = serde_json::from_str(&old_json).unwrap();
+        assert_eq!(back.submitted, snap.submitted);
+        assert_eq!(back.cache_hits, snap.cache_hits);
+        assert_eq!(back.quantized_hits, 0, "absent key reads as default");
+        assert_eq!(back.cache_cold_bytes, 0);
     }
 
     #[test]

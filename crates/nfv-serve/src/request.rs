@@ -69,6 +69,130 @@ impl ExplainMethod {
             ExplainMethod::Permutation => (7, 0),
         }
     }
+
+    /// The degraded variant of this method used by the anytime path: same
+    /// method, sampling budget cut to 1/8 (floored so the coarse answer is
+    /// still statistically meaningful). Returns the coarse method plus the
+    /// coarse sample budget recorded in [`Fidelity::Coarse`]. `None` for
+    /// deterministic methods (nothing to cut) and for budgets already at or
+    /// below the floor — those either run at full fidelity or reject.
+    pub fn coarsened(&self) -> Option<(ExplainMethod, u64)> {
+        match *self {
+            ExplainMethod::KernelShap { n_coalitions } => {
+                let coarse = (n_coalitions / 8).max(8);
+                (coarse < n_coalitions).then_some((
+                    ExplainMethod::KernelShap {
+                        n_coalitions: coarse,
+                    },
+                    coarse as u64,
+                ))
+            }
+            ExplainMethod::Lime { n_samples } => {
+                let coarse = (n_samples / 8).max(16);
+                (coarse < n_samples)
+                    .then_some((ExplainMethod::Lime { n_samples: coarse }, coarse as u64))
+            }
+            ExplainMethod::SamplingShapley {
+                n_permutations,
+                antithetic,
+            } => {
+                let coarse = (n_permutations / 8).max(2);
+                (coarse < n_permutations).then_some((
+                    ExplainMethod::SamplingShapley {
+                        n_permutations: coarse,
+                        antithetic,
+                    },
+                    coarse as u64,
+                ))
+            }
+            ExplainMethod::TreeShap
+            | ExplainMethod::ExactShapley
+            | ExplainMethod::GroupedShapley
+            | ExplainMethod::Permutation => None,
+        }
+    }
+}
+
+/// How faithful a served attribution is to the full-budget, full-precision
+/// answer. Exact responses are bit-identical to a direct explainer run;
+/// every lossy path is typed here — quantized cache storage and coarse
+/// anytime budgets are never silent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fidelity {
+    /// Full sampling budget, f64 storage: bit-identical to a direct run.
+    Exact,
+    /// Full budget, served from the quantized cold tier. The bound is the
+    /// measured max-abs dequantization error for this entry (≤ scale/2).
+    Quantized {
+        /// Measured max-abs error of the dequantized values vs the exact f64s.
+        max_abs_err: f64,
+    },
+    /// Reduced sampling budget from the anytime path; exact f64 storage.
+    Coarse {
+        /// The reduced budget (coalitions / samples / permutations) used.
+        sample_budget: u64,
+    },
+    /// Reduced budget *and* quantized storage (a coarse entry demoted to
+    /// the cold tier before its refinement landed).
+    CoarseQuantized {
+        /// The reduced budget (coalitions / samples / permutations) used.
+        sample_budget: u64,
+        /// Measured max-abs error of the dequantized values vs the stored f64s.
+        max_abs_err: f64,
+    },
+}
+
+impl Fidelity {
+    /// True only for the bit-identical path.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Fidelity::Exact)
+    }
+
+    /// Sampling-budget grade: 0 = coarse, 1 = full. Cache upgrades are
+    /// monotone in this grade (coarse entries may be overwritten by full
+    /// ones, never the reverse).
+    pub fn grade(&self) -> u8 {
+        match self {
+            Fidelity::Exact | Fidelity::Quantized { .. } => 1,
+            Fidelity::Coarse { .. } | Fidelity::CoarseQuantized { .. } => 0,
+        }
+    }
+
+    /// The numeric error bound introduced by storage (0.0 on exact-storage
+    /// paths). This is *storage* error only; coarse sampling error is
+    /// reported via the budget, not a numeric bound.
+    pub fn max_abs_err(&self) -> f64 {
+        match self {
+            Fidelity::Exact | Fidelity::Coarse { .. } => 0.0,
+            Fidelity::Quantized { max_abs_err } | Fidelity::CoarseQuantized { max_abs_err, .. } => {
+                *max_abs_err
+            }
+        }
+    }
+
+    /// The coarse sampling budget, if any (0 on full-budget paths).
+    pub fn sample_budget(&self) -> u64 {
+        match self {
+            Fidelity::Exact | Fidelity::Quantized { .. } => 0,
+            Fidelity::Coarse { sample_budget }
+            | Fidelity::CoarseQuantized { sample_budget, .. } => *sample_budget,
+        }
+    }
+
+    /// Rebuild a fidelity from its wire encoding `(sample_budget,
+    /// max_abs_err)` — the inverse of [`Fidelity::sample_budget`] /
+    /// [`Fidelity::max_abs_err`].
+    pub fn from_parts(sample_budget: u64, max_abs_err: f64) -> Fidelity {
+        match (sample_budget, max_abs_err != 0.0) {
+            (0, false) => Fidelity::Exact,
+            (0, true) => Fidelity::Quantized { max_abs_err },
+            (b, false) => Fidelity::Coarse { sample_budget: b },
+            (b, true) => Fidelity::CoarseQuantized {
+                sample_budget: b,
+                max_abs_err,
+            },
+        }
+    }
 }
 
 /// One explanation request.
@@ -102,6 +226,8 @@ pub struct ExplainResponse {
     pub queue_wait: Duration,
     /// Explainer compute time attributed to this request's batch group.
     pub service_time: Duration,
+    /// How faithful this answer is to the exact full-budget result.
+    pub fidelity: Fidelity,
 }
 
 /// FNV-1a over explicit little-endian words: a stable, dependency-free
@@ -136,6 +262,23 @@ pub(crate) fn service_class_key(model_version: u64, method: ExplainMethod) -> u6
 /// batch composition, worker thread, or cluster shard.
 pub fn request_seed(engine_seed: u64, key_hash: u64) -> u64 {
     fnv1a_words([engine_seed, key_hash])
+}
+
+/// FNV-1a over explicit little-endian words, seeded with a *different*
+/// offset basis than [`fnv1a_words`]. Pairing the two yields the 128-bit
+/// cold-tier fingerprint: two independent 64-bit folds of the same words,
+/// so a collision requires both hashes to collide at once.
+pub(crate) fn fnv1a_words_alt(words: impl IntoIterator<Item = u64>) -> u64 {
+    // Second basis: the standard FNV offset basis XOR a fixed constant
+    // (arbitrary but stable; must never change once entries are keyed).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// FNV-1a over raw bytes (for model ids).
@@ -217,5 +360,75 @@ mod tests {
         assert_eq!(request_seed(7, 100), request_seed(7, 100));
         assert_ne!(request_seed(7, 100), request_seed(7, 101));
         assert_ne!(request_seed(7, 100), request_seed(8, 100));
+    }
+
+    #[test]
+    fn alt_hash_is_independent_of_primary() {
+        let words = [1u64, 2, 3];
+        assert_ne!(fnv1a_words(words), fnv1a_words_alt(words));
+        assert_eq!(fnv1a_words_alt(words), fnv1a_words_alt(words));
+        assert_ne!(fnv1a_words_alt([1, 2, 3]), fnv1a_words_alt([1, 2, 4]));
+    }
+
+    #[test]
+    fn coarsened_cuts_sampling_budgets_only() {
+        let (m, b) = ExplainMethod::KernelShap { n_coalitions: 512 }
+            .coarsened()
+            .unwrap();
+        assert_eq!(m, ExplainMethod::KernelShap { n_coalitions: 64 });
+        assert_eq!(b, 64);
+        // Floor: already-small budgets have nothing worth cutting.
+        assert!(ExplainMethod::KernelShap { n_coalitions: 8 }
+            .coarsened()
+            .is_none());
+        let (m, b) = ExplainMethod::SamplingShapley {
+            n_permutations: 32,
+            antithetic: true,
+        }
+        .coarsened()
+        .unwrap();
+        assert_eq!(
+            m,
+            ExplainMethod::SamplingShapley {
+                n_permutations: 4,
+                antithetic: true
+            },
+            "antithetic pairing survives coarsening"
+        );
+        assert_eq!(b, 4);
+        let (m, _) = ExplainMethod::Lime { n_samples: 1024 }.coarsened().unwrap();
+        assert_eq!(m, ExplainMethod::Lime { n_samples: 128 });
+        // Deterministic methods have no sampling budget to degrade.
+        assert!(ExplainMethod::TreeShap.coarsened().is_none());
+        assert!(ExplainMethod::ExactShapley.coarsened().is_none());
+        assert!(ExplainMethod::GroupedShapley.coarsened().is_none());
+        assert!(ExplainMethod::Permutation.coarsened().is_none());
+    }
+
+    #[test]
+    fn fidelity_parts_round_trip() {
+        for f in [
+            Fidelity::Exact,
+            Fidelity::Quantized { max_abs_err: 1e-4 },
+            Fidelity::Coarse { sample_budget: 64 },
+            Fidelity::CoarseQuantized {
+                sample_budget: 64,
+                max_abs_err: 1e-4,
+            },
+        ] {
+            assert_eq!(Fidelity::from_parts(f.sample_budget(), f.max_abs_err()), f);
+        }
+        assert!(Fidelity::Exact.is_exact());
+        assert_eq!(Fidelity::Exact.grade(), 1);
+        assert_eq!(Fidelity::Quantized { max_abs_err: 0.1 }.grade(), 1);
+        assert_eq!(Fidelity::Coarse { sample_budget: 8 }.grade(), 0);
+        assert_eq!(
+            Fidelity::CoarseQuantized {
+                sample_budget: 8,
+                max_abs_err: 0.1
+            }
+            .grade(),
+            0
+        );
     }
 }

@@ -28,7 +28,7 @@ use crate::error::{RejectReason, ServeError};
 use crate::metrics::Metrics;
 use crate::queue::Job;
 use crate::registry::ModelEntry;
-use crate::request::{request_seed, service_class_key, ExplainResponse};
+use crate::request::{request_seed, service_class_key, ExplainResponse, Fidelity};
 use crate::FusionPolicy;
 use crossbeam::channel::Receiver;
 use nfv_xai::prelude::*;
@@ -116,8 +116,10 @@ fn explain_context<'a>(entry: &'a ModelEntry, x: &'a [f64], seed: u64) -> Explai
     }
 }
 
-/// Runs one explanation end to end through the trait's direct path.
-fn explain_one(
+/// Runs one explanation end to end through the trait's direct path. Also
+/// used by the engine's anytime/refinement paths, which must be
+/// bit-identical to worker execution.
+pub(crate) fn explain_one(
     entry: &ModelEntry,
     explainer: &dyn Explainer,
     x: &[f64],
@@ -152,12 +154,19 @@ fn prefilter(group: Vec<Job>, ctx: &WorkerContext, now: Instant) -> Vec<Job> {
         }
         // Re-check the cache: an identical request may have been explained
         // while this one sat in the queue.
-        if let Some(attr) = ctx.cache.get(&job.key) {
+        if let Some((attr, fidelity)) = ctx.cache.get(&job.key) {
             ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if matches!(
+                fidelity,
+                Fidelity::Quantized { .. } | Fidelity::CoarseQuantized { .. }
+            ) {
+                ctx.metrics.quantized_hits.fetch_add(1, Ordering::Relaxed);
+            }
             ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
             ctx.metrics.queue_wait.record(waited);
             ctx.metrics.total.record(waited);
-            ctx.cache.complete_flight(&job.key, Some(Arc::clone(&attr)));
+            ctx.cache
+                .complete_flight(&job.key, Some((Arc::clone(&attr), fidelity)));
             let _ = job.respond.send(Ok(ExplainResponse {
                 attribution: attr,
                 model_version: job.key.model_version,
@@ -165,6 +174,7 @@ fn prefilter(group: Vec<Job>, ctx: &WorkerContext, now: Instant) -> Vec<Job> {
                 batch_size: 1,
                 queue_wait: waited,
                 service_time: Duration::ZERO,
+                fidelity,
             }));
             continue;
         }
@@ -186,8 +196,12 @@ fn deliver(
     match result {
         Ok(attr) => {
             let attr = Arc::new(attr);
+            // Workers always run the full budget, so this insert is a
+            // full-grade write: it upgrades any coarse anytime entry for
+            // the same key in place.
             ctx.cache.insert(job.key.clone(), Arc::clone(&attr));
-            ctx.cache.complete_flight(&job.key, Some(Arc::clone(&attr)));
+            ctx.cache
+                .complete_flight(&job.key, Some((Arc::clone(&attr), Fidelity::Exact)));
             let waited = now.duration_since(job.admitted);
             ctx.metrics.queue_wait.record(waited);
             ctx.metrics.service.record(service);
@@ -200,6 +214,7 @@ fn deliver(
                 batch_size,
                 queue_wait: waited,
                 service_time: service,
+                fidelity: Fidelity::Exact,
             }));
         }
         Err(e) => {

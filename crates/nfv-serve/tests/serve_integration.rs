@@ -224,6 +224,10 @@ fn tiny_cache_evicts_but_stays_correct() {
     let (model, names, bg, synth) = fitted(13);
     let engine = ServeEngine::start(ServeConfig {
         cache_capacity: 4,
+        // Exact-only mode: this test is about eviction never changing
+        // *exact* results, so the quantized demotion tier is disabled
+        // (two-tier behaviour has its own tests).
+        cold_capacity: 0,
         cache_shards: 1,
         ..ServeConfig::default()
     });
@@ -243,6 +247,98 @@ fn tiny_cache_evicts_but_stays_correct() {
         let again = engine.explain(tree_req(synth.data.row(i))).unwrap();
         assert_eq!(again.attribution, old.attribution);
     }
+    engine.shutdown();
+}
+
+#[test]
+fn queue_full_degrades_to_coarse_then_upgrades_in_place() {
+    let (model, names, bg, synth) = fitted(41);
+    // One worker, a one-slot queue: while the worker grinds a big request,
+    // concurrent arrivals overflow admission. With anytime enabled the
+    // overflow is served a coarse (budget ÷ 8) attribution inline instead
+    // of a QueueFull rejection.
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    engine
+        .registry()
+        .register(
+            "m",
+            ServeModel::Gbdt(model.clone()),
+            names.clone(),
+            bg.clone(),
+        )
+        .unwrap();
+    let engine_ref = &engine;
+    let responses: Vec<ExplainResponse> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let row = synth.data.row(i % 8);
+                s.spawn(move || engine_ref.explain(kernel_req(row, 512)).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Nothing was rejected, and at least one response is degraded.
+    let coarse: Vec<&ExplainResponse> = responses
+        .iter()
+        .filter(|r| matches!(r.fidelity, Fidelity::Coarse { .. }))
+        .collect();
+    let stats = engine.stats();
+    assert!(
+        !coarse.is_empty(),
+        "a 1-slot queue under 12 concurrent requests must degrade: {stats:?}"
+    );
+    // Single-flight followers can ride a coarse leader's result, so the
+    // counter tracks inline degradations, a subset of coarse responses.
+    assert!(
+        stats.degraded_served >= 1 && stats.degraded_served <= coarse.len() as u64,
+        "{stats:?}"
+    );
+    match coarse[0].fidelity {
+        Fidelity::Coarse { sample_budget } => assert_eq!(sample_budget, 512 / 8),
+        ref other => panic!("wrong fidelity: {other:?}"),
+    }
+
+    // The coarse entries upgrade in place: polling each flooded key
+    // eventually returns an exact answer (grade-0 hits re-request
+    // refinement, so even a dropped refine job heals).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut upgraded = Vec::new();
+    for i in 0..8 {
+        let row = synth.data.row(i);
+        loop {
+            let resp = engine.explain(kernel_req(row, 512)).unwrap();
+            if resp.fidelity == Fidelity::Exact {
+                upgraded.push(resp);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "coarse entry for row {i} never upgraded: {:?}",
+                engine.stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert!(engine.stats().refined_entries >= 1);
+
+    // The upgraded results are bit-identical to an engine that never
+    // degraded: refinement re-seeds from the original request content.
+    let calm = ServeEngine::start(ServeConfig::default());
+    calm.registry()
+        .register("m", ServeModel::Gbdt(model), names, bg)
+        .unwrap();
+    for (i, up) in upgraded.iter().enumerate() {
+        let full = calm.explain(kernel_req(synth.data.row(i), 512)).unwrap();
+        assert_eq!(
+            up.attribution, full.attribution,
+            "row {i}: refined entry must equal the never-degraded result"
+        );
+    }
+    calm.shutdown();
     engine.shutdown();
 }
 

@@ -55,7 +55,7 @@ pub fn mm1_sojourn_quantile(lambda: f64, mu: f64, p: f64) -> f64 {
 }
 
 /// Mean waiting time in an M/G/1 queue by Pollaczek–Khinchine:
-/// `W = λ·E[S²] / (2(1−ρ))`, with E[S²] expressed through the service-time
+/// `W = λ·E[S²] / (2(1−ρ))`, with `E[S²]` expressed through the service-time
 /// coefficient of variation: `E[S²] = E[S]²(1 + cv²)`.
 pub fn mg1_mean_wait(lambda: f64, mean_service: f64, cv: f64) -> f64 {
     if mean_service <= 0.0 {

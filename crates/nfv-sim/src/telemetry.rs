@@ -76,7 +76,7 @@ impl LatencyHistogram {
         }
     }
 
-    /// q-quantile (q in [0,1]) in seconds, by bucket interpolation; exact min
+    /// q-quantile (q in `[0,1]`) in seconds, by bucket interpolation; exact min
     /// and max are used at the extremes. Returns 0 when empty.
     pub fn quantile_secs(&self, q: f64) -> f64 {
         if self.count == 0 {
@@ -192,7 +192,7 @@ impl VnfWindowStats {
         self.processed + self.dropped
     }
 
-    /// Drop fraction in [0,1].
+    /// Drop fraction in `[0,1]`.
     pub fn drop_rate(&self) -> f64 {
         let o = self.offered();
         if o == 0 {

@@ -366,7 +366,9 @@ proptest! {
     ) {
         use nfv_serve::cache::{CacheKey, ShardedCache};
         use nfv_serve::request::ExplainMethod;
-        let cache = ShardedCache::new(capacity, 2);
+        // Cold tier enabled: evictions demote to quantized entries, and
+        // the staleness property must hold across both tiers.
+        let cache = ShardedCache::new(capacity, capacity * 4, 2);
         let mut version = 1u64;
         let key_of = |version: u64, cell: i64| CacheKey::build(
             "m", version, ExplainMethod::TreeShap, &[cell as f64], 1.0,
@@ -385,11 +387,16 @@ proptest! {
                 0 => version += 1,
                 1 => cache.insert(key_of(version, cell), attr_of(version, cell)),
                 _ => {
-                    if let Some(hit) = cache.get(&key_of(version, cell)) {
+                    if let Some((hit, fidelity)) = cache.get(&key_of(version, cell)) {
+                        // Prediction stays exact f64 in both tiers, so it
+                        // is a version check even on quantized hits.
                         prop_assert_eq!(hit.prediction, version as f64,
                             "entry from version {} served at version {}",
                             hit.prediction, version);
-                        prop_assert_eq!(hit.values[0], cell as f64);
+                        prop_assert!(
+                            (hit.values[0] - cell as f64).abs() <= fidelity.max_abs_err(),
+                            "value {} vs {} exceeds the typed bound {}",
+                            hit.values[0], cell, fidelity.max_abs_err());
                     }
                 }
             }

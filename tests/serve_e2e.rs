@@ -245,6 +245,9 @@ fn backpressure_rejects_instead_of_blocking() {
     let (_gbdt, _linear, mlp, names, bg) = trained_models(17);
     // One slow worker, a four-slot queue, no batching: overload must
     // surface as immediate QueueFull rejects, not unbounded waiting.
+    // Anytime degradation is pinned off so queue-full pressure keeps its
+    // pre-anytime reject-with-reason contract; the coarse-then-refine path
+    // has its own test (`queue_full_degrades_to_coarse_then_upgrades_in_place`).
     let engine = ServeEngine::start(ServeConfig {
         workers: 1,
         queue_capacity: 4,
@@ -254,6 +257,10 @@ fn backpressure_rejects_instead_of_blocking() {
         cache_shards: 2,
         quantization_grid: 1e-6,
         seed: 17,
+        anytime: AnytimePolicy {
+            enabled: false,
+            ..AnytimePolicy::default()
+        },
         ..ServeConfig::default()
     });
     engine

@@ -431,6 +431,18 @@ pub mod __private {
         }
     }
 
+    /// `#[serde(default)]` form of [`field`]: an absent key yields
+    /// `T::default()` instead of an error, so readers accept documents
+    /// written before the field existed.
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(fv) => {
+                T::from_value(fv).map_err(|e| Error::custom(format!("field `{name}`: {}", e.0)))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
     /// Deserializes element `i` of a tuple-struct/-variant array form.
     pub fn element<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
         let arr = v

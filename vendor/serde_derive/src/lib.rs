@@ -7,6 +7,12 @@
 //! in serde's default externally-tagged convention against the JSON-tree
 //! data model of the sibling `serde` stand-in. Unsupported shapes fail the
 //! build with an explicit panic rather than silently mis-serializing.
+//!
+//! One field attribute is honoured: `#[serde(default)]` on a named field
+//! makes deserialization substitute `Default::default()` when the key is
+//! absent — the forward-compat hook the workspace uses for stats fields
+//! added after a wire/JSON format shipped. Any *other* `#[serde(...)]`
+//! argument panics at derive time instead of being silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,7 +20,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -32,7 +38,15 @@ enum Shape {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
+}
+
+/// A named field plus its parsed `#[serde(...)]` options.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: on deserialize, an absent key yields
+    /// `Default::default()` instead of a missing-field error.
+    default: bool,
 }
 
 /// Derives `serde::Serialize` (JSON-tree form).
@@ -43,6 +57,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { name, fields } => {
             let mut body = String::new();
             for f in fields {
+                let f = &f.name;
                 body.push_str(&format!(
                     "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
                 ));
@@ -105,8 +120,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantShape::Named(fields) => {
-                        let pats = fields.join(",");
-                        let entries: Vec<String> = fields
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pats = names.join(",");
+                        let entries: Vec<String> = names
                             .iter()
                             .map(|f| {
                                 format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
@@ -140,7 +156,13 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { name, fields } => {
             let mut body = String::new();
             for f in fields {
-                body.push_str(&format!("{f}: serde::__private::field(v, \"{f}\")?,"));
+                let getter = if f.default {
+                    "field_or_default"
+                } else {
+                    "field"
+                };
+                let f = &f.name;
+                body.push_str(&format!("{f}: serde::__private::{getter}(v, \"{f}\")?,"));
             }
             format!(
                 "impl serde::Deserialize for {name} {{\n\
@@ -200,7 +222,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantShape::Named(fields) => {
                         let body: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("{f}: serde::__private::field(payload, \"{f}\")?"))
+                            .map(|f| {
+                                let getter = if f.default {
+                                    "field_or_default"
+                                } else {
+                                    "field"
+                                };
+                                let f = &f.name;
+                                format!("{f}: serde::__private::{getter}(payload, \"{f}\")?")
+                            })
                             .collect();
                         arms.push_str(&format!(
                             "\"{v}\" => Ok({name}::{v} {{ {} }}),",
@@ -297,13 +327,14 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
 }
 
 /// Field names of a `{ ... }` struct body (types are irrelevant to the
-/// generated code and are skipped with `<`/`>` nesting awareness).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// generated code and are skipped with `<`/`>` nesting awareness), plus
+/// any `#[serde(default)]` marker read off the field's attributes.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = eat_field_attrs_and_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -315,13 +346,67 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("serde derive: expected `:` after `{name}`, got {other:?}"),
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(Field { name, default });
         // Now at a `,` or the end.
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
     }
     fields
+}
+
+/// Like [`skip_attrs_and_vis`], but reads `#[serde(...)]` field attributes
+/// instead of skipping them blind. Returns whether `default` was present;
+/// any other serde argument is a build error (the stand-in must never
+/// silently ignore semantics the real serde_derive would apply).
+fn eat_field_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    default |= serde_attr_is_default(g.stream());
+                }
+                *i += 2; // `#` + the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super) scope
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Inspects one attribute's bracket-group content. Non-serde attributes
+/// (`doc`, `cfg`, ...) are ignored; `serde(default)` returns true; any
+/// other serde argument panics.
+fn serde_attr_is_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde derive: malformed #[serde ...] attribute, got {other:?}"),
+    };
+    let mut default = false;
+    for t in args {
+        match &t {
+            TokenTree::Ident(id) if id.to_string() == "default" => default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde derive stand-in: unsupported #[serde({other})] argument \
+                 (only `default` is implemented)"
+            ),
+        }
+    }
+    default
 }
 
 /// Number of fields in a `( ... )` tuple body.
