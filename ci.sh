@@ -10,6 +10,17 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Open-dispatch invariant: the serving layer resolves methods through the
+# registry; a `match` on `ExplainMethod::` variants creeping back into the
+# worker/registry dispatch path (outside #[cfg(test)]) re-closes it.
+echo "==> open-dispatch check (no ExplainMethod:: match arms in serve dispatch)"
+for f in crates/nfv-serve/src/worker.rs crates/nfv-serve/src/registry.rs; do
+  if awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" | grep -n 'ExplainMethod::'; then
+    echo "FAIL: $f dispatches on ExplainMethod variants; use MethodRegistry"
+    exit 1
+  fi
+done
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -40,6 +51,9 @@ cargo bench -p nfv-bench --bench soa_kernels -- --test
 # against the event-driven server — zero protocol errors, clean drain.
 # Exits non-zero on any violation.
 echo "==> nfv-net multi-process smoke (3 shard processes, 64-conn pipelined storm)"
+# The smoke spawns target/release/nfv-shard; `cargo run --bin nfv-net-smoke`
+# alone would not rebuild it, and a stale shard binary fails bit-identity.
+cargo build -q --release -p nfv-net --bins
 cargo run -q --release -p nfv-net --bin nfv-net-smoke
 
 # Perf-regression gate: rerun the timed benches and diff the fresh medians

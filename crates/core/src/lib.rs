@@ -65,6 +65,7 @@ pub mod explanation;
 pub mod grouped;
 pub mod interactions;
 pub mod lime;
+pub mod methods;
 pub mod pdp;
 pub mod permutation;
 pub mod report;
@@ -125,6 +126,10 @@ pub mod prelude {
         interaction_values, InteractionMatrix, MAX_INTERACTION_FEATURES,
     };
     pub use crate::lime::{lime, LimeConfig, LimeExplanation};
+    pub use crate::methods::{
+        method_id, InteractionsExplainer, MethodConfig, MethodDescriptor, MethodRegistry,
+        ModelCaps, TreeModel, TreeShapExplainer,
+    };
     pub use crate::pdp::{partial_dependence, PartialDependence};
     pub use crate::permutation::{
         instance_permutation, instance_permutation_finish, instance_permutation_plan,

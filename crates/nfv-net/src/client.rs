@@ -227,6 +227,21 @@ impl ShardConn {
         feature_names: &[String],
         background: &Background,
     ) -> Result<u64, ShardCallError> {
+        self.register_with_configs(model_id, model, feature_names, background, &[])
+    }
+
+    /// [`ShardConn::register`] with per-method serving configuration:
+    /// `(method name, anytime divisor)` pairs the shard applies to its
+    /// `ModelRegistry` alongside the registration (an empty slice encodes
+    /// a byte-identical v1 `Register` frame).
+    pub fn register_with_configs(
+        &self,
+        model_id: &str,
+        model: &ServeModel,
+        feature_names: &[String],
+        background: &Background,
+        method_configs: &[(String, u64)],
+    ) -> Result<u64, ShardCallError> {
         let model_json = serde_json::to_string(model)
             .map_err(|e| ShardCallError::Wire(WireError::Decode(format!("model json: {e}"))))?;
         let msg = Message::Register(WireRegister {
@@ -235,6 +250,7 @@ impl ShardConn {
             model_json,
             feature_names: feature_names.to_vec(),
             background_rows: background.rows().to_vec(),
+            method_configs: method_configs.to_vec(),
         });
         match self.rpc(msg).map_err(ShardCallError::Wire)? {
             Message::RegisterOk { version, .. } => Ok(version),

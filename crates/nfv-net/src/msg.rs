@@ -92,7 +92,19 @@ pub struct WireRegister {
     pub feature_names: Vec<String>,
     /// Raw background rows; the shard rebuilds the `Background`.
     pub background_rows: Vec<Vec<f64>>,
+    /// Per-method serving configuration shipped with the registration:
+    /// `(method name, anytime coarsening divisor)` pairs the shard applies
+    /// via `ModelRegistry::set_anytime_divisor`. Wire-optional trailing
+    /// tail (same evolution pattern as [`WireAnswer`]'s fidelity fields):
+    /// empty vectors encode nothing, so a v1 `Register` frame is
+    /// byte-identical and v1 frames decode as "no configs".
+    pub method_configs: Vec<(String, u64)>,
 }
+
+/// Cap on [`WireRegister::method_configs`] entries per frame — far above
+/// any real per-model method count, small enough that a hostile length
+/// prefix cannot balloon allocation.
+pub const MAX_METHOD_CONFIGS: usize = 1024;
 
 /// A shard's health snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,8 +170,27 @@ pub enum Message {
     },
 }
 
+/// Method encoding, two shapes behind one leading tag byte:
+///
+/// * Tags 1–7 are the protocol-v1 *legacy discriminants* of the seven
+///   original built-ins, kept byte-identical so v1 frames decode forever
+///   (proptested in `codec_proptests`). Built-ins still encode this way —
+///   it is both compatible and smaller than a name.
+/// * Tag 0 is the open-registry shape: a length-prefixed method *name*
+///   plus the u64 budget word. Anything beyond the legacy seven —
+///   `interactions`, runtime-registered methods — uses it. Decoding
+///   normalizes built-in names to their canonical variants
+///   ([`ExplainMethod::from_name`]), so a named frame and a legacy frame
+///   for the same request yield identical cache keys and seeds; an
+///   *unknown* name decodes as a `Custom` id and is answered by the
+///   engine's typed `UnknownMethod` reject, never a protocol error.
 fn put_method(buf: &mut BytesMut, m: ExplainMethod) {
     match m {
+        ExplainMethod::Interactions | ExplainMethod::Custom { .. } => {
+            buf.put_u8(0);
+            put_string(buf, &m.display_name());
+            buf.put_u64_le(m.budget_word());
+        }
         ExplainMethod::TreeShap => buf.put_u8(1),
         ExplainMethod::KernelShap { n_coalitions } => {
             buf.put_u8(2);
@@ -186,6 +217,11 @@ fn put_method(buf: &mut BytesMut, m: ExplainMethod) {
 fn get_method(buf: &mut Bytes) -> Result<ExplainMethod, WireError> {
     let tag = wire::get_u8(buf, "method tag").map_err(truncated)?;
     Ok(match tag {
+        0 => {
+            let name = get_string(buf, MAX_STR, "method name")?;
+            let budget = wire::get_u64(buf, "method budget").map_err(truncated)?;
+            ExplainMethod::from_name(&name, budget)
+        }
         1 => ExplainMethod::TreeShap,
         2 => ExplainMethod::KernelShap {
             n_coalitions: wire::get_u64(buf, "n_coalitions").map_err(truncated)? as usize,
@@ -267,6 +303,10 @@ fn put_serve_error(buf: &mut BytesMut, e: &ServeError) {
                     buf.put_u64_le(*depth);
                     buf.put_u64_le(*limit);
                 }
+                RejectReason::UnknownMethod { method } => {
+                    buf.put_u8(8);
+                    put_string(buf, method);
+                }
             }
         }
         ServeError::Explain(x) => {
@@ -313,6 +353,9 @@ fn get_serve_error(buf: &mut Bytes) -> Result<ServeError, WireError> {
                 7 => RejectReason::PipelineTooDeep {
                     depth: wire::get_u64(buf, "depth").map_err(truncated)?,
                     limit: wire::get_u64(buf, "limit").map_err(truncated)?,
+                },
+                8 => RejectReason::UnknownMethod {
+                    method: get_string(buf, MAX_STR, "method")?,
                 },
                 other => return Err(WireError::Decode(format!("unknown reject tag {other}"))),
             };
@@ -448,6 +491,15 @@ impl Message {
                 for row in &r.background_rows {
                     wire::put_f64s(&mut buf, row);
                 }
+                // Wire-optional tail: only encoded when non-empty, so
+                // config-less registrations stay byte-identical to v1.
+                if !r.method_configs.is_empty() {
+                    buf.put_u32_le(r.method_configs.len() as u32);
+                    for (name, divisor) in &r.method_configs {
+                        put_string(&mut buf, name);
+                        buf.put_u64_le(*divisor);
+                    }
+                }
             }
             Message::RegisterOk { rid, version } => {
                 buf.put_u64_le(*rid);
@@ -557,12 +609,33 @@ impl Message {
                 for _ in 0..n_rows {
                     background_rows.push(get_vec_f64(&mut buf, "background row")?);
                 }
+                // Wire-optional tail (absent in v1 frames): per-method
+                // serving configs. The frame layer rejects trailing
+                // garbage, so "bytes remain" unambiguously means the tail
+                // is present.
+                let mut method_configs = Vec::new();
+                if !buf.is_empty() {
+                    let n = wire::get_u32(&mut buf, "method configs").map_err(truncated)? as usize;
+                    if n > MAX_METHOD_CONFIGS {
+                        return Err(WireError::Decode(format!(
+                            "register claims {n} method configs, cap {MAX_METHOD_CONFIGS}"
+                        )));
+                    }
+                    method_configs.reserve(n.min(4096));
+                    for _ in 0..n {
+                        let name = get_string(&mut buf, MAX_STR, "method config name")?;
+                        let divisor =
+                            wire::get_u64(&mut buf, "method config divisor").map_err(truncated)?;
+                        method_configs.push((name, divisor));
+                    }
+                }
                 Message::Register(WireRegister {
                     rid,
                     model_id,
                     model_json,
                     feature_names,
                     background_rows,
+                    method_configs,
                 })
             }
             MsgType::RegisterOk => Message::RegisterOk {
@@ -653,6 +726,7 @@ mod tests {
                 model_json: "{\"Linear\":{}}".into(),
                 feature_names: vec!["a".into(), "b".into()],
                 background_rows: vec![vec![0.5, 1.5], vec![-2.0, 0.25]],
+                method_configs: vec![("kernel-shap".into(), 4)],
             }),
             Message::RegisterOk { rid: 1, version: 1 },
             Message::Health { rid: 2 },
@@ -708,6 +782,9 @@ mod tests {
             ServeError::Rejected(RejectReason::PipelineTooDeep {
                 depth: 65,
                 limit: 64,
+            }),
+            ServeError::Rejected(RejectReason::UnknownMethod {
+                method: "online-sage".into(),
             }),
             ServeError::Explain(XaiError::Input("bad".into())),
             ServeError::Explain(XaiError::Budget("zero".into())),
@@ -787,6 +864,91 @@ mod tests {
             other => panic!("wrong shape: {other:?}"),
         }
         assert_eq!(roundtrip(&degraded), degraded);
+    }
+
+    #[test]
+    fn named_methods_roundtrip_and_normalize_to_canonical_variants() {
+        // Beyond-the-legacy-seven methods ride tag 0 as (name, budget).
+        for method in [
+            ExplainMethod::Interactions,
+            ExplainMethod::custom("online-sage", 32),
+        ] {
+            let m = Message::Explain(WireRequest {
+                rid: 3,
+                model_id: "m".into(),
+                features: vec![1.0],
+                method,
+                budget_ns: 5,
+            });
+            match roundtrip(&m) {
+                Message::Explain(r) => assert_eq!(r.method, method),
+                other => panic!("wrong shape: {other:?}"),
+            }
+        }
+        // A hand-built tag-0 frame naming a *built-in* decodes to the
+        // canonical variant, so named and legacy frames produce identical
+        // cache keys and seeds.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0);
+        put_string(&mut buf, "kernel-shap");
+        buf.put_u64_le(64);
+        let mut bytes = Bytes::from_vec(buf.freeze().as_ref().to_vec());
+        assert_eq!(
+            get_method(&mut bytes).unwrap(),
+            ExplainMethod::KernelShap { n_coalitions: 64 }
+        );
+        // An unknown custom id survives the wire via the #hex escape.
+        let c = ExplainMethod::Custom {
+            id: 0xfeed_f00d_dead_beef,
+            budget: 2,
+        };
+        let mut buf = BytesMut::new();
+        put_method(&mut buf, c);
+        let mut bytes = Bytes::from_vec(buf.freeze().as_ref().to_vec());
+        assert_eq!(get_method(&mut bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn configless_registers_encode_v1_frames_and_config_tails_roundtrip() {
+        let bare = WireRegister {
+            rid: 4,
+            model_id: "sla".into(),
+            model_json: "{}".into(),
+            feature_names: vec!["a".into()],
+            background_rows: vec![vec![0.0]],
+            method_configs: Vec::new(),
+        };
+        // No configs → no tail: the payload is byte-identical to a v1
+        // Register frame, so v1 frames decode as "no configs".
+        let payload = Message::Register(bare.clone()).encode_payload();
+        match Message::decode_payload(MsgType::RegisterModel, Bytes::from_vec(payload)) {
+            Ok(Message::Register(r)) => assert_eq!(r, bare),
+            other => panic!("wrong shape: {other:?}"),
+        }
+        let with_configs = Message::Register(WireRegister {
+            method_configs: vec![("kernel-shap".into(), 4), ("lime".into(), 16)],
+            ..bare
+        });
+        assert_eq!(roundtrip(&with_configs), with_configs);
+    }
+
+    #[test]
+    fn oversized_method_config_counts_are_rejected() {
+        let bare = Message::Register(WireRegister {
+            rid: 4,
+            model_id: "sla".into(),
+            model_json: "{}".into(),
+            feature_names: vec!["a".into()],
+            background_rows: vec![vec![0.0]],
+            method_configs: Vec::new(),
+        });
+        let mut payload = bare.encode_payload();
+        // Claim a hostile config count with no entries behind it.
+        payload.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            Message::decode_payload(MsgType::RegisterModel, Bytes::from_vec(payload)),
+            Err(WireError::Decode(_))
+        ));
     }
 
     #[test]

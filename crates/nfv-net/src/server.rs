@@ -740,7 +740,18 @@ fn handle_register(inner: &ShardInner, reg: WireRegister) -> Message {
         .registry()
         .register(&reg.model_id, model, reg.feature_names, background)
     {
-        Ok(version) => Message::RegisterOk { rid, version },
+        Ok(version) => {
+            // Per-method serving config rides the registration: apply it
+            // only once the model is in, so a failed registration leaves
+            // no orphaned config behind.
+            for (method, divisor) in &reg.method_configs {
+                inner
+                    .engine
+                    .registry()
+                    .set_anytime_divisor(&reg.model_id, method, *divisor);
+            }
+            Message::RegisterOk { rid, version }
+        }
         Err(e) => fail(format!("register: {e}")),
     }
 }

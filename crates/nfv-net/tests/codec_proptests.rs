@@ -31,7 +31,7 @@ fn arbitrary_message(
             rid,
             model_id: text.clone(),
             features,
-            method: match kind % 7 {
+            method: match kind % 9 {
                 0 => ExplainMethod::TreeShap,
                 1 => ExplainMethod::KernelShap { n_coalitions: n },
                 2 => ExplainMethod::Lime { n_samples: n + 1 },
@@ -41,7 +41,10 @@ fn arbitrary_message(
                 },
                 4 => ExplainMethod::ExactShapley,
                 5 => ExplainMethod::GroupedShapley,
-                _ => ExplainMethod::Permutation,
+                6 => ExplainMethod::Permutation,
+                // Registry-era methods ride the named (tag 0) encoding.
+                7 => ExplainMethod::Interactions,
+                _ => ExplainMethod::custom("prop-plugin", rid),
             },
             budget_ns: rid.wrapping_mul(31),
         }),
@@ -82,6 +85,11 @@ fn arbitrary_message(
             model_json: format!("{{\"k\":{}}}", n),
             feature_names: (0..n.min(8)).map(|i| format!("f{i}")).collect(),
             background_rows: (0..n.min(4)).map(|_| vec![x, -x, x * 0.5]).collect(),
+            method_configs: if flag {
+                vec![(text.clone(), n as u64)]
+            } else {
+                Vec::new()
+            },
         }),
         4 => Message::RegisterOk { rid, version: rid },
         5 => Message::Health { rid },
@@ -126,6 +134,55 @@ proptest! {
             Message::decode_payload(t, body).expect("body decodes"),
             m
         );
+    }
+
+    #[test]
+    fn protocol_v1_method_frames_decode_forever(
+        tag in 1u8..8,
+        n in 1usize..1024,
+        antithetic in 0u8..2,
+        rid in 0u64..u64::MAX,
+    ) {
+        // Hand-build an Explain payload exactly as a protocol-v1 peer
+        // would: the legacy single-byte method discriminants. These must
+        // decode to the canonical variants forever, and — because the
+        // seven original built-ins still *encode* with their legacy tags —
+        // re-encoding the decoded message must be byte-identical.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(rid);
+        nfv_sim::wire::put_str(&mut buf, "m");
+        nfv_sim::wire::put_f64s(&mut buf, &[1.0, -2.5]);
+        buf.put_u8(tag);
+        match tag {
+            2 | 3 => buf.put_u64_le(n as u64),
+            4 => {
+                buf.put_u64_le(n as u64);
+                buf.put_u8(antithetic);
+            }
+            _ => {}
+        }
+        buf.put_u64_le(77);
+        let payload = buf.freeze().as_ref().to_vec();
+        let decoded =
+            Message::decode_payload(MsgType::ExplainRequest, Bytes::from_vec(payload.clone()))
+                .expect("v1 frame decodes");
+        let expected = match tag {
+            1 => ExplainMethod::TreeShap,
+            2 => ExplainMethod::KernelShap { n_coalitions: n },
+            3 => ExplainMethod::Lime { n_samples: n },
+            4 => ExplainMethod::SamplingShapley {
+                n_permutations: n,
+                antithetic: antithetic != 0,
+            },
+            5 => ExplainMethod::ExactShapley,
+            6 => ExplainMethod::GroupedShapley,
+            _ => ExplainMethod::Permutation,
+        };
+        match &decoded {
+            Message::Explain(r) => prop_assert_eq!(r.method, expected),
+            other => prop_assert!(false, "wrong message type: {:?}", other),
+        }
+        prop_assert_eq!(decoded.encode_payload(), payload);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! - pipelining deeper than the server's per-connection limit gets the
 //!   typed `PipelineTooDeep` reject while shallower pipelines complete.
 
+use bytes::BufMut;
 use nfv_data::prelude::*;
 use nfv_ml::prelude::*;
-use nfv_net::frame::{read_frame, write_frame};
+use nfv_net::frame::{read_frame, write_frame, MsgType};
 use nfv_net::prelude::*;
 use nfv_serve::prelude::*;
 use nfv_xai::prelude::Background;
@@ -54,6 +55,7 @@ fn register_failure_replies_with_typed_register_err() {
         model_json: "this is not a model".into(),
         feature_names: vec!["a".into()],
         background_rows: vec![vec![0.0]],
+        method_configs: Vec::new(),
     });
     write_frame(&mut stream, msg.msg_type(), &msg.encode_payload()).unwrap();
     let (t, payload) = read_frame(&mut stream, MAX_PAYLOAD).unwrap();
@@ -301,6 +303,156 @@ fn pipelining_past_the_depth_limit_gets_a_typed_reject() {
         "rid 2: {:?}",
         outcomes.get(&2)
     );
+    assert_eq!(server.protocol_errors(), 0);
+    server.stop();
+    server.join();
+}
+
+/// A request naming a method no explainer is registered for must come
+/// back as the typed `UnknownMethod` reject — a dispatch miss, not a
+/// protocol error — and the connection stays serviceable afterwards.
+#[test]
+fn unknown_method_over_the_wire_gets_a_typed_reject() {
+    let synth = friedman1(80, 5, 0.1, 5).unwrap();
+    let model = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 3,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let background = Background::from_dataset(&synth.data, 8, 1).unwrap();
+    let (server, addr) = start_server(ShardConfig::default());
+    let conn = ShardConn::connect(&addr, MAX_PAYLOAD, Duration::from_secs(10)).unwrap();
+    conn.register(
+        "m",
+        &ServeModel::Gbdt(model),
+        &synth.data.names,
+        &background,
+    )
+    .unwrap();
+
+    // Client-side custom method: neither process registered "online-sage",
+    // so it crosses the wire as its interned `#id` and the shard's
+    // registry lookup misses.
+    let err = conn
+        .explain(&ExplainRequest {
+            model_id: "m".into(),
+            features: synth.data.row(0).to_vec(),
+            method: ExplainMethod::custom("online-sage", 8),
+            budget: Duration::from_secs(30),
+        })
+        .unwrap_err();
+    match err {
+        ShardCallError::Serve(ServeError::Rejected(RejectReason::UnknownMethod { ref method })) => {
+            assert!(
+                method.starts_with('#'),
+                "the shard knows no name for the id: {method}"
+            );
+        }
+        other => panic!("expected UnknownMethod, got {other:?}"),
+    }
+
+    // A foreign client sending the *name* itself over the tag-0 shape
+    // lands in the same place: decoded as a custom id, answered with the
+    // typed reject — never a protocol error.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut payload = bytes::BytesMut::new();
+    payload.put_u64_le(42); // rid
+    nfv_sim::wire::put_str(&mut payload, "m");
+    nfv_sim::wire::put_f64s(&mut payload, synth.data.row(0));
+    payload.put_u8(0); // named-method tag
+    nfv_sim::wire::put_str(&mut payload, "online-sage");
+    payload.put_u64_le(8); // budget word
+    payload.put_u64_le(30_000_000_000); // budget_ns
+    let payload = payload.freeze();
+    write_frame(&mut stream, MsgType::ExplainRequest, payload.as_ref()).unwrap();
+    let (t, body) = read_frame(&mut stream, MAX_PAYLOAD).unwrap();
+    match Message::decode_payload(t, body).unwrap() {
+        Message::ExplainReply(WireResponse { rid: 42, outcome }) => assert!(
+            matches!(
+                outcome,
+                Err(ServeError::Rejected(RejectReason::UnknownMethod { .. }))
+            ),
+            "named unknown method: {outcome:?}"
+        ),
+        other => panic!("expected ExplainReply, got {:?}", other.msg_type()),
+    }
+
+    // Registered methods on the same connection still serve fine.
+    let ok = conn.explain(&explain_request("m"));
+    assert!(ok.is_ok(), "connection wedged after reject: {ok:?}");
+    assert_eq!(server.protocol_errors(), 0);
+    server.stop();
+    server.join();
+}
+
+/// `Register` frames can carry per-method anytime divisors; under
+/// queue-full pressure the shard degrades that service class by its
+/// configured factor instead of the crate default ÷ 8.
+#[test]
+fn register_method_configs_tune_the_shard_anytime_divisor() {
+    let synth = friedman1(160, 5, 0.1, 13).unwrap();
+    let model = Gbdt::fit(
+        &synth.data,
+        &GbdtParams {
+            n_rounds: 8,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let background = Background::from_dataset(&synth.data, 16, 1).unwrap();
+    let (server, addr) = start_server(ShardConfig {
+        serve: ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+        dispatch_threads: 8,
+        ..ShardConfig::default()
+    });
+    let conn = ShardConn::connect(&addr, MAX_PAYLOAD, Duration::from_secs(30)).unwrap();
+    conn.register_with_configs(
+        "m",
+        &ServeModel::Gbdt(model),
+        &synth.data.names,
+        &background,
+        &[("kernel-shap".to_string(), 4)],
+    )
+    .unwrap();
+
+    // 12 distinct pipelined requests against a 1-worker, 1-slot engine:
+    // overflow is served coarse inline. Divisor 4 ⇒ budget 512 / 4.
+    let requests: Vec<ExplainRequest> = (0..12)
+        .map(|i| ExplainRequest {
+            model_id: "m".into(),
+            features: synth.data.row(i).to_vec(),
+            method: ExplainMethod::KernelShap { n_coalitions: 512 },
+            budget: Duration::from_secs(30),
+        })
+        .collect();
+    let answers = conn.explain_many(&requests);
+    let coarse: Vec<u64> = answers
+        .iter()
+        .filter_map(|r| match r.as_ref().unwrap().fidelity {
+            Fidelity::Coarse { sample_budget } => Some(sample_budget),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !coarse.is_empty(),
+        "a 1-slot queue under 12 pipelined requests must degrade"
+    );
+    for budget in &coarse {
+        assert_eq!(
+            *budget,
+            512 / 4,
+            "the registered divisor must govern, not the default ÷ {DEFAULT_ANYTIME_DIVISOR}"
+        );
+    }
     assert_eq!(server.protocol_errors(), 0);
     server.stop();
     server.join();

@@ -118,6 +118,7 @@ mod tests {
             packed: None,
             expected_output: 0.0,
             groups: FeatureGroups::new(vec!["all".into()], vec![0]).unwrap(),
+            trees: None,
         });
         let request = ExplainRequest {
             model_id: model_id.into(),

@@ -182,7 +182,14 @@ fn refiner_loop(
         if cache.entry_grade(&job.key) == Some(1) {
             continue;
         }
-        let explainer = job.entry.explainer(job.key.method);
+        let explainer = match job.entry.explainer(job.key.method) {
+            Ok(e) => e,
+            Err(_) => {
+                // The coarse answer stands (see the explain-error arm).
+                metrics.explain_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
         let seed = request_seed(engine_seed, job.key.stable_hash());
         match worker::explain_one(&job.entry, &*explainer, &job.features, seed, &mut ws) {
             Ok(attr) => {
@@ -437,7 +444,14 @@ impl Engine {
     /// no coarse variant or the coarse compute itself fails — the caller
     /// falls back to the original rejection.
     fn serve_anytime(&self, job: &Job, leads_flight: bool, t0: Instant) -> Option<ExplainResponse> {
-        let (coarse_method, sample_budget) = job.request.method.coarsened()?;
+        // The coarsening divisor is per-(model, method) service-class
+        // configuration (default ÷ 8): a latency-critical class can be
+        // configured to degrade harder, an accuracy-critical one gentler
+        // or not at all.
+        let divisor = self
+            .registry
+            .anytime_divisor(&job.request.model_id, job.request.method.method_id());
+        let (coarse_method, sample_budget) = job.request.method.coarsened_with(divisor)?;
         // Seed from the *coarse* key's content hash: the coarse answer is
         // its own deterministic identity (bit-identical wherever the same
         // coarse question is computed), distinct from the full answer's.
@@ -449,7 +463,7 @@ impl Engine {
             self.config.quantization_grid,
         )?;
         let seed = request_seed(self.config.seed, coarse_key.stable_hash());
-        let explainer = job.entry.explainer(coarse_method);
+        let explainer = job.entry.explainer(coarse_method).ok()?;
         let t_run = Instant::now();
         let mut ws = CoalitionWorkspace::default();
         let attr = worker::explain_one(

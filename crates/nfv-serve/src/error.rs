@@ -43,6 +43,15 @@ pub enum RejectReason {
         /// Human-readable cause.
         reason: String,
     },
+    /// No explainer registered under the requested method name/id. Unlike
+    /// [`RejectReason::InvalidRequest`] (a model/method mismatch), this is
+    /// a dispatch miss: nothing in the process's `MethodRegistry` answers
+    /// to the name, so the wire tier can answer typed instead of treating
+    /// an unknown name as a protocol error.
+    UnknownMethod {
+        /// The method name (or `#hex` id escape) that failed to resolve.
+        method: String,
+    },
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
     /// The caller pipelined more concurrent requests over one connection
@@ -82,6 +91,9 @@ impl fmt::Display for RejectReason {
             }
             RejectReason::InvalidRequest { reason } => {
                 write!(f, "invalid request: {reason}")
+            }
+            RejectReason::UnknownMethod { method } => {
+                write!(f, "no explainer registered for method `{method}`")
             }
             RejectReason::ShuttingDown => write!(f, "engine shutting down"),
             RejectReason::PipelineTooDeep { depth, limit } => write!(

@@ -106,6 +106,8 @@ pub mod prelude {
     pub use crate::error::{RejectReason, ServeError};
     pub use crate::metrics::ServeStats;
     pub use crate::registry::{ModelEntry, ModelRegistry, ServeModel};
-    pub use crate::request::{ExplainMethod, ExplainRequest, ExplainResponse, Fidelity};
+    pub use crate::request::{
+        ExplainMethod, ExplainRequest, ExplainResponse, Fidelity, DEFAULT_ANYTIME_DIVISOR,
+    };
     pub use crate::{AnytimePolicy, Engine, FusionPolicy, ServeConfig, ServeEngine};
 }

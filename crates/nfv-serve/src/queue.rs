@@ -192,6 +192,7 @@ mod tests {
             packed: None,
             expected_output: 0.0,
             groups: FeatureGroups::new(vec!["all".into()], vec![0]).unwrap(),
+            trees: None,
         });
         let request = ExplainRequest {
             model_id: "m".into(),

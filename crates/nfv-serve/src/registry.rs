@@ -4,9 +4,15 @@
 //! Versions are global across the registry (not per-id) so a cache key
 //! containing a version can never collide between "model A v2" and a
 //! re-registered "model A" — every registration gets a fresh number.
+//!
+//! Method dispatch is *open*: `supports`/`explainer` resolve the
+//! request's interned method id against the process-wide
+//! `nfv_xai::prelude::MethodRegistry` — there is deliberately no `match`
+//! on method variants anywhere in this module (ci.sh greps for one), so
+//! serving a new explanation method is a registration, not a source edit.
 
 use crate::error::{RejectReason, ServeError};
-use crate::request::ExplainMethod;
+use crate::request::{ExplainMethod, DEFAULT_ANYTIME_DIVISOR};
 use nfv_ml::prelude::*;
 use nfv_xai::prelude::*;
 use parking_lot::RwLock;
@@ -86,11 +92,15 @@ pub struct ModelEntry {
     /// uncached request without changing any result bit (the per-request
     /// computation is the same deterministic reduction).
     pub expected_output: f64,
-    /// Feature grouping for [`ExplainMethod::GroupedShapley`], derived
+    /// Feature grouping for the grouped (Owen) Shapley method, derived
     /// from the feature names at registration: the standard per-stage NFV
     /// grouping when the names follow the telemetry schema, else a single
     /// group holding every feature.
     pub groups: FeatureGroups,
+    /// The tree structure behind an `Arc`, for structure-walking methods
+    /// (TreeSHAP). `None` for non-tree models. Built once at registration
+    /// so per-request method resolution clones an `Arc`, not an ensemble.
+    pub trees: Option<TreeModel>,
 }
 
 impl ModelEntry {
@@ -105,116 +115,76 @@ impl ModelEntry {
         }
     }
 
-    /// Checks a request's method against this model's capabilities.
+    /// This model's capabilities, for per-method registry validation.
+    pub fn caps(&self) -> ModelCaps {
+        ModelCaps {
+            n_features: self.model.n_features(),
+            n_groups: self.groups.len(),
+            is_tree: self.model.supports_tree_shap(),
+            kind: self.model.kind(),
+        }
+    }
+
+    /// The [`MethodConfig`] handed to a method factory for one resolution
+    /// against this model. Every field a built-in or plug-in factory may
+    /// want is populated; factories read what they need.
+    fn method_config(&self, method: ExplainMethod) -> MethodConfig {
+        MethodConfig {
+            budget: method.budget_word(),
+            n_features: self.model.n_features(),
+            groups: Some(self.groups.clone()),
+            trees: self.trees.clone(),
+            anytime_divisor: DEFAULT_ANYTIME_DIVISOR,
+        }
+    }
+
+    /// Looks the method up in the process-wide registry, or produces the
+    /// typed reject for a name nothing answers to.
+    fn descriptor(&self, method: ExplainMethod) -> Result<MethodDescriptor, ServeError> {
+        MethodRegistry::global()
+            .get(method.method_id())
+            .ok_or_else(|| {
+                ServeError::Rejected(RejectReason::UnknownMethod {
+                    method: method.display_name(),
+                })
+            })
+    }
+
+    /// Checks a request's method against this model's capabilities, by
+    /// registry lookup: an unregistered method id is a typed
+    /// [`RejectReason::UnknownMethod`]; a registered method whose
+    /// validator refuses this model's [`ModelCaps`] is an
+    /// [`RejectReason::InvalidRequest`] carrying the validator's reason.
     pub fn supports(&self, method: ExplainMethod) -> Result<(), ServeError> {
-        match method {
-            ExplainMethod::TreeShap if !self.model.supports_tree_shap() => {
-                Err(ServeError::Rejected(RejectReason::InvalidRequest {
-                    reason: format!(
-                        "tree-shap requires a tree model, got `{}`",
-                        self.model.kind()
-                    ),
-                }))
-            }
-            ExplainMethod::ExactShapley
-                if self.model.n_features() > MAX_EXACT_FEATURES =>
-            {
-                Err(ServeError::Rejected(RejectReason::InvalidRequest {
-                    reason: format!(
-                        "exact Shapley enumerates 2^d coalitions; d = {} exceeds the limit of {MAX_EXACT_FEATURES}",
-                        self.model.n_features()
-                    ),
-                }))
-            }
-            ExplainMethod::GroupedShapley if self.groups.len() > MAX_GROUPS => {
-                Err(ServeError::Rejected(RejectReason::InvalidRequest {
-                    reason: format!(
-                        "grouped Shapley enumerates 2^G coalitions; G = {} exceeds the limit of {MAX_GROUPS}",
-                        self.groups.len()
-                    ),
-                }))
-            }
-            _ => Ok(()),
-        }
+        self.descriptor(method)?
+            .validate(&self.caps())
+            .map_err(|reason| ServeError::Rejected(RejectReason::InvalidRequest { reason }))
     }
 
-    /// Resolves a request method to its [`Explainer`] — the single point
-    /// where `ExplainMethod` variants meet concrete method implementations.
-    /// Everything downstream (batching, fusion, finishing) is generic
-    /// trait dispatch.
-    pub fn explainer(self: &Arc<Self>, method: ExplainMethod) -> Box<dyn Explainer> {
-        match method {
-            ExplainMethod::TreeShap => Box::new(TreeShapExplainer {
-                entry: Arc::clone(self),
-            }),
-            ExplainMethod::KernelShap { n_coalitions } => Box::new(KernelShapExplainer {
-                n_coalitions,
-                ridge: 0.0,
-            }),
-            ExplainMethod::Lime { n_samples } => Box::new(LimeExplainer { n_samples }),
-            ExplainMethod::SamplingShapley {
-                n_permutations,
-                antithetic,
-            } => Box::new(SamplingShapleyExplainer {
-                n_permutations,
-                antithetic,
-            }),
-            ExplainMethod::ExactShapley => Box::new(ExactShapleyExplainer),
-            ExplainMethod::GroupedShapley => Box::new(GroupedShapleyExplainer {
-                groups: self.groups.clone(),
-            }),
-            ExplainMethod::Permutation => Box::new(PermutationExplainer),
-        }
-    }
-}
-
-/// Structure-aware TreeSHAP behind the [`Explainer`] trait. Walks tree
-/// structure rather than evaluating coalition composites, so it is not
-/// fusable; it holds its entry because it needs the concrete tree model,
-/// not the `dyn Regressor` in the context.
-struct TreeShapExplainer {
-    entry: Arc<ModelEntry>,
-}
-
-impl Explainer for TreeShapExplainer {
-    fn tag(&self) -> &'static str {
-        "tree-shap"
-    }
-    fn fusable(&self) -> bool {
-        false
-    }
-    fn plan(
-        &self,
-        _ctx: &ExplainContext<'_>,
-        _ws: &mut CoalitionWorkspace,
-        _block: &mut FusedBlock,
-    ) -> Result<Box<dyn ExplainPlan>, XaiError> {
-        Err(XaiError::Input(
-            "tree-shap walks tree structure; use direct()".into(),
-        ))
-    }
-    fn direct(
-        &self,
-        ctx: &ExplainContext<'_>,
-        _ws: &mut CoalitionWorkspace,
-    ) -> Result<Attribution, XaiError> {
-        match &self.entry.model {
-            ServeModel::Gbdt(m) => gbdt_shap(m, ctx.x, ctx.names),
-            ServeModel::Forest(m) => forest_shap(m, ctx.x, ctx.names),
-            other => Err(XaiError::Input(format!(
-                "tree-shap requires a tree model, got `{}`",
-                other.kind()
-            ))),
-        }
+    /// Resolves a request method to its [`Explainer`] through the open
+    /// registry — a factory call on the method's descriptor, no variant
+    /// dispatch. Everything downstream (batching, fusion, finishing) is
+    /// generic trait dispatch.
+    pub fn explainer(&self, method: ExplainMethod) -> Result<Box<dyn Explainer>, ServeError> {
+        self.descriptor(method)?
+            .instantiate(&self.method_config(method))
+            .map_err(ServeError::Explain)
     }
 }
 
 /// Thread-safe id → model map. Reads (the per-request hot path) take a
 /// shared lock; registrations are rare and take the exclusive lock.
+///
+/// Besides models, the registry holds the per-(model, method) serving
+/// configuration the open method registry made data-driven: today the
+/// anytime coarsening divisor, keyed by interned method id.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
     next_version: AtomicU64,
+    /// model id → (interned method id → anytime divisor). Absent entries
+    /// fall back to [`DEFAULT_ANYTIME_DIVISOR`].
+    anytime_divisors: RwLock<HashMap<String, HashMap<u64, u64>>>,
 }
 
 impl ModelRegistry {
@@ -272,6 +242,14 @@ impl ModelRegistry {
             FeatureGroups::new(vec!["all".into()], vec![0; d])
                 .expect("single-group fallback is valid for d >= 1")
         });
+        // Tree ensembles additionally go behind an `Arc` for the
+        // structure-walking methods; one clone at registration time buys
+        // Arc-cheap per-request method resolution.
+        let trees = match &model {
+            ServeModel::Gbdt(m) => Some(TreeModel::Gbdt(Arc::new(m.clone()))),
+            ServeModel::Forest(m) => Some(TreeModel::Forest(Arc::new(m.clone()))),
+            ServeModel::Linear(_) | ServeModel::Mlp(_) => None,
+        };
         let entry = Arc::new(ModelEntry {
             model,
             version,
@@ -280,6 +258,7 @@ impl ModelRegistry {
             packed,
             expected_output,
             groups,
+            trees,
         });
         self.models.write().insert(id.to_string(), entry);
         Ok(version)
@@ -290,9 +269,36 @@ impl ModelRegistry {
         self.models.read().get(id).cloned()
     }
 
-    /// Removes `id`; returns whether it was present.
+    /// Removes `id`; returns whether it was present. Its per-method
+    /// serving configuration goes with it.
     pub fn deregister(&self, id: &str) -> bool {
+        self.anytime_divisors.write().remove(id);
         self.models.write().remove(id).is_some()
+    }
+
+    /// Sets the anytime coarsening divisor for one (model, method)
+    /// service class: under queue pressure that class's sampling budget
+    /// is cut by `divisor` (clamped to ≥ 1; 1 disables degradation for
+    /// the class, since the floored result never drops below the
+    /// original). `method` is the method *name* — the same string
+    /// registered in the method registry — interning happens here.
+    pub fn set_anytime_divisor(&self, model_id: &str, method: &str, divisor: u64) {
+        self.anytime_divisors
+            .write()
+            .entry(model_id.to_string())
+            .or_default()
+            .insert(method_id(method), divisor.max(1));
+    }
+
+    /// The anytime divisor for one (model, interned method id) class;
+    /// [`DEFAULT_ANYTIME_DIVISOR`] when unconfigured.
+    pub fn anytime_divisor(&self, model_id: &str, method_id: u64) -> u64 {
+        self.anytime_divisors
+            .read()
+            .get(model_id)
+            .and_then(|per_method| per_method.get(&method_id))
+            .copied()
+            .unwrap_or(DEFAULT_ANYTIME_DIVISOR)
     }
 
     /// Registered ids, sorted (stable output for stats/debugging).
@@ -452,7 +458,6 @@ mod tests {
         reg.register("lin", m, names, bg).unwrap();
         let entry = reg.get("lin").unwrap();
         for (method, tag, fusable) in [
-            (ExplainMethod::TreeShap, "tree-shap", false),
             (
                 ExplainMethod::KernelShap { n_coalitions: 16 },
                 "kernel-shap",
@@ -470,11 +475,84 @@ mod tests {
             (ExplainMethod::ExactShapley, "exact-shapley", true),
             (ExplainMethod::GroupedShapley, "grouped-shapley", true),
             (ExplainMethod::Permutation, "permutation", true),
+            (ExplainMethod::Interactions, "interactions", false),
         ] {
-            let e = entry.explainer(method);
+            let e = entry.explainer(method).unwrap();
             assert_eq!(e.tag(), tag);
             assert_eq!(e.fusable(), fusable, "{tag}");
             assert_eq!(e.tag(), method.tag(), "registry and request tags agree");
         }
+        // Tree-shap has no tree structure to walk on a linear model; the
+        // factory refuses (the validator already rejects at admission).
+        assert!(entry.explainer(ExplainMethod::TreeShap).is_err());
+    }
+
+    #[test]
+    fn tree_entries_resolve_tree_shap_through_the_registry() {
+        let reg = ModelRegistry::new();
+        let data = nfv_data::dataset::Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.25],
+            vec![0.0, 1.0, 2.0, 3.0, 1.5],
+            nfv_data::dataset::Task::Regression,
+        )
+        .unwrap();
+        let gbdt = Gbdt::fit(
+            &data,
+            &GbdtParams {
+                n_rounds: 6,
+                ..Default::default()
+            },
+            0,
+        )
+        .unwrap();
+        let bg = Background::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        reg.register("g", ServeModel::Gbdt(gbdt), data.names.clone(), bg)
+            .unwrap();
+        let entry = reg.get("g").unwrap();
+        assert!(entry.trees.is_some(), "tree models carry their structure");
+        let e = entry.explainer(ExplainMethod::TreeShap).unwrap();
+        assert_eq!(e.tag(), "tree-shap");
+        assert!(!e.fusable());
+    }
+
+    #[test]
+    fn unknown_method_ids_get_a_typed_reject() {
+        let reg = ModelRegistry::new();
+        let (m, names, bg) = linear_entry();
+        reg.register("lin", m, names, bg).unwrap();
+        let entry = reg.get("lin").unwrap();
+        let bogus = ExplainMethod::custom("no-such-method-registered", 4);
+        let err = entry.supports(bogus).unwrap_err();
+        match err {
+            ServeError::Rejected(RejectReason::UnknownMethod { method }) => {
+                // No registered name to report, so the reject carries the
+                // lossless #hex escape of the interned id.
+                assert_eq!(method, bogus.display_name());
+                assert!(method.starts_with('#'));
+            }
+            other => panic!("expected UnknownMethod, got {other:?}"),
+        }
+        // explainer() misses the same way.
+        assert!(entry.explainer(bogus).is_err());
+    }
+
+    #[test]
+    fn anytime_divisors_are_per_model_method_with_default() {
+        let reg = ModelRegistry::new();
+        let kernel_id = ExplainMethod::KernelShap { n_coalitions: 512 }.method_id();
+        let lime_id = ExplainMethod::Lime { n_samples: 512 }.method_id();
+        assert_eq!(reg.anytime_divisor("m", kernel_id), DEFAULT_ANYTIME_DIVISOR);
+        reg.set_anytime_divisor("m", "kernel-shap", 4);
+        reg.set_anytime_divisor("m", "lime", 0); // clamped to 1 = never degrade
+        assert_eq!(reg.anytime_divisor("m", kernel_id), 4);
+        assert_eq!(reg.anytime_divisor("m", lime_id), 1);
+        // Other models keep the default; deregistration clears config.
+        assert_eq!(
+            reg.anytime_divisor("other", kernel_id),
+            DEFAULT_ANYTIME_DIVISOR
+        );
+        reg.deregister("m");
+        assert_eq!(reg.anytime_divisor("m", kernel_id), DEFAULT_ANYTIME_DIVISOR);
     }
 }

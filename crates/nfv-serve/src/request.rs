@@ -1,13 +1,35 @@
 //! Request/response types of the in-process serving API, plus the stable
 //! content hash that drives both cache keying and per-request seeding.
 
-use nfv_xai::prelude::Attribution;
+use nfv_xai::prelude::{method_id, Attribution, MethodRegistry};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Frozen interned ids of the built-in methods: `method_id(name)` of the
+/// frozen names, precomputed so the hot hashing path is a table load.
+/// These constants are part of the persistence format — cache
+/// fingerprints, seeds, and EWMA service-class keys derive from them —
+/// and must never change (enforced by `frozen_builtin_name_id_mapping`).
+const ID_TREE_SHAP: u64 = method_id("tree-shap");
+const ID_KERNEL_SHAP: u64 = method_id("kernel-shap");
+const ID_LIME: u64 = method_id("lime");
+const ID_SAMPLING_SHAPLEY: u64 = method_id("sampling-shapley");
+const ID_EXACT_SHAPLEY: u64 = method_id("exact-shapley");
+const ID_GROUPED_SHAPLEY: u64 = method_id("grouped-shapley");
+const ID_PERMUTATION: u64 = method_id("permutation");
+const ID_INTERACTIONS: u64 = method_id("interactions");
 
 /// Which explanation method to run, with its sampling budget where one
 /// applies. Budgets are part of the identity: a 64-coalition KernelSHAP
 /// answer must never be served from a 512-coalition cache entry.
+///
+/// The named variants are ergonomic shorthands for the built-in methods;
+/// [`ExplainMethod::Custom`] addresses anything registered at runtime in
+/// the [`MethodRegistry`] by its interned id. All serving identity —
+/// cache keys, seeds, admission classes — flows through
+/// [`ExplainMethod::method_id`] and [`ExplainMethod::budget_word`], so a
+/// built-in variant and a `Custom` carrying the same id and budget are
+/// the same request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExplainMethod {
     /// Structure-aware TreeSHAP (tree models only; deterministic, no RNG).
@@ -38,9 +60,32 @@ pub enum ExplainMethod {
     /// Per-instance permutation attribution — leave-one-covariate-out
     /// (deterministic).
     Permutation,
+    /// Exact pairwise Shapley interaction values: a `d×d` matrix flattened
+    /// row-major into `d²` attribution entries (deterministic; rejected
+    /// above `nfv_xai::prelude::MAX_INTERACTION_FEATURES` features). The
+    /// first method served through the open registry.
+    Interactions,
+    /// A method registered at runtime in the [`MethodRegistry`], addressed
+    /// by its interned id (`method_id(name)`). Construct with
+    /// [`ExplainMethod::custom`].
+    Custom {
+        /// Interned method id — FNV-1a of the registered name.
+        id: u64,
+        /// Opaque budget word handed to the method's factory (and folded
+        /// into the request identity).
+        budget: u64,
+    },
 }
 
 impl ExplainMethod {
+    /// A runtime-registered method by name, with an opaque budget word.
+    pub fn custom(name: &str, budget: u64) -> ExplainMethod {
+        ExplainMethod::Custom {
+            id: method_id(name),
+            budget,
+        }
+    }
+
     /// Short tag for metrics and reports.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -51,35 +96,129 @@ impl ExplainMethod {
             ExplainMethod::ExactShapley => "exact-shapley",
             ExplainMethod::GroupedShapley => "grouped-shapley",
             ExplainMethod::Permutation => "permutation",
+            ExplainMethod::Interactions => "interactions",
+            ExplainMethod::Custom { .. } => "custom",
         }
     }
 
-    /// Discriminant + budget folded into the content hash.
-    pub(crate) fn hash_parts(&self) -> (u64, u64) {
+    /// The interned method id: `method_id(frozen name)` for built-ins, the
+    /// carried id for [`ExplainMethod::Custom`]. This — never an enum
+    /// discriminant — is what cache keys, content-derived seeds, and
+    /// admission service classes hash, so ids are stable across processes,
+    /// releases, and the wire.
+    pub fn method_id(&self) -> u64 {
         match self {
-            ExplainMethod::TreeShap => (1, 0),
-            ExplainMethod::KernelShap { n_coalitions } => (2, *n_coalitions as u64),
-            ExplainMethod::Lime { n_samples } => (3, *n_samples as u64),
+            ExplainMethod::TreeShap => ID_TREE_SHAP,
+            ExplainMethod::KernelShap { .. } => ID_KERNEL_SHAP,
+            ExplainMethod::Lime { .. } => ID_LIME,
+            ExplainMethod::SamplingShapley { .. } => ID_SAMPLING_SHAPLEY,
+            ExplainMethod::ExactShapley => ID_EXACT_SHAPLEY,
+            ExplainMethod::GroupedShapley => ID_GROUPED_SHAPLEY,
+            ExplainMethod::Permutation => ID_PERMUTATION,
+            ExplainMethod::Interactions => ID_INTERACTIONS,
+            ExplainMethod::Custom { id, .. } => *id,
+        }
+    }
+
+    /// The method's opaque budget word: the sampling budget folded into
+    /// the request identity and handed to the registry factory. Zero for
+    /// deterministic methods; `2·P + antithetic` for sampling Shapley so
+    /// the variance-reduction flag is part of the identity.
+    pub fn budget_word(&self) -> u64 {
+        match self {
+            ExplainMethod::KernelShap { n_coalitions } => *n_coalitions as u64,
+            ExplainMethod::Lime { n_samples } => *n_samples as u64,
             ExplainMethod::SamplingShapley {
                 n_permutations,
                 antithetic,
-            } => (4, (*n_permutations as u64) * 2 + *antithetic as u64),
-            ExplainMethod::ExactShapley => (5, 0),
-            ExplainMethod::GroupedShapley => (6, 0),
-            ExplainMethod::Permutation => (7, 0),
+            } => (*n_permutations as u64) * 2 + *antithetic as u64,
+            ExplainMethod::Custom { budget, .. } => *budget,
+            ExplainMethod::TreeShap
+            | ExplainMethod::ExactShapley
+            | ExplainMethod::GroupedShapley
+            | ExplainMethod::Permutation
+            | ExplainMethod::Interactions => 0,
         }
     }
 
-    /// The degraded variant of this method used by the anytime path: same
-    /// method, sampling budget cut to 1/8 (floored so the coarse answer is
-    /// still statistically meaningful). Returns the coarse method plus the
-    /// coarse sample budget recorded in [`Fidelity::Coarse`]. `None` for
-    /// deterministic methods (nothing to cut) and for budgets already at or
-    /// below the floor — those either run at full fidelity or reject.
+    /// Interned id + budget word folded into the content hash.
+    pub(crate) fn hash_parts(&self) -> (u64, u64) {
+        (self.method_id(), self.budget_word())
+    }
+
+    /// The method's name for humans and the wire: the frozen name for
+    /// built-ins; for [`ExplainMethod::Custom`], the registered name when
+    /// the id resolves, else the `#hex` escape of the raw id (which
+    /// [`ExplainMethod::from_name`] parses back losslessly).
+    pub fn display_name(&self) -> String {
+        match self {
+            ExplainMethod::Custom { id, .. } => match MethodRegistry::global().name_of(*id) {
+                Some(name) => name.to_string(),
+                None => format!("#{id:016x}"),
+            },
+            _ => self.tag().to_string(),
+        }
+    }
+
+    /// Rebuilds a method from a (name, budget word) pair — the wire
+    /// decoding of [`ExplainMethod::display_name`] /
+    /// [`ExplainMethod::budget_word`]. Built-in names normalize to their
+    /// canonical variants so a named frame and a legacy-discriminant frame
+    /// for the same request produce identical cache keys and seeds;
+    /// anything else becomes [`ExplainMethod::Custom`] (validation — not
+    /// decoding — rejects names no registry knows).
+    pub fn from_name(name: &str, budget: u64) -> ExplainMethod {
+        match name {
+            "tree-shap" => ExplainMethod::TreeShap,
+            "kernel-shap" => ExplainMethod::KernelShap {
+                n_coalitions: budget as usize,
+            },
+            "lime" => ExplainMethod::Lime {
+                n_samples: budget as usize,
+            },
+            "sampling-shapley" => ExplainMethod::SamplingShapley {
+                n_permutations: (budget / 2) as usize,
+                antithetic: budget & 1 == 1,
+            },
+            "exact-shapley" => ExplainMethod::ExactShapley,
+            "grouped-shapley" => ExplainMethod::GroupedShapley,
+            "permutation" => ExplainMethod::Permutation,
+            "interactions" => ExplainMethod::Interactions,
+            _ => {
+                if let Some(hex) = name.strip_prefix('#') {
+                    if let Ok(id) = u64::from_str_radix(hex, 16) {
+                        return ExplainMethod::Custom { id, budget };
+                    }
+                }
+                ExplainMethod::Custom {
+                    id: method_id(name),
+                    budget,
+                }
+            }
+        }
+    }
+
+    /// [`ExplainMethod::coarsened_with`] at the default ÷ 8 divisor.
     pub fn coarsened(&self) -> Option<(ExplainMethod, u64)> {
+        self.coarsened_with(DEFAULT_ANYTIME_DIVISOR)
+    }
+
+    /// The degraded variant of this method used by the anytime path: same
+    /// method, sampling budget cut by `divisor` (floored so the coarse
+    /// answer is still statistically meaningful). The divisor is
+    /// per-service-class configuration (see
+    /// `ModelRegistry::set_anytime_divisor`); ÷ 8 is the default. Returns
+    /// the coarse method plus the coarse sample budget recorded in
+    /// [`Fidelity::Coarse`]. `None` for deterministic methods (nothing to
+    /// cut), for budgets already at or below the floor, and for
+    /// [`ExplainMethod::Custom`] (the serving layer cannot know how to
+    /// scale an opaque budget word) — those either run at full fidelity or
+    /// reject.
+    pub fn coarsened_with(&self, divisor: u64) -> Option<(ExplainMethod, u64)> {
+        let divisor = divisor.max(1) as usize;
         match *self {
             ExplainMethod::KernelShap { n_coalitions } => {
-                let coarse = (n_coalitions / 8).max(8);
+                let coarse = (n_coalitions / divisor).max(8);
                 (coarse < n_coalitions).then_some((
                     ExplainMethod::KernelShap {
                         n_coalitions: coarse,
@@ -88,7 +227,7 @@ impl ExplainMethod {
                 ))
             }
             ExplainMethod::Lime { n_samples } => {
-                let coarse = (n_samples / 8).max(16);
+                let coarse = (n_samples / divisor).max(16);
                 (coarse < n_samples)
                     .then_some((ExplainMethod::Lime { n_samples: coarse }, coarse as u64))
             }
@@ -96,7 +235,7 @@ impl ExplainMethod {
                 n_permutations,
                 antithetic,
             } => {
-                let coarse = (n_permutations / 8).max(2);
+                let coarse = (n_permutations / divisor).max(2);
                 (coarse < n_permutations).then_some((
                     ExplainMethod::SamplingShapley {
                         n_permutations: coarse,
@@ -108,10 +247,16 @@ impl ExplainMethod {
             ExplainMethod::TreeShap
             | ExplainMethod::ExactShapley
             | ExplainMethod::GroupedShapley
-            | ExplainMethod::Permutation => None,
+            | ExplainMethod::Permutation
+            | ExplainMethod::Interactions
+            | ExplainMethod::Custom { .. } => None,
         }
     }
 }
+
+/// The anytime path's default budget divisor, used for every service
+/// class without an explicit `ModelRegistry::set_anytime_divisor` entry.
+pub const DEFAULT_ANYTIME_DIVISOR: u64 = 8;
 
 /// How faithful a served attribution is to the full-budget, full-precision
 /// answer. Exact responses are bit-identical to a direct explainer run;
@@ -251,9 +396,15 @@ pub(crate) fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
 /// model differ by orders of magnitude in cost; folding the version in
 /// keeps estimates from a retired model from polluting its replacement.
 /// Never zero: zero marks an empty slot in the metrics table.
+///
+/// The method contributes its *interned id* (FNV-1a of the frozen method
+/// name — see [`ExplainMethod::method_id`]) plus its budget word, never a
+/// Rust enum discriminant, so class keys are identical across processes
+/// and survive registry growth: adding a method can never renumber the
+/// classes of existing ones.
 pub(crate) fn service_class_key(model_version: u64, method: ExplainMethod) -> u64 {
-    let (discriminant, sample_budget) = method.hash_parts();
-    fnv1a_words([model_version, discriminant, sample_budget]).max(1)
+    let (method_id, sample_budget) = method.hash_parts();
+    fnv1a_words([model_version, method_id, sample_budget]).max(1)
 }
 
 /// The seed a worker hands a stochastic explainer for one request:
@@ -325,6 +476,117 @@ mod tests {
         );
     }
 
+    /// The frozen built-in name → id mapping, spelled out as literals.
+    /// Cache fingerprints, blessed baselines, and EWMA service-class keys
+    /// all hash these ids; if this test fails, the migration broke every
+    /// persisted key. Never update the literals — register a new name.
+    #[test]
+    fn frozen_builtin_name_id_mapping() {
+        let frozen: [(ExplainMethod, &str, u64); 8] = [
+            (ExplainMethod::TreeShap, "tree-shap", 0x54c3_ee37_5518_dfea),
+            (
+                ExplainMethod::KernelShap { n_coalitions: 64 },
+                "kernel-shap",
+                0xe245_1ecf_d5f1_684d,
+            ),
+            (
+                ExplainMethod::Lime { n_samples: 256 },
+                "lime",
+                0xbf55_95ad_6957_925c,
+            ),
+            (
+                ExplainMethod::SamplingShapley {
+                    n_permutations: 32,
+                    antithetic: true,
+                },
+                "sampling-shapley",
+                0x65b4_6f9c_e1c6_6499,
+            ),
+            (
+                ExplainMethod::ExactShapley,
+                "exact-shapley",
+                0xec01_0b19_9367_dfe5,
+            ),
+            (
+                ExplainMethod::GroupedShapley,
+                "grouped-shapley",
+                0x1fc7_9ffb_7312_d74c,
+            ),
+            (
+                ExplainMethod::Permutation,
+                "permutation",
+                0x30c0_a849_13fc_221b,
+            ),
+            (
+                ExplainMethod::Interactions,
+                "interactions",
+                0xa29e_e326_d09f_9848,
+            ),
+        ];
+        for (m, name, id) in frozen {
+            assert_eq!(m.tag(), name, "frozen name drifted");
+            assert_eq!(m.method_id(), id, "frozen id drifted for `{name}`");
+            assert_eq!(method_id(name), id, "method_id() drifted for `{name}`");
+        }
+    }
+
+    #[test]
+    fn custom_methods_share_the_identity_scheme() {
+        let c = ExplainMethod::custom("online-sage", 32);
+        assert_eq!(c.method_id(), method_id("online-sage"));
+        assert_eq!(c.budget_word(), 32);
+        assert_eq!(c.tag(), "custom");
+        // A built-in variant and a Custom carrying its id are the same
+        // request identity.
+        let k = ExplainMethod::KernelShap { n_coalitions: 64 };
+        let k_as_custom = ExplainMethod::Custom {
+            id: method_id("kernel-shap"),
+            budget: 64,
+        };
+        assert_eq!(k.hash_parts(), k_as_custom.hash_parts());
+        assert_eq!(
+            service_class_key(3, k),
+            service_class_key(3, k_as_custom),
+            "identity is the interned id, not the Rust variant"
+        );
+    }
+
+    #[test]
+    fn from_name_round_trips_builtins_and_custom() {
+        let methods = [
+            ExplainMethod::TreeShap,
+            ExplainMethod::KernelShap { n_coalitions: 64 },
+            ExplainMethod::Lime { n_samples: 256 },
+            ExplainMethod::SamplingShapley {
+                n_permutations: 32,
+                antithetic: true,
+            },
+            ExplainMethod::SamplingShapley {
+                n_permutations: 32,
+                antithetic: false,
+            },
+            ExplainMethod::ExactShapley,
+            ExplainMethod::GroupedShapley,
+            ExplainMethod::Permutation,
+            ExplainMethod::Interactions,
+        ];
+        for m in methods {
+            let back = ExplainMethod::from_name(&m.display_name(), m.budget_word());
+            assert_eq!(back, m, "named round-trip must normalize to canonical");
+        }
+        // An unregistered custom id survives via the #hex escape.
+        let c = ExplainMethod::Custom {
+            id: 0x1234_5678_9abc_def0,
+            budget: 7,
+        };
+        assert_eq!(c.display_name(), "#123456789abcdef0");
+        let back = ExplainMethod::from_name(&c.display_name(), c.budget_word());
+        assert_eq!(back, c);
+        // A registered name decodes to its interned id.
+        let named = ExplainMethod::from_name("online-sage", 9);
+        assert_eq!(named, ExplainMethod::custom("online-sage", 9));
+    }
+
     #[test]
     fn service_class_keys_separate_every_method_variant() {
         let methods = [
@@ -338,6 +600,8 @@ mod tests {
             ExplainMethod::ExactShapley,
             ExplainMethod::GroupedShapley,
             ExplainMethod::Permutation,
+            ExplainMethod::Interactions,
+            ExplainMethod::custom("online-sage", 16),
         ];
         let mut keys: Vec<u64> = methods.iter().map(|&m| service_class_key(3, m)).collect();
         assert!(keys.iter().all(|&k| k != 0), "zero marks an empty slot");
@@ -403,6 +667,39 @@ mod tests {
         assert!(ExplainMethod::ExactShapley.coarsened().is_none());
         assert!(ExplainMethod::GroupedShapley.coarsened().is_none());
         assert!(ExplainMethod::Permutation.coarsened().is_none());
+        assert!(ExplainMethod::Interactions.coarsened().is_none());
+        // Opaque custom budgets are never scaled by the serving layer.
+        assert!(ExplainMethod::custom("online-sage", 64)
+            .coarsened()
+            .is_none());
+    }
+
+    #[test]
+    fn coarsening_divisor_is_per_class_configuration() {
+        let k = ExplainMethod::KernelShap { n_coalitions: 512 };
+        let (m, b) = k.coarsened_with(4).unwrap();
+        assert_eq!(m, ExplainMethod::KernelShap { n_coalitions: 128 });
+        assert_eq!(b, 128);
+        assert_eq!(k.coarsened_with(8), k.coarsened(), "÷ 8 stays the default");
+        // Divisor 1 (and 0, clamped to 1) means "never degrade this class".
+        assert!(k.coarsened_with(1).is_none());
+        assert!(k.coarsened_with(0).is_none());
+        // Floors still apply under aggressive divisors.
+        let (m, _) = k.coarsened_with(1024).unwrap();
+        assert_eq!(m, ExplainMethod::KernelShap { n_coalitions: 8 });
+        let s = ExplainMethod::SamplingShapley {
+            n_permutations: 32,
+            antithetic: true,
+        };
+        let (m, b) = s.coarsened_with(16).unwrap();
+        assert_eq!(
+            m,
+            ExplainMethod::SamplingShapley {
+                n_permutations: 2,
+                antithetic: true
+            }
+        );
+        assert_eq!(b, 2);
     }
 
     #[test]

@@ -239,9 +239,22 @@ fn execute_compatible(live: Vec<Job>, ctx: &WorkerContext, ws: &mut CoalitionWor
         .fetch_add(live.len() as u64, Ordering::Relaxed);
 
     // Compatibility groups share (model id, version, method), so entry,
-    // explainer, and service class are group-wide constants.
+    // explainer, and service class are group-wide constants. Resolution
+    // goes through the open method registry; a miss (method deregistered
+    // after admission, factory refused the config) fails the group's jobs
+    // individually rather than the worker.
     let entry = Arc::clone(&live[0].entry);
-    let explainer = entry.explainer(live[0].key.method);
+    let explainer = match entry.explainer(live[0].key.method) {
+        Ok(e) => e,
+        Err(e) => {
+            for job in live {
+                ctx.metrics.explain_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.cache.complete_flight(&job.key, None);
+                let _ = job.respond.send(Err(e.clone()));
+            }
+            return;
+        }
+    };
     let class = service_class_key(live[0].key.model_version, live[0].key.method);
 
     // Explain in admission order, straight off each job's own feature
@@ -296,11 +309,17 @@ fn process_model_group(
     let mut fusable: Vec<(Job, Box<dyn Explainer>)> = Vec::with_capacity(live.len());
     let mut rest: Vec<Job> = Vec::new();
     for job in live {
-        let explainer = job.entry.explainer(job.key.method);
-        if explainer.fusable() {
-            fusable.push((job, explainer));
-        } else {
-            rest.push(job);
+        match job.entry.explainer(job.key.method) {
+            Ok(explainer) if explainer.fusable() => fusable.push((job, explainer)),
+            Ok(_) => rest.push(job),
+            // A resolution failure is scoped to its own request, exactly
+            // like a plan failure below: the rest of the group proceeds.
+            Err(e) => {
+                ctx.metrics.explain_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                ctx.cache.complete_flight(&job.key, None);
+                let _ = job.respond.send(Err(e));
+            }
         }
     }
     if fusable.len() >= ctx.fusion.min_jobs.max(1) {

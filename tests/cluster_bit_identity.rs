@@ -131,6 +131,7 @@ fn direct(f: &Fixture, x: &[f64], method: ExplainMethod, version: u64, grid: f64
         ExplainMethod::Permutation => {
             instance_permutation(&f.packed, x, &f.background, &f.names, base).unwrap()
         }
+        other => unreachable!("not part of this suite: {other:?}"),
     }
 }
 
